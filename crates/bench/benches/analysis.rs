@@ -1,0 +1,76 @@
+//! Criterion bench for experiment E4: the static analyses — topped-query
+//! checking (PTIME effective syntax), element-query enumeration and the
+//! exact VBRP search (exponential) — as problem parameters grow.
+
+use bqr_core::decide::decide_vbrp;
+use bqr_core::problem::{RewritingSetting, VbrpInstance};
+use bqr_plan::PlanLanguage;
+use bqr_query::element::element_queries;
+use bqr_query::parser::parse_cq;
+use bqr_query::{Budget, ViewSet};
+use bqr_workload::cdr;
+use bqr_bench::checker_with_annotations;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chain_query(atoms: usize) -> bqr_query::ConjunctiveQuery {
+    let mut body = String::from("Q(c1) :- calls(17, 1, c1, d0)");
+    for i in 1..atoms {
+        body.push_str(&format!(", calls(c{i}, 1, c{}, d{i})", i + 1));
+    }
+    parse_cq(&body).unwrap()
+}
+
+fn bench_topped_check(c: &mut Criterion) {
+    let scale = cdr::CdrScale::default();
+    let setting = cdr::setting(&scale, 200);
+    let checker = checker_with_annotations(&setting, &cdr::view_bounds());
+    let mut group = c.benchmark_group("topped_check");
+    group.sample_size(20);
+    for atoms in [2usize, 4, 8] {
+        let q = chain_query(atoms);
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
+            b.iter(|| checker.analyze_cq(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_element_queries(c: &mut Criterion) {
+    let scale = cdr::CdrScale::default();
+    let schema = cdr::schema();
+    let access = cdr::access_schema(&scale);
+    let mut group = c.benchmark_group("element_queries");
+    group.sample_size(20);
+    for atoms in [2usize, 3, 4] {
+        let q = chain_query(atoms);
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
+            b.iter(|| element_queries(&q, &access, &schema, &Budget::generous()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vbrp(c: &mut Criterion) {
+    let schema = bqr_data::DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
+    let access = bqr_data::AccessSchema::new(vec![bqr_data::AccessConstraint::new(
+        "rating",
+        &["mid"],
+        &["rank"],
+        1,
+    )
+    .unwrap()]);
+    let q = parse_cq("Q(r) :- rating(42, r)").unwrap();
+    let mut group = c.benchmark_group("exact_vbrp");
+    group.sample_size(10);
+    for m in [3usize, 4] {
+        let setting = RewritingSetting::new(schema.clone(), access.clone(), ViewSet::empty(), m);
+        let inst = VbrpInstance::new(setting, q.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| decide_vbrp(&inst, PlanLanguage::Cq).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topped_check, bench_element_queries, bench_exact_vbrp);
+criterion_main!(benches);

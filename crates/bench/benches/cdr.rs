@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E6: the CDR workload, bounded plans vs
+//! naive evaluation.
+
+use bqr_bench::{checker_with_annotations, plan_for, prepare};
+use bqr_query::eval::eval_cq;
+use bqr_workload::cdr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cdr(c: &mut Criterion) {
+    let scale = cdr::CdrScale {
+        customers: 4_000,
+        days: 14,
+        ..cdr::CdrScale::default()
+    };
+    let setting = cdr::setting(&scale, 120);
+    let checker = checker_with_annotations(&setting, &cdr::view_bounds());
+    let db = cdr::generate(scale);
+    let (idb, cache) = prepare(&setting, db.clone());
+
+    let mut group = c.benchmark_group("cdr");
+    group.sample_size(10);
+    for q in cdr::workload(17, 3) {
+        let analysis = plan_for(&checker, &q.query);
+        if let Some(plan) = analysis.plan.filter(|_| analysis.topped) {
+            group.bench_with_input(BenchmarkId::new("bounded", q.name), &q.name, |b, _| {
+                b.iter(|| bqr_plan::execute(&plan, &idb, &cache).unwrap())
+            });
+        }
+        let query = q.query.clone();
+        group.bench_with_input(BenchmarkId::new("naive", q.name), &q.name, |b, _| {
+            b.iter(|| eval_cq(&query, &db, Some(&cache)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdr);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for experiment E1/E5: bounded plan vs naive evaluation on
+//! the movie and social workloads, at increasing database sizes.
+
+use bqr_bench::{checker_with_annotations, plan_for, prepare};
+use bqr_query::eval::eval_cq;
+use bqr_workload::{movies, social};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_movies(c: &mut Criterion) {
+    let setting = movies::setting(100, 40);
+    let checker = checker_with_annotations(&setting, &[]);
+    let plan = plan_for(&checker, &movies::q_xi()).plan.unwrap();
+    let mut group = c.benchmark_group("movies_q0");
+    group.sample_size(10);
+    for persons in [1_000usize, 4_000] {
+        let db = movies::generate(movies::MovieScale {
+            persons,
+            movies: 1_000,
+            n0: 100,
+            seed: 1,
+        });
+        let (idb, cache) = prepare(&setting, db.clone());
+        group.bench_with_input(BenchmarkId::new("bounded_plan", persons), &persons, |b, _| {
+            b.iter(|| bqr_plan::execute(&plan, &idb, &cache).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_eval", persons), &persons, |b, _| {
+            b.iter(|| eval_cq(&movies::q0(), &db, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_search(c: &mut Criterion) {
+    let setting = social::setting(50, 200);
+    let checker = checker_with_annotations(&setting, &[]);
+    let query = social::graph_search_query(0, 15);
+    let plan = plan_for(&checker, &query).plan.unwrap();
+    let mut group = c.benchmark_group("graph_search");
+    group.sample_size(10);
+    for persons in [2_000usize, 8_000] {
+        let db = social::generate(social::SocialScale {
+            persons,
+            restaurants: 500,
+            max_friends: 50,
+            days: 31,
+            seed: 17,
+        });
+        let (idb, cache) = prepare(&setting, db.clone());
+        group.bench_with_input(BenchmarkId::new("bounded_plan", persons), &persons, |b, _| {
+            b.iter(|| bqr_plan::execute(&plan, &idb, &cache).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_eval", persons), &persons, |b, _| {
+            b.iter(|| eval_cq(&query, &db, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_movies, bench_graph_search);
+criterion_main!(benches);

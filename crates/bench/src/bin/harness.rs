@@ -1,0 +1,267 @@
+//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p bqr-bench --bin harness --release -- [e1|e4|e5|e6|e7|all]`
+
+use bqr_bench::{checker_with_annotations, compare, plan_for, prepare};
+use bqr_core::bounded_eval::boundedly_evaluable_cq;
+use bqr_core::problem::RewritingSetting;
+use bqr_query::ViewSet;
+use bqr_workload::random::{generate_queries, RandomQueryConfig};
+use bqr_workload::{cdr, discover, movies, social};
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "e1" => e1_figure1(),
+        "e4" => e4_analysis_cost(),
+        "e5" => e5_graph_search(),
+        "e6" => e6_cdr(),
+        "e7" => e7_random(),
+        "all" => {
+            e1_figure1();
+            e4_analysis_cost();
+            e5_graph_search();
+            e6_cdr();
+            e7_random();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|all");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// E1 — Fig. 1 / Examples 1.1, 2.2, 2.3: the rewriting of Q0 over V1 fetches
+/// at most 2·N0 tuples, independent of |D|.
+fn e1_figure1() {
+    println!("\n== E1: Example 1.1 / Fig. 1 — Q0 over V1, N0 = 100, M = 40 ==");
+    let n0 = 100;
+    let setting = movies::setting(n0, 40);
+    let checker = checker_with_annotations(&setting, &[]);
+    let analysis = plan_for(&checker, &movies::q_xi());
+    println!(
+        "topped: {}  plan size: {}  worst-case |Dξ|: {} (paper: 2·N0 = {})",
+        analysis.topped,
+        analysis.plan_size.unwrap(),
+        analysis.fetch_bound.unwrap(),
+        2 * n0
+    );
+    let plan = analysis.plan.unwrap();
+    println!(
+        "{:>10} {:>10} | {:>14} {:>14} | {:>12} {:>12} | {:>9}",
+        "persons", "|D|", "bounded-access", "naive-access", "bounded-ms", "naive-ms", "reduction"
+    );
+    for persons in [2_000usize, 8_000, 32_000] {
+        let db = movies::generate(movies::MovieScale {
+            persons,
+            movies: 2_000,
+            n0,
+            seed: 1,
+        });
+        let size = db.size();
+        let (idb, cache) = prepare(&setting, db);
+        let cmp = compare(&movies::q0(), &plan, &idb, &cache);
+        println!(
+            "{:>10} {:>10} | {:>14} {:>14} | {:>12.3} {:>12.3} | {:>8.0}x",
+            persons, size, cmp.bounded_access, cmp.naive_access, cmp.bounded_ms, cmp.naive_ms,
+            cmp.access_reduction()
+        );
+    }
+}
+
+/// E4 — Table I in practice: cost of the PTIME effective-syntax check versus
+/// the exponential exact search, as the query / bound grows.
+fn e4_analysis_cost() {
+    use bqr_core::decide::decide_vbrp;
+    use bqr_core::problem::VbrpInstance;
+    use bqr_plan::PlanLanguage;
+    use bqr_query::parser::parse_cq;
+
+    println!("\n== E4: analysis cost — effective syntax (PTIME) vs exact search (exponential in M) ==");
+    println!("{:>28} {:>14} {:>16}", "query atoms / bound M", "topped-check", "exact-VBRP");
+    let scale = cdr::CdrScale::default();
+    let setting = cdr::setting(&scale, 120);
+    let checker = checker_with_annotations(&setting, &cdr::view_bounds());
+
+    // Topped check on growing chain queries.
+    for atoms in [2usize, 4, 6, 8] {
+        let mut body = String::from("Q(c1) :- calls(17, 1, c1, d0)");
+        for i in 1..atoms {
+            body.push_str(&format!(", calls(c{i}, 1, c{}, d{i})", i + 1));
+        }
+        let q = parse_cq(&body).unwrap();
+        let t = Instant::now();
+        let analysis = checker.analyze_cq(&q).unwrap();
+        let topped_ms = t.elapsed().as_secs_f64() * 1_000.0;
+        println!(
+            "{:>22} atoms {:>11.2}ms {:>16}",
+            atoms,
+            topped_ms,
+            if analysis.topped { "(topped)" } else { "(not topped)" }
+        );
+    }
+    // Exact search on a tiny instance with growing M.
+    let small_schema =
+        bqr_data::DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
+    let small_access = bqr_data::AccessSchema::new(vec![bqr_data::AccessConstraint::new(
+        "rating",
+        &["mid"],
+        &["rank"],
+        1,
+    )
+    .unwrap()]);
+    let q = parse_cq("Q(r) :- rating(42, r)").unwrap();
+    for m in [3usize, 4, 5] {
+        let setting =
+            RewritingSetting::new(small_schema.clone(), small_access.clone(), ViewSet::empty(), m);
+        let t = Instant::now();
+        let outcome = decide_vbrp(&VbrpInstance::new(setting, q.clone()), PlanLanguage::Cq).unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1_000.0;
+        println!(
+            "{:>22} M = {m} {:>13} {:>13.1}ms  ({})",
+            "exact search,",
+            "",
+            ms,
+            if outcome.has_rewriting() { "rewriting found" } else { "none" }
+        );
+    }
+}
+
+/// E5 — the Graph-Search example: constant data access as the graph grows.
+fn e5_graph_search() {
+    println!("\n== E5: Facebook Graph-Search example — friends ≤ 50, one dining/day ==");
+    let setting = social::setting(50, 200);
+    let checker = checker_with_annotations(&setting, &[]);
+    let query = social::graph_search_query(0, 15);
+    let analysis = plan_for(&checker, &query);
+    println!(
+        "topped: {}  plan size: {}  worst-case |Dξ|: {}",
+        analysis.topped,
+        analysis.plan_size.unwrap(),
+        analysis.fetch_bound.unwrap()
+    );
+    let plan = analysis.plan.unwrap();
+    println!(
+        "{:>10} {:>10} | {:>14} {:>14} | {:>12} {:>12} | {:>9}",
+        "persons", "|D|", "bounded-access", "naive-access", "bounded-ms", "naive-ms", "reduction"
+    );
+    for persons in [2_000usize, 8_000, 32_000] {
+        let db = social::generate(social::SocialScale {
+            persons,
+            restaurants: 500,
+            max_friends: 50,
+            days: 31,
+            seed: 17,
+        });
+        let size = db.size();
+        let (idb, cache) = prepare(&setting, db);
+        let cmp = compare(&query, &plan, &idb, &cache);
+        println!(
+            "{:>10} {:>10} | {:>14} {:>14} | {:>12.3} {:>12.3} | {:>8.0}x",
+            persons, size, cmp.bounded_access, cmp.naive_access, cmp.bounded_ms, cmp.naive_ms,
+            cmp.access_reduction()
+        );
+    }
+}
+
+/// E6 — the CDR workload: fraction of queries improved and per-query
+/// access-reduction factors, at two database scales.
+fn e6_cdr() {
+    println!("\n== E6: CDR workload — 10 templates, views V_premium / V_north_towers ==");
+    for customers in [2_000usize, 10_000] {
+        let scale = cdr::CdrScale {
+            customers,
+            days: 14,
+            ..cdr::CdrScale::default()
+        };
+        let setting = cdr::setting(&scale, 120);
+        let checker = checker_with_annotations(&setting, &cdr::view_bounds());
+        let db = cdr::generate(scale);
+        println!("\n-- customers = {customers}, |D| = {} --", db.size());
+        let (idb, cache) = prepare(&setting, db);
+        println!(
+            "{:<24} {:>8} {:>14} {:>14} {:>10}",
+            "query", "bounded?", "bounded-access", "naive-access", "reduction"
+        );
+        let mut improved = 0usize;
+        let queries = cdr::workload(17, 3);
+        for q in &queries {
+            let analysis = checker.analyze_cq(&q.query).unwrap();
+            if analysis.topped {
+                let cmp = compare(&q.query, &analysis.plan.unwrap(), &idb, &cache);
+                improved += 1;
+                println!(
+                    "{:<24} {:>8} {:>14} {:>14} {:>9.0}x",
+                    q.name, "yes", cmp.bounded_access, cmp.naive_access, cmp.access_reduction()
+                );
+            } else {
+                println!("{:<24} {:>8} {:>14} {:>14} {:>10}", q.name, "no", "-", "-", "-");
+            }
+        }
+        println!(
+            "improved: {improved}/{} queries ({}%)",
+            queries.len(),
+            100 * improved / queries.len()
+        );
+    }
+}
+
+/// E7 — random acyclic CQ workloads: how many are boundedly evaluable
+/// (no views) vs boundedly rewritable with the CDR views, under mined
+/// constraints.
+fn e7_random() {
+    println!("\n== E7: random ACQ workloads over the CDR schema ==");
+    let scale = cdr::CdrScale {
+        customers: 1_000,
+        days: 7,
+        ..cdr::CdrScale::default()
+    };
+    let db = cdr::generate(scale);
+    let mined = bqr_workload::discover_constraints(
+        &db,
+        &discover::DiscoveryOptions {
+            max_bound: 100,
+            max_key_size: 2,
+        },
+    );
+    println!("mined {} access constraints from a {}-tuple sample", mined.len(), db.size());
+
+    println!(
+        "{:>8} {:>12} | {:>22} {:>26}",
+        "atoms", "const-prob", "boundedly evaluable", "bounded rewriting w/ views"
+    );
+    for (atoms, p) in [(2usize, 0.5f64), (3, 0.5), (3, 0.3), (4, 0.3)] {
+        let queries = generate_queries(
+            &cdr::schema(),
+            &RandomQueryConfig {
+                atoms,
+                constant_probability: p,
+                constants: (0..50).map(bqr_data::Value::int).collect(),
+                head_variables: 1,
+                seed: 4242,
+            },
+            100,
+        );
+        let viewless = RewritingSetting::new(cdr::schema(), mined.clone(), ViewSet::empty(), 200);
+        let with_views = RewritingSetting::new(cdr::schema(), mined.clone(), cdr::views(), 200);
+        let checker = checker_with_annotations(&with_views, &cdr::view_bounds());
+        let mut evaluable = 0usize;
+        let mut rewritable = 0usize;
+        for q in &queries {
+            if boundedly_evaluable_cq(&viewless, q).unwrap().topped {
+                evaluable += 1;
+            }
+            if checker.analyze_cq(q).unwrap().topped {
+                rewritable += 1;
+            }
+        }
+        println!(
+            "{:>8} {:>12.1} | {:>20}% {:>25}%",
+            atoms,
+            p,
+            evaluable,
+            rewritable
+        );
+    }
+}

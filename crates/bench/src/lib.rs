@@ -1,0 +1,133 @@
+//! # bqr-bench — experiment harness
+//!
+//! The library half of the benchmark crate: shared measurement helpers used
+//! both by the `harness` binary (which prints the tables recorded in
+//! EXPERIMENTS.md) and by the Criterion benches.
+
+use bqr_core::problem::RewritingSetting;
+use bqr_core::size_bounded::BoundedOutputOracle;
+use bqr_core::topped::{ToppedAnalysis, ToppedChecker};
+use bqr_data::{Database, FetchStats, IndexedDatabase};
+use bqr_plan::QueryPlan;
+use bqr_query::eval::eval_cq_counting;
+use bqr_query::{ConjunctiveQuery, MaterializedViews};
+use std::time::Instant;
+
+/// The result of answering one query both ways.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Base tuples accessed by the bounded plan (`|D_ξ|`).
+    pub bounded_access: usize,
+    /// Base tuples accessed by the naive evaluation.
+    pub naive_access: usize,
+    /// Wall-clock milliseconds for the bounded plan.
+    pub bounded_ms: f64,
+    /// Wall-clock milliseconds for the naive evaluation.
+    pub naive_ms: f64,
+    /// Number of answers (identical for both, asserted).
+    pub answers: usize,
+}
+
+impl Comparison {
+    /// Access reduction factor (naive / bounded).
+    pub fn access_reduction(&self) -> f64 {
+        self.naive_access as f64 / self.bounded_access.max(1) as f64
+    }
+
+    /// Speed-up factor (naive / bounded wall-clock).
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.bounded_ms.max(1e-6)
+    }
+}
+
+/// Build the runtime objects for a setting over one instance.
+pub fn prepare(
+    setting: &RewritingSetting,
+    db: Database,
+) -> (IndexedDatabase, MaterializedViews) {
+    let cache = setting
+        .views
+        .materialize(&db)
+        .expect("views materialise over generated instances");
+    let idb = IndexedDatabase::build(db, setting.access.clone())
+        .expect("indices build over generated instances");
+    (idb, cache)
+}
+
+/// A topped-query checker with the given per-view output-bound annotations.
+pub fn checker_with_annotations<'a>(
+    setting: &'a RewritingSetting,
+    annotations: &[(&str, usize)],
+) -> ToppedChecker<'a> {
+    let mut oracle = BoundedOutputOracle::new(
+        setting.schema.clone(),
+        setting.access.clone(),
+        setting.budget,
+    );
+    for (name, bound) in annotations {
+        oracle.annotate_view(*name, *bound);
+    }
+    ToppedChecker::with_oracle(setting, oracle)
+}
+
+/// Analyse a query; panics with the rejection reason if it is not topped
+/// (benchmark workloads are designed so their rewritable queries are topped).
+pub fn plan_for(checker: &ToppedChecker<'_>, query: &ConjunctiveQuery) -> ToppedAnalysis {
+    checker
+        .analyze_cq(query)
+        .expect("the analysis itself does not fail")
+}
+
+/// Execute one query both through a bounded plan and naively, asserting that
+/// the answers agree.
+pub fn compare(
+    query: &ConjunctiveQuery,
+    plan: &QueryPlan,
+    idb: &IndexedDatabase,
+    cache: &MaterializedViews,
+) -> Comparison {
+    let t = Instant::now();
+    let bounded = bqr_plan::execute(plan, idb, cache).expect("bounded plans execute");
+    let bounded_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    let t = Instant::now();
+    let mut naive_stats = FetchStats::new();
+    let naive = eval_cq_counting(query, idb.database(), Some(cache), &mut naive_stats)
+        .expect("naive evaluation succeeds");
+    let naive_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    assert_eq!(bounded.tuples, naive, "bounded rewriting must be exact");
+    Comparison {
+        bounded_access: bounded.stats.base_tuples_accessed(),
+        naive_access: naive_stats.base_tuples_accessed(),
+        bounded_ms,
+        naive_ms,
+        answers: naive.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqr_workload::movies;
+
+    #[test]
+    fn compare_helper_round_trips_the_movie_example() {
+        let setting = movies::setting(50, 40);
+        let checker = checker_with_annotations(&setting, &[]);
+        let analysis = plan_for(&checker, &movies::q_xi());
+        assert!(analysis.topped);
+        let db = movies::generate(movies::MovieScale {
+            persons: 500,
+            movies: 300,
+            n0: 50,
+            seed: 2,
+        });
+        let (idb, cache) = prepare(&setting, db);
+        let cmp = compare(&movies::q0(), &analysis.plan.unwrap(), &idb, &cache);
+        assert!(cmp.bounded_access <= 150);
+        assert!(cmp.naive_access > cmp.bounded_access);
+        assert!(cmp.access_reduction() > 1.0);
+        assert!(cmp.speedup() > 0.0);
+    }
+}

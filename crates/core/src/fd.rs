@@ -1,0 +1,98 @@
+//! The functional-dependency special case (Corollary 4.4, Proposition 4.5).
+//!
+//! When every constraint of `A` has the form `R(X → Y, 1)`, `A`-containment
+//! of conjunctive queries reduces to one chase followed by a classical
+//! containment test: `Q1 ⊑_A Q2` iff `chase_A(Q1)` is inconsistent or
+//! `chase_A(Q1) ⊆ Q2`.  For acyclic queries the containment test is
+//! polynomial, which is what puts `VBRP(ACQ)` under FDs in PTIME.
+
+use crate::Result;
+use bqr_data::{AccessSchema, DatabaseSchema};
+use bqr_query::chase::{chase_fds, ChaseResult};
+use bqr_query::containment::cq_contained_in;
+use bqr_query::ConjunctiveQuery;
+
+/// Decide `q1 ⊑_A q2` when `A` consists of FDs only, via the chase.
+pub fn fd_a_contained_in(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    debug_assert!(access.is_fd_only(), "the chase shortcut requires FDs only");
+    match chase_fds(q1, access, schema)? {
+        ChaseResult::Inconsistent => Ok(true),
+        ChaseResult::Chased(chased) => Ok(cq_contained_in(&chased, q2, schema)?),
+    }
+}
+
+/// Decide `q1 ≡_A q2` under FDs via two chases.
+pub fn fd_a_equivalent(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    Ok(fd_a_contained_in(q1, q2, access, schema)?
+        && fd_a_contained_in(q2, q1, access, schema)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqr_data::AccessConstraint;
+    use bqr_query::aequiv::cq_a_equivalent;
+    use bqr_query::parser::parse_cq;
+    use bqr_query::Budget;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::with_relations(&[("r", &["a", "b"]), ("s", &["a", "b"])]).unwrap()
+    }
+
+    fn fds() -> AccessSchema {
+        AccessSchema::new(vec![AccessConstraint::fd("r", &["a"], &["b"]).unwrap()])
+    }
+
+    #[test]
+    fn chase_based_containment_uses_the_fd() {
+        // Under r(a → b, 1): r(x,y1), r(x,y2), s(y1,y2) ⊑_A r(x,y), s(y,y)
+        // even though classical containment fails.
+        let q1 = parse_cq("Q() :- r(x, y1), r(x, y2), s(y1, y2)").unwrap();
+        let q2 = parse_cq("Q() :- r(x, y), s(y, y)").unwrap();
+        assert!(!cq_contained_in(&q1, &q2, &schema()).unwrap());
+        assert!(fd_a_contained_in(&q1, &q2, &fds(), &schema()).unwrap());
+        assert!(fd_a_equivalent(&q1, &q2, &fds(), &schema()).unwrap());
+    }
+
+    #[test]
+    fn inconsistent_chase_means_contained_in_everything() {
+        let q1 = parse_cq("Q() :- r(x, 1), r(x, 2)").unwrap();
+        let q2 = parse_cq("Q() :- s(u, v)").unwrap();
+        assert!(fd_a_contained_in(&q1, &q2, &fds(), &schema()).unwrap());
+        assert!(!fd_a_contained_in(&q2, &q1, &fds(), &schema()).unwrap());
+    }
+
+    #[test]
+    fn chase_shortcut_agrees_with_element_query_procedure() {
+        let access = fds();
+        let cases = [
+            ("Q(x) :- r(x, y), r(x, z), s(y, z)", "Q(x) :- r(x, y), s(y, y)"),
+            ("Q(x) :- r(x, y)", "Q(x) :- r(x, y), r(x, z)"),
+            ("Q() :- r(1, y)", "Q() :- r(1, 2)"),
+            ("Q(x) :- r(x, 1)", "Q(x) :- r(x, y)"),
+        ];
+        for (a, b) in cases {
+            let qa = parse_cq(a).unwrap();
+            let qb = parse_cq(b).unwrap();
+            let via_chase = fd_a_contained_in(&qa, &qb, &access, &schema()).unwrap();
+            let via_elements =
+                bqr_query::aequiv::cq_a_contained_in(&qa, &qb, &access, &schema(), &Budget::generous())
+                    .unwrap();
+            assert_eq!(via_chase, via_elements, "disagreement on {a} ⊑ {b}");
+            let eq_chase = fd_a_equivalent(&qa, &qb, &access, &schema()).unwrap();
+            let eq_elements =
+                cq_a_equivalent(&qa, &qb, &access, &schema(), &Budget::generous()).unwrap();
+            assert_eq!(eq_chase, eq_elements, "disagreement on {a} ≡ {b}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Size-bounded queries and the bounded-output oracle (Theorem 5.2).
+//!
+//! `BOP(FO)` is undecidable, so the paper introduces an *effective syntax*
+//! for FO queries with bounded output: a query is **size-bounded** when it
+//! has the shape
+//!
+//! ```text
+//! Q(x̄) = Q'(x̄) ∧ ∀ x̄_1 ... x̄_{K+1} ( Q'(x̄_1) ∧ ... ∧ Q'(x̄_{K+1}) → ⋁_{i≠j} x̄_i = x̄_j )
+//! ```
+//!
+//! Every size-bounded query has output bounded by `K`, every FO query with
+//! bounded output is `A`-equivalent to a size-bounded one, and the shape can
+//! be recognised in PTIME.  The [`BoundedOutputOracle`] combines this syntax
+//! with the exact `BOP` procedure for `∃FO+` views and with explicit
+//! annotations, and is the oracle used by the topped-query checker
+//! (Theorem 5.1(c)).
+
+use bqr_data::{AccessSchema, DatabaseSchema};
+use bqr_query::bounded_output::{cq_output, fo_output, ucq_output, OutputBound};
+use bqr_query::{Budget, Fo, FoQuery, Term, ViewDefinition, ViewSet};
+use std::collections::BTreeMap;
+
+/// Construct the size-bounded query enforcing `|Q'(D)| ≤ k` (Theorem 5.2(a)).
+pub fn make_size_bounded(inner: &FoQuery, k: usize) -> FoQuery {
+    let arity = inner.arity();
+    // Build ∀ x̄_1 ... x̄_{k+1} ( ⋀ Q'(x̄_i) → ⋁_{i<j} x̄_i = x̄_j ).
+    let copies: Vec<Vec<String>> = (0..=k)
+        .map(|i| (0..arity).map(|c| format!("__sb_{i}_{c}")).collect())
+        .collect();
+    let mut antecedent_parts = Vec::new();
+    for vars in &copies {
+        antecedent_parts.push(instantiate(inner, vars));
+    }
+    let antecedent = Fo::conjunction(antecedent_parts);
+    let mut disjuncts = Vec::new();
+    for i in 0..copies.len() {
+        for j in (i + 1)..copies.len() {
+            let eqs: Vec<Fo> = (0..arity)
+                .map(|c| {
+                    Fo::Eq(
+                        Term::var(copies[i][c].clone()),
+                        Term::var(copies[j][c].clone()),
+                    )
+                })
+                .collect();
+            disjuncts.push(Fo::conjunction(eqs));
+        }
+    }
+    let consequent = if disjuncts.is_empty() {
+        // k = 0: the guard says Q' is empty, i.e. ¬∃x̄ Q'(x̄).
+        Fo::not(Fo::exists(
+            copies[0].clone(),
+            instantiate(inner, &copies[0]),
+        ))
+    } else {
+        Fo::disjunction(disjuncts).expect("non-empty disjunct list")
+    };
+    let all_vars: Vec<String> = copies.iter().flatten().cloned().collect();
+    let guard = if disjuncts_empty_guard(&consequent) {
+        consequent
+    } else {
+        Fo::forall(all_vars, Fo::or(Fo::not(antecedent), consequent))
+    };
+    let body = Fo::and(inner.body().clone(), guard);
+    FoQuery::new(inner.head().to_vec(), body).expect("head variables unchanged")
+}
+
+fn disjuncts_empty_guard(f: &Fo) -> bool {
+    // The k = 0 special case already is a closed sentence.
+    matches!(f, Fo::Not(_))
+}
+
+/// Instantiate the body of `inner` with the given head-variable names.
+fn instantiate(inner: &FoQuery, vars: &[String]) -> Fo {
+    let mut map = BTreeMap::new();
+    let mut eqs = Vec::new();
+    for (i, t) in inner.head().iter().enumerate() {
+        match t {
+            Term::Var(v) => {
+                map.insert(v.clone(), Term::var(vars[i].clone()));
+            }
+            Term::Const(c) => eqs.push(Fo::Eq(Term::var(vars[i].clone()), Term::cnst(c.clone()))),
+        }
+    }
+    let renamed = inner.body().rename_bound().substitute(&map);
+    let mut parts = vec![renamed];
+    parts.extend(eqs);
+    Fo::conjunction(parts)
+}
+
+/// Recognise the size-bounded shape produced by [`make_size_bounded`]; returns
+/// the bound `k` if the query matches (Theorem 5.2(c)).
+///
+/// The recogniser is purely syntactic (PTIME): it looks for a top-level
+/// conjunction whose right conjunct is a universally quantified guard over
+/// `k + 1` copies of the arity.
+pub fn size_bounded_bound(query: &FoQuery) -> Option<usize> {
+    let arity = query.arity();
+    let Fo::And(_, guard) = query.body() else {
+        return None;
+    };
+    match guard.as_ref() {
+        Fo::Forall(vars, _) if arity > 0 && vars.len() % arity == 0 => {
+            Some(vars.len() / arity - 1)
+        }
+        Fo::Not(_) => Some(0),
+        _ => None,
+    }
+}
+
+/// The bounded-output oracle: how the topped-query checker decides whether a
+/// view (or any sub-query) has bounded output under the access schema.
+#[derive(Debug, Clone)]
+pub struct BoundedOutputOracle {
+    schema: DatabaseSchema,
+    access: AccessSchema,
+    budget: Budget,
+    /// Explicit per-view bounds supplied by the user (e.g. from view
+    /// selection statistics, as in the PIQL / scale-independence systems).
+    annotations: BTreeMap<String, usize>,
+}
+
+impl BoundedOutputOracle {
+    /// Create an oracle for a schema and access schema.
+    pub fn new(schema: DatabaseSchema, access: AccessSchema, budget: Budget) -> Self {
+        BoundedOutputOracle {
+            schema,
+            access,
+            budget,
+            annotations: BTreeMap::new(),
+        }
+    }
+
+    /// Declare that a view's output is bounded by `k` tuples on every
+    /// instance satisfying the access schema.
+    pub fn annotate_view(&mut self, name: impl Into<String>, bound: usize) {
+        self.annotations.insert(name.into(), bound);
+    }
+
+    /// The bound of a view, if it can be established: by annotation first,
+    /// then by the exact `BOP` analysis for CQ/UCQ/∃FO+ definitions, then by
+    /// the size-bounded syntax for FO definitions.
+    pub fn view_bound(&self, name: &str, views: &ViewSet) -> Option<usize> {
+        if let Some(&b) = self.annotations.get(name) {
+            return Some(b);
+        }
+        let def = views.get(name)?;
+        match def {
+            ViewDefinition::Cq(q) => {
+                match cq_output(q, &self.access, &self.schema, &self.budget) {
+                    Ok(OutputBound::Bounded(n)) => Some(n),
+                    _ => None,
+                }
+            }
+            ViewDefinition::Ucq(q) => {
+                match ucq_output(q, &self.access, &self.schema, &self.budget) {
+                    Ok(OutputBound::Bounded(n)) => Some(n),
+                    _ => None,
+                }
+            }
+            ViewDefinition::Fo(q) => {
+                if let Some(k) = size_bounded_bound(q) {
+                    return Some(k);
+                }
+                match fo_output(q, &self.access, &self.schema, &self.budget) {
+                    Ok(OutputBound::Bounded(n)) => Some(n),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// The schema the oracle reasons over.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The access schema the oracle reasons over.
+    pub fn access(&self) -> &AccessSchema {
+        &self.access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqr_data::{tuple, AccessConstraint, Database};
+    use bqr_query::eval::eval_fo;
+    use bqr_query::parser::parse_cq;
+    use bqr_query::UnionQuery;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::with_relations(&[("r", &["a", "b"])]).unwrap()
+    }
+
+    #[test]
+    fn make_and_recognise_size_bounded() {
+        let inner = FoQuery::from_cq(&parse_cq("Q(x) :- r(x, y)").unwrap());
+        assert_eq!(size_bounded_bound(&inner), None, "plain queries are not size-bounded");
+        let sb = make_size_bounded(&inner, 2);
+        assert_eq!(size_bounded_bound(&sb), Some(2));
+        let sb0 = make_size_bounded(&inner, 0);
+        assert_eq!(size_bounded_bound(&sb0), Some(0));
+    }
+
+    #[test]
+    fn size_bounded_semantics_truncate_to_false() {
+        // On an instance where Q' has ≤ k answers, Q = Q'; otherwise Q = ∅.
+        let inner = FoQuery::from_cq(&parse_cq("Q(x) :- r(x, y)").unwrap());
+        let sb = make_size_bounded(&inner, 2);
+
+        let mut small = Database::empty(schema());
+        small.insert("r", tuple![1, 10]).unwrap();
+        small.insert("r", tuple![2, 20]).unwrap();
+        assert_eq!(
+            eval_fo(&sb, &small, None).unwrap(),
+            eval_fo(&inner, &small, None).unwrap()
+        );
+        assert_eq!(eval_fo(&sb, &small, None).unwrap().len(), 2);
+
+        let mut big = small.clone();
+        big.insert("r", tuple![3, 30]).unwrap();
+        assert_eq!(eval_fo(&inner, &big, None).unwrap().len(), 3);
+        assert!(eval_fo(&sb, &big, None).unwrap().is_empty(), "guard fails, query collapses");
+    }
+
+    #[test]
+    fn oracle_prefers_annotations_then_analysis() {
+        let access = AccessSchema::new(vec![
+            AccessConstraint::new("r", &["a"], &["b"], 3).unwrap()
+        ]);
+        let mut views = ViewSet::empty();
+        // Bounded: r-values for a fixed key.
+        views.add_cq("Vb", parse_cq("V(y) :- r(1, y)").unwrap()).unwrap();
+        // Unbounded: all keys.
+        views.add_cq("Vu", parse_cq("V(x) :- r(x, y)").unwrap()).unwrap();
+        // A UCQ view made of two bounded disjuncts.
+        views
+            .add_ucq(
+                "Vu2",
+                UnionQuery::new(vec![
+                    parse_cq("V(y) :- r(1, y)").unwrap(),
+                    parse_cq("V(y) :- r(2, y)").unwrap(),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        // An FO view in the size-bounded syntax.
+        let inner = FoQuery::from_cq(&parse_cq("Q(x) :- r(x, y)").unwrap());
+        views.add_fo("Vsb", make_size_bounded(&inner, 7)).unwrap();
+
+        let mut oracle = BoundedOutputOracle::new(schema(), access, Budget::generous());
+        assert_eq!(oracle.view_bound("Vb", &views), Some(3));
+        assert_eq!(oracle.view_bound("Vu", &views), None);
+        assert_eq!(oracle.view_bound("Vu2", &views), Some(6));
+        assert_eq!(oracle.view_bound("Vsb", &views), Some(7));
+        assert_eq!(oracle.view_bound("missing", &views), None);
+
+        oracle.annotate_view("Vu", 5000);
+        assert_eq!(oracle.view_bound("Vu", &views), Some(5000), "annotations win");
+        assert_eq!(oracle.access().len(), 1);
+        assert_eq!(oracle.schema().len(), 1);
+    }
+}

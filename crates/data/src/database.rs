@@ -1,0 +1,191 @@
+//! Database instances: named collections of relation instances over a
+//! database schema.
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::DatabaseSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An instance `D` of a database schema `R`: one relation instance per
+/// relation schema (missing relations are treated as empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    schema: DatabaseSchema,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty instance of the given schema.
+    pub fn empty(schema: DatabaseSchema) -> Self {
+        let relations = schema
+            .relations()
+            .map(|r| (r.name().to_string(), Relation::empty(r.clone())))
+            .collect();
+        Database { schema, relations }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// Total number of tuples across all relations — `|D|` in the paper.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// True if every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// The instance of a relation, if the relation exists in the schema.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// The instance of a relation, or an error if it is not in the schema.
+    pub fn expect_relation(&self, name: &str) -> Result<&Relation> {
+        self.relation(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to a relation instance.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Insert a tuple into a relation.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.insert(tuple)
+    }
+
+    /// Insert a tuple given as convertible values.
+    pub fn insert_values<V: Into<Value>>(&mut self, relation: &str, values: Vec<V>) -> Result<bool> {
+        self.relation_mut(relation)?.insert_values(values)
+    }
+
+    /// Iterate over relation instances in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// The active domain of the instance: every value occurring anywhere in
+    /// `D`.  Used by the FO evaluator (safe-range semantics) and by the
+    /// reductions' counterexample constructions.
+    pub fn active_domain(&self) -> std::collections::BTreeSet<Value> {
+        let mut dom = std::collections::BTreeSet::new();
+        for rel in self.relations.values() {
+            for t in rel.iter() {
+                for v in t.iter() {
+                    dom.insert(v.clone());
+                }
+            }
+        }
+        dom
+    }
+
+    /// Merge another database (over the same schema) into this one, unioning
+    /// relation instances.  Used to build the `T_Q ∪ D_K` instances of the
+    /// bounded-output characterisation (Lemma 3.6).
+    pub fn union_in_place(&mut self, other: &Database) -> Result<()> {
+        for rel in other.relations() {
+            for t in rel.iter() {
+                self.insert(rel.name(), t.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in self.relations.values() {
+            write!(f, "{rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn movie_db() -> Database {
+        let schema = DatabaseSchema::with_relations(&[
+            ("movie", &["mid", "mname", "studio", "release"]),
+            ("rating", &["mid", "rank"]),
+        ])
+        .unwrap();
+        let mut db = Database::empty(schema);
+        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("rating", tuple![1, 5]).unwrap();
+        db.insert("rating", tuple![2, 3]).unwrap();
+        db
+    }
+
+    #[test]
+    fn empty_database_has_all_relations() {
+        let schema = DatabaseSchema::with_relations(&[("a", &["x"]), ("b", &["y"])]).unwrap();
+        let db = Database::empty(schema);
+        assert!(db.is_empty());
+        assert_eq!(db.size(), 0);
+        assert!(db.relation("a").is_some());
+        assert!(db.relation("b").is_some());
+        assert!(db.relation("c").is_none());
+    }
+
+    #[test]
+    fn size_counts_all_relations() {
+        let db = movie_db();
+        assert_eq!(db.size(), 4);
+        assert!(!db.is_empty());
+        assert_eq!(db.relation("movie").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn insert_into_unknown_relation_fails() {
+        let mut db = movie_db();
+        assert!(matches!(
+            db.insert("person", tuple![1]),
+            Err(DataError::UnknownRelation(_))
+        ));
+        assert!(db.expect_relation("movie").is_ok());
+        assert!(db.expect_relation("person").is_err());
+    }
+
+    #[test]
+    fn active_domain_collects_every_value() {
+        let db = movie_db();
+        let dom = db.active_domain();
+        assert!(dom.contains(&Value::str("Universal")));
+        assert!(dom.contains(&Value::int(5)));
+        assert!(dom.contains(&Value::int(1)));
+        assert!(!dom.contains(&Value::str("Paramount")));
+    }
+
+    #[test]
+    fn union_in_place_merges() {
+        let mut a = movie_db();
+        let mut b = Database::empty(a.schema().clone());
+        b.insert("rating", tuple![9, 1]).unwrap();
+        b.insert("rating", tuple![1, 5]).unwrap(); // already in `a`
+        a.union_in_place(&b).unwrap();
+        assert_eq!(a.relation("rating").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn display_contains_relations() {
+        let text = movie_db().to_string();
+        assert!(text.contains("movie"));
+        assert!(text.contains("rating"));
+    }
+}

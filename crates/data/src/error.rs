@@ -1,0 +1,111 @@
+//! Error type for the data layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by schema construction, instance manipulation and index
+/// maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation with the same name was already declared.
+    DuplicateRelation(String),
+    /// An attribute name is repeated within one relation schema.
+    DuplicateAttribute { relation: String, attribute: String },
+    /// A relation name does not exist in the schema.
+    UnknownRelation(String),
+    /// An attribute name does not exist in a relation schema.
+    UnknownAttribute { relation: String, attribute: String },
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// An access constraint refers to a relation or attribute that does not
+    /// exist, or is otherwise malformed.
+    InvalidConstraint(String),
+    /// A fetch was issued against a constraint that the indexed database does
+    /// not maintain an index for.
+    NoIndexForConstraint(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is declared more than once")
+            }
+            DataError::DuplicateAttribute { relation, attribute } => write!(
+                f,
+                "attribute `{attribute}` is declared more than once in relation `{relation}`"
+            ),
+            DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DataError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "tuple of arity {actual} inserted into relation `{relation}` of arity {expected}"
+            ),
+            DataError::InvalidConstraint(msg) => write!(f, "invalid access constraint: {msg}"),
+            DataError::NoIndexForConstraint(c) => {
+                write!(f, "no index is maintained for access constraint {c}")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let cases: Vec<(DataError, &str)> = vec![
+            (DataError::DuplicateRelation("r".into()), "r"),
+            (
+                DataError::DuplicateAttribute {
+                    relation: "r".into(),
+                    attribute: "a".into(),
+                },
+                "a",
+            ),
+            (DataError::UnknownRelation("q".into()), "q"),
+            (
+                DataError::UnknownAttribute {
+                    relation: "r".into(),
+                    attribute: "z".into(),
+                },
+                "z",
+            ),
+            (
+                DataError::ArityMismatch {
+                    relation: "r".into(),
+                    expected: 2,
+                    actual: 3,
+                },
+                "arity 3",
+            ),
+            (DataError::InvalidConstraint("bad".into()), "bad"),
+            (DataError::NoIndexForConstraint("r(X->Y,2)".into()), "r(X->Y,2)"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&DataError::UnknownRelation("x".into()));
+    }
+}

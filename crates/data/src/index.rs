@@ -1,0 +1,270 @@
+//! Constraint-backed indices and the `fetch` primitive.
+//!
+//! Each access constraint `R(X → Y, N)` comes with an index that, given an
+//! `X`-value `ā`, returns `D_{R:XY}(X = ā)` — the `X∪Y` projections of the
+//! tuples of `R` matching `ā` — in time `O(N)`.  [`AccessIndex`] is a hash
+//! index realising exactly that contract, and [`IndexedDatabase`] bundles a
+//! [`Database`] with one index per constraint of an [`AccessSchema`], which is
+//! what bounded query plans execute against.
+
+use crate::access::{AccessConstraint, AccessSchema};
+use crate::database::Database;
+use crate::error::DataError;
+use crate::stats::FetchStats;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A hash index on `X` for `X ∪ Y`, backing one access constraint.
+#[derive(Debug, Clone)]
+pub struct AccessIndex {
+    constraint: AccessConstraint,
+    /// Attribute names of the tuples returned by [`AccessIndex::probe`]
+    /// (the constraint's `X ∪ Y`, in that order).
+    xy_attributes: Vec<String>,
+    map: HashMap<Vec<Value>, Vec<Tuple>>,
+}
+
+impl AccessIndex {
+    /// Build the index for `constraint` over the current contents of `db`.
+    pub fn build(constraint: &AccessConstraint, db: &Database) -> Result<Self> {
+        let rel = db.expect_relation(constraint.relation())?;
+        let x_pos = rel.schema().positions(constraint.x())?;
+        let xy_attrs = constraint.xy();
+        let xy_pos = rel
+            .schema()
+            .positions(&xy_attrs.iter().map(String::as_str).collect::<Vec<_>>())?;
+        let mut map: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        for t in rel.iter() {
+            let key: Vec<Value> = x_pos.iter().map(|&p| t[p].clone()).collect();
+            let entry = map.entry(key).or_default();
+            let projected = t.project(&xy_pos);
+            // Deduplicate: the index returns the *set* D_{R:XY}(X = ā).
+            if !entry.contains(&projected) {
+                entry.push(projected);
+            }
+        }
+        Ok(AccessIndex {
+            constraint: constraint.clone(),
+            xy_attributes: xy_attrs,
+            map,
+        })
+    }
+
+    /// The constraint this index backs.
+    pub fn constraint(&self) -> &AccessConstraint {
+        &self.constraint
+    }
+
+    /// Attribute names of the returned tuples (`X ∪ Y`).
+    pub fn xy_attributes(&self) -> &[String] {
+        &self.xy_attributes
+    }
+
+    /// Number of distinct `X`-values indexed.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Retrieve `D_{R:XY}(X = ā)`.  Returns an empty slice for `X`-values not
+    /// present in the data.
+    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The largest group size in the index — useful for verifying that the
+    /// cardinality bound holds on the indexed data.
+    pub fn max_group_size(&self) -> usize {
+        self.map.values().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// A database together with the indices of an access schema.  This is the
+/// runtime object bounded query plans execute against: views are cached
+/// separately (see `bqr-plan`), and base data is reachable *only* through
+/// [`IndexedDatabase::fetch`].
+#[derive(Debug, Clone)]
+pub struct IndexedDatabase {
+    db: Database,
+    access: AccessSchema,
+    /// One index per constraint, in the order of `access.constraints()`.
+    indexes: Vec<AccessIndex>,
+}
+
+impl IndexedDatabase {
+    /// Build all indices for `access` over `db`.
+    ///
+    /// This does *not* require `db |= access`; callers that need the
+    /// cardinality guarantee should check
+    /// [`AccessSchema::satisfied_by`] first (the decision procedures only
+    /// promise bounded fetches on satisfying instances).
+    pub fn build(db: Database, access: AccessSchema) -> Result<Self> {
+        access.validate(db.schema())?;
+        let indexes = access
+            .constraints()
+            .map(|c| AccessIndex::build(c, &db))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(IndexedDatabase { db, access, indexes })
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The access schema whose indices are maintained.
+    pub fn access_schema(&self) -> &AccessSchema {
+        &self.access
+    }
+
+    /// The index for the `idx`-th constraint of the access schema.
+    pub fn index(&self, idx: usize) -> Option<&AccessIndex> {
+        self.indexes.get(idx)
+    }
+
+    /// Locate a constraint (by content) and return its position, if indexed.
+    pub fn constraint_position(&self, constraint: &AccessConstraint) -> Option<usize> {
+        self.access.constraints().position(|c| c == constraint)
+    }
+
+    /// Execute a `fetch(X ∈ S, R, Y)` for a single `X`-value through the index
+    /// of the constraint at `constraint_idx`, recording the I/O in `stats`.
+    pub fn fetch(
+        &self,
+        constraint_idx: usize,
+        key: &[Value],
+        stats: &mut FetchStats,
+    ) -> Result<&[Tuple]> {
+        let index = self.indexes.get(constraint_idx).ok_or_else(|| {
+            DataError::NoIndexForConstraint(format!("constraint #{constraint_idx}"))
+        })?;
+        let tuples = index.probe(key);
+        stats.record_fetch(tuples.len());
+        Ok(tuples)
+    }
+
+    /// Whether the wrapped instance satisfies the access schema.
+    pub fn satisfies_access_schema(&self) -> Result<bool> {
+        self.access.satisfied_by(&self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DatabaseSchema;
+    use crate::tuple;
+
+    fn movie_db() -> (Database, AccessSchema) {
+        let schema = DatabaseSchema::with_relations(&[
+            ("movie", &["mid", "mname", "studio", "release"]),
+            ("rating", &["mid", "rank"]),
+        ])
+        .unwrap();
+        let mut db = Database::empty(schema);
+        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![3, "Her", "WB", "2013"]).unwrap();
+        db.insert("rating", tuple![1, 5]).unwrap();
+        db.insert("rating", tuple![2, 3]).unwrap();
+        db.insert("rating", tuple![3, 5]).unwrap();
+        let access = AccessSchema::new(vec![
+            AccessConstraint::new("movie", &["studio", "release"], &["mid"], 2).unwrap(),
+            AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap(),
+        ]);
+        (db, access)
+    }
+
+    #[test]
+    fn index_groups_by_key() {
+        let (db, access) = movie_db();
+        let idx = AccessIndex::build(access.constraint(0).unwrap(), &db).unwrap();
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.max_group_size(), 2);
+        assert_eq!(idx.xy_attributes(), &["studio", "release", "mid"]);
+        let hits = idx.probe(&[Value::str("Universal"), Value::str("2014")]);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&tuple!["Universal", "2014", 1]));
+        assert!(hits.contains(&tuple!["Universal", "2014", 2]));
+        assert!(idx.probe(&[Value::str("MGM"), Value::str("1999")]).is_empty());
+    }
+
+    #[test]
+    fn index_deduplicates_projections() {
+        let schema = DatabaseSchema::with_relations(&[("like", &["pid", "id", "type"])]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert("like", tuple![1, 10, "movie"]).unwrap();
+        db.insert("like", tuple![1, 10, "page"]).unwrap();
+        let c = AccessConstraint::new("like", &["pid"], &["id"], 5).unwrap();
+        let idx = AccessIndex::build(&c, &db).unwrap();
+        // Both tuples project to (pid=1, id=10); the set semantics of the
+        // index must collapse them.
+        assert_eq!(idx.probe(&[Value::int(1)]).len(), 1);
+    }
+
+    #[test]
+    fn fetch_records_stats() {
+        let (db, access) = movie_db();
+        let idb = IndexedDatabase::build(db, access).unwrap();
+        assert!(idb.satisfies_access_schema().unwrap());
+        let mut stats = FetchStats::new();
+        let hits = idb
+            .fetch(0, &[Value::str("Universal"), Value::str("2014")], &mut stats)
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        let hits = idb.fetch(1, &[Value::int(1)], &mut stats).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(stats.fetch_calls, 2);
+        assert_eq!(stats.fetched_tuples, 3);
+        assert_eq!(stats.scanned_tuples, 0);
+    }
+
+    #[test]
+    fn fetch_unknown_constraint_errors() {
+        let (db, access) = movie_db();
+        let idb = IndexedDatabase::build(db, access).unwrap();
+        let mut stats = FetchStats::new();
+        assert!(matches!(
+            idb.fetch(9, &[], &mut stats),
+            Err(DataError::NoIndexForConstraint(_))
+        ));
+    }
+
+    #[test]
+    fn build_rejects_invalid_constraints() {
+        let (db, _) = movie_db();
+        let access = AccessSchema::new(vec![
+            AccessConstraint::new("movie", &["studio"], &["director"], 1).unwrap()
+        ]);
+        assert!(IndexedDatabase::build(db, access).is_err());
+    }
+
+    #[test]
+    fn constraint_position_lookup() {
+        let (db, access) = movie_db();
+        let c0 = access.constraint(0).unwrap().clone();
+        let idb = IndexedDatabase::build(db, access).unwrap();
+        assert_eq!(idb.constraint_position(&c0), Some(0));
+        let other = AccessConstraint::new("rating", &["rank"], &["mid"], 1).unwrap();
+        assert_eq!(idb.constraint_position(&other), None);
+        assert!(idb.index(0).is_some());
+        assert!(idb.index(5).is_none());
+        assert_eq!(idb.database().size(), 6);
+        assert_eq!(idb.access_schema().len(), 2);
+    }
+
+    #[test]
+    fn empty_key_constraint_probe() {
+        let schema = DatabaseSchema::with_relations(&[("r01", &["a"])]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert("r01", tuple![0]).unwrap();
+        db.insert("r01", tuple![1]).unwrap();
+        let c = AccessConstraint::new("r01", &[], &["a"], 2).unwrap();
+        let idx = AccessIndex::build(&c, &db).unwrap();
+        // With X = ∅ the single key is the empty tuple and probing it returns
+        // the whole (bounded) relation.
+        assert_eq!(idx.probe(&[]).len(), 2);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # bqr-data — storage substrate for bounded query rewriting
+//!
+//! This crate provides the data layer used throughout the reproduction of
+//! *Bounded Query Rewriting Using Views* (Cao, Fan, Geerts, Lu; PODS'16 /
+//! TODS'18):
+//!
+//! * [`Value`], [`Tuple`] — the data model (a countably infinite domain `U`
+//!   of constants, instantiated here with integers, strings and booleans);
+//! * [`RelationSchema`], [`DatabaseSchema`] — relational schemas `R = (R_1,
+//!   ..., R_n)` with named attributes;
+//! * [`Relation`], [`Database`] — set-semantics instances `D` of a schema;
+//! * [`AccessConstraint`], [`AccessSchema`] — access constraints
+//!   `R(X → Y, N)`: a cardinality bound combined with an index on `X` for
+//!   `XY`;
+//! * [`AccessIndex`], [`IndexedDatabase`] — the indices associated with an
+//!   access schema, supporting the `fetch` primitive of bounded query plans;
+//! * [`FetchStats`] — I/O accounting: how many base tuples a plan fetched
+//!   (`|D_ξ|` in the paper) versus how many a full scan would touch.
+//!
+//! The crate is deliberately free of query-language concepts; those live in
+//! `bqr-query` and `bqr-plan`.
+
+pub mod access;
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod value;
+
+pub use access::{AccessConstraint, AccessSchema, ConstraintViolation};
+pub use database::Database;
+pub use error::DataError;
+pub use index::{AccessIndex, IndexedDatabase};
+pub use relation::Relation;
+pub use schema::{DatabaseSchema, RelationSchema};
+pub use stats::FetchStats;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,203 @@
+//! Relation instances: sets of tuples over a relation schema.
+
+use crate::error::DataError;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relation instance `D` of a single relation schema `R`, with set
+/// semantics and deterministic (sorted) iteration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: RelationSchema,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty instance of the given schema.
+    pub fn empty(schema: RelationSchema) -> Self {
+        Relation {
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Build a relation from an iterator of tuples, validating arity.
+    pub fn from_tuples(
+        schema: RelationSchema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self> {
+        let mut rel = Relation::empty(schema);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Relation name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was not already present.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(DataError::ArityMismatch {
+                relation: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Insert a tuple built from values convertible into [`Value`].
+    pub fn insert_values<V: Into<Value>>(&mut self, values: Vec<V>) -> Result<bool> {
+        self.insert(Tuple::new(values.into_iter().map(Into::into).collect()))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate over tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Project every tuple onto the given attribute names, deduplicating.
+    pub fn project(&self, attributes: &[&str]) -> Result<Vec<Tuple>> {
+        let positions = self.schema.positions(attributes)?;
+        let mut out = BTreeSet::new();
+        for t in &self.tuples {
+            out.insert(t.project(&positions));
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// All tuples `t` with `t[X] = key` where `X` is given by attribute
+    /// positions.  Linear scan; the indexed access path lives in
+    /// [`crate::index::AccessIndex`].
+    pub fn select_eq(&self, positions: &[usize], key: &[Value]) -> Vec<&Tuple> {
+        self.tuples
+            .iter()
+            .filter(|t| positions.iter().zip(key).all(|(&p, v)| &t[p] == v))
+            .collect()
+    }
+
+    /// Distinct values of the attribute at `position`.
+    pub fn distinct_values(&self, position: usize) -> BTreeSet<Value> {
+        self.tuples.iter().map(|t| t[position].clone()).collect()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.tuples.len())?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rating() -> Relation {
+        let schema = RelationSchema::new("rating", &["mid", "rank"]).unwrap();
+        Relation::from_tuples(
+            schema,
+            vec![tuple![1, 5], tuple![2, 4], tuple![3, 5], tuple![2, 4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_semantics_dedup() {
+        let r = rating();
+        assert_eq!(r.len(), 3, "duplicate tuple must be deduplicated");
+        assert!(r.contains(&tuple![1, 5]));
+        assert!(!r.contains(&tuple![1, 4]));
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut r = rating();
+        let err = r.insert(tuple![1, 2, 3]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 2, actual: 3, .. }));
+        assert!(r.insert(tuple![9, 1]).unwrap());
+        assert!(!r.insert(tuple![9, 1]).unwrap(), "re-insert reports false");
+    }
+
+    #[test]
+    fn insert_values_converts() {
+        let schema = RelationSchema::new("person", &["pid", "name", "affiliation"]).unwrap();
+        let mut r = Relation::empty(schema);
+        r.insert_values(vec![Value::from(1), Value::from("Ann"), Value::from("NASA")])
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = rating();
+        let ranks = r.project(&["rank"]).unwrap();
+        assert_eq!(ranks, vec![tuple![4], tuple![5]]);
+        assert!(r.project(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn select_eq_scans() {
+        let r = rating();
+        let hits = r.select_eq(&[1], &[Value::int(5)]);
+        assert_eq!(hits.len(), 2);
+        let hits = r.select_eq(&[0, 1], &[Value::int(2), Value::int(4)]);
+        assert_eq!(hits.len(), 1);
+        let hits = r.select_eq(&[0], &[Value::int(42)]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let r = rating();
+        let vals: Vec<_> = r.distinct_values(1).into_iter().collect();
+        assert_eq!(vals, vec![Value::int(4), Value::int(5)]);
+    }
+
+    #[test]
+    fn display_mentions_cardinality() {
+        let text = rating().to_string();
+        assert!(text.contains("[3 tuples]"));
+        assert!(text.contains("(1, 5)"));
+    }
+}

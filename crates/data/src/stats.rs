@@ -1,0 +1,124 @@
+//! I/O accounting for bounded plans.
+//!
+//! The central quantitative claim of bounded rewriting is that a bounded plan
+//! touches `|D_ξ|` base tuples where `|D_ξ|` depends only on the query and the
+//! bounds `N` of the access schema — never on `|D|`.  [`FetchStats`] records
+//! exactly the quantities needed to verify that claim experimentally:
+//! tuples retrieved through constraint indices (`fetched_tuples`, the paper's
+//! `|D_ξ|` as a bag), the number of `fetch` invocations, tuples read from
+//! cached views (free of base-data I/O), and tuples a full scan would touch.
+
+use std::fmt;
+
+/// Counters describing the data accessed while answering one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Number of base tuples returned by `fetch` operations, counted as a bag
+    /// (`|D_ξ|` in Section 2 of the paper).
+    pub fetched_tuples: usize,
+    /// Number of `fetch` invocations (index probes).
+    pub fetch_calls: usize,
+    /// Tuples read from cached / materialised views.  These do not count as
+    /// base-data I/O.
+    pub view_tuples: usize,
+    /// Base tuples scanned by operators that read a relation directly
+    /// (only the *naive* baseline does this; bounded plans never do).
+    pub scanned_tuples: usize,
+}
+
+impl FetchStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        FetchStats::default()
+    }
+
+    /// Total base-data tuples accessed (fetched + scanned).
+    pub fn base_tuples_accessed(&self) -> usize {
+        self.fetched_tuples + self.scanned_tuples
+    }
+
+    /// Record a fetch that returned `n` tuples.
+    pub fn record_fetch(&mut self, n: usize) {
+        self.fetch_calls += 1;
+        self.fetched_tuples += n;
+    }
+
+    /// Record reading `n` tuples from a cached view.
+    pub fn record_view_read(&mut self, n: usize) {
+        self.view_tuples += n;
+    }
+
+    /// Record a full or partial scan of `n` base tuples.
+    pub fn record_scan(&mut self, n: usize) {
+        self.scanned_tuples += n;
+    }
+
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &FetchStats) {
+        self.fetched_tuples += other.fetched_tuples;
+        self.fetch_calls += other.fetch_calls;
+        self.view_tuples += other.view_tuples;
+        self.scanned_tuples += other.scanned_tuples;
+    }
+}
+
+impl fmt::Display for FetchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fetched {} tuples in {} fetches, read {} view tuples, scanned {} base tuples",
+            self.fetched_tuples, self.fetch_calls, self.view_tuples, self.scanned_tuples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_accumulates() {
+        let mut s = FetchStats::new();
+        s.record_fetch(10);
+        s.record_fetch(0);
+        s.record_view_read(500);
+        s.record_scan(1000);
+        assert_eq!(s.fetched_tuples, 10);
+        assert_eq!(s.fetch_calls, 2);
+        assert_eq!(s.view_tuples, 500);
+        assert_eq!(s.scanned_tuples, 1000);
+        assert_eq!(s.base_tuples_accessed(), 1010);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = FetchStats::new();
+        a.record_fetch(3);
+        let mut b = FetchStats::new();
+        b.record_scan(7);
+        b.record_view_read(2);
+        b.record_fetch(1);
+        a.merge(&b);
+        assert_eq!(a.fetched_tuples, 4);
+        assert_eq!(a.fetch_calls, 2);
+        assert_eq!(a.view_tuples, 2);
+        assert_eq!(a.scanned_tuples, 7);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let mut s = FetchStats::new();
+        s.record_fetch(5);
+        s.record_scan(9);
+        let text = s.to_string();
+        assert!(text.contains("5"));
+        assert!(text.contains("9"));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = FetchStats::default();
+        assert_eq!(s.base_tuples_accessed(), 0);
+        assert_eq!(s, FetchStats::new());
+    }
+}

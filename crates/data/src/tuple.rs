@@ -1,0 +1,166 @@
+//! Tuples: ordered sequences of values.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// A tuple of values, positionally matching the attributes of some
+/// [`RelationSchema`](crate::schema::RelationSchema).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The empty (0-ary) tuple — the single answer of a Boolean query.
+    pub fn unit() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for the 0-ary tuple.
+    pub fn is_unit(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Field at position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Project onto the given positions (in the given order).
+    ///
+    /// # Panics
+    /// Panics if any position is out of range; callers validate positions
+    /// against the relation schema.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenate two tuples (used by Cartesian product).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Iterate over fields.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.values.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.render())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+/// Build a tuple from anything convertible into values.
+///
+/// ```
+/// use bqr_data::{tuple, Value};
+/// let t = tuple![1, "NASA", true];
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[1], Value::str("NASA"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_and_basic_accessors() {
+        let t = tuple![1, "a", false];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t.get(1), Some(&Value::str("a")));
+        assert_eq!(t.get(3), None);
+        assert!(!t.is_unit());
+        assert!(Tuple::unit().is_unit());
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let t = tuple![10, 20, 30];
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p, tuple![30, 10, 10]);
+        assert_eq!(t.project(&[]), Tuple::unit());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        assert_eq!(a.concat(&b), tuple![1, 2, "x"]);
+        assert_eq!(Tuple::unit().concat(&a), a);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(tuple![1, "NASA"].to_string(), "(1, NASA)");
+        assert_eq!(Tuple::unit().to_string(), "()");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Tuple = vec![Value::int(1), Value::int(2)].into_iter().collect();
+        assert_eq!(t, tuple![1, 2]);
+        let sum: i64 = t.iter().filter_map(Value::as_int).sum();
+        assert_eq!(sum, 3);
+    }
+}

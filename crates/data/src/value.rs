@@ -1,0 +1,187 @@
+//! Data values: the countably infinite domain `U` of the paper.
+//!
+//! Instances of a relational schema are defined over `U`.  We instantiate `U`
+//! with three concrete sorts — 64-bit integers, interned strings and booleans
+//! — which is sufficient for every construction in the paper (the Boolean
+//! gadget relations of Fig. 2, the movie / CDR / social workloads, and the
+//! synthetic instances used by the reductions).
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single data value.
+///
+/// Values are cheap to clone (`Str` is reference counted) and totally
+/// ordered, which gives relations a deterministic iteration order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean constant (used by the Fig. 2 gadget relations, among others).
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Construct a boolean value.
+    pub fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable rendering used by plan/relation pretty printers.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Bool(b) => Cow::Owned(b.to_string()),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Value::int(3).as_int(), Some(3));
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::int(3).as_str(), None);
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::str("x").as_bool(), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from(7usize), Value::Int(7));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::str("NASA").to_string(), "\"NASA\"");
+        assert_eq!(Value::bool(false).to_string(), "false");
+        assert_eq!(Value::str("NASA").render(), "NASA");
+        assert_eq!(Value::int(12).render(), "12");
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut set = BTreeSet::new();
+        set.insert(Value::str("b"));
+        set.insert(Value::int(10));
+        set.insert(Value::bool(true));
+        set.insert(Value::str("a"));
+        set.insert(Value::int(2));
+        let ordered: Vec<_> = set.into_iter().collect();
+        // Bool < Int < Str by enum declaration order.
+        assert_eq!(
+            ordered,
+            vec![
+                Value::bool(true),
+                Value::int(2),
+                Value::int(10),
+                Value::str("a"),
+                Value::str("b")
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_arc_identity() {
+        let a = Value::str("shared");
+        let b = Value::str("shared");
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(a, c);
+    }
+}

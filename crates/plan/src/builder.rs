@@ -1,0 +1,229 @@
+//! A fluent builder for query plans.
+//!
+//! The primitive operators mirror the paper's plan grammar exactly; the
+//! `join_eq` convenience expands into `×` followed by `σ` (and is therefore
+//! counted as two or more plan nodes, matching how Fig. 1 counts its join).
+
+use crate::node::{PlanNode, QueryPlan, SelectCondition};
+use crate::Result;
+use bqr_data::{AccessConstraint, Tuple, Value};
+
+/// A plan under construction.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    node: PlanNode,
+}
+
+impl Plan {
+    /// A constant single-tuple leaf `{c̄}`.
+    pub fn constant<V: Into<Value>>(values: Vec<V>) -> Plan {
+        Plan {
+            node: PlanNode::Const(Tuple::new(values.into_iter().map(Into::into).collect())),
+        }
+    }
+
+    /// A cached-view leaf.
+    pub fn view(name: impl Into<String>, arity: usize) -> Plan {
+        Plan {
+            node: PlanNode::View {
+                name: name.into(),
+                arity,
+            },
+        }
+    }
+
+    /// Wrap an existing node.
+    pub fn from_node(node: PlanNode) -> Plan {
+        Plan { node }
+    }
+
+    /// `fetch(X ∈ self, R, Y)` through `constraint`; `key_columns` are the
+    /// columns of `self` holding the `X`-value (in the constraint's order).
+    pub fn fetch(self, constraint: AccessConstraint, key_columns: Vec<usize>) -> Plan {
+        Plan {
+            node: PlanNode::Fetch {
+                input: Box::new(self.node),
+                constraint,
+                key_columns,
+            },
+        }
+    }
+
+    /// Projection onto columns.
+    pub fn project(self, columns: Vec<usize>) -> Plan {
+        Plan {
+            node: PlanNode::Project {
+                input: Box::new(self.node),
+                columns,
+            },
+        }
+    }
+
+    /// Selection by a list of conditions.
+    pub fn select(self, conditions: Vec<SelectCondition>) -> Plan {
+        Plan {
+            node: PlanNode::Select {
+                input: Box::new(self.node),
+                conditions,
+            },
+        }
+    }
+
+    /// Selection `#col = constant`.
+    pub fn select_eq_const(self, column: usize, value: impl Into<Value>) -> Plan {
+        self.select(vec![SelectCondition::ColEqConst(column, value.into())])
+    }
+
+    /// Selection `#a = #b`.
+    pub fn select_eq_cols(self, a: usize, b: usize) -> Plan {
+        self.select(vec![SelectCondition::ColEqCol(a, b)])
+    }
+
+    /// Cartesian product.
+    pub fn product(self, other: Plan) -> Plan {
+        Plan {
+            node: PlanNode::Product(Box::new(self.node), Box::new(other.node)),
+        }
+    }
+
+    /// Set union.
+    pub fn union(self, other: Plan) -> Plan {
+        Plan {
+            node: PlanNode::Union(Box::new(self.node), Box::new(other.node)),
+        }
+    }
+
+    /// Set difference.
+    pub fn difference(self, other: Plan) -> Plan {
+        Plan {
+            node: PlanNode::Difference(Box::new(self.node), Box::new(other.node)),
+        }
+    }
+
+    /// Renaming (a counted no-op on positional columns).
+    pub fn rename(self) -> Plan {
+        Plan {
+            node: PlanNode::Rename {
+                input: Box::new(self.node),
+            },
+        }
+    }
+
+    /// Equi-join: `self × other` followed by one selection per column pair
+    /// `(left column, right column of other)`.
+    pub fn join_eq(self, other: Plan, pairs: &[(usize, usize)]) -> Plan {
+        let left_arity = self.node.arity();
+        let conditions = pairs
+            .iter()
+            .map(|&(l, r)| SelectCondition::ColEqCol(l, left_arity + r))
+            .collect();
+        self.product(other).select(conditions)
+    }
+
+    /// Current size of the plan under construction.
+    pub fn size(&self) -> usize {
+        self.node.size()
+    }
+
+    /// Current arity.
+    pub fn arity(&self) -> usize {
+        self.node.arity()
+    }
+
+    /// Borrow the underlying node.
+    pub fn node(&self) -> &PlanNode {
+        &self.node
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<QueryPlan> {
+        QueryPlan::new(self.node)
+    }
+}
+
+/// The 11-node plan `ξ_0` of Fig. 1: answer `Q_0` using the view `V1` under
+/// `A_0`.  Exposed here because examples, tests and benchmarks all use it.
+///
+/// Structure (bottom-up), matching the eleven relations `S_1 ... S_11` of the
+/// figure:
+///
+/// 1. `const ("Universal")`             — S1
+/// 2. `const ("2014")`                  — S2
+/// 3. `×`                               — S3 = S1 × S2
+/// 4. `fetch` movie via φ1              — S4: (studio, release, mid)
+/// 5. `π mid`                           — S5
+/// 6. `view V1`                         — S6: (mid)
+/// 7. `×`                               — S7
+/// 8. `σ (#0 = #1)`                     — S8: movies both fetched and liked
+/// 9. `fetch` rating via φ2 (key #0)    — S9: (mid, rank)
+/// 10. `σ rank = 5`                     — S10
+/// 11. `π mid`                          — S11
+pub fn figure1_plan(phi1: &AccessConstraint, phi2: &AccessConstraint) -> Result<QueryPlan> {
+    Plan::constant(vec![Value::str("Universal")])
+        .product(Plan::constant(vec![Value::str("2014")]))
+        .fetch(phi1.clone(), vec![0, 1]) // (studio, release, mid)
+        .project(vec![2]) // (mid)
+        .join_eq(Plan::view("V1", 1), &[(0, 0)]) // ×, σ  → (mid, mid)
+        .fetch(phi2.clone(), vec![0]) // (mid, rank)
+        .select_eq_const(1, 5) // rank = 5
+        .project(vec![0]) // (mid)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PlanLanguage;
+
+    fn phi1() -> AccessConstraint {
+        AccessConstraint::new("movie", &["studio", "release"], &["mid"], 100).unwrap()
+    }
+    fn phi2() -> AccessConstraint {
+        AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap()
+    }
+
+    #[test]
+    fn figure1_plan_has_eleven_nodes_and_is_cq() {
+        let plan = figure1_plan(&phi1(), &phi2()).unwrap();
+        assert_eq!(plan.size(), 11, "\n{plan}");
+        assert_eq!(plan.arity(), 1);
+        assert_eq!(plan.language(), PlanLanguage::Cq);
+        assert_eq!(plan.view_names(), vec!["V1".to_string()]);
+        assert_eq!(plan.fetches().len(), 2);
+        assert!(plan.constants().contains(&Value::str("Universal")));
+        assert!(plan.constants().contains(&Value::int(5)));
+    }
+
+    #[test]
+    fn builder_operations_compose() {
+        let plan = Plan::constant(vec![1, 2])
+            .rename()
+            .project(vec![1])
+            .union(Plan::constant(vec![3]))
+            .build()
+            .unwrap();
+        assert_eq!(plan.arity(), 1);
+        assert_eq!(plan.size(), 5);
+        assert_eq!(plan.language(), PlanLanguage::Ucq);
+
+        let diff = Plan::constant(vec![1]).difference(Plan::constant(vec![2])).build().unwrap();
+        assert_eq!(diff.language(), PlanLanguage::Fo);
+    }
+
+    #[test]
+    fn join_eq_expands_to_product_and_select() {
+        let joined = Plan::constant(vec![1, 2]).join_eq(Plan::constant(vec![2, 9]), &[(1, 0)]);
+        // const + const + product + select = 4 nodes, arity 4.
+        assert_eq!(joined.size(), 4);
+        assert_eq!(joined.arity(), 4);
+        let plan = joined.build().unwrap();
+        assert_eq!(plan.language(), PlanLanguage::Cq);
+    }
+
+    #[test]
+    fn builder_exposes_node_access() {
+        let p = Plan::view("V", 2).select_eq_cols(0, 1);
+        assert_eq!(p.node().arity(), 2);
+        assert!(Plan::from_node(p.node().clone()).build().is_ok());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for plan construction, execution and analysis.
+
+use bqr_data::DataError;
+use bqr_query::QueryError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, executing or analysing query plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An underlying data-layer error.
+    Data(DataError),
+    /// An underlying query-layer error.
+    Query(QueryError),
+    /// A column index is out of range for a node's output arity.
+    ColumnOutOfRange { column: usize, arity: usize },
+    /// A binary node combines children of different arities.
+    ArityMismatch { left: usize, right: usize },
+    /// A fetch node's key columns do not match its constraint's X attributes.
+    FetchKeyMismatch { expected: usize, actual: usize },
+    /// A view referenced by the plan is not materialised / not declared.
+    UnknownView(String),
+    /// A fetch refers to a constraint that is not part of the access schema
+    /// the plan is being executed / checked against.
+    ConstraintNotInSchema(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Data(e) => write!(f, "{e}"),
+            PlanError::Query(e) => write!(f, "{e}"),
+            PlanError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column {column} is out of range for arity {arity}")
+            }
+            PlanError::ArityMismatch { left, right } => write!(
+                f,
+                "binary operator combines children of arities {left} and {right}"
+            ),
+            PlanError::FetchKeyMismatch { expected, actual } => write!(
+                f,
+                "fetch key has {actual} columns but the constraint's X has {expected} attributes"
+            ),
+            PlanError::UnknownView(v) => write!(f, "view `{v}` is not available"),
+            PlanError::ConstraintNotInSchema(c) => {
+                write!(f, "fetch constraint {c} is not part of the access schema")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Data(e) => Some(e),
+            PlanError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for PlanError {
+    fn from(e: DataError) -> Self {
+        PlanError::Data(e)
+    }
+}
+
+impl From<QueryError> for PlanError {
+    fn from(e: QueryError) -> Self {
+        PlanError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = PlanError::ColumnOutOfRange { column: 3, arity: 2 };
+        assert!(e.to_string().contains('3'));
+        assert!(Error::source(&e).is_none());
+        let e: PlanError = DataError::UnknownRelation("r".into()).into();
+        assert!(Error::source(&e).is_some());
+        let e: PlanError = QueryError::UnknownRelation("r".into()).into();
+        assert!(e.to_string().contains('r'));
+        assert!(PlanError::UnknownView("V".into()).to_string().contains('V'));
+        assert!(PlanError::ArityMismatch { left: 1, right: 2 }.to_string().contains('2'));
+        assert!(PlanError::FetchKeyMismatch { expected: 2, actual: 1 }
+            .to_string()
+            .contains('2'));
+        assert!(PlanError::ConstraintNotInSchema("c".into()).to_string().contains('c'));
+    }
+}

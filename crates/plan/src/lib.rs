@@ -1,0 +1,31 @@
+//! # bqr-plan — bounded query plans
+//!
+//! Query plans are the operational side of bounded rewriting (Section 2 of
+//! the paper): a plan `ξ(V, R)` is a tree whose leaves are constants and
+//! cached views, whose only access to the base data is the `fetch(X ∈ S, R,
+//! Y)` operator backed by an access constraint, and whose internal nodes are
+//! the relational operators `π, σ, ×, ∪, \, ρ`.
+//!
+//! * [`PlanNode`] / [`QueryPlan`] — the tree representation, size measure,
+//!   Fig.-1-style pretty printing and the CQ/UCQ/∃FO+/FO plan classification;
+//! * [`exec`] — executing a plan over an [`IndexedDatabase`] plus
+//!   materialised views, with [`FetchStats`] accounting of `|D_ξ|`;
+//! * [`to_query`] — the query `Q_ξ` expressed by a plan (unfolding into the
+//!   calculus), used by the equivalence checks of `bqr-core`;
+//! * [`conform`] — conformance to an access schema: every fetch is justified
+//!   by a constraint and driven by a bounded input (Lemma 3.8).
+
+pub mod builder;
+pub mod conform;
+pub mod error;
+pub mod exec;
+pub mod node;
+pub mod to_query;
+
+pub use conform::{check_conformance, Conformance};
+pub use error::PlanError;
+pub use exec::{execute, ExecOutput};
+pub use node::{PlanLanguage, PlanNode, QueryPlan, SelectCondition};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PlanError>;

@@ -1,0 +1,234 @@
+//! Terms and relation atoms.
+
+use crate::error::QueryError;
+use crate::Result;
+use bqr_data::{DatabaseSchema, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: either a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Construct a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Construct a constant term.
+    pub fn cnst(value: impl Into<Value>) -> Self {
+        Term::Const(value.into())
+    }
+
+    /// True if this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+/// A relation atom `R(t_1, ..., t_k)`.
+///
+/// The `relation` name may refer either to a base relation of the database
+/// schema or to a view; which one it is can only be decided against a
+/// [`ViewSet`](crate::views::ViewSet) and a [`DatabaseSchema`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    relation: String,
+    args: Vec<Term>,
+}
+
+impl Atom {
+    /// Create an atom.
+    pub fn new(relation: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            args,
+        }
+    }
+
+    /// The relation (or view) name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The argument terms.
+    pub fn args(&self) -> &[Term] {
+        &self.args
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The set of variable names occurring in the atom.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.args
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+
+    /// True if the atom contains no constants.
+    pub fn is_constant_free(&self) -> bool {
+        self.args.iter().all(Term::is_var)
+    }
+
+    /// Validate the atom against a database schema: the relation must exist
+    /// with matching arity.  Views must be validated separately against the
+    /// view set.
+    pub fn validate_against_schema(&self, schema: &DatabaseSchema) -> Result<()> {
+        let rel = schema
+            .relation(&self.relation)
+            .ok_or_else(|| QueryError::UnknownRelation(self.relation.clone()))?;
+        if rel.arity() != self.arity() {
+            return Err(QueryError::AtomArity {
+                relation: self.relation.clone(),
+                expected: rel.arity(),
+                actual: self.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Apply a variable substitution, returning a new atom.
+    pub fn substitute(&self, map: &std::collections::BTreeMap<String, Term>) -> Atom {
+        Atom {
+            relation: self.relation.clone(),
+            args: self
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+                    Term::Const(_) => t.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Shorthand for building an atom: `atom!("movie"; var "x", const "Universal")`.
+/// Examples and tests mostly use the text [`parser`](crate::parser) instead.
+#[macro_export]
+macro_rules! qatom {
+    ($rel:expr; $($args:expr),* $(,)?) => {
+        $crate::Atom::new($rel, vec![$($args),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn term_helpers() {
+        let v = Term::var("x");
+        let c = Term::cnst(5);
+        assert!(v.is_var());
+        assert!(!c.is_var());
+        assert_eq!(v.as_var(), Some("x"));
+        assert_eq!(c.as_var(), None);
+        assert_eq!(c.as_const(), Some(&Value::int(5)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(v.to_string(), "x");
+        assert_eq!(c.to_string(), "5");
+        assert_eq!(Term::from(Value::str("a")), Term::cnst("a"));
+    }
+
+    #[test]
+    fn atom_accessors_and_display() {
+        let a = Atom::new(
+            "movie",
+            vec![Term::var("mid"), Term::var("n"), Term::cnst("Universal"), Term::cnst("2014")],
+        );
+        assert_eq!(a.relation(), "movie");
+        assert_eq!(a.arity(), 4);
+        assert!(!a.is_constant_free());
+        assert_eq!(
+            a.variables().into_iter().collect::<Vec<_>>(),
+            vec!["mid".to_string(), "n".to_string()]
+        );
+        assert_eq!(a.to_string(), "movie(mid, n, \"Universal\", \"2014\")");
+    }
+
+    #[test]
+    fn validation_against_schema() {
+        let schema =
+            DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
+        let good = Atom::new("rating", vec![Term::var("m"), Term::cnst(5)]);
+        assert!(good.validate_against_schema(&schema).is_ok());
+        let wrong_arity = Atom::new("rating", vec![Term::var("m")]);
+        assert!(matches!(
+            wrong_arity.validate_against_schema(&schema),
+            Err(QueryError::AtomArity { .. })
+        ));
+        let unknown = Atom::new("person", vec![Term::var("p")]);
+        assert!(matches!(
+            unknown.validate_against_schema(&schema),
+            Err(QueryError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn substitution_replaces_only_mapped_vars() {
+        let a = Atom::new("r", vec![Term::var("x"), Term::var("y"), Term::cnst(1)]);
+        let mut map = BTreeMap::new();
+        map.insert("x".to_string(), Term::cnst("v"));
+        let b = a.substitute(&map);
+        assert_eq!(
+            b,
+            Atom::new("r", vec![Term::cnst("v"), Term::var("y"), Term::cnst(1)])
+        );
+    }
+}

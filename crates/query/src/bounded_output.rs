@@ -1,0 +1,252 @@
+//! The bounded-output problem `BOP` (Theorem 3.4).
+//!
+//! A query `V` has *bounded output* under an access schema `A` when there is
+//! a constant `N` with `|V(D)| ≤ N` for every instance `D |= A`.  Bounded
+//! output of views is the crux of plan conformance: a `fetch` may only be
+//! driven by an input whose size is independent of `|D|`.
+//!
+//! The decision procedure follows Lemma 3.7: a CQ (UCQ, ∃FO+) has bounded
+//! output iff every element query has all of its non-constant head variables
+//! covered.  Since every element query refines one of the *minimal* element
+//! queries enumerated by [`crate::element`] and refinement preserves
+//! coverage, it suffices to check the minimal ones.  The problem is
+//! coNP-complete (and undecidable for FO), so all entry points are budgeted.
+
+use crate::budget::Budget;
+use crate::cover::{output_bound, satisfying_cq_has_bounded_output};
+use crate::cq::ConjunctiveQuery;
+use crate::element::element_queries;
+use crate::error::QueryError;
+use crate::fo::FoQuery;
+use crate::ucq::UnionQuery;
+use crate::Result;
+use bqr_data::{AccessSchema, DatabaseSchema};
+
+/// Outcome of a bounded-output analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputBound {
+    /// The output size is bounded by the given constant on every `D |= A`.
+    Bounded(usize),
+    /// The output size grows with the instance.
+    Unbounded,
+}
+
+impl OutputBound {
+    /// Is the output bounded?
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, OutputBound::Bounded(_))
+    }
+
+    /// The bound, if any.
+    pub fn bound(&self) -> Option<usize> {
+        match self {
+            OutputBound::Bounded(n) => Some(*n),
+            OutputBound::Unbounded => None,
+        }
+    }
+}
+
+/// Decide `BOP(CQ)`: does `cq` have bounded output under `access`?
+pub fn cq_output(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+    budget: &Budget,
+) -> Result<OutputBound> {
+    let elements = element_queries(cq, access, schema, budget)?;
+    if elements.is_empty() {
+        // Unsatisfiable under A: the output is empty, hence bounded by 0.
+        return Ok(OutputBound::Bounded(0));
+    }
+    let mut total = 0usize;
+    for qe in &elements {
+        if !satisfying_cq_has_bounded_output(qe, access, schema)? {
+            return Ok(OutputBound::Unbounded);
+        }
+        total = total.saturating_add(
+            output_bound(qe, access, schema)?.expect("bounded element query has a numeric bound"),
+        );
+    }
+    Ok(OutputBound::Bounded(total))
+}
+
+/// Decide `BOP(UCQ)`.
+pub fn ucq_output(
+    ucq: &UnionQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+    budget: &Budget,
+) -> Result<OutputBound> {
+    let mut total = 0usize;
+    for d in ucq.disjuncts() {
+        match cq_output(d, access, schema, budget)? {
+            OutputBound::Unbounded => return Ok(OutputBound::Unbounded),
+            OutputBound::Bounded(n) => total = total.saturating_add(n),
+        }
+    }
+    Ok(OutputBound::Bounded(total))
+}
+
+/// Decide `BOP(∃FO+)` by expanding into a UCQ first.  Queries outside `∃FO+`
+/// are rejected: `BOP(FO)` is undecidable (Theorem 3.4(2)), and the
+/// *effective syntax* of size-bounded queries in `bqr-core` is the way to
+/// handle FO views.
+pub fn fo_output(
+    query: &FoQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+    budget: &Budget,
+) -> Result<OutputBound> {
+    if !query.body().is_positive() {
+        return Err(QueryError::UnsupportedFragment(
+            "BOP is undecidable for FO; use the size-bounded effective syntax instead".to_string(),
+        ));
+    }
+    match query.to_ucq(budget)? {
+        None => Ok(OutputBound::Bounded(0)),
+        Some(ucq) => ucq_output(&ucq, access, schema, budget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Term};
+    use crate::fo::Fo;
+    use crate::testutil::{movie_access, movie_schema, v1, va};
+    use bqr_data::{AccessConstraint, AccessSchema};
+
+    #[test]
+    fn v1_is_unbounded_under_a0() {
+        // V1 collects movies liked by NASA folks; no constraint bounds it.
+        let out = cq_output(&v1(), &movie_access(100), &movie_schema(), &Budget::generous()).unwrap();
+        assert_eq!(out, OutputBound::Unbounded);
+        assert!(!out.is_bounded());
+        assert_eq!(out.bound(), None);
+    }
+
+    #[test]
+    fn v2_nasa_employees_unbounded_but_movies_by_studio_bounded() {
+        // V2(pid) :- person(pid, n, "NASA") is unbounded (Example 3.3(a)).
+        let v2 = ConjunctiveQuery::new(
+            vec![Term::var("pid")],
+            vec![Atom::new(
+                "person",
+                vec![Term::var("pid"), Term::var("n"), Term::cnst("NASA")],
+            )],
+        )
+        .unwrap();
+        let out =
+            cq_output(&v2, &movie_access(100), &movie_schema(), &Budget::generous()).unwrap();
+        assert_eq!(out, OutputBound::Unbounded);
+
+        // Movies of a fixed studio/year are bounded by N0 = 100.
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("m")],
+            vec![Atom::new(
+                "movie",
+                vec![Term::var("m"), Term::var("n"), Term::cnst("Universal"), Term::cnst("2014")],
+            )],
+        )
+        .unwrap();
+        let out = cq_output(&q, &movie_access(100), &movie_schema(), &Budget::generous()).unwrap();
+        assert_eq!(out, OutputBound::Bounded(100));
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_bounded_by_zero() {
+        let schema = DatabaseSchema::with_relations(&[("r", &["a", "b"])]).unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::fd("r", &["a"], &["b"]).unwrap()]);
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("r", vec![Term::var("k"), Term::cnst(1)]),
+            Atom::new("r", vec![Term::var("k"), Term::cnst(2)]),
+        ])
+        .unwrap();
+        assert_eq!(
+            cq_output(&q, &access, &schema, &Budget::generous()).unwrap(),
+            OutputBound::Bounded(0)
+        );
+    }
+
+    #[test]
+    fn element_queries_can_rescue_boundedness() {
+        // Q(x) :- r(k, x), r(k, 1), r(k, 2) under r(a → b, 2): every minimal
+        // element query pins x to 1 or 2, so the output is bounded even though
+        // cov(Q, A) alone would not cover x (k is not bounded).
+        let schema = DatabaseSchema::with_relations(&[("r", &["a", "b"])]).unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![
+                va("r", &["k", "x"]),
+                Atom::new("r", vec![Term::var("k"), Term::cnst(1)]),
+                Atom::new("r", vec![Term::var("k"), Term::cnst(2)]),
+            ],
+        )
+        .unwrap();
+        let out = cq_output(&q, &access, &schema, &Budget::generous()).unwrap();
+        assert!(out.is_bounded(), "{out:?}");
+    }
+
+    #[test]
+    fn ucq_bounded_iff_every_disjunct_bounded() {
+        let access = movie_access(10);
+        let bounded = ConjunctiveQuery::new(
+            vec![Term::var("m")],
+            vec![Atom::new(
+                "movie",
+                vec![Term::var("m"), Term::var("n"), Term::cnst("U"), Term::cnst("2014")],
+            )],
+        )
+        .unwrap();
+        let unbounded = ConjunctiveQuery::new(
+            vec![Term::var("p")],
+            vec![va("person", &["p", "n", "a"])],
+        )
+        .unwrap();
+        let u1 = UnionQuery::new(vec![bounded.clone(), bounded.clone()]).unwrap();
+        assert_eq!(
+            ucq_output(&u1, &access, &movie_schema(), &Budget::generous()).unwrap(),
+            OutputBound::Bounded(20)
+        );
+        let u2 = UnionQuery::new(vec![bounded, unbounded]).unwrap();
+        assert_eq!(
+            ucq_output(&u2, &access, &movie_schema(), &Budget::generous()).unwrap(),
+            OutputBound::Unbounded
+        );
+    }
+
+    #[test]
+    fn fo_positive_goes_through_ucq_expansion() {
+        let access = movie_access(10);
+        // ∃n (movie(m, n, "U", "2014") ∨ movie(m, n, "WB", "2014"))
+        let body = Fo::exists(
+            vec!["n".into()],
+            Fo::or(
+                Fo::Atom(Atom::new(
+                    "movie",
+                    vec![Term::var("m"), Term::var("n"), Term::cnst("U"), Term::cnst("2014")],
+                )),
+                Fo::Atom(Atom::new(
+                    "movie",
+                    vec![Term::var("m"), Term::var("n"), Term::cnst("WB"), Term::cnst("2014")],
+                )),
+            ),
+        );
+        let q = FoQuery::new(vec![Term::var("m")], body).unwrap();
+        assert_eq!(
+            fo_output(&q, &access, &movie_schema(), &Budget::generous()).unwrap(),
+            OutputBound::Bounded(20)
+        );
+    }
+
+    #[test]
+    fn fo_with_negation_is_rejected() {
+        let access = movie_access(10);
+        let q = FoQuery::boolean(Fo::not(Fo::Atom(va("rating", &["m", "r"]))));
+        assert!(matches!(
+            fo_output(&q, &access, &movie_schema(), &Budget::generous()),
+            Err(QueryError::UnsupportedFragment(_))
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+//! Exploration budgets for the worst-case-exponential analyses.
+//!
+//! Several procedures in this crate (element-query enumeration,
+//! `∃FO+` → UCQ expansion, homomorphism search, the exact VBRP search in
+//! `bqr-core`) are worst-case exponential — the paper's lower bounds
+//! (Σᵖ₃-completeness, coNP-hardness) say this is unavoidable.  Instead of
+//! letting a pathological input spin forever, every such entry point takes a
+//! [`Budget`] and fails fast with [`QueryError::BudgetExceeded`] once it is
+//! exhausted.  The effective-syntax path (`bqr-core::topped`) never needs
+//! these budgets; that asymmetry is precisely the paper's point.
+
+use crate::error::QueryError;
+
+/// Limits for the exponential analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of element queries materialised for one CQ.
+    pub max_element_queries: usize,
+    /// Maximum number of partition states explored while repairing a tableau
+    /// towards an `A`-satisfying one.
+    pub max_partitions: usize,
+    /// Maximum number of CQ disjuncts produced when expanding an `∃FO+`
+    /// query into a UCQ.
+    pub max_disjuncts: usize,
+    /// Maximum number of homomorphisms enumerated per containment /
+    /// evaluation call on canonical instances.
+    pub max_homomorphisms: usize,
+    /// Maximum number of candidate plans enumerated by the exact VBRP search.
+    pub max_candidate_plans: usize,
+}
+
+impl Budget {
+    /// A budget ample enough for every construction appearing in the paper's
+    /// examples and for the synthetic workloads of the benchmarks.
+    pub fn generous() -> Self {
+        Budget {
+            max_element_queries: 20_000,
+            max_partitions: 200_000,
+            max_disjuncts: 4_096,
+            max_homomorphisms: 1_000_000,
+            max_candidate_plans: 2_000_000,
+        }
+    }
+
+    /// A small budget for unit tests of the budget mechanism itself.
+    pub fn tiny() -> Self {
+        Budget {
+            max_element_queries: 4,
+            max_partitions: 8,
+            max_disjuncts: 2,
+            max_homomorphisms: 16,
+            max_candidate_plans: 16,
+        }
+    }
+
+    /// Helper: check a counter against a limit, producing the standard error.
+    pub fn check(count: usize, limit: usize, what: &'static str) -> Result<(), QueryError> {
+        if count > limit {
+            Err(QueryError::BudgetExceeded(what))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::generous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_generous() {
+        assert_eq!(Budget::default(), Budget::generous());
+        assert!(Budget::generous().max_element_queries > Budget::tiny().max_element_queries);
+    }
+
+    #[test]
+    fn check_helper() {
+        assert!(Budget::check(3, 5, "x").is_ok());
+        assert!(Budget::check(5, 5, "x").is_ok());
+        assert!(matches!(
+            Budget::check(6, 5, "testing"),
+            Err(QueryError::BudgetExceeded("testing"))
+        ));
+    }
+}

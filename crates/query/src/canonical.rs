@@ -1,0 +1,141 @@
+//! Tableaux / canonical instances of conjunctive queries.
+//!
+//! The tableau representation `(T_Q, ū)` of a CQ `Q(x̄)` is the instance
+//! obtained by reading every relation atom as a tuple and treating variables
+//! as fresh constants ("frozen" variables), together with the summary row
+//! `ū` obtained from the head.  Canonical instances are the work-horse of
+//! the Chandra–Merlin containment test, of the `T_Q |= A` checks behind
+//! element queries, and of the counterexample constructions in the paper's
+//! proofs (Lemma 3.6).
+
+use crate::atom::Term;
+use crate::cq::ConjunctiveQuery;
+use crate::Result;
+use bqr_data::{Database, DatabaseSchema, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Prefix used for frozen variable values.  A control character keeps frozen
+/// values from colliding with any constant a realistic query would mention.
+const FROZEN_PREFIX: &str = "\u{1}var:";
+
+/// Freeze a variable name into a [`Value`].
+pub fn freeze_var(name: &str) -> Value {
+    Value::str(format!("{FROZEN_PREFIX}{name}"))
+}
+
+/// If `value` is a frozen variable, return its name.
+pub fn frozen_var_name(value: &Value) -> Option<&str> {
+    value.as_str().and_then(|s| s.strip_prefix(FROZEN_PREFIX))
+}
+
+/// The canonical instance of a CQ together with its summary (frozen head).
+#[derive(Debug, Clone)]
+pub struct CanonicalInstance {
+    /// The tableau `T_Q` as a database instance (variables frozen).
+    pub database: Database,
+    /// The frozen value of every variable of the query.
+    pub assignment: BTreeMap<String, Value>,
+    /// The summary row `ū`: the head terms under the freezing assignment.
+    pub summary: Tuple,
+}
+
+/// Build the canonical instance of `cq` over `schema`.
+///
+/// Every atom must reference a base relation of `schema` (unfold views
+/// first); arities are validated.
+pub fn canonical_instance(cq: &ConjunctiveQuery, schema: &DatabaseSchema) -> Result<CanonicalInstance> {
+    cq.validate(schema, &BTreeMap::new())?;
+    let mut database = Database::empty(schema.clone());
+    let mut assignment = BTreeMap::new();
+    for var in cq.variables() {
+        assignment.insert(var.clone(), freeze_var(&var));
+    }
+    let term_value = |t: &Term, assignment: &BTreeMap<String, Value>| match t {
+        Term::Var(v) => assignment[v].clone(),
+        Term::Const(c) => c.clone(),
+    };
+    for atom in cq.atoms() {
+        let tuple: Tuple = atom
+            .args()
+            .iter()
+            .map(|t| term_value(t, &assignment))
+            .collect();
+        database.insert(atom.relation(), tuple)?;
+    }
+    let summary: Tuple = cq
+        .head()
+        .iter()
+        .map(|t| term_value(t, &assignment))
+        .collect();
+    Ok(CanonicalInstance {
+        database,
+        assignment,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{movie_schema, q0};
+
+    #[test]
+    fn freeze_round_trip() {
+        let v = freeze_var("mid");
+        assert_eq!(frozen_var_name(&v), Some("mid"));
+        assert_eq!(frozen_var_name(&Value::str("mid")), None);
+        assert_eq!(frozen_var_name(&Value::int(3)), None);
+        assert_ne!(freeze_var("x"), freeze_var("y"));
+    }
+
+    #[test]
+    fn canonical_instance_of_q0() {
+        let canon = canonical_instance(&q0(), &movie_schema()).unwrap();
+        // One tuple per atom.
+        assert_eq!(canon.database.size(), 4);
+        // The summary is the frozen head variable.
+        assert_eq!(canon.summary.arity(), 1);
+        assert_eq!(frozen_var_name(&canon.summary[0]), Some("mid"));
+        // Constants stay as themselves in the tableau.
+        let movie = canon.database.relation("movie").unwrap();
+        let row = movie.iter().next().unwrap();
+        assert_eq!(row[2], Value::str("Universal"));
+        assert_eq!(row[3], Value::str("2014"));
+        assert_eq!(frozen_var_name(&row[0]), Some("mid"));
+        // Every variable of the query is frozen.
+        assert_eq!(canon.assignment.len(), q0().variables().len());
+    }
+
+    #[test]
+    fn canonical_instance_requires_base_relations() {
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![crate::atom::Atom::new("V1", vec![Term::var("x")])],
+        )
+        .unwrap();
+        assert!(canonical_instance(&q, &movie_schema()).is_err());
+    }
+
+    #[test]
+    fn boolean_query_has_unit_summary() {
+        let q = ConjunctiveQuery::boolean(vec![crate::atom::Atom::new(
+            "rating",
+            vec![Term::var("m"), Term::cnst(5)],
+        )])
+        .unwrap();
+        let canon = canonical_instance(&q, &movie_schema()).unwrap();
+        assert!(canon.summary.is_unit());
+        assert_eq!(canon.database.size(), 1);
+    }
+
+    #[test]
+    fn shared_variables_produce_shared_frozen_values() {
+        let canon = canonical_instance(&q0(), &movie_schema()).unwrap();
+        let like = canon.database.relation("like").unwrap();
+        let rating = canon.database.relation("rating").unwrap();
+        let like_row = like.iter().next().unwrap();
+        let rating_row = rating.iter().next().unwrap();
+        // `mid` is shared between like(.., mid, ..) and rating(mid, ..).
+        assert_eq!(like_row[1], rating_row[0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! The FD-chase: chasing a conjunctive query's tableau with the functional
+//! dependencies (`N = 1` constraints) of an access schema.
+//!
+//! Corollary 4.4 and Proposition 4.5 of the paper rely on the classical chase
+//! [Aho–Sagiv–Ullman]: for each constraint `R(X → Y, 1)` and each pair of
+//! atoms over `R` that agree on `X`, unify their `Y` components.  The result
+//! `Q_A` is unique up to homomorphism, is `A`-equivalent to `Q`, and its
+//! tableau satisfies (the FD part of) `A`.
+
+use crate::atom::Term;
+use crate::cq::ConjunctiveQuery;
+use crate::Result;
+use bqr_data::{AccessSchema, DatabaseSchema};
+use std::collections::BTreeMap;
+
+/// Result of chasing a query with functional dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseResult {
+    /// The chased, `A`-equivalent query.
+    Chased(ConjunctiveQuery),
+    /// The chase tried to equate two distinct constants: the query is
+    /// unsatisfiable on instances satisfying the FDs.
+    Inconsistent,
+}
+
+impl ChaseResult {
+    /// The chased query, if consistent.
+    pub fn query(&self) -> Option<&ConjunctiveQuery> {
+        match self {
+            ChaseResult::Chased(q) => Some(q),
+            ChaseResult::Inconsistent => None,
+        }
+    }
+}
+
+/// A small union-find over terms where constants act as (incompatible)
+/// class anchors.
+#[derive(Debug, Default)]
+pub(crate) struct TermUnion {
+    parent: BTreeMap<Term, Term>,
+}
+
+impl TermUnion {
+    pub(crate) fn find(&mut self, t: &Term) -> Term {
+        let p = self.parent.get(t).cloned();
+        match p {
+            None => {
+                self.parent.insert(t.clone(), t.clone());
+                t.clone()
+            }
+            Some(p) if &p == t => p,
+            Some(p) => {
+                let root = self.find(&p);
+                self.parent.insert(t.clone(), root.clone());
+                root
+            }
+        }
+    }
+
+    /// Union two classes.  Returns `false` if the union would identify two
+    /// distinct constants.  Constants win over variables as representatives.
+    pub(crate) fn union(&mut self, a: &Term, b: &Term) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return true;
+        }
+        match (&ra, &rb) {
+            (Term::Const(ca), Term::Const(cb)) => ca == cb,
+            (Term::Const(_), Term::Var(_)) => {
+                self.parent.insert(rb, ra);
+                true
+            }
+            _ => {
+                // Variable root `ra` points to `rb` (which may be a constant
+                // or a variable).
+                self.parent.insert(ra, rb);
+                true
+            }
+        }
+    }
+
+    /// The substitution induced on a set of variables.
+    pub(crate) fn substitution(&mut self, vars: impl IntoIterator<Item = String>) -> BTreeMap<String, Term> {
+        vars.into_iter()
+            .map(|v| {
+                let rep = self.find(&Term::Var(v.clone()));
+                (v, rep)
+            })
+            .collect()
+    }
+}
+
+/// Chase `cq` with the FD-shaped constraints (`N = 1`) of `access`.
+///
+/// Constraints with `N > 1` are ignored (they induce no equalities); the
+/// caller decides whether that is acceptable (Corollary 4.4 and
+/// Proposition 4.5 assume `A` consists of FDs only).
+pub fn chase_fds(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<ChaseResult> {
+    let fds: Vec<_> = access.constraints().filter(|c| c.is_fd()).collect();
+    let mut current = cq.clone();
+    if fds.is_empty() {
+        return Ok(ChaseResult::Chased(current));
+    }
+
+    loop {
+        let mut uf = TermUnion::default();
+        let mut changed = false;
+        let mut inconsistent = false;
+
+        for fd in &fds {
+            let rel_schema = match schema.relation(fd.relation()) {
+                Some(r) => r,
+                None => continue,
+            };
+            let x_pos = rel_schema.positions(fd.x())?;
+            let y_pos = rel_schema.positions(fd.y())?;
+            let atoms: Vec<_> = current
+                .atoms()
+                .iter()
+                .filter(|a| a.relation() == fd.relation() && a.arity() == rel_schema.arity())
+                .collect();
+            for i in 0..atoms.len() {
+                for j in (i + 1)..atoms.len() {
+                    let a = atoms[i];
+                    let b = atoms[j];
+                    let keys_equal = x_pos.iter().all(|&p| {
+                        let ta = uf.find(&a.args()[p]);
+                        let tb = uf.find(&b.args()[p]);
+                        ta == tb
+                    });
+                    if !keys_equal {
+                        continue;
+                    }
+                    for &p in &y_pos {
+                        let ta = uf.find(&a.args()[p]);
+                        let tb = uf.find(&b.args()[p]);
+                        if ta != tb {
+                            if !uf.union(&a.args()[p], &b.args()[p]) {
+                                inconsistent = true;
+                            }
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        if inconsistent {
+            return Ok(ChaseResult::Inconsistent);
+        }
+        if !changed {
+            return Ok(ChaseResult::Chased(current));
+        }
+        let map = uf.substitution(current.variables());
+        current = current.substitute(&map);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::testutil::va;
+    use bqr_data::AccessConstraint;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::with_relations(&[("r", &["a", "b", "c"]), ("s", &["a", "b"])]).unwrap()
+    }
+
+    fn fd(rel: &str, x: &[&str], y: &[&str]) -> AccessConstraint {
+        AccessConstraint::fd(rel, x, y).unwrap()
+    }
+
+    #[test]
+    fn chase_unifies_dependent_variables() {
+        // r(x, y1, z1), r(x, y2, z2) with r(a → b,1): y1 and y2 unify.
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![va("r", &["x", "y1", "z1"]), va("r", &["x", "y2", "z2"])],
+        )
+        .unwrap();
+        let access = AccessSchema::new(vec![fd("r", &["a"], &["b"])]);
+        let result = chase_fds(&q, &access, &schema()).unwrap();
+        let chased = result.query().unwrap();
+        let vars = chased.variables();
+        // After the chase, only one of y1/y2 remains.
+        assert_eq!(
+            vars.iter().filter(|v| v.starts_with('y')).count(),
+            1,
+            "y1 and y2 must be unified: {chased}"
+        );
+        // z1 and z2 remain distinct (not covered by the FD).
+        assert_eq!(vars.iter().filter(|v| v.starts_with('z')).count(), 2);
+    }
+
+    #[test]
+    fn chase_propagates_transitively() {
+        // s(x, y), s(x, z), s(y, u), s(z, w) with s(a → b, 1):
+        // y = z, and then u = w.
+        let q = ConjunctiveQuery::boolean(vec![
+            va("s", &["x", "y"]),
+            va("s", &["x", "z"]),
+            va("s", &["y", "u"]),
+            va("s", &["z", "w"]),
+        ])
+        .unwrap();
+        let access = AccessSchema::new(vec![fd("s", &["a"], &["b"])]);
+        let result = chase_fds(&q, &access, &schema()).unwrap();
+        let chased = result.query().unwrap();
+        // Variables collapse from 5 to 3 (x, y=z, u=w).
+        assert_eq!(chased.variables().len(), 3, "{chased}");
+    }
+
+    #[test]
+    fn chase_binds_variables_to_constants() {
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("y")],
+            vec![
+                Atom::new("s", vec![Term::cnst(1), Term::var("y")]),
+                Atom::new("s", vec![Term::cnst(1), Term::cnst(42)]),
+            ],
+        )
+        .unwrap();
+        let access = AccessSchema::new(vec![fd("s", &["a"], &["b"])]);
+        let result = chase_fds(&q, &access, &schema()).unwrap();
+        let chased = result.query().unwrap();
+        assert_eq!(chased.head()[0], Term::cnst(42));
+    }
+
+    #[test]
+    fn chase_detects_inconsistency() {
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("s", vec![Term::var("x"), Term::cnst(1)]),
+            Atom::new("s", vec![Term::var("x"), Term::cnst(2)]),
+        ])
+        .unwrap();
+        let access = AccessSchema::new(vec![fd("s", &["a"], &["b"])]);
+        assert_eq!(chase_fds(&q, &access, &schema()).unwrap(), ChaseResult::Inconsistent);
+        assert!(chase_fds(&q, &access, &schema()).unwrap().query().is_none());
+    }
+
+    #[test]
+    fn non_fd_constraints_are_ignored() {
+        let q = ConjunctiveQuery::boolean(vec![va("s", &["x", "y"]), va("s", &["x", "z"])]).unwrap();
+        let access = AccessSchema::new(vec![
+            AccessConstraint::new("s", &["a"], &["b"], 3).unwrap()
+        ]);
+        let result = chase_fds(&q, &access, &schema()).unwrap();
+        assert_eq!(result.query().unwrap(), &q, "N>1 constraints force nothing");
+    }
+
+    #[test]
+    fn empty_access_schema_is_identity() {
+        let q = ConjunctiveQuery::boolean(vec![va("s", &["x", "y"])]).unwrap();
+        let result = chase_fds(&q, &AccessSchema::empty(), &schema()).unwrap();
+        assert_eq!(result.query().unwrap(), &q);
+    }
+
+    #[test]
+    fn composite_key_fd() {
+        // r((a,b) → c, 1): atoms agreeing on both a and b unify on c.
+        let q = ConjunctiveQuery::boolean(vec![
+            va("r", &["x", "y", "u"]),
+            va("r", &["x", "y", "w"]),
+            va("r", &["x", "z", "t"]),
+        ])
+        .unwrap();
+        let access = AccessSchema::new(vec![fd("r", &["a", "b"], &["c"])]);
+        let chased = chase_fds(&q, &access, &schema()).unwrap();
+        let chased = chased.query().unwrap();
+        let vars = chased.variables();
+        assert!(vars.len() == 5, "u/w unify, t survives: {chased}");
+    }
+}

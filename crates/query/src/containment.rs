@@ -1,0 +1,280 @@
+//! Classical query containment (no access schema).
+//!
+//! * CQ ⊆ CQ is decided by the Chandra–Merlin criterion: `Q1 ⊆ Q2` iff there
+//!   is a homomorphism from `Q2` into the canonical instance of `Q1` mapping
+//!   the head of `Q2` onto the summary of `Q1`.
+//! * CQ ⊆ UCQ and UCQ ⊆ UCQ reduce to the CQ case disjunct by disjunct
+//!   (Sagiv–Yannakakis).
+//!
+//! `A`-relative containment (`Q1 ⊑_A Q2`) lives in [`crate::aequiv`] and is
+//! built on element queries plus the tests in this module.
+
+use crate::atom::Term;
+use crate::canonical::canonical_instance;
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::hom::{has_homomorphism, Assignment};
+use crate::ucq::UnionQuery;
+use crate::Result;
+use bqr_data::{DatabaseSchema, Relation};
+use std::collections::BTreeMap;
+
+/// Decide `q1 ⊆ q2` (over all instances of `schema`).
+///
+/// Both queries must be over base relations only (unfold views first) and
+/// have the same arity.
+pub fn cq_contained_in(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    if q1.arity() != q2.arity() {
+        return Err(QueryError::MismatchedUnionArity {
+            expected: q1.arity(),
+            actual: q2.arity(),
+        });
+    }
+    let canon = canonical_instance(q1, schema)?;
+    cq_maps_onto(q2, &canon.database, &canon.summary)
+}
+
+/// Decide whether `q` has a homomorphism into `db` that sends its head onto
+/// `target` (used with canonical instances).
+fn cq_maps_onto(
+    q: &ConjunctiveQuery,
+    db: &bqr_data::Database,
+    target: &bqr_data::Tuple,
+) -> Result<bool> {
+    // Seed the assignment with the head: head variables must map to the
+    // target values; head constants must equal them.
+    let mut initial = Assignment::new();
+    for (i, term) in q.head().iter().enumerate() {
+        let want = &target[i];
+        match term {
+            Term::Const(c) => {
+                if c != want {
+                    return Ok(false);
+                }
+            }
+            Term::Var(v) => match initial.get(v) {
+                Some(existing) if existing != want => return Ok(false),
+                _ => {
+                    initial.insert(v.clone(), want.clone());
+                }
+            },
+        }
+    }
+    let relations: BTreeMap<String, &Relation> = q
+        .relation_names()
+        .into_iter()
+        .map(|name| {
+            db.relation(&name)
+                .map(|r| (name.clone(), r))
+                .ok_or(QueryError::UnknownRelation(name))
+        })
+        .collect::<Result<_>>()?;
+    has_homomorphism(q.atoms(), &relations, &initial)
+}
+
+/// Decide `q1 ⊆ u2` for a CQ `q1` and a UCQ `u2`: some disjunct of `u2` must
+/// map onto the canonical instance of `q1`.
+pub fn cq_contained_in_ucq(
+    q1: &ConjunctiveQuery,
+    u2: &UnionQuery,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    if q1.arity() != u2.arity() {
+        return Err(QueryError::MismatchedUnionArity {
+            expected: q1.arity(),
+            actual: u2.arity(),
+        });
+    }
+    let canon = canonical_instance(q1, schema)?;
+    for d in u2.disjuncts() {
+        if cq_maps_onto(d, &canon.database, &canon.summary)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Decide `u1 ⊆ u2` for UCQs (disjunct-wise, by Sagiv–Yannakakis).
+pub fn ucq_contained_in(
+    u1: &UnionQuery,
+    u2: &UnionQuery,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    for d in u1.disjuncts() {
+        if !cq_contained_in_ucq(d, u2, schema)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Decide classical CQ equivalence `q1 ≡ q2`.
+pub fn cq_equivalent(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    Ok(cq_contained_in(q1, q2, schema)? && cq_contained_in(q2, q1, schema)?)
+}
+
+/// Decide classical UCQ equivalence `u1 ≡ u2`.
+pub fn ucq_equivalent(
+    u1: &UnionQuery,
+    u2: &UnionQuery,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    Ok(ucq_contained_in(u1, u2, schema)? && ucq_contained_in(u2, u1, schema)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::testutil::{movie_schema, q0, v1};
+    use crate::views::ViewSet;
+    use bqr_data::DatabaseSchema;
+
+    fn path_schema() -> DatabaseSchema {
+        DatabaseSchema::with_relations(&[("e", &["src", "dst"])]).unwrap()
+    }
+
+    fn path(len: usize) -> ConjunctiveQuery {
+        // Q(x0, xlen) :- e(x0, x1), e(x1, x2), ..., e(x{len-1}, xlen)
+        let atoms = (0..len)
+            .map(|i| {
+                Atom::new(
+                    "e",
+                    vec![Term::var(format!("x{i}")), Term::var(format!("x{}", i + 1))],
+                )
+            })
+            .collect();
+        ConjunctiveQuery::new(
+            vec![Term::var("x0"), Term::var(format!("x{len}"))],
+            atoms,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn longer_path_contained_in_shorter_boolean() {
+        let schema = path_schema();
+        // Boolean versions: ∃ path of length 2 ⊆ ∃ path of length 1.
+        let p1 = path(1).with_head(vec![]).unwrap();
+        let p2 = path(2).with_head(vec![]).unwrap();
+        assert!(cq_contained_in(&p2, &p1, &schema).unwrap());
+        assert!(!cq_contained_in(&p1, &p2, &schema).unwrap());
+        assert!(!cq_equivalent(&p1, &p2, &schema).unwrap());
+    }
+
+    #[test]
+    fn identical_up_to_renaming_is_equivalent() {
+        let schema = path_schema();
+        let a = path(2);
+        let b = a.rename_apart("_z");
+        assert!(cq_equivalent(&a, &b, &schema).unwrap());
+    }
+
+    #[test]
+    fn redundant_atom_is_absorbed() {
+        let schema = path_schema();
+        // Q1(x,y) :- e(x,y), e(x,z)   ≡   Q2(x,y) :- e(x,y)
+        let q1 = ConjunctiveQuery::new(
+            vec![Term::var("x"), Term::var("y")],
+            vec![
+                Atom::new("e", vec![Term::var("x"), Term::var("y")]),
+                Atom::new("e", vec![Term::var("x"), Term::var("z")]),
+            ],
+        )
+        .unwrap();
+        let q2 = ConjunctiveQuery::new(
+            vec![Term::var("x"), Term::var("y")],
+            vec![Atom::new("e", vec![Term::var("x"), Term::var("y")])],
+        )
+        .unwrap();
+        assert!(cq_equivalent(&q1, &q2, &schema).unwrap());
+    }
+
+    #[test]
+    fn constants_matter_for_containment() {
+        let schema = path_schema();
+        let general = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("e", vec![Term::var("x"), Term::var("y")])],
+        )
+        .unwrap();
+        let specific = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("e", vec![Term::var("x"), Term::cnst(1)])],
+        )
+        .unwrap();
+        assert!(cq_contained_in(&specific, &general, &schema).unwrap());
+        assert!(!cq_contained_in(&general, &specific, &schema).unwrap());
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let schema = path_schema();
+        assert!(cq_contained_in(&path(1), &path(1).with_head(vec![]).unwrap(), &schema).is_err());
+    }
+
+    #[test]
+    fn q0_contained_in_unfolded_rewriting() {
+        // Q0 ⊆ unfold(Qξ) and unfold(Qξ) ⊆ Q0 does NOT hold in general
+        // (the rewriting is only A-equivalent), but Q0 ⊆ unfold(Qξ) fails too
+        // because Qξ drops the join on `person`... let us check the actual
+        // relationship: unfold(Qξ) has all atoms of Q0 except that the movie
+        // atom appears twice with different variables; hence unfold(Qξ) ⊆ Q0
+        // *and* Q0 ⊆ unfold(Qξ) — they are classically equivalent in this
+        // particular example because the second movie atom is unconstrained.
+        let schema = movie_schema();
+        let mut views = ViewSet::empty();
+        views.add_cq("V1", v1()).unwrap();
+        let q_xi = ConjunctiveQuery::new(
+            vec![Term::var("mid")],
+            vec![
+                Atom::new(
+                    "movie",
+                    vec![Term::var("mid"), Term::var("ym"), Term::cnst("Universal"), Term::cnst("2014")],
+                ),
+                Atom::new("V1", vec![Term::var("mid")]),
+                Atom::new("rating", vec![Term::var("mid"), Term::cnst(5)]),
+            ],
+        )
+        .unwrap();
+        let unfolded = views.unfold_cq(&q_xi).unwrap();
+        assert!(cq_contained_in(&unfolded, &q0(), &schema).unwrap());
+        assert!(cq_contained_in(&q0(), &unfolded, &schema).unwrap());
+    }
+
+    #[test]
+    fn ucq_containment_disjunctwise() {
+        let schema = path_schema();
+        let q_const1 = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("e", vec![Term::var("x"), Term::cnst(1)])],
+        )
+        .unwrap();
+        let q_const2 = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("e", vec![Term::var("x"), Term::cnst(2)])],
+        )
+        .unwrap();
+        let general = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("e", vec![Term::var("x"), Term::var("y")])],
+        )
+        .unwrap();
+        let union = UnionQuery::new(vec![q_const1.clone(), q_const2.clone()]).unwrap();
+        let general_u = UnionQuery::single(general);
+        // {e(x,1)} ∪ {e(x,2)} ⊆ {e(x,y)} but not conversely.
+        assert!(ucq_contained_in(&union, &general_u, &schema).unwrap());
+        assert!(!ucq_contained_in(&general_u, &union, &schema).unwrap());
+        assert!(cq_contained_in_ucq(&q_const1, &union, &schema).unwrap());
+        assert!(!ucq_equivalent(&union, &general_u, &schema).unwrap());
+        assert!(ucq_equivalent(&union, &union, &schema).unwrap());
+    }
+}

@@ -1,0 +1,268 @@
+//! Covered variables `cov(Q, A)` (Section 3.1 of the paper).
+//!
+//! For a CQ `Q` whose tableau satisfies `A`, a variable is *covered* when its
+//! possible valuations are bounded by the cardinality constraints: starting
+//! from the empty set, a variable `y` enters `cov(Q, A)` when some atom
+//! `R(x̄, ȳ, z̄)` and constraint `R(X → Y, N)` place `y` in the `Y` positions
+//! while every non-constant variable in the `X` positions is already covered.
+//! Lemma 3.6 shows that `Q(v̄)` has bounded output iff every non-constant
+//! head variable is covered.
+
+use crate::atom::Term;
+use crate::cq::ConjunctiveQuery;
+use crate::Result;
+use bqr_data::{AccessSchema, DatabaseSchema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of the covered-variable fixpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// The covered (non-constant) variables.
+    pub covered: BTreeSet<String>,
+    /// A per-variable upper bound on the number of distinct values it can
+    /// take on instances satisfying `A` (a product of constraint bounds along
+    /// one derivation; an over-approximation, useful for plan-cost
+    /// estimates).
+    pub bounds: BTreeMap<String, usize>,
+}
+
+impl Coverage {
+    /// Is a variable covered?
+    pub fn contains(&self, var: &str) -> bool {
+        self.covered.contains(var)
+    }
+}
+
+/// Compute `cov(Q, A)` by the paper's fixpoint.
+///
+/// The computation itself does not require the tableau of `Q` to satisfy `A`
+/// (it is purely syntactic); the *bounded-output characterisation* built on
+/// it does, which is enforced by the callers in
+/// [`crate::bounded_output`].
+pub fn covered_variables(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<Coverage> {
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    let mut bounds: BTreeMap<String, usize> = BTreeMap::new();
+
+    loop {
+        let mut changed = false;
+        for constraint in access.constraints() {
+            let rel_schema = match schema.relation(constraint.relation()) {
+                Some(r) => r,
+                None => continue,
+            };
+            let x_pos = rel_schema.positions(constraint.x())?;
+            let y_pos = rel_schema.positions(constraint.y())?;
+            for atom in cq
+                .atoms()
+                .iter()
+                .filter(|a| a.relation() == constraint.relation() && a.arity() == rel_schema.arity())
+            {
+                // All non-constant variables in the X positions must already
+                // be covered.
+                let mut key_bound: usize = 1;
+                let all_x_covered = x_pos.iter().all(|&p| match &atom.args()[p] {
+                    Term::Const(_) => true,
+                    Term::Var(v) => {
+                        if covered.contains(v) {
+                            key_bound = key_bound.saturating_mul(*bounds.get(v).unwrap_or(&1));
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                });
+                if !all_x_covered {
+                    continue;
+                }
+                let value_bound = key_bound.saturating_mul(constraint.n());
+                for &p in &y_pos {
+                    if let Term::Var(v) = &atom.args()[p] {
+                        if covered.insert(v.clone()) {
+                            bounds.insert(v.clone(), value_bound);
+                            changed = true;
+                        } else if let Some(existing) = bounds.get_mut(v) {
+                            if value_bound < *existing {
+                                *existing = value_bound;
+                                // A tighter bound may tighten downstream
+                                // bounds, but coverage membership is already
+                                // final; we accept the slightly looser
+                                // downstream bounds rather than iterate to a
+                                // numeric fixpoint.
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(Coverage { covered, bounds })
+}
+
+/// Lemma 3.6: does a CQ *whose tableau satisfies `A`* have bounded output?
+/// (All non-constant head variables must be covered.)
+pub fn satisfying_cq_has_bounded_output(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    let coverage = covered_variables(cq, access, schema)?;
+    Ok(cq
+        .head()
+        .iter()
+        .all(|t| matches!(t, Term::Const(_)) || coverage.contains(t.as_var().unwrap_or_default())))
+}
+
+/// An upper bound on `|Q(D)|` over instances `D |= A`, when the query (whose
+/// tableau satisfies `A`) has bounded output: the product of the per-variable
+/// bounds of its head variables.
+pub fn output_bound(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<Option<usize>> {
+    let coverage = covered_variables(cq, access, schema)?;
+    let mut bound: usize = 1;
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for t in cq.head() {
+        match t {
+            Term::Const(_) => {}
+            Term::Var(v) => {
+                if !coverage.contains(v) {
+                    return Ok(None);
+                }
+                // Repeated head variables do not multiply the bound.
+                if seen.insert(v) {
+                    bound = bound.saturating_mul(*coverage.bounds.get(v).unwrap_or(&1));
+                }
+            }
+        }
+    }
+    Ok(Some(bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::testutil::{movie_access, movie_schema, q0, va};
+    use bqr_data::AccessConstraint;
+
+    #[test]
+    fn q0_head_is_covered_via_movie_constraint() {
+        // movie((studio, release) → mid, N0): studio and release are constants
+        // in Q0, so `mid` is covered with bound N0.
+        let access = movie_access(100);
+        let cov = covered_variables(&q0(), &access, &movie_schema()).unwrap();
+        assert!(cov.contains("mid"));
+        assert_eq!(cov.bounds.get("mid"), Some(&100));
+        // xp (the person) is not covered: no constraint reaches person/like.
+        assert!(!cov.contains("xp"));
+        assert!(satisfying_cq_has_bounded_output(&q0(), &access, &movie_schema()).unwrap());
+        assert_eq!(output_bound(&q0(), &access, &movie_schema()).unwrap(), Some(100));
+    }
+
+    #[test]
+    fn chained_coverage_multiplies_bounds() {
+        // Q(r) :- movie(m, n, "U", "2014"), rating(m, r)
+        // mid covered with bound N0, then rank covered with bound N0 * 1.
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("r")],
+            vec![
+                Atom::new(
+                    "movie",
+                    vec![Term::var("m"), Term::var("n"), Term::cnst("U"), Term::cnst("2014")],
+                ),
+                va("rating", &["m", "r"]),
+            ],
+        )
+        .unwrap();
+        let access = movie_access(50);
+        let cov = covered_variables(&q, &access, &movie_schema()).unwrap();
+        assert!(cov.contains("m"));
+        assert!(cov.contains("r"));
+        assert_eq!(cov.bounds.get("r"), Some(&50));
+        assert_eq!(output_bound(&q, &access, &movie_schema()).unwrap(), Some(50));
+    }
+
+    #[test]
+    fn uncovered_head_variable_means_unbounded() {
+        // Q(p) :- person(p, n, "NASA") — no constraint on person.
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("p")],
+            vec![Atom::new(
+                "person",
+                vec![Term::var("p"), Term::var("n"), Term::cnst("NASA")],
+            )],
+        )
+        .unwrap();
+        let access = movie_access(10);
+        assert!(!satisfying_cq_has_bounded_output(&q, &access, &movie_schema()).unwrap());
+        assert_eq!(output_bound(&q, &access, &movie_schema()).unwrap(), None);
+    }
+
+    #[test]
+    fn constant_head_terms_are_always_bounded() {
+        let q = ConjunctiveQuery::new(
+            vec![Term::cnst("fixed")],
+            vec![va("rating", &["m", "r"])],
+        )
+        .unwrap();
+        let access = movie_access(10);
+        assert!(satisfying_cq_has_bounded_output(&q, &access, &movie_schema()).unwrap());
+        assert_eq!(output_bound(&q, &access, &movie_schema()).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn boolean_queries_are_trivially_bounded() {
+        let q = q0().with_head(vec![]).unwrap();
+        let access = movie_access(10);
+        assert!(satisfying_cq_has_bounded_output(&q, &access, &movie_schema()).unwrap());
+        assert_eq!(output_bound(&q, &access, &movie_schema()).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn example_3_5_covered_variable() {
+        // Schema R(X, Y), access R(X → Y, 2); element query Q2 of the paper's
+        // running example: the only non-constant variable x is covered
+        // because the X-position of its atom holds a constant.
+        let schema = DatabaseSchema::with_relations(&[("r", &["x", "y"])]).unwrap();
+        let access = bqr_data::AccessSchema::new(vec![
+            AccessConstraint::new("r", &["x"], &["y"], 2).unwrap()
+        ]);
+        // Q2(x) :- r(k, 1), r(k, 2), r(2, x)   (x2 = x3 = 2 after equalities)
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![
+                Atom::new("r", vec![Term::cnst("k"), Term::cnst(1)]),
+                Atom::new("r", vec![Term::cnst("k"), Term::cnst(2)]),
+                Atom::new("r", vec![Term::cnst(2), Term::var("x")]),
+            ],
+        )
+        .unwrap();
+        let cov = covered_variables(&q, &access, &schema).unwrap();
+        assert!(cov.contains("x"));
+        assert_eq!(cov.bounds.get("x"), Some(&2));
+    }
+
+    #[test]
+    fn coverage_ignores_unknown_relations_gracefully() {
+        // A constraint on a relation the query never mentions changes nothing.
+        let access = bqr_data::AccessSchema::new(vec![
+            AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap()
+        ]);
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("p")],
+            vec![va("person", &["p", "n", "a"])],
+        )
+        .unwrap();
+        let cov = covered_variables(&q, &access, &movie_schema()).unwrap();
+        assert!(cov.covered.is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! Conjunctive queries (CQ, a.k.a. SPC queries).
+//!
+//! A conjunctive query `Q(x̄) = ∃ x̄' φ(x̄, x̄')` is represented by its head
+//! terms (free variables and constants, in output order) and its list of
+//! relation atoms.  Equality atoms `x = y` / `x = c` are normalised away at
+//! construction time by substitution, which preserves the semantics and
+//! simplifies every downstream analysis (the element-query machinery
+//! re-introduces equalities as partitions of the tableau's terms).
+
+use crate::atom::{Atom, Term};
+use crate::error::QueryError;
+use crate::Result;
+use bqr_data::DatabaseSchema;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConjunctiveQuery {
+    head: Vec<Term>,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Create a conjunctive query, checking *safety*: every head variable
+    /// must occur in some atom.
+    pub fn new(head: Vec<Term>, atoms: Vec<Atom>) -> Result<Self> {
+        let body_vars: BTreeSet<String> = atoms.iter().flat_map(|a| a.variables()).collect();
+        for t in &head {
+            if let Term::Var(v) = t {
+                if !body_vars.contains(v) {
+                    return Err(QueryError::UnsafeHeadVariable(v.clone()));
+                }
+            }
+        }
+        Ok(ConjunctiveQuery { head, atoms })
+    }
+
+    /// A Boolean conjunctive query (empty head).
+    pub fn boolean(atoms: Vec<Atom>) -> Result<Self> {
+        ConjunctiveQuery::new(Vec::new(), atoms)
+    }
+
+    /// The head terms, in output order.
+    pub fn head(&self) -> &[Term] {
+        &self.head
+    }
+
+    /// The body atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True for Boolean queries.
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The size `|Q|` of the query: total number of atoms plus head terms
+    /// (the measure used in the paper's complexity statements).
+    pub fn size(&self) -> usize {
+        self.atoms.len() + self.head.len()
+    }
+
+    /// All variables occurring in the query (head or body).
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut vars: BTreeSet<String> = self.atoms.iter().flat_map(|a| a.variables()).collect();
+        for t in &self.head {
+            if let Term::Var(v) = t {
+                vars.insert(v.clone());
+            }
+        }
+        vars
+    }
+
+    /// The head (free) variables.
+    pub fn head_variables(&self) -> BTreeSet<String> {
+        self.head
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+
+    /// The existentially quantified variables (body variables not in the head).
+    pub fn existential_variables(&self) -> BTreeSet<String> {
+        let head = self.head_variables();
+        self.variables().into_iter().filter(|v| !head.contains(v)).collect()
+    }
+
+    /// Names of all relations (and views) mentioned in the body.
+    pub fn relation_names(&self) -> BTreeSet<String> {
+        self.atoms.iter().map(|a| a.relation().to_string()).collect()
+    }
+
+    /// All constants mentioned anywhere in the query (head or body).  Bounded
+    /// rewritings may only use constants taken from the query (Section 2).
+    pub fn constants(&self) -> BTreeSet<bqr_data::Value> {
+        let mut out = BTreeSet::new();
+        for t in self.head.iter().chain(self.atoms.iter().flat_map(|a| a.args().iter())) {
+            if let Term::Const(c) = t {
+                out.insert(c.clone());
+            }
+        }
+        out
+    }
+
+    /// True if no relation name appears in two different atoms.
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms.iter().all(|a| seen.insert(a.relation().to_string()))
+    }
+
+    /// Validate every atom against the schema, treating names in
+    /// `view_names` as views with the given arities.
+    pub fn validate(
+        &self,
+        schema: &DatabaseSchema,
+        view_arities: &BTreeMap<String, usize>,
+    ) -> Result<()> {
+        for atom in &self.atoms {
+            if let Some(&arity) = view_arities.get(atom.relation()) {
+                if atom.arity() != arity {
+                    return Err(QueryError::AtomArity {
+                        relation: atom.relation().to_string(),
+                        expected: arity,
+                        actual: atom.arity(),
+                    });
+                }
+            } else {
+                atom.validate_against_schema(schema)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a variable substitution to head and body.
+    pub fn substitute(&self, map: &BTreeMap<String, Term>) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head: self
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+                    Term::Const(_) => t.clone(),
+                })
+                .collect(),
+            atoms: self.atoms.iter().map(|a| a.substitute(map)).collect(),
+        }
+    }
+
+    /// Rename every variable by appending `suffix`, producing a query that
+    /// shares no variable with the original.  Used when combining queries
+    /// (view unfolding, element-query construction, plan-to-query
+    /// conversion) to avoid accidental capture.
+    pub fn rename_apart(&self, suffix: &str) -> ConjunctiveQuery {
+        let map: BTreeMap<String, Term> = self
+            .variables()
+            .into_iter()
+            .map(|v| (v.clone(), Term::var(format!("{v}{suffix}"))))
+            .collect();
+        self.substitute(&map)
+    }
+
+    /// Canonicalise variable names to `v0, v1, ...` in order of first
+    /// occurrence (head first, then body).  Two queries that are identical up
+    /// to variable renaming canonicalise to equal values.
+    pub fn canonical_form(&self) -> ConjunctiveQuery {
+        let mut map: BTreeMap<String, Term> = BTreeMap::new();
+        let mut next = 0usize;
+        let visit = |t: &Term, map: &mut BTreeMap<String, Term>, next: &mut usize| {
+            if let Term::Var(v) = t {
+                if !map.contains_key(v) {
+                    map.insert(v.clone(), Term::var(format!("v{next}")));
+                    *next += 1;
+                }
+            }
+        };
+        for t in &self.head {
+            visit(t, &mut map, &mut next);
+        }
+        for a in &self.atoms {
+            for t in a.args() {
+                visit(t, &mut map, &mut next);
+            }
+        }
+        self.substitute(&map)
+    }
+
+    /// Conjoin another query: the result's head is this query's head and the
+    /// body is the union of both bodies.  The caller is responsible for
+    /// renaming apart if variable sharing is not intended.
+    pub fn conjoin(&self, other: &ConjunctiveQuery) -> ConjunctiveQuery {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().cloned());
+        ConjunctiveQuery {
+            head: self.head.clone(),
+            atoms,
+        }
+    }
+
+    /// Replace the head while keeping the body.
+    pub fn with_head(&self, head: Vec<Term>) -> Result<ConjunctiveQuery> {
+        ConjunctiveQuery::new(head, self.atoms.clone())
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        if self.atoms.is_empty() {
+            write!(f, "true")?;
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqr_data::Value;
+
+    use crate::testutil::q0;
+
+    #[test]
+    fn safety_is_enforced() {
+        let err = ConjunctiveQuery::new(
+            vec![Term::var("z")],
+            vec![Atom::new("r", vec![Term::var("x")])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::UnsafeHeadVariable(v) if v == "z"));
+        // Constants in the head are always safe.
+        assert!(ConjunctiveQuery::new(
+            vec![Term::cnst(1)],
+            vec![Atom::new("r", vec![Term::var("x")])]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn q0_accessors() {
+        let q = q0();
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_boolean());
+        assert_eq!(q.atoms().len(), 4);
+        assert_eq!(q.size(), 5);
+        assert_eq!(
+            q.head_variables().into_iter().collect::<Vec<_>>(),
+            vec!["mid".to_string()]
+        );
+        assert!(q.existential_variables().contains("xp"));
+        assert!(q.existential_variables().contains("ym"));
+        assert!(!q.existential_variables().contains("mid"));
+        assert_eq!(q.relation_names().len(), 4);
+        assert!(q.constants().contains(&Value::str("NASA")));
+        assert!(q.constants().contains(&Value::int(5)));
+        assert!(q.is_self_join_free());
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("r", vec![Term::var("x"), Term::var("y")]),
+            Atom::new("r", vec![Term::var("y"), Term::var("z")]),
+        ])
+        .unwrap();
+        assert!(!q.is_self_join_free());
+        assert!(q.is_boolean());
+        assert_eq!(q.arity(), 0);
+    }
+
+    #[test]
+    fn validation_checks_views_and_relations() {
+        let schema = DatabaseSchema::with_relations(&[
+            ("person", &["pid", "name", "affiliation"]),
+            ("movie", &["mid", "mname", "studio", "release"]),
+            ("rating", &["mid", "rank"]),
+            ("like", &["pid", "id", "type"]),
+        ])
+        .unwrap();
+        let q = q0();
+        assert!(q.validate(&schema, &BTreeMap::new()).is_ok());
+
+        // A query that uses a view name validates against the declared arity.
+        let with_view = ConjunctiveQuery::new(
+            vec![Term::var("m")],
+            vec![
+                Atom::new("V1", vec![Term::var("m")]),
+                Atom::new("rating", vec![Term::var("m"), Term::cnst(5)]),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            with_view.validate(&schema, &BTreeMap::new()),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        let mut arities = BTreeMap::new();
+        arities.insert("V1".to_string(), 1usize);
+        assert!(with_view.validate(&schema, &arities).is_ok());
+        arities.insert("V1".to_string(), 2usize);
+        assert!(matches!(
+            with_view.validate(&schema, &arities),
+            Err(QueryError::AtomArity { .. })
+        ));
+    }
+
+    #[test]
+    fn substitution_and_rename_apart() {
+        let q = q0();
+        let renamed = q.rename_apart("_1");
+        assert!(renamed.variables().iter().all(|v| v.ends_with("_1")));
+        assert!(renamed.variables().is_disjoint(&q.variables()));
+        assert_eq!(renamed.atoms().len(), q.atoms().len());
+
+        let mut map = BTreeMap::new();
+        map.insert("mid".to_string(), Term::cnst(7));
+        let grounded = q.substitute(&map);
+        assert_eq!(grounded.head()[0], Term::cnst(7));
+    }
+
+    #[test]
+    fn canonical_form_identifies_renamings() {
+        let a = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("r", vec![Term::var("x"), Term::var("y")])],
+        )
+        .unwrap();
+        let b = ConjunctiveQuery::new(
+            vec![Term::var("u")],
+            vec![Atom::new("r", vec![Term::var("u"), Term::var("w")])],
+        )
+        .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.canonical_form(), b.canonical_form());
+        let c = ConjunctiveQuery::new(
+            vec![Term::var("u")],
+            vec![Atom::new("r", vec![Term::var("w"), Term::var("u")])],
+        )
+        .unwrap();
+        assert_ne!(a.canonical_form(), c.canonical_form());
+    }
+
+    #[test]
+    fn conjoin_and_with_head() {
+        let a = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("r", vec![Term::var("x")])],
+        )
+        .unwrap();
+        let b = ConjunctiveQuery::boolean(vec![Atom::new("s", vec![Term::var("y")])]).unwrap();
+        let c = a.conjoin(&b);
+        assert_eq!(c.atoms().len(), 2);
+        assert_eq!(c.head(), a.head());
+        let d = c.with_head(vec![Term::var("y")]).unwrap();
+        assert_eq!(d.head()[0], Term::var("y"));
+        assert!(c.with_head(vec![Term::var("zzz")]).is_err());
+    }
+
+    #[test]
+    fn display_is_datalog_like() {
+        let q = q0();
+        let s = q.to_string();
+        assert!(s.starts_with("Q(mid) :- "));
+        assert!(s.contains("movie(mid, ym, \"Universal\", \"2014\")"));
+        let t = ConjunctiveQuery::boolean(vec![]).unwrap().to_string();
+        assert!(t.contains("true"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Element queries (Section 3.1 of the paper).
+//!
+//! An *element query* of a CQ `Q` under an access schema `A` is a query
+//! `Q_e = Q ∧ ψ`, where `ψ` is a conjunction of equalities among the
+//! variables and constants of `Q`, such that the tableau of `Q_e` (variables
+//! read as constants) satisfies `A`.  The paper shows `Q ≡_A Q_{e_1} ∪ ... ∪
+//! Q_{e_n}` over the satisfiable element queries, and uses them for
+//! `A`-containment, bounded-output analysis and the exact decision
+//! procedures.
+//!
+//! Enumerating *all* element queries is hopeless (there are exponentially
+//! many ψ).  It suffices, however, to enumerate the **minimal** ones — the
+//! element queries whose equality set is minimal w.r.t. refinement — because
+//! every element query refines a minimal one, refinement preserves both
+//! classical containment in a fixed query and coverage of variables.  This
+//! module enumerates exactly those by a branching "cardinality chase": start
+//! from `Q` itself, and while some constraint `R(X → Y, N)` is violated by an
+//! `X`-group with more than `N` distinct `Y`-projections, branch over the
+//! ways to merge two of those `Y`-projections.
+
+use crate::budget::Budget;
+use crate::canonical::{canonical_instance, frozen_var_name};
+use crate::cq::ConjunctiveQuery;
+use crate::fo::resolve_equalities;
+use crate::atom::Term;
+use crate::Result;
+use bqr_data::{AccessSchema, DatabaseSchema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Enumerate the minimal element queries of `cq` under `access`.
+///
+/// The returned queries all (a) are obtained from `cq` by equating variables
+/// and constants, (b) have a tableau satisfying `access`, and (c) jointly are
+/// `A`-equivalent to `cq`.  The list is empty exactly when `cq` is
+/// unsatisfiable on instances that satisfy `access`.
+pub fn element_queries(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+    budget: &Budget,
+) -> Result<Vec<ConjunctiveQuery>> {
+    let mut results: Vec<ConjunctiveQuery> = Vec::new();
+    let mut result_keys: BTreeSet<ConjunctiveQuery> = BTreeSet::new();
+    let mut visited: BTreeSet<ConjunctiveQuery> = BTreeSet::new();
+    let mut stack: Vec<ConjunctiveQuery> = vec![cq.clone()];
+    let mut explored = 0usize;
+
+    while let Some(q) = stack.pop() {
+        let key = q.canonical_form();
+        if !visited.insert(key) {
+            continue;
+        }
+        explored += 1;
+        Budget::check(explored, budget.max_partitions, "enumerating element-query partitions")?;
+
+        match first_violation(&q, access, schema)? {
+            None => {
+                let canon = q.canonical_form();
+                if result_keys.insert(canon) {
+                    results.push(q);
+                    Budget::check(
+                        results.len(),
+                        budget.max_element_queries,
+                        "collecting element queries",
+                    )?;
+                }
+            }
+            Some(group) => {
+                // Branch over every pair of distinct Y-projections in the
+                // violating group; merging any one of them is a legal repair
+                // step, and every minimal satisfying partition performs at
+                // least one of them.
+                for i in 0..group.len() {
+                    for j in (i + 1)..group.len() {
+                        if let Some(merged) = merge_rows(&q, &group[i], &group[j])? {
+                            stack.push(merged);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Is `cq` satisfiable on some instance that satisfies `access`?
+pub fn satisfiable_under(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+    budget: &Budget,
+) -> Result<bool> {
+    // Satisfiable iff at least one element query exists.  We could stop at
+    // the first one; the enumeration is cheap for the query sizes the
+    // decision procedures handle, so we reuse it directly.
+    Ok(!element_queries(cq, access, schema, budget)?.is_empty())
+}
+
+/// Does the tableau of `cq` itself satisfy `access`?
+pub fn tableau_satisfies(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<bool> {
+    Ok(first_violation(cq, access, schema)?.is_none())
+}
+
+/// Find one violated constraint group: the distinct `Y`-projections (more
+/// than `N` of them) of some `X`-group of some constraint.  Returns `None`
+/// when the tableau satisfies every constraint.
+fn first_violation(
+    cq: &ConjunctiveQuery,
+    access: &AccessSchema,
+    schema: &DatabaseSchema,
+) -> Result<Option<Vec<Tuple>>> {
+    let canon = canonical_instance(cq, schema)?;
+    for constraint in access.constraints() {
+        let rel = match canon.database.relation(constraint.relation()) {
+            Some(r) if !r.is_empty() => r,
+            _ => continue,
+        };
+        let x_pos = rel.schema().positions(constraint.x())?;
+        let y_pos = rel.schema().positions(constraint.y())?;
+        let mut groups: BTreeMap<Tuple, BTreeSet<Tuple>> = BTreeMap::new();
+        for t in rel.iter() {
+            groups
+                .entry(t.project(&x_pos))
+                .or_default()
+                .insert(t.project(&y_pos));
+        }
+        for (_key, ys) in groups {
+            if ys.len() > constraint.n() {
+                return Ok(Some(ys.into_iter().collect()));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Merge two rows of frozen values component-wise, producing the specialised
+/// query, or `None` when the merge would equate two distinct constants.
+fn merge_rows(cq: &ConjunctiveQuery, a: &Tuple, b: &Tuple) -> Result<Option<ConjunctiveQuery>> {
+    let mut eqs: Vec<(Term, Term)> = Vec::new();
+    for (va, vb) in a.iter().zip(b.iter()) {
+        if va == vb {
+            continue;
+        }
+        eqs.push((unfreeze(va), unfreeze(vb)));
+    }
+    if eqs.is_empty() {
+        return Ok(None);
+    }
+    resolve_equalities(cq.head().to_vec(), cq.atoms().to_vec(), eqs)
+}
+
+/// Convert a canonical-instance value back into a term.
+fn unfreeze(value: &Value) -> Term {
+    match frozen_var_name(value) {
+        Some(name) => Term::Var(name.to_string()),
+        None => Term::Const(value.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::error::QueryError;
+    use crate::testutil::{movie_access, movie_schema, q0, va};
+    use bqr_data::{AccessConstraint, AccessSchema};
+
+    fn simple_schema() -> DatabaseSchema {
+        DatabaseSchema::with_relations(&[("r", &["a", "b"]), ("o", &["i", "x"])]).unwrap()
+    }
+
+    #[test]
+    fn satisfying_tableau_has_single_element_query() {
+        // Q0's tableau has one movie atom and one rating atom per key, so it
+        // already satisfies A0 (with N0 ≥ 1); the only minimal element query
+        // is Q0 itself.
+        let access = movie_access(1);
+        let qs = element_queries(&q0(), &access, &movie_schema(), &Budget::generous()).unwrap();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].canonical_form(), q0().canonical_form());
+        assert!(tableau_satisfies(&q0(), &access, &movie_schema()).unwrap());
+        assert!(satisfiable_under(&q0(), &access, &movie_schema(), &Budget::generous()).unwrap());
+    }
+
+    #[test]
+    fn violating_tableau_branches_into_merges() {
+        // Q(x) :- r(k, x1), r(k, x2), r(k, x3) with r(a → b, 2):
+        // three distinct b-values for the same key must collapse to ≤ 2,
+        // giving the three ways of equating a pair.
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("x1")],
+            vec![va("r", &["k", "x1"]), va("r", &["k", "x2"]), va("r", &["k", "x3"])],
+        )
+        .unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
+        assert_eq!(qs.len(), 3, "x1=x2, x1=x3, x2=x3");
+        for qe in &qs {
+            assert!(tableau_satisfies(qe, &access, &simple_schema()).unwrap());
+            assert_eq!(qe.variables().len(), 3, "one variable disappears: {qe}");
+        }
+    }
+
+    #[test]
+    fn fd_forces_full_collapse() {
+        // With r(a → b, 1) the same query collapses x1 = x2 = x3: exactly one
+        // minimal element query.
+        let q = ConjunctiveQuery::boolean(vec![
+            va("r", &["k", "x1"]),
+            va("r", &["k", "x2"]),
+            va("r", &["k", "x3"]),
+        ])
+        .unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::fd("r", &["a"], &["b"]).unwrap()]);
+        let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].variables().len(), 2);
+    }
+
+    #[test]
+    fn constants_make_some_branches_unsatisfiable() {
+        // r(k, 1), r(k, 2), r(k, x) with r(a → b, 2): the only repairs are
+        // x = 1 or x = 2 (1 = 2 is impossible).
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![
+                Atom::new("r", vec![Term::var("k"), Term::cnst(1)]),
+                Atom::new("r", vec![Term::var("k"), Term::cnst(2)]),
+                Atom::new("r", vec![Term::var("k"), Term::var("x")]),
+            ],
+        )
+        .unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
+        assert_eq!(qs.len(), 2);
+        let heads: BTreeSet<Term> = qs.iter().map(|q| q.head()[0].clone()).collect();
+        assert_eq!(heads, [Term::cnst(1), Term::cnst(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn fully_constant_violation_is_unsatisfiable() {
+        // r(k, 1), r(k, 2) with r(a → b, 1): no repair exists.
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("r", vec![Term::var("k"), Term::cnst(1)]),
+            Atom::new("r", vec![Term::var("k"), Term::cnst(2)]),
+        ])
+        .unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::fd("r", &["a"], &["b"]).unwrap()]);
+        let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
+        assert!(qs.is_empty());
+        assert!(!satisfiable_under(&q, &access, &simple_schema(), &Budget::generous()).unwrap());
+    }
+
+    #[test]
+    fn cascading_repairs_respect_both_constraints() {
+        // o(i, x1), o(i, x2) with o(i → x, 1) forces x1 = x2 even when the
+        // violation only appears after another merge.
+        let q = ConjunctiveQuery::boolean(vec![
+            va("r", &["k", "i1"]),
+            va("r", &["k", "i2"]),
+            va("o", &["i1", "x1"]),
+            va("o", &["i2", "x2"]),
+        ])
+        .unwrap();
+        let access = AccessSchema::new(vec![
+            AccessConstraint::fd("r", &["a"], &["b"]).unwrap(),
+            AccessConstraint::fd("o", &["i"], &["x"]).unwrap(),
+        ]);
+        let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
+        assert_eq!(qs.len(), 1);
+        // i1=i2 and then x1=x2: five variables (k, i1, i2, x1, x2) collapse to
+        // three (k, i, x).
+        assert_eq!(qs[0].variables().len(), 3, "{}", qs[0]);
+    }
+
+    #[test]
+    fn empty_access_schema_returns_query_itself() {
+        let qs =
+            element_queries(&q0(), &AccessSchema::empty(), &movie_schema(), &Budget::generous())
+                .unwrap();
+        assert_eq!(qs.len(), 1);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        // A wide violation with a tiny budget aborts instead of spinning.
+        let atoms: Vec<Atom> = (0..6).map(|i| va("r", &["k", &format!("x{i}")])).collect();
+        let q = ConjunctiveQuery::boolean(atoms).unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 1).unwrap()]);
+        assert!(matches!(
+            element_queries(&q, &access, &simple_schema(), &Budget::tiny()),
+            Err(QueryError::BudgetExceeded(_))
+        ));
+        // With a generous budget the unique fixpoint (all equal) is found.
+        let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].variables().len(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for query construction and static analysis.
+
+use bqr_data::DataError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by query construction, parsing and the static analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An underlying data-layer error (unknown relation, arity mismatch, ...).
+    Data(DataError),
+    /// An atom's arity does not match the relation schema it refers to.
+    AtomArity {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// The query refers to a relation (or view) not present in the schema.
+    UnknownRelation(String),
+    /// A head term uses a variable that never occurs in the body (unsafe).
+    UnsafeHeadVariable(String),
+    /// The disjuncts of a union query do not share the same head arity.
+    MismatchedUnionArity { expected: usize, actual: usize },
+    /// An exploration budget was exhausted before the analysis could finish.
+    BudgetExceeded(&'static str),
+    /// The analysis requested is not defined for this query language
+    /// fragment (e.g. converting a query with negation to a UCQ).
+    UnsupportedFragment(String),
+    /// A parse error, with a human-readable explanation.
+    Parse(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Data(e) => write!(f, "{e}"),
+            QueryError::AtomArity {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom over `{relation}` has {actual} arguments but the relation has arity {expected}"
+            ),
+            QueryError::UnknownRelation(r) => write!(f, "unknown relation or view `{r}`"),
+            QueryError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not occur in the query body")
+            }
+            QueryError::MismatchedUnionArity { expected, actual } => write!(
+                f,
+                "union disjunct has head arity {actual}, expected {expected}"
+            ),
+            QueryError::BudgetExceeded(what) => {
+                write!(f, "analysis budget exceeded while {what}")
+            }
+            QueryError::UnsupportedFragment(msg) => write!(f, "unsupported query fragment: {msg}"),
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for QueryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QueryError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for QueryError {
+    fn from(e: DataError) -> Self {
+        QueryError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(QueryError::UnknownRelation("r".into()).to_string().contains("r"));
+        assert!(QueryError::UnsafeHeadVariable("x".into()).to_string().contains("x"));
+        assert!(QueryError::BudgetExceeded("enumerating element queries")
+            .to_string()
+            .contains("element"));
+        assert!(QueryError::Parse("oops".into()).to_string().contains("oops"));
+        assert!(QueryError::MismatchedUnionArity { expected: 2, actual: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(QueryError::AtomArity {
+            relation: "movie".into(),
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("movie"));
+        assert!(QueryError::UnsupportedFragment("negation".into())
+            .to_string()
+            .contains("negation"));
+    }
+
+    #[test]
+    fn wraps_data_errors_with_source() {
+        let e: QueryError = DataError::UnknownRelation("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&QueryError::Parse("p".into())).is_none());
+    }
+}

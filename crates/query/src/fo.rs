@@ -1,0 +1,869 @@
+//! First-order queries (FO, the full relational calculus) and the language
+//! classification used throughout the paper.
+//!
+//! The AST follows the paper's grammar: atomic formulas are relation atoms
+//! `R(x̄)` and equality atoms `x = y` / `x = c`; formulas are closed under
+//! `∧`, `∨`, `¬`, `∃` and `∀`.  The sub-languages are
+//!
+//! * **CQ** — no `∨`, `¬`, `∀`;
+//! * **UCQ** — a disjunction of CQs;
+//! * **∃FO+** — no `¬`, `∀`;
+//! * **FO** — everything.
+
+use crate::atom::{Atom, Term};
+use crate::budget::Budget;
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::ucq::UnionQuery;
+use crate::Result;
+use bqr_data::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The query languages studied in the paper, ordered by expressiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryLanguage {
+    /// Conjunctive queries (SPC).
+    Cq,
+    /// Unions of conjunctive queries (SPCU).
+    Ucq,
+    /// Positive existential FO (select-project-join-union).
+    PosFo,
+    /// Full first-order logic (relational algebra).
+    Fo,
+}
+
+impl fmt::Display for QueryLanguage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryLanguage::Cq => write!(f, "CQ"),
+            QueryLanguage::Ucq => write!(f, "UCQ"),
+            QueryLanguage::PosFo => write!(f, "∃FO+"),
+            QueryLanguage::Fo => write!(f, "FO"),
+        }
+    }
+}
+
+impl QueryLanguage {
+    /// True if `self` is a (syntactic) sub-language of `other`.
+    pub fn is_sublanguage_of(self, other: QueryLanguage) -> bool {
+        self <= other
+    }
+}
+
+/// A first-order formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Fo {
+    /// A relation (or view) atom.
+    Atom(Atom),
+    /// An equality atom `t1 = t2`.
+    Eq(Term, Term),
+    /// Conjunction.
+    And(Box<Fo>, Box<Fo>),
+    /// Disjunction.
+    Or(Box<Fo>, Box<Fo>),
+    /// Negation.
+    Not(Box<Fo>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<String>, Box<Fo>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<String>, Box<Fo>),
+}
+
+impl Fo {
+    /// Conjunction helper.
+    pub fn and(a: Fo, b: Fo) -> Fo {
+        Fo::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction helper.
+    pub fn or(a: Fo, b: Fo) -> Fo {
+        Fo::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Negation helper.
+    pub fn not(a: Fo) -> Fo {
+        Fo::Not(Box::new(a))
+    }
+
+    /// Existential quantification helper (no-op on an empty variable block).
+    pub fn exists(vars: Vec<String>, a: Fo) -> Fo {
+        if vars.is_empty() {
+            a
+        } else {
+            Fo::Exists(vars, Box::new(a))
+        }
+    }
+
+    /// Universal quantification helper (no-op on an empty variable block).
+    pub fn forall(vars: Vec<String>, a: Fo) -> Fo {
+        if vars.is_empty() {
+            a
+        } else {
+            Fo::Forall(vars, Box::new(a))
+        }
+    }
+
+    /// Conjunction of a list of formulas; `true` is represented by an empty
+    /// conjunction, which we encode as the always-true equality `0 = 0`.
+    pub fn conjunction(mut formulas: Vec<Fo>) -> Fo {
+        match formulas.len() {
+            0 => Fo::Eq(Term::cnst(0), Term::cnst(0)),
+            1 => formulas.pop().expect("len checked"),
+            _ => {
+                let mut iter = formulas.into_iter();
+                let first = iter.next().expect("len checked");
+                iter.fold(first, Fo::and)
+            }
+        }
+    }
+
+    /// Disjunction of a non-empty list of formulas.
+    pub fn disjunction(mut formulas: Vec<Fo>) -> Result<Fo> {
+        match formulas.len() {
+            0 => Err(QueryError::UnsupportedFragment("empty disjunction".to_string())),
+            1 => Ok(formulas.pop().expect("len checked")),
+            _ => {
+                let mut iter = formulas.into_iter();
+                let first = iter.next().expect("len checked");
+                Ok(iter.fold(first, Fo::or))
+            }
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        match self {
+            Fo::Atom(a) => a.variables(),
+            Fo::Eq(t1, t2) => [t1, t2]
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_string))
+                .collect(),
+            Fo::And(a, b) | Fo::Or(a, b) => {
+                let mut s = a.free_variables();
+                s.extend(b.free_variables());
+                s
+            }
+            Fo::Not(a) => a.free_variables(),
+            Fo::Exists(vars, a) | Fo::Forall(vars, a) => {
+                let mut s = a.free_variables();
+                for v in vars {
+                    s.remove(v);
+                }
+                s
+            }
+        }
+    }
+
+    /// All variables (free or bound) occurring in the formula.
+    pub fn all_variables(&self) -> BTreeSet<String> {
+        match self {
+            Fo::Atom(a) => a.variables(),
+            Fo::Eq(t1, t2) => [t1, t2]
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_string))
+                .collect(),
+            Fo::And(a, b) | Fo::Or(a, b) => {
+                let mut s = a.all_variables();
+                s.extend(b.all_variables());
+                s
+            }
+            Fo::Not(a) => a.all_variables(),
+            Fo::Exists(vars, a) | Fo::Forall(vars, a) => {
+                let mut s = a.all_variables();
+                s.extend(vars.iter().cloned());
+                s
+            }
+        }
+    }
+
+    /// Relation / view names mentioned in the formula.
+    pub fn relation_names(&self) -> BTreeSet<String> {
+        match self {
+            Fo::Atom(a) => [a.relation().to_string()].into_iter().collect(),
+            Fo::Eq(_, _) => BTreeSet::new(),
+            Fo::And(a, b) | Fo::Or(a, b) => {
+                let mut s = a.relation_names();
+                s.extend(b.relation_names());
+                s
+            }
+            Fo::Not(a) => a.relation_names(),
+            Fo::Exists(_, a) | Fo::Forall(_, a) => a.relation_names(),
+        }
+    }
+
+    /// Constants mentioned in the formula.
+    pub fn constants(&self) -> BTreeSet<Value> {
+        match self {
+            Fo::Atom(a) => a
+                .args()
+                .iter()
+                .filter_map(|t| t.as_const().cloned())
+                .collect(),
+            Fo::Eq(t1, t2) => [t1, t2]
+                .iter()
+                .filter_map(|t| t.as_const().cloned())
+                .collect(),
+            Fo::And(a, b) | Fo::Or(a, b) => {
+                let mut s = a.constants();
+                s.extend(b.constants());
+                s
+            }
+            Fo::Not(a) => a.constants(),
+            Fo::Exists(_, a) | Fo::Forall(_, a) => a.constants(),
+        }
+    }
+
+    /// The number of connectives, quantifier blocks and atoms — the size
+    /// measure `|Q|` used by the complexity statements.
+    pub fn size(&self) -> usize {
+        match self {
+            Fo::Atom(_) | Fo::Eq(_, _) => 1,
+            Fo::And(a, b) | Fo::Or(a, b) => 1 + a.size() + b.size(),
+            Fo::Not(a) => 1 + a.size(),
+            Fo::Exists(_, a) | Fo::Forall(_, a) => 1 + a.size(),
+        }
+    }
+
+    /// True if the formula contains neither negation nor universal
+    /// quantification (i.e. belongs to `∃FO+`).
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Fo::Atom(_) | Fo::Eq(_, _) => true,
+            Fo::And(a, b) | Fo::Or(a, b) => a.is_positive() && b.is_positive(),
+            Fo::Not(_) | Fo::Forall(_, _) => false,
+            Fo::Exists(_, a) => a.is_positive(),
+        }
+    }
+
+    /// True if the formula additionally contains no disjunction (i.e. is a
+    /// conjunctive query body).
+    pub fn is_conjunctive(&self) -> bool {
+        match self {
+            Fo::Atom(_) | Fo::Eq(_, _) => true,
+            Fo::And(a, b) => a.is_conjunctive() && b.is_conjunctive(),
+            Fo::Or(_, _) | Fo::Not(_) | Fo::Forall(_, _) => false,
+            Fo::Exists(_, a) => a.is_conjunctive(),
+        }
+    }
+
+    /// True if the formula is a disjunction of conjunctive formulas (the UCQ
+    /// shape: `∪` at the top level only).
+    pub fn is_union_of_conjunctive(&self) -> bool {
+        match self {
+            Fo::Or(a, b) => a.is_union_of_conjunctive() && b.is_union_of_conjunctive(),
+            other => other.is_conjunctive(),
+        }
+    }
+
+    /// The smallest of the paper's languages this formula syntactically
+    /// belongs to.
+    pub fn language(&self) -> QueryLanguage {
+        if self.is_conjunctive() {
+            QueryLanguage::Cq
+        } else if self.is_union_of_conjunctive() {
+            QueryLanguage::Ucq
+        } else if self.is_positive() {
+            QueryLanguage::PosFo
+        } else {
+            QueryLanguage::Fo
+        }
+    }
+
+    /// Substitute free occurrences of variables according to `map`.
+    ///
+    /// The substitution is *not* capture-avoiding; callers must first rename
+    /// bound variables apart (see [`Fo::rename_bound`]) when the replacement
+    /// terms could clash with bound variables.
+    pub fn substitute(&self, map: &BTreeMap<String, Term>) -> Fo {
+        match self {
+            Fo::Atom(a) => Fo::Atom(a.substitute(map)),
+            Fo::Eq(t1, t2) => {
+                let sub = |t: &Term| match t {
+                    Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+                    Term::Const(_) => t.clone(),
+                };
+                Fo::Eq(sub(t1), sub(t2))
+            }
+            Fo::And(a, b) => Fo::and(a.substitute(map), b.substitute(map)),
+            Fo::Or(a, b) => Fo::or(a.substitute(map), b.substitute(map)),
+            Fo::Not(a) => Fo::not(a.substitute(map)),
+            Fo::Exists(vars, a) => {
+                let mut inner = map.clone();
+                for v in vars {
+                    inner.remove(v);
+                }
+                Fo::Exists(vars.clone(), Box::new(a.substitute(&inner)))
+            }
+            Fo::Forall(vars, a) => {
+                let mut inner = map.clone();
+                for v in vars {
+                    inner.remove(v);
+                }
+                Fo::Forall(vars.clone(), Box::new(a.substitute(&inner)))
+            }
+        }
+    }
+
+    /// Rename every bound variable to a fresh name (`__b0`, `__b1`, ...),
+    /// making all quantifier blocks pairwise disjoint and disjoint from free
+    /// variables.  Required before the UCQ expansion.
+    pub fn rename_bound(&self) -> Fo {
+        fn go(f: &Fo, counter: &mut usize, map: &BTreeMap<String, Term>) -> Fo {
+            match f {
+                Fo::Atom(a) => Fo::Atom(a.substitute(map)),
+                Fo::Eq(t1, t2) => {
+                    let sub = |t: &Term| match t {
+                        Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+                        Term::Const(_) => t.clone(),
+                    };
+                    Fo::Eq(sub(t1), sub(t2))
+                }
+                Fo::And(a, b) => Fo::and(go(a, counter, map), go(b, counter, map)),
+                Fo::Or(a, b) => Fo::or(go(a, counter, map), go(b, counter, map)),
+                Fo::Not(a) => Fo::not(go(a, counter, map)),
+                Fo::Exists(vars, a) | Fo::Forall(vars, a) => {
+                    let mut inner = map.clone();
+                    let mut fresh = Vec::with_capacity(vars.len());
+                    for v in vars {
+                        let name = format!("__b{}", *counter);
+                        *counter += 1;
+                        inner.insert(v.clone(), Term::var(name.clone()));
+                        fresh.push(name);
+                    }
+                    let body = go(a, counter, &inner);
+                    match f {
+                        Fo::Exists(_, _) => Fo::Exists(fresh, Box::new(body)),
+                        _ => Fo::Forall(fresh, Box::new(body)),
+                    }
+                }
+            }
+        }
+        let mut counter = 0usize;
+        go(self, &mut counter, &BTreeMap::new())
+    }
+}
+
+impl fmt::Display for Fo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fo::Atom(a) => write!(f, "{a}"),
+            Fo::Eq(t1, t2) => write!(f, "{t1} = {t2}"),
+            Fo::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Fo::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Fo::Not(a) => write!(f, "¬{a}"),
+            Fo::Exists(vars, a) => write!(f, "∃{} {a}", vars.join(",")),
+            Fo::Forall(vars, a) => write!(f, "∀{} {a}", vars.join(",")),
+        }
+    }
+}
+
+/// A first-order query `Q(x̄) = φ`: an output head over a formula body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoQuery {
+    head: Vec<Term>,
+    body: Fo,
+}
+
+impl FoQuery {
+    /// Create an FO query; every head variable must occur free in the body.
+    pub fn new(head: Vec<Term>, body: Fo) -> Result<Self> {
+        let free = body.free_variables();
+        for t in &head {
+            if let Term::Var(v) = t {
+                if !free.contains(v) {
+                    return Err(QueryError::UnsafeHeadVariable(v.clone()));
+                }
+            }
+        }
+        Ok(FoQuery { head, body })
+    }
+
+    /// A Boolean FO query.
+    pub fn boolean(body: Fo) -> Self {
+        FoQuery { head: Vec::new(), body }
+    }
+
+    /// Head terms.
+    pub fn head(&self) -> &[Term] {
+        &self.head
+    }
+
+    /// Body formula.
+    pub fn body(&self) -> &Fo {
+        &self.body
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Query size `|Q|`.
+    pub fn size(&self) -> usize {
+        self.body.size() + self.head.len()
+    }
+
+    /// Language classification of the body.
+    pub fn language(&self) -> QueryLanguage {
+        self.body.language()
+    }
+
+    /// Build an FO query from a conjunctive query.
+    pub fn from_cq(cq: &ConjunctiveQuery) -> FoQuery {
+        let body = Fo::exists(
+            cq.existential_variables().into_iter().collect(),
+            Fo::conjunction(cq.atoms().iter().cloned().map(Fo::Atom).collect()),
+        );
+        FoQuery {
+            head: cq.head().to_vec(),
+            body,
+        }
+    }
+
+    /// Build an FO query from a union of conjunctive queries.
+    pub fn from_ucq(ucq: &UnionQuery) -> Result<FoQuery> {
+        // All disjuncts must expose the same head; rename each disjunct's head
+        // to a common vector of fresh variables `u0.. u{k-1}` by adding
+        // equalities where the head term is a constant or repeated variable.
+        let arity = ucq.arity();
+        let head_vars: Vec<String> = (0..arity).map(|i| format!("__u{i}")).collect();
+        let mut bodies = Vec::new();
+        for d in ucq.disjuncts() {
+            let d = d.rename_apart("__d");
+            let mut eqs = Vec::new();
+            for (i, t) in d.head().iter().enumerate() {
+                eqs.push(Fo::Eq(Term::var(head_vars[i].clone()), t.clone()));
+            }
+            let mut parts: Vec<Fo> = d.atoms().iter().cloned().map(Fo::Atom).collect();
+            parts.extend(eqs);
+            let existential: Vec<String> = d.variables().into_iter().collect();
+            bodies.push(Fo::exists(existential, Fo::conjunction(parts)));
+        }
+        let body = Fo::disjunction(bodies)?;
+        FoQuery::new(head_vars.into_iter().map(Term::var).collect(), body)
+    }
+
+    /// Convert to a conjunctive query, if the body is conjunctive.
+    pub fn to_cq(&self) -> Result<ConjunctiveQuery> {
+        if !self.body.is_conjunctive() {
+            return Err(QueryError::UnsupportedFragment(
+                "query body is not conjunctive".to_string(),
+            ));
+        }
+        let renamed = self.body.rename_bound();
+        let mut atoms = Vec::new();
+        let mut eqs = Vec::new();
+        collect_conjuncts(&renamed, &mut atoms, &mut eqs)?;
+        resolve_equalities(self.head.clone(), atoms, eqs)?.ok_or_else(|| {
+            QueryError::UnsupportedFragment(
+                "query equates two distinct constants and is trivially empty".to_string(),
+            )
+        })
+    }
+
+    /// Expand into a union of conjunctive queries (possible exactly for the
+    /// `∃FO+` fragment; may be exponentially larger, hence the budget).
+    ///
+    /// Disjuncts that equate two distinct constants are dropped (they are
+    /// unsatisfiable); if *all* disjuncts are dropped the query is
+    /// unsatisfiable and `Ok(None)` is returned.
+    pub fn to_ucq(&self, budget: &Budget) -> Result<Option<UnionQuery>> {
+        if !self.body.is_positive() {
+            return Err(QueryError::UnsupportedFragment(
+                "only ∃FO+ queries can be expanded into a UCQ".to_string(),
+            ));
+        }
+        let renamed = self.body.rename_bound();
+        let bundles = expand_positive(&renamed, budget)?;
+        let mut disjuncts = Vec::new();
+        for (atoms, eqs) in bundles {
+            if let Some(cq) = resolve_equalities(self.head.clone(), atoms, eqs)? {
+                disjuncts.push(cq);
+            }
+        }
+        if disjuncts.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(UnionQuery::new(disjuncts)?))
+    }
+}
+
+impl fmt::Display for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") = {}", self.body)
+    }
+}
+
+/// Collect the atoms and equalities of a conjunctive formula.
+fn collect_conjuncts(f: &Fo, atoms: &mut Vec<Atom>, eqs: &mut Vec<(Term, Term)>) -> Result<()> {
+    match f {
+        Fo::Atom(a) => {
+            atoms.push(a.clone());
+            Ok(())
+        }
+        Fo::Eq(t1, t2) => {
+            eqs.push((t1.clone(), t2.clone()));
+            Ok(())
+        }
+        Fo::And(a, b) => {
+            collect_conjuncts(a, atoms, eqs)?;
+            collect_conjuncts(b, atoms, eqs)
+        }
+        Fo::Exists(_, a) => collect_conjuncts(a, atoms, eqs),
+        other => Err(QueryError::UnsupportedFragment(format!(
+            "non-conjunctive construct in conjunctive context: {other}"
+        ))),
+    }
+}
+
+/// Expand a positive formula into `(atoms, equalities)` bundles, one per
+/// disjunct of the equivalent UCQ.
+fn expand_positive(f: &Fo, budget: &Budget) -> Result<Vec<(Vec<Atom>, Vec<(Term, Term)>)>> {
+    let out = match f {
+        Fo::Atom(a) => vec![(vec![a.clone()], Vec::new())],
+        Fo::Eq(t1, t2) => vec![(Vec::new(), vec![(t1.clone(), t2.clone())])],
+        Fo::And(a, b) => {
+            let left = expand_positive(a, budget)?;
+            let right = expand_positive(b, budget)?;
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for (la, le) in &left {
+                for (ra, re) in &right {
+                    let mut atoms = la.clone();
+                    atoms.extend(ra.iter().cloned());
+                    let mut eqs = le.clone();
+                    eqs.extend(re.iter().cloned());
+                    out.push((atoms, eqs));
+                    Budget::check(out.len(), budget.max_disjuncts, "expanding ∃FO+ into UCQ")?;
+                }
+            }
+            out
+        }
+        Fo::Or(a, b) => {
+            let mut out = expand_positive(a, budget)?;
+            out.extend(expand_positive(b, budget)?);
+            Budget::check(out.len(), budget.max_disjuncts, "expanding ∃FO+ into UCQ")?;
+            out
+        }
+        Fo::Exists(_, a) => expand_positive(a, budget)?,
+        Fo::Not(_) | Fo::Forall(_, _) => {
+            return Err(QueryError::UnsupportedFragment(
+                "negation / universal quantification in positive expansion".to_string(),
+            ))
+        }
+    };
+    Ok(out)
+}
+
+/// Resolve equality atoms by substitution, producing a [`ConjunctiveQuery`].
+///
+/// Returns `Ok(None)` when the equalities force two distinct constants to be
+/// equal (the disjunct is unsatisfiable).
+pub(crate) fn resolve_equalities(
+    head: Vec<Term>,
+    atoms: Vec<Atom>,
+    eqs: Vec<(Term, Term)>,
+) -> Result<Option<ConjunctiveQuery>> {
+    // Union-find over variable names; each class optionally carries a constant.
+    let mut parent: BTreeMap<String, String> = BTreeMap::new();
+    let mut constant: BTreeMap<String, Value> = BTreeMap::new();
+
+    fn find(parent: &mut BTreeMap<String, String>, v: &str) -> String {
+        let p = parent.get(v).cloned();
+        match p {
+            None => {
+                parent.insert(v.to_string(), v.to_string());
+                v.to_string()
+            }
+            Some(p) if p == v => p,
+            Some(p) => {
+                let root = find(parent, &p);
+                parent.insert(v.to_string(), root.clone());
+                root
+            }
+        }
+    }
+
+    let mut ok = true;
+    for (t1, t2) in &eqs {
+        match (t1, t2) {
+            (Term::Const(c1), Term::Const(c2)) => {
+                if c1 != c2 {
+                    ok = false;
+                }
+            }
+            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                let root = find(&mut parent, v);
+                match constant.get(&root) {
+                    Some(existing) if existing != c => ok = false,
+                    _ => {
+                        constant.insert(root, c.clone());
+                    }
+                }
+            }
+            (Term::Var(v1), Term::Var(v2)) => {
+                let r1 = find(&mut parent, v1);
+                let r2 = find(&mut parent, v2);
+                if r1 != r2 {
+                    // Merge r2 into r1, reconciling constants.
+                    match (constant.get(&r1).cloned(), constant.get(&r2).cloned()) {
+                        (Some(c1), Some(c2)) if c1 != c2 => ok = false,
+                        (None, Some(c2)) => {
+                            constant.insert(r1.clone(), c2);
+                        }
+                        _ => {}
+                    }
+                    parent.insert(r2, r1);
+                }
+            }
+        }
+    }
+    if !ok {
+        return Ok(None);
+    }
+
+    // Build the substitution: each variable maps to its class constant if one
+    // exists, otherwise to the class representative variable.
+    let vars: Vec<String> = parent.keys().cloned().collect();
+    let mut map: BTreeMap<String, Term> = BTreeMap::new();
+    for v in vars {
+        let root = find(&mut parent, &v);
+        let target = match constant.get(&root) {
+            Some(c) => Term::Const(c.clone()),
+            None => Term::Var(root.clone()),
+        };
+        map.insert(v, target);
+    }
+
+    let new_atoms: Vec<Atom> = atoms.iter().map(|a| a.substitute(&map)).collect();
+    let new_head: Vec<Term> = head
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            Term::Const(_) => t.clone(),
+        })
+        .collect();
+    Ok(Some(ConjunctiveQuery::new(new_head, new_atoms)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, vars: &[&str]) -> Fo {
+        Fo::Atom(Atom::new(rel, vars.iter().map(|v| Term::var(*v)).collect()))
+    }
+
+    #[test]
+    fn language_classification() {
+        let cq_body = Fo::exists(
+            vec!["y".into()],
+            Fo::and(atom("r", &["x", "y"]), atom("s", &["y"])),
+        );
+        assert_eq!(cq_body.language(), QueryLanguage::Cq);
+
+        let ucq_body = Fo::or(cq_body.clone(), atom("t", &["x"]));
+        assert_eq!(ucq_body.language(), QueryLanguage::Ucq);
+
+        // ∨ nested below ∧ is ∃FO+ but not (syntactically) UCQ.
+        let pos_body = Fo::and(Fo::or(atom("r", &["x", "y"]), atom("s", &["x"])), atom("t", &["x"]));
+        assert_eq!(pos_body.language(), QueryLanguage::PosFo);
+
+        let fo_body = Fo::and(atom("r", &["x", "y"]), Fo::not(atom("s", &["x"])));
+        assert_eq!(fo_body.language(), QueryLanguage::Fo);
+        let forall_body = Fo::forall(vec!["x".into()], atom("r", &["x", "y"]));
+        assert_eq!(forall_body.language(), QueryLanguage::Fo);
+
+        assert!(QueryLanguage::Cq.is_sublanguage_of(QueryLanguage::Fo));
+        assert!(QueryLanguage::Ucq.is_sublanguage_of(QueryLanguage::PosFo));
+        assert!(!QueryLanguage::Fo.is_sublanguage_of(QueryLanguage::Cq));
+        assert_eq!(QueryLanguage::PosFo.to_string(), "∃FO+");
+    }
+
+    #[test]
+    fn free_and_bound_variables() {
+        let f = Fo::exists(
+            vec!["y".into()],
+            Fo::and(atom("r", &["x", "y"]), Fo::not(atom("s", &["z"]))),
+        );
+        let free = f.free_variables();
+        assert!(free.contains("x"));
+        assert!(free.contains("z"));
+        assert!(!free.contains("y"));
+        assert!(f.all_variables().contains("y"));
+        assert_eq!(f.relation_names().len(), 2);
+        assert!(f.size() >= 4);
+    }
+
+    #[test]
+    fn head_safety() {
+        let body = atom("r", &["x"]);
+        assert!(FoQuery::new(vec![Term::var("x")], body.clone()).is_ok());
+        assert!(matches!(
+            FoQuery::new(vec![Term::var("w")], body.clone()),
+            Err(QueryError::UnsafeHeadVariable(_))
+        ));
+        // A variable bound by ∃ is not free and hence not allowed in the head.
+        let quantified = Fo::exists(vec!["x".into()], body);
+        assert!(FoQuery::new(vec![Term::var("x")], quantified).is_err());
+    }
+
+    #[test]
+    fn cq_round_trip() {
+        let cq = crate::testutil::q0();
+        let fo = FoQuery::from_cq(&cq);
+        assert_eq!(fo.language(), QueryLanguage::Cq);
+        assert_eq!(fo.arity(), 1);
+        let back = fo.to_cq().unwrap();
+        assert_eq!(back.canonical_form().atoms().len(), cq.atoms().len());
+        assert_eq!(back.arity(), cq.arity());
+        assert_eq!(back.relation_names(), cq.relation_names());
+    }
+
+    #[test]
+    fn to_cq_rejects_disjunction() {
+        let q = FoQuery::boolean(Fo::or(atom("r", &["x"]), atom("s", &["x"])));
+        assert!(q.to_cq().is_err());
+    }
+
+    #[test]
+    fn equality_resolution_makes_constants() {
+        // Q(x) = ∃y (r(x, y) ∧ y = 3 ∧ x = y)  ≡  Q(3) :- r(3, 3)
+        let body = Fo::exists(
+            vec!["y".into()],
+            Fo::conjunction(vec![
+                atom("r", &["x", "y"]),
+                Fo::Eq(Term::var("y"), Term::cnst(3)),
+                Fo::Eq(Term::var("x"), Term::var("y")),
+            ]),
+        );
+        let q = FoQuery::new(vec![Term::var("x")], body).unwrap();
+        let cq = q.to_cq().unwrap();
+        assert_eq!(cq.head()[0], Term::cnst(3));
+        assert_eq!(cq.atoms()[0].args(), &[Term::cnst(3), Term::cnst(3)]);
+    }
+
+    #[test]
+    fn contradictory_equalities_detected() {
+        let body = Fo::conjunction(vec![
+            atom("r", &["x"]),
+            Fo::Eq(Term::var("x"), Term::cnst(1)),
+            Fo::Eq(Term::var("x"), Term::cnst(2)),
+        ]);
+        let q = FoQuery::new(vec![Term::var("x")], body).unwrap();
+        assert!(q.to_cq().is_err());
+        // Via the UCQ expansion the unsatisfiable disjunct is silently dropped.
+        assert!(q.to_ucq(&Budget::generous()).unwrap().is_none());
+    }
+
+    #[test]
+    fn ucq_expansion_distributes() {
+        // Q(x) = ∃y ((r(x,y) ∨ s(x,y)) ∧ t(y))  has exactly two disjuncts.
+        let body = Fo::exists(
+            vec!["y".into()],
+            Fo::and(
+                Fo::or(atom("r", &["x", "y"]), atom("s", &["x", "y"])),
+                atom("t", &["y"]),
+            ),
+        );
+        let q = FoQuery::new(vec![Term::var("x")], body).unwrap();
+        let ucq = q.to_ucq(&Budget::generous()).unwrap().unwrap();
+        assert_eq!(ucq.len(), 2);
+        for d in ucq.disjuncts() {
+            assert_eq!(d.atoms().len(), 2);
+            assert_eq!(d.arity(), 1);
+        }
+        let names = ucq.relation_names();
+        assert!(names.contains("r") && names.contains("s") && names.contains("t"));
+    }
+
+    #[test]
+    fn ucq_expansion_respects_budget() {
+        // (a ∨ b) ∧ (a ∨ b) ∧ (a ∨ b) has 8 disjuncts; a tiny budget refuses.
+        let disj = Fo::or(atom("a", &["x"]), atom("b", &["x"]));
+        let body = Fo::and(Fo::and(disj.clone(), disj.clone()), disj);
+        let q = FoQuery::new(vec![Term::var("x")], body).unwrap();
+        assert!(matches!(
+            q.to_ucq(&Budget::tiny()),
+            Err(QueryError::BudgetExceeded(_))
+        ));
+        assert_eq!(q.to_ucq(&Budget::generous()).unwrap().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn to_ucq_rejects_negation() {
+        let q = FoQuery::boolean(Fo::not(atom("r", &["x"])));
+        assert!(q.to_ucq(&Budget::generous()).is_err());
+    }
+
+    #[test]
+    fn from_ucq_and_language() {
+        let cq1 = ConjunctiveQuery::new(
+            vec![Term::var("x")],
+            vec![Atom::new("r", vec![Term::var("x"), Term::var("y")])],
+        )
+        .unwrap();
+        let cq2 = ConjunctiveQuery::new(
+            vec![Term::cnst(1)],
+            vec![Atom::new("s", vec![Term::var("z")])],
+        )
+        .unwrap();
+        let ucq = UnionQuery::new(vec![cq1, cq2]).unwrap();
+        let fo = FoQuery::from_ucq(&ucq).unwrap();
+        assert_eq!(fo.arity(), 1);
+        assert!(fo.body().is_positive());
+        // Round-trip back through the expansion: still two satisfiable disjuncts.
+        let back = fo.to_ucq(&Budget::generous()).unwrap().unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn rename_bound_makes_blocks_disjoint() {
+        let f = Fo::and(
+            Fo::exists(vec!["x".into()], atom("r", &["x"])),
+            Fo::exists(vec!["x".into()], atom("s", &["x"])),
+        );
+        let renamed = f.rename_bound();
+        // After renaming, the two quantifier blocks bind different variables.
+        if let Fo::And(a, b) = &renamed {
+            let (Fo::Exists(va, _), Fo::Exists(vb, _)) = (a.as_ref(), b.as_ref()) else {
+                panic!("structure preserved")
+            };
+            assert_ne!(va, vb);
+        } else {
+            panic!("structure preserved");
+        }
+        assert_eq!(renamed.free_variables(), f.free_variables());
+    }
+
+    #[test]
+    fn display_renders_connectives() {
+        let f = Fo::exists(
+            vec!["y".into()],
+            Fo::and(atom("r", &["x", "y"]), Fo::not(Fo::Eq(Term::var("x"), Term::cnst(1)))),
+        );
+        let q = FoQuery::new(vec![Term::var("x")], f).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("∃y"));
+        assert!(s.contains("∧"));
+        assert!(s.contains("¬"));
+    }
+
+    #[test]
+    fn conjunction_and_disjunction_helpers() {
+        assert_eq!(Fo::conjunction(vec![]), Fo::Eq(Term::cnst(0), Term::cnst(0)));
+        let single = Fo::conjunction(vec![atom("r", &["x"])]);
+        assert_eq!(single, atom("r", &["x"]));
+        assert!(Fo::disjunction(vec![]).is_err());
+        assert_eq!(Fo::disjunction(vec![atom("r", &["x"])]).unwrap(), atom("r", &["x"]));
+        assert_eq!(Fo::exists(vec![], atom("r", &["x"])), atom("r", &["x"]));
+        assert_eq!(Fo::forall(vec![], atom("r", &["x"])), atom("r", &["x"]));
+    }
+}

@@ -1,0 +1,364 @@
+//! Homomorphism search: matching the atoms of a conjunctive query against a
+//! collection of relations.
+//!
+//! This is the single engine behind CQ evaluation (enumerate all matches and
+//! project the head), the Chandra–Merlin containment test (match into a
+//! canonical instance) and the `A`-equivalence procedures.  The search is a
+//! backtracking join: atoms are ordered greedily so that each atom shares as
+//! many already-bound variables as possible with its predecessors, and for
+//! every atom a hash index keyed on its bound positions is built once and
+//! probed per candidate binding — i.e. an index-nested-loop join with
+//! on-the-fly hash indices.
+
+use crate::atom::{Atom, Term};
+use crate::error::QueryError;
+use crate::Result;
+use bqr_data::{Relation, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A (partial) assignment of values to variable names.
+pub type Assignment = BTreeMap<String, Value>;
+
+/// How many results the caller wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchLimit {
+    /// Stop after the first match (containment / satisfiability checks).
+    First,
+    /// Enumerate all matches, failing if more than the given number exist.
+    AtMost(usize),
+}
+
+/// Enumerate homomorphisms from `atoms` into the relations provided by
+/// `relations` (one entry per distinct relation name used by the atoms),
+/// starting from an initial partial assignment.
+///
+/// Returns the list of total assignments restricted to the variables of the
+/// atoms (plus whatever the initial assignment already bound).
+pub fn enumerate_homomorphisms(
+    atoms: &[Atom],
+    relations: &BTreeMap<String, &Relation>,
+    initial: &Assignment,
+    limit: MatchLimit,
+) -> Result<Vec<Assignment>> {
+    for atom in atoms {
+        let rel = relations
+            .get(atom.relation())
+            .ok_or_else(|| QueryError::UnknownRelation(atom.relation().to_string()))?;
+        if rel.schema().arity() != atom.arity() {
+            return Err(QueryError::AtomArity {
+                relation: atom.relation().to_string(),
+                expected: rel.schema().arity(),
+                actual: atom.arity(),
+            });
+        }
+    }
+
+    let order = order_atoms(atoms, initial);
+    let mut results = Vec::new();
+    let mut assignment = initial.clone();
+    let mut indices: Vec<AtomIndex<'_>> = Vec::with_capacity(order.len());
+
+    // Pre-compute, for each atom in join order, which of its positions are
+    // bound by the time it is processed (either initially bound variables,
+    // constants, repeated variables within the atom, or variables bound by
+    // earlier atoms), then build a hash index on those positions.
+    let mut bound: BTreeSet<String> = initial.keys().cloned().collect();
+    for &atom_idx in &order {
+        let atom = &atoms[atom_idx];
+        let rel = relations[atom.relation()];
+        let index = AtomIndex::build(atom, rel, &bound);
+        for v in atom.variables() {
+            bound.insert(v);
+        }
+        indices.push(index);
+    }
+
+    search(&order, atoms, &indices, 0, &mut assignment, &mut results, limit)?;
+    Ok(results)
+}
+
+/// Convenience wrapper: is there at least one homomorphism?
+pub fn has_homomorphism(
+    atoms: &[Atom],
+    relations: &BTreeMap<String, &Relation>,
+    initial: &Assignment,
+) -> Result<bool> {
+    Ok(!enumerate_homomorphisms(atoms, relations, initial, MatchLimit::First)?.is_empty())
+}
+
+/// Greedy join order: repeatedly pick the atom with the most bound positions
+/// (constants, already-selected variables, initially bound variables), using
+/// the smaller relation arity as a tie-break proxy.
+fn order_atoms(atoms: &[Atom], initial: &Assignment) -> Vec<usize> {
+    let mut remaining: BTreeSet<usize> = (0..atoms.len()).collect();
+    let mut bound: BTreeSet<String> = initial.keys().cloned().collect();
+    let mut order = Vec::with_capacity(atoms.len());
+    while !remaining.is_empty() {
+        let best = *remaining
+            .iter()
+            .max_by_key(|&&i| {
+                let atom = &atoms[i];
+                let bound_positions = atom
+                    .args()
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v),
+                    })
+                    .count();
+                // Prefer more bound positions, then fewer free variables.
+                (bound_positions * 100).saturating_sub(atom.variables().len())
+            })
+            .expect("remaining is non-empty");
+        remaining.remove(&best);
+        for v in atoms[best].variables() {
+            bound.insert(v);
+        }
+        order.push(best);
+    }
+    order
+}
+
+/// A hash index over one atom's relation, keyed on the positions that are
+/// bound when the atom is reached in the join order.
+struct AtomIndex<'a> {
+    /// Positions of the atom that are bound at probe time.
+    key_positions: Vec<usize>,
+    /// Hash index from key values to tuples.
+    map: HashMap<Vec<Value>, Vec<&'a Tuple>>,
+}
+
+impl<'a> AtomIndex<'a> {
+    fn build(atom: &Atom, relation: &'a Relation, bound: &BTreeSet<String>) -> Self {
+        let key_positions: Vec<usize> = atom
+            .args()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(v),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut map: HashMap<Vec<Value>, Vec<&'a Tuple>> = HashMap::new();
+        for tuple in relation.iter() {
+            let key: Vec<Value> = key_positions.iter().map(|&p| tuple[p].clone()).collect();
+            map.entry(key).or_default().push(tuple);
+        }
+        AtomIndex { key_positions, map }
+    }
+
+    fn probe(&self, key: &[Value]) -> &[&'a Tuple] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    order: &[usize],
+    atoms: &[Atom],
+    indices: &[AtomIndex<'_>],
+    depth: usize,
+    assignment: &mut Assignment,
+    results: &mut Vec<Assignment>,
+    limit: MatchLimit,
+) -> Result<()> {
+    if depth == order.len() {
+        results.push(assignment.clone());
+        if let MatchLimit::AtMost(max) = limit {
+            if results.len() > max {
+                return Err(QueryError::BudgetExceeded("enumerating homomorphisms"));
+            }
+        }
+        return Ok(());
+    }
+    let atom = &atoms[order[depth]];
+    let index = &indices[depth];
+
+    // Build the probe key from the current assignment.
+    let key: Vec<Value> = index
+        .key_positions
+        .iter()
+        .map(|&p| match &atom.args()[p] {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => assignment
+                .get(v)
+                .cloned()
+                .expect("key positions only contain bound variables"),
+        })
+        .collect();
+
+    'candidates: for tuple in index.probe(&key) {
+        // Try to extend the assignment with this tuple.
+        let mut newly_bound: Vec<String> = Vec::new();
+        for (pos, term) in atom.args().iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if &tuple[pos] != c {
+                        undo(assignment, &newly_bound);
+                        continue 'candidates;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(existing) => {
+                        if existing != &tuple[pos] {
+                            undo(assignment, &newly_bound);
+                            continue 'candidates;
+                        }
+                    }
+                    None => {
+                        assignment.insert(v.clone(), tuple[pos].clone());
+                        newly_bound.push(v.clone());
+                    }
+                },
+            }
+        }
+        search(order, atoms, indices, depth + 1, assignment, results, limit)?;
+        undo(assignment, &newly_bound);
+        if matches!(limit, MatchLimit::First) && !results.is_empty() {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn undo(assignment: &mut Assignment, newly_bound: &[String]) {
+    for v in newly_bound {
+        assignment.remove(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{movie_instance, va};
+    use bqr_data::Value;
+
+    fn relations(db: &bqr_data::Database) -> BTreeMap<String, &Relation> {
+        db.relations().map(|r| (r.name().to_string(), r)).collect()
+    }
+
+    #[test]
+    fn single_atom_enumeration() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let atoms = vec![va("rating", &["m", "r"])];
+        let matches =
+            enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(100))
+                .unwrap();
+        assert_eq!(matches.len(), 3);
+        assert!(matches.iter().all(|m| m.contains_key("m") && m.contains_key("r")));
+    }
+
+    #[test]
+    fn constants_filter_candidates() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let atoms = vec![Atom::new(
+            "rating",
+            vec![Term::var("m"), Term::cnst(5)],
+        )];
+        let matches =
+            enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(100))
+                .unwrap();
+        assert_eq!(matches.len(), 2, "movies 10 and 12 have rating 5");
+    }
+
+    #[test]
+    fn join_across_atoms() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        // people from NASA together with the movies they like
+        let atoms = vec![
+            Atom::new("person", vec![Term::var("p"), Term::var("n"), Term::cnst("NASA")]),
+            Atom::new("like", vec![Term::var("p"), Term::var("m"), Term::cnst("movie")]),
+        ];
+        let matches =
+            enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(100))
+                .unwrap();
+        assert_eq!(matches.len(), 2);
+        let liked: BTreeSet<i64> = matches
+            .iter()
+            .map(|m| m["m"].as_int().unwrap())
+            .collect();
+        assert_eq!(liked, [10i64, 12].into_iter().collect());
+    }
+
+    #[test]
+    fn initial_assignment_restricts_matches() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let atoms = vec![va("rating", &["m", "r"])];
+        let mut initial = Assignment::new();
+        initial.insert("m".to_string(), Value::int(10));
+        let matches =
+            enumerate_homomorphisms(&atoms, &rels, &initial, MatchLimit::AtMost(100)).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0]["r"], Value::int(5));
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        // like(p, p, t): pid must equal the liked id — no such tuple exists.
+        let atoms = vec![va("like", &["p", "p", "t"])];
+        let matches =
+            enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(100))
+                .unwrap();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn first_limit_short_circuits() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let atoms = vec![va("rating", &["m", "r"])];
+        let matches =
+            enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::First).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert!(has_homomorphism(&atoms, &rels, &Assignment::new()).unwrap());
+    }
+
+    #[test]
+    fn at_most_limit_enforced() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let atoms = vec![va("rating", &["m", "r"])];
+        assert!(matches!(
+            enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(1)),
+            Err(QueryError::BudgetExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_and_arity_errors() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        assert!(enumerate_homomorphisms(
+            &[va("nope", &["x"])],
+            &rels,
+            &Assignment::new(),
+            MatchLimit::First
+        )
+        .is_err());
+        assert!(enumerate_homomorphisms(
+            &[va("rating", &["x"])],
+            &rels,
+            &Assignment::new(),
+            MatchLimit::First
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_atom_list_yields_trivial_match() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let matches =
+            enumerate_homomorphisms(&[], &rels, &Assignment::new(), MatchLimit::AtMost(10))
+                .unwrap();
+        assert_eq!(matches.len(), 1);
+        assert!(matches[0].is_empty());
+    }
+}

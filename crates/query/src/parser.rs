@@ -1,0 +1,332 @@
+//! A small datalog-style text syntax for conjunctive queries, used by
+//! examples, tests and the benchmark harness.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! rule      := head ":-" body
+//! head      := IDENT "(" terms? ")"
+//! body      := literal ("," literal)* | "true"
+//! literal   := IDENT "(" terms ")" | term "=" term
+//! term      := IDENT            (a variable)
+//!            | NUMBER           (an integer constant)
+//!            | 'text' | "text"  (a string constant)
+//!            | #t | #f          (a boolean constant)
+//! ```
+//!
+//! Example: `Q(mid) :- movie(mid, y, 'Universal', '2014'), rating(mid, 5)`.
+//! A UCQ is written as several rules separated by `;` or newlines; all rules
+//! must have the same head arity.
+
+use crate::atom::{Atom, Term};
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::fo::resolve_equalities;
+use crate::ucq::UnionQuery;
+use crate::Result;
+use bqr_data::Value;
+
+/// Parse a single conjunctive-query rule.
+pub fn parse_cq(input: &str) -> Result<ConjunctiveQuery> {
+    let mut p = Parser::new(input);
+    let cq = p.rule()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(cq)
+}
+
+/// Parse a union of conjunctive queries: one rule per line (or separated by
+/// `;`), all with the same head arity.
+pub fn parse_ucq(input: &str) -> Result<UnionQuery> {
+    let mut disjuncts = Vec::new();
+    for part in input.split(|c| c == ';' || c == '\n') {
+        let trimmed = part.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        disjuncts.push(parse_cq(trimmed)?);
+    }
+    UnionQuery::new(disjuncts)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, msg: &str) -> QueryError {
+        QueryError::Parse(format!("{msg} at byte {} of {:?}", self.pos, self.input))
+    }
+
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{token}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut len = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || c == '_'
+            };
+            if ok {
+                len = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if len == 0 {
+            return Err(self.error("expected an identifier"));
+        }
+        let name = rest[..len].to_string();
+        self.pos += len;
+        Ok(name)
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        let rest = self.rest();
+        let first = rest.chars().next().ok_or_else(|| self.error("expected a term"))?;
+        match first {
+            '\'' | '"' => {
+                let quote = first;
+                let inner = &rest[1..];
+                let end = inner
+                    .find(quote)
+                    .ok_or_else(|| self.error("unterminated string literal"))?;
+                let text = inner[..end].to_string();
+                self.pos += 1 + end + 1;
+                Ok(Term::cnst(text))
+            }
+            '#' => {
+                if rest.starts_with("#t") {
+                    self.pos += 2;
+                    Ok(Term::cnst(true))
+                } else if rest.starts_with("#f") {
+                    self.pos += 2;
+                    Ok(Term::cnst(false))
+                } else {
+                    Err(self.error("expected `#t` or `#f`"))
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut len = if c == '-' { 1 } else { 0 };
+                for (i, ch) in rest.char_indices().skip(len) {
+                    if ch.is_ascii_digit() {
+                        len = i + 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &rest[..len];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| self.error("invalid integer literal"))?;
+                self.pos += len;
+                Ok(Term::Const(Value::Int(value)))
+            }
+            _ => Ok(Term::Var(self.ident()?)),
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<Term>> {
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if self.rest().starts_with(')') {
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.term()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        Ok(terms)
+    }
+
+    fn rule(&mut self) -> Result<ConjunctiveQuery> {
+        // head
+        let _name = self.ident()?;
+        self.expect("(")?;
+        let head = self.term_list()?;
+        self.expect(")")?;
+        self.expect(":-")?;
+
+        // body
+        let mut atoms = Vec::new();
+        let mut eqs = Vec::new();
+        self.skip_ws();
+        if self.eat("true") {
+            // empty body
+        } else {
+            loop {
+                self.literal(&mut atoms, &mut eqs)?;
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        resolve_equalities(head, atoms, eqs)?.ok_or_else(|| {
+            QueryError::Parse("the rule equates two distinct constants and is always empty".into())
+        })
+    }
+
+    fn literal(&mut self, atoms: &mut Vec<Atom>, eqs: &mut Vec<(Term, Term)>) -> Result<()> {
+        // Either `name(terms)` or `term = term`.
+        let start = self.pos;
+        self.skip_ws();
+        let looks_like_atom = {
+            // An atom starts with an identifier immediately followed by `(`.
+            let mut probe = Parser {
+                input: self.input,
+                pos: self.pos,
+            };
+            probe.ident().is_ok() && {
+                probe.skip_ws();
+                probe.rest().starts_with('(')
+            }
+        };
+        if looks_like_atom {
+            let name = self.ident()?;
+            self.expect("(")?;
+            let terms = self.term_list()?;
+            self.expect(")")?;
+            atoms.push(Atom::new(name, terms));
+            Ok(())
+        } else {
+            self.pos = start;
+            let left = self.term()?;
+            self.expect("=")?;
+            let right = self.term()?;
+            eqs.push((left, right));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::q0;
+    use bqr_data::Value;
+
+    #[test]
+    fn parses_example_1_1_query() {
+        let q = parse_cq(
+            "Q(mid) :- person(xp, xp2, 'NASA'), movie(mid, ym, 'Universal', '2014'), \
+             like(xp, mid, 'movie'), rating(mid, 5)",
+        )
+        .unwrap();
+        assert_eq!(q.canonical_form(), q0().canonical_form());
+    }
+
+    #[test]
+    fn parses_constants_of_all_kinds() {
+        let q = parse_cq("Q(x) :- r(x, -7, \"two words\", #t, #f)").unwrap();
+        let args = q.atoms()[0].args();
+        assert_eq!(args[1], Term::cnst(-7));
+        assert_eq!(args[2], Term::cnst("two words"));
+        assert_eq!(args[3], Term::Const(Value::Bool(true)));
+        assert_eq!(args[4], Term::Const(Value::Bool(false)));
+    }
+
+    #[test]
+    fn parses_equalities_by_substitution() {
+        let q = parse_cq("Q(x) :- r(x, y), y = 3, x = y").unwrap();
+        assert_eq!(q.head()[0], Term::cnst(3));
+        assert_eq!(q.atoms()[0].args(), &[Term::cnst(3), Term::cnst(3)]);
+    }
+
+    #[test]
+    fn contradictory_equalities_rejected() {
+        assert!(matches!(
+            parse_cq("Q() :- r(x), x = 1, x = 2"),
+            Err(QueryError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_and_empty_body_queries() {
+        let q = parse_cq("Q() :- rating(m, 5)").unwrap();
+        assert!(q.is_boolean());
+        let q = parse_cq("Q() :- true").unwrap();
+        assert!(q.is_boolean());
+        assert!(q.atoms().is_empty());
+    }
+
+    #[test]
+    fn unsafe_head_rejected() {
+        assert!(parse_cq("Q(z) :- r(x, y)").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_cq("Q(x)").is_err());
+        assert!(parse_cq("Q(x) :- r(x").is_err());
+        assert!(parse_cq("Q(x) :- r(x) extra").is_err());
+        assert!(parse_cq("Q(x) :- r('unterminated)").is_err());
+        assert!(parse_cq("(x) :- r(x)").is_err());
+        assert!(parse_cq("Q(x) :- r(#x)").is_err());
+    }
+
+    #[test]
+    fn parses_ucq_with_semicolons_and_newlines() {
+        let u = parse_ucq(
+            "Q(m) :- rating(m, 5);\n Q(m) :- rating(m, 3)\n\n Q(m) :- rating(m, 1)",
+        )
+        .unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.arity(), 1);
+        assert!(parse_ucq("Q(m) :- rating(m, 5); Q(m, n) :- rating(m, n)").is_err());
+        assert!(parse_ucq("").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse_cq("Q( x )   :-   r ( x , y ) , s(y)").unwrap();
+        let b = parse_cq("Q(x):-r(x,y),s(y)").unwrap();
+        assert_eq!(a.canonical_form(), b.canonical_form());
+    }
+}

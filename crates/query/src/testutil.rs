@@ -1,0 +1,94 @@
+//! Shared fixtures for unit tests: the schema, access schema, query and view
+//! of Example 1.1, plus small helpers.  Compiled only under `cfg(test)`.
+
+use crate::atom::{Atom, Term};
+use crate::cq::ConjunctiveQuery;
+use bqr_data::{AccessConstraint, AccessSchema, Database, DatabaseSchema};
+
+/// The movie schema `R_0` of Example 1.1.
+pub fn movie_schema() -> DatabaseSchema {
+    DatabaseSchema::with_relations(&[
+        ("person", &["pid", "name", "affiliation"]),
+        ("movie", &["mid", "mname", "studio", "release"]),
+        ("rating", &["mid", "rank"]),
+        ("like", &["pid", "id", "type"]),
+    ])
+    .expect("movie schema is well formed")
+}
+
+/// The access schema `A_0` of Example 1.1 with bound `n0` for φ1.
+pub fn movie_access(n0: usize) -> AccessSchema {
+    AccessSchema::new(vec![
+        AccessConstraint::new("movie", &["studio", "release"], &["mid"], n0).unwrap(),
+        AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap(),
+    ])
+}
+
+/// The query `Q_0` of Example 1.1.
+pub fn q0() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        vec![Term::var("mid")],
+        vec![
+            Atom::new("person", vec![Term::var("xp"), Term::var("xp2"), Term::cnst("NASA")]),
+            Atom::new(
+                "movie",
+                vec![Term::var("mid"), Term::var("ym"), Term::cnst("Universal"), Term::cnst("2014")],
+            ),
+            Atom::new("like", vec![Term::var("xp"), Term::var("mid"), Term::cnst("movie")]),
+            Atom::new("rating", vec![Term::var("mid"), Term::cnst(5)]),
+        ],
+    )
+    .unwrap()
+}
+
+/// The view `V_1` of Example 1.1: movies liked by NASA folks.
+pub fn v1() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        vec![Term::var("mid")],
+        vec![
+            Atom::new("person", vec![Term::var("xp"), Term::var("xp2"), Term::cnst("NASA")]),
+            Atom::new(
+                "movie",
+                vec![Term::var("mid"), Term::var("ym"), Term::var("z1"), Term::var("z2")],
+            ),
+            Atom::new("like", vec![Term::var("xp"), Term::var("mid"), Term::cnst("movie")]),
+        ],
+    )
+    .unwrap()
+}
+
+/// A small instance of `R_0` that satisfies `A_0` (with `n0 >= 2`).
+pub fn movie_instance() -> Database {
+    use bqr_data::tuple;
+    let mut db = Database::empty(movie_schema());
+    db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
+    db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
+    db.insert("person", tuple![3, "Cat", "ESA"]).unwrap();
+    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"]).unwrap();
+    db.insert("movie", tuple![11, "Ouija", "Universal", "2014"]).unwrap();
+    db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
+    db.insert("rating", tuple![10, 5]).unwrap();
+    db.insert("rating", tuple![11, 3]).unwrap();
+    db.insert("rating", tuple![12, 5]).unwrap();
+    db.insert("like", tuple![1, 10, "movie"]).unwrap();
+    db.insert("like", tuple![2, 12, "movie"]).unwrap();
+    db.insert("like", tuple![3, 11, "movie"]).unwrap();
+    db
+}
+
+/// Shorthand for a variable term.
+#[allow(dead_code)]
+pub fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// Shorthand for a constant term.
+#[allow(dead_code)]
+pub fn c(value: impl Into<bqr_data::Value>) -> Term {
+    Term::cnst(value)
+}
+
+/// Shorthand for an atom whose arguments are all variables.
+pub fn va(rel: &str, vars: &[&str]) -> Atom {
+    Atom::new(rel, vars.iter().map(|x| Term::var(*x)).collect())
+}

@@ -1,0 +1,148 @@
+//! Unions of conjunctive queries (UCQ, a.k.a. SPCU queries).
+
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::Result;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A union of conjunctive queries `Q(x̄) = Q_1(x̄) ∪ ... ∪ Q_k(x̄)`.
+///
+/// All disjuncts must share the same head arity; there must be at least one
+/// disjunct.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UnionQuery {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Create a union query from its disjuncts.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Result<Self> {
+        let first = disjuncts
+            .first()
+            .ok_or_else(|| QueryError::UnsupportedFragment("empty union query".to_string()))?;
+        let arity = first.arity();
+        for d in &disjuncts {
+            if d.arity() != arity {
+                return Err(QueryError::MismatchedUnionArity {
+                    expected: arity,
+                    actual: d.arity(),
+                });
+            }
+        }
+        Ok(UnionQuery { disjuncts })
+    }
+
+    /// A union with a single disjunct (a plain CQ).
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        UnionQuery { disjuncts: vec![cq] }
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Always false: a union query has at least one disjunct.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total size (sum of disjunct sizes).
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(ConjunctiveQuery::size).sum()
+    }
+
+    /// Relation / view names mentioned anywhere in the query.
+    pub fn relation_names(&self) -> BTreeSet<String> {
+        self.disjuncts.iter().flat_map(|d| d.relation_names()).collect()
+    }
+
+    /// All constants mentioned anywhere in the query.
+    pub fn constants(&self) -> BTreeSet<bqr_data::Value> {
+        self.disjuncts.iter().flat_map(|d| d.constants()).collect()
+    }
+
+    /// True if this union is really just one conjunctive query.
+    pub fn as_single_cq(&self) -> Option<&ConjunctiveQuery> {
+        if self.disjuncts.len() == 1 {
+            Some(&self.disjuncts[0])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  UNION  ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<ConjunctiveQuery> for UnionQuery {
+    fn from(cq: ConjunctiveQuery) -> Self {
+        UnionQuery::single(cq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Term};
+
+    fn cq(rel: &str, arity: usize) -> ConjunctiveQuery {
+        let vars: Vec<Term> = (0..arity).map(|i| Term::var(format!("x{i}"))).collect();
+        ConjunctiveQuery::new(vars.clone(), vec![Atom::new(rel, vars)]).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_arity() {
+        assert!(UnionQuery::new(vec![]).is_err());
+        assert!(UnionQuery::new(vec![cq("r", 2), cq("s", 2)]).is_ok());
+        assert!(matches!(
+            UnionQuery::new(vec![cq("r", 2), cq("s", 3)]),
+            Err(QueryError::MismatchedUnionArity { expected: 2, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let u = UnionQuery::new(vec![cq("r", 2), cq("s", 2)]).unwrap();
+        assert_eq!(u.arity(), 2);
+        assert_eq!(u.len(), 2);
+        assert!(!u.is_empty());
+        assert_eq!(u.size(), cq("r", 2).size() * 2);
+        assert_eq!(u.relation_names().len(), 2);
+        assert!(u.as_single_cq().is_none());
+        assert!(u.constants().is_empty());
+
+        let single: UnionQuery = cq("r", 1).into();
+        assert!(single.as_single_cq().is_some());
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn display_joins_with_union() {
+        let u = UnionQuery::new(vec![cq("r", 1), cq("s", 1)]).unwrap();
+        let s = u.to_string();
+        assert!(s.contains("UNION"));
+        assert!(s.contains("r(x0)"));
+        assert!(s.contains("s(x0)"));
+    }
+}

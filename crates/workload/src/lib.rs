@@ -1,0 +1,25 @@
+//! # bqr-workload — data and query generators for the experiments
+//!
+//! The paper's quantitative claims are made on proprietary data (Facebook's
+//! social graph, an industrial CDR dataset).  This crate provides the
+//! synthetic substitutes described in DESIGN.md §2:
+//!
+//! * [`movies`] — the movie / Graph-Search setting of Example 1.1 (schema
+//!   `R_0`, access schema `A_0`, query `Q_0`, view `V_1`), with a scalable
+//!   instance generator;
+//! * [`social`] — the Facebook Graph-Search example from the introduction
+//!   (friends ≤ K, one dining per day), used for experiment E5;
+//! * [`cdr`] — a call-detail-record schema, constraint set, view set and a
+//!   parameterised query workload, used for experiment E6;
+//! * [`random`] — a random acyclic-CQ workload generator, used for E7;
+//! * [`discover`] — mining access constraints (`N` bounds) from data.
+//!
+//! Every generator is deterministic given its seed.
+
+pub mod cdr;
+pub mod discover;
+pub mod movies;
+pub mod random;
+pub mod social;
+
+pub use discover::discover_constraints;

@@ -1,0 +1,168 @@
+//! The Facebook Graph-Search example from the paper's introduction:
+//! *"find me all restaurants in NYC which I have not been to, but in which my
+//! friends have dined in May 2015"*, under the cardinality constraints that a
+//! person has at most `K` friends and dines at most once per day.
+
+use bqr_core::problem::RewritingSetting;
+use bqr_data::{tuple, AccessConstraint, AccessSchema, Database, DatabaseSchema};
+use bqr_query::parser::parse_cq;
+use bqr_query::{ConjunctiveQuery, ViewSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the social-graph generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SocialScale {
+    /// Number of persons.
+    pub persons: usize,
+    /// Number of restaurants.
+    pub restaurants: usize,
+    /// Maximum friends per person (the Facebook limit, 5000 in the paper).
+    pub max_friends: usize,
+    /// Number of days in the dining window.
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialScale {
+    fn default() -> Self {
+        SocialScale {
+            persons: 2_000,
+            restaurants: 300,
+            max_friends: 50,
+            days: 31,
+            seed: 13,
+        }
+    }
+}
+
+/// The social schema: persons, friendships, restaurants and dinings.
+pub fn schema() -> DatabaseSchema {
+    DatabaseSchema::with_relations(&[
+        ("person", &["pid", "city"]),
+        ("friend", &["pid", "fid"]),
+        ("restaurant", &["rid", "city"]),
+        ("dine", &["pid", "day", "rid"]),
+    ])
+    .expect("social schema is well formed")
+}
+
+/// The access schema: at most `max_friends` friends per person, at most one
+/// dining per person and day, and restaurant/person city lookups by key.
+pub fn access_schema(max_friends: usize) -> AccessSchema {
+    AccessSchema::new(vec![
+        AccessConstraint::new("friend", &["pid"], &["fid"], max_friends).unwrap(),
+        AccessConstraint::new("dine", &["pid", "day"], &["rid"], 1).unwrap(),
+        AccessConstraint::new("restaurant", &["rid"], &["city"], 1).unwrap(),
+        AccessConstraint::new("person", &["pid"], &["city"], 1).unwrap(),
+    ])
+}
+
+/// The Graph-Search query for a fixed user `p0` and a fixed day: restaurants
+/// in NYC in which a friend of `p0` dined on that day.  (The "which I have
+/// not been to" part needs negation; [`graph_search_query_with_negation`]
+/// adds it.)
+pub fn graph_search_query(pid: i64, day: i64) -> ConjunctiveQuery {
+    parse_cq(&format!(
+        "Q(rid) :- friend({pid}, f), dine(f, {day}, rid), restaurant(rid, 'NYC')"
+    ))
+    .expect("graph-search query parses")
+}
+
+/// The full Graph-Search query including the negation "which I have not been
+/// to (on that day)", as an FO query.
+pub fn graph_search_query_with_negation(pid: i64, day: i64) -> bqr_query::FoQuery {
+    use bqr_query::{Atom, Fo, FoQuery, Term};
+    let positive = graph_search_query(pid, day);
+    let base = FoQuery::from_cq(&positive);
+    let negated = Fo::not(Fo::Atom(Atom::new(
+        "dine",
+        vec![Term::cnst(pid), Term::cnst(day), Term::var("rid")],
+    )));
+    FoQuery::new(
+        base.head().to_vec(),
+        Fo::and(base.body().clone(), negated),
+    )
+    .expect("head variables unchanged")
+}
+
+/// No views are needed for this workload: the constraints alone make the
+/// query boundedly evaluable, which is the point of the introduction's
+/// example.  An empty view set keeps the setting uniform with the others.
+pub fn views() -> ViewSet {
+    ViewSet::empty()
+}
+
+/// The rewriting setting for the graph-search workload.
+pub fn setting(max_friends: usize, bound_m: usize) -> RewritingSetting {
+    RewritingSetting::new(schema(), access_schema(max_friends), views(), bound_m)
+}
+
+/// Generate a social instance satisfying the access schema.
+pub fn generate(scale: SocialScale) -> Database {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let mut db = Database::empty(schema());
+    let cities = ["NYC", "SF", "LA", "Boston"];
+
+    for rid in 0..scale.restaurants {
+        let city = cities[rng.gen_range(0..cities.len())];
+        db.insert("restaurant", tuple![rid, city]).unwrap();
+    }
+    for pid in 0..scale.persons {
+        let city = cities[rng.gen_range(0..cities.len())];
+        db.insert("person", tuple![pid, city]).unwrap();
+        // Friends: a random sample, capped by max_friends.
+        let friends = rng.gen_range(0..=scale.max_friends.min(scale.persons.saturating_sub(1)));
+        for _ in 0..friends {
+            let fid = rng.gen_range(0..scale.persons);
+            db.insert("friend", tuple![pid, fid]).unwrap();
+        }
+        // Dinings: at most one per day.
+        for day in 0..scale.days {
+            if rng.gen_bool(0.3) {
+                let rid = rng.gen_range(0..scale.restaurants);
+                db.insert("dine", tuple![pid, day, rid]).unwrap();
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqr_core::topped::ToppedChecker;
+
+    #[test]
+    fn generated_instances_satisfy_the_constraints() {
+        let scale = SocialScale {
+            persons: 200,
+            restaurants: 40,
+            max_friends: 10,
+            days: 10,
+            seed: 3,
+        };
+        let db = generate(scale);
+        assert!(access_schema(10).satisfied_by(&db).unwrap());
+        assert_eq!(db.relation("person").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn graph_search_query_is_boundedly_evaluable() {
+        // friend(p0 → f, K) then dine((f, day) → rid, 1) then
+        // restaurant(rid → city, 1): the whole query is topped without views.
+        let setting = setting(50, 200);
+        let checker = ToppedChecker::new(&setting);
+        let analysis = checker.analyze_cq(&graph_search_query(0, 15)).unwrap();
+        assert!(analysis.topped, "{:?}", analysis.reason);
+        // |Dξ| ≤ K (friends) + K·1 (dinings) + K·1 (restaurant lookups).
+        assert!(analysis.fetch_bound.unwrap() <= 3 * 50);
+
+        // The negated variant is also topped (the negation only filters).
+        let analysis = checker
+            .analyze(&graph_search_query_with_negation(0, 15))
+            .unwrap();
+        assert!(analysis.topped, "{:?}", analysis.reason);
+    }
+}

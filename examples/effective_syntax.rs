@@ -1,0 +1,95 @@
+//! The effective syntax at work (Section 5, experiment E3): topped queries
+//! with negation, size-bounded views, and the difference between the PTIME
+//! syntactic check and the exact (exponential) decision procedure.
+//!
+//! Run with `cargo run --example effective_syntax --release`.
+
+use bqr_core::decide::{decide_vbrp, DecisionOutcome};
+use bqr_core::problem::{RewritingSetting, VbrpInstance};
+use bqr_core::size_bounded::{make_size_bounded, size_bounded_bound};
+use bqr_core::topped::ToppedChecker;
+use bqr_plan::PlanLanguage;
+use bqr_query::parser::parse_cq;
+use bqr_query::{Atom, Fo, FoQuery, Term, ViewSet};
+use bqr_data::{AccessConstraint, AccessSchema, DatabaseSchema};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The schema R1 of Example 5.3: R(A, B) and T(C, E), with
+    // A2 = { R(A → B, N), T(C → E, N) } and the view V3(x, y) = R(y,y) ∧ T(x,y).
+    let schema = DatabaseSchema::with_relations(&[("r", &["a", "b"]), ("t", &["c", "e"])])?;
+    let access = AccessSchema::new(vec![
+        AccessConstraint::new("r", &["a"], &["b"], 3)?,
+        AccessConstraint::new("t", &["c"], &["e"], 3)?,
+    ]);
+    let mut views = ViewSet::empty();
+    views.add_cq("V3", parse_cq("V3(x, y) :- r(y, y), t(x, y)")?)?;
+    let setting = RewritingSetting::new(schema.clone(), access.clone(), views, 60);
+
+    // q3(z) = q4(z) ∧ ¬∃w R(z, w)   with   q4(z) = ∃y (V3(1, y) ∧ R(y, z))
+    // (the paper writes V3(x, y) ∧ x = 1, which is the same query).
+    let q4 = Fo::exists(
+        vec!["y".into()],
+        Fo::conjunction(vec![
+            Fo::Atom(Atom::new("V3", vec![Term::cnst(1), Term::var("y")])),
+            Fo::Atom(Atom::new("r", vec![Term::var("y"), Term::var("z")])),
+        ]),
+    );
+    let q3 = FoQuery::new(
+        vec![Term::var("z")],
+        Fo::and(
+            q4.clone(),
+            Fo::not(Fo::exists(
+                vec!["w".into()],
+                Fo::Atom(Atom::new("r", vec![Term::var("z"), Term::var("w")])),
+            )),
+        ),
+    )?;
+    println!("q3 = {q3}\n");
+
+    let checker = ToppedChecker::new(&setting);
+    let t = Instant::now();
+    let analysis = checker.analyze(&q3)?;
+    println!(
+        "topped-query check: topped = {}, plan size = {:?}, fetch bound = {:?}  ({:.2?})",
+        analysis.topped,
+        analysis.plan_size,
+        analysis.fetch_bound,
+        t.elapsed()
+    );
+    if let Some(plan) = &analysis.plan {
+        println!("\nGenerated FO plan (language {}):\n{plan}", plan.language());
+    }
+
+    // Size-bounded queries: wrap an FO view so that its output is bounded by
+    // construction, and recognise the shape back.
+    let inner = FoQuery::from_cq(&parse_cq("Q(x) :- r(x, y)")?);
+    let sb = make_size_bounded(&inner, 5);
+    println!(
+        "\nsize-bounded syntax: recognised bound = {:?} for\n  {sb}",
+        size_bounded_bound(&sb)
+    );
+
+    // The exact decision procedure on a small instance of VBRP(CQ), for
+    // contrast: it enumerates candidate plans and checks A-equivalence.
+    let small_schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])])?;
+    let small_access = AccessSchema::new(vec![AccessConstraint::new(
+        "rating",
+        &["mid"],
+        &["rank"],
+        1,
+    )?]);
+    let small_setting = RewritingSetting::new(small_schema, small_access, ViewSet::empty(), 3);
+    let q = parse_cq("Q(r) :- rating(42, r)")?;
+    let t = Instant::now();
+    let outcome = decide_vbrp(&VbrpInstance::new(small_setting, q), PlanLanguage::Cq)?;
+    match outcome {
+        DecisionOutcome::Rewriting(plan) => println!(
+            "\nexact VBRP(CQ) search: found a {}-node rewriting in {:.2?}:\n{plan}",
+            plan.size(),
+            t.elapsed()
+        ),
+        other => println!("\nexact VBRP(CQ) search: {other:?} ({:.2?})", t.elapsed()),
+    }
+    Ok(())
+}

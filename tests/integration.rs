@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: generators → effective syntax → plan
+//! execution → comparison against the reference evaluator.
+
+use bqr_core::size_bounded::BoundedOutputOracle;
+use bqr_core::topped::ToppedChecker;
+use bqr_data::{FetchStats, IndexedDatabase};
+use bqr_query::eval::{eval_cq, eval_cq_counting};
+use bqr_workload::{cdr, movies, social};
+
+/// End-to-end on the movie workload: the rewriting over V1 is topped, its
+/// plan answers Q0 exactly, and the data it touches does not grow with |D|.
+#[test]
+fn movie_workload_end_to_end() {
+    let n0 = 50;
+    let setting = movies::setting(n0, 40);
+    let checker = ToppedChecker::new(&setting);
+    let analysis = checker.analyze_cq(&movies::q_xi()).unwrap();
+    assert!(analysis.topped, "{:?}", analysis.reason);
+    let plan = analysis.plan.unwrap();
+
+    let mut accesses = Vec::new();
+    for persons in [200usize, 2_000] {
+        let db = movies::generate(movies::MovieScale {
+            persons,
+            movies: 400,
+            n0,
+            seed: 3,
+        });
+        assert!(setting.access.satisfied_by(&db).unwrap());
+        let cache = setting.views.materialize(&db).unwrap();
+        let idb = IndexedDatabase::build(db.clone(), setting.access.clone()).unwrap();
+        let bounded = bqr_plan::execute(&plan, &idb, &cache).unwrap();
+        let naive = eval_cq(&movies::q0(), &db, None).unwrap();
+        assert_eq!(bounded.tuples, naive, "persons = {persons}");
+        assert!(bounded.stats.base_tuples_accessed() <= 2 * n0 + n0);
+        accesses.push(bounded.stats.base_tuples_accessed());
+    }
+    // Scale independence: a 10x bigger person/like table keeps the base-data
+    // access under the same constant bound (the exact count may vary with the
+    // data, the bound may not).
+    let declared = analysis.fetch_bound.unwrap();
+    assert!(accesses.iter().all(|&a| a <= declared), "{accesses:?} vs bound {declared}");
+}
+
+/// The CDR workload: at least 90% of the templates have bounded rewritings,
+/// every generated plan is exact, and the access reduction is substantial.
+#[test]
+fn cdr_workload_fraction_and_exactness() {
+    let scale = cdr::CdrScale {
+        customers: 800,
+        days: 7,
+        ..cdr::CdrScale::default()
+    };
+    let setting = cdr::setting(&scale, 120);
+    let mut oracle = BoundedOutputOracle::new(
+        setting.schema.clone(),
+        setting.access.clone(),
+        setting.budget,
+    );
+    for (name, bound) in cdr::view_bounds() {
+        oracle.annotate_view(name, bound);
+    }
+    let checker = ToppedChecker::with_oracle(&setting, oracle);
+    let db = cdr::generate(scale);
+    let cache = setting.views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db.clone(), setting.access.clone()).unwrap();
+
+    let queries = cdr::workload(11, 2);
+    let mut rewritable = 0usize;
+    for q in &queries {
+        let analysis = checker.analyze_cq(&q.query).unwrap();
+        let mut naive_stats = FetchStats::new();
+        let naive = eval_cq_counting(&q.query, &db, Some(&cache), &mut naive_stats).unwrap();
+        if analysis.topped {
+            rewritable += 1;
+            let out = bqr_plan::execute(&analysis.plan.unwrap(), &idb, &cache).unwrap();
+            assert_eq!(out.tuples, naive, "{}", q.name);
+            assert!(
+                out.stats.base_tuples_accessed() < naive_stats.base_tuples_accessed(),
+                "{}: bounded access {} must beat naive {}",
+                q.name,
+                out.stats.base_tuples_accessed(),
+                naive_stats.base_tuples_accessed()
+            );
+        }
+    }
+    assert!(
+        rewritable * 10 >= queries.len() * 9,
+        "at least 90% of the workload is rewritable, got {rewritable}/{}",
+        queries.len()
+    );
+}
+
+/// The social graph-search query is boundedly evaluable (no views) and its
+/// plan is exact on generated instances.
+#[test]
+fn social_graph_search_end_to_end() {
+    let setting = social::setting(30, 200);
+    let checker = ToppedChecker::new(&setting);
+    let query = social::graph_search_query(5, 7);
+    let analysis = checker.analyze_cq(&query).unwrap();
+    assert!(analysis.topped, "{:?}", analysis.reason);
+    let plan = analysis.plan.unwrap();
+
+    let db = social::generate(social::SocialScale {
+        persons: 1_000,
+        restaurants: 100,
+        max_friends: 30,
+        days: 14,
+        seed: 23,
+    });
+    assert!(setting.access.satisfied_by(&db).unwrap());
+    let cache = setting.views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db.clone(), setting.access.clone()).unwrap();
+    let bounded = bqr_plan::execute(&plan, &idb, &cache).unwrap();
+    let naive = eval_cq(&query, &db, None).unwrap();
+    assert_eq!(bounded.tuples, naive);
+    assert!(bounded.stats.base_tuples_accessed() <= 3 * 30 * 2);
+    assert_eq!(bounded.stats.scanned_tuples, 0);
+}
+
+/// Constraints mined from generated data are strong enough to make the
+/// point-lookup templates of the CDR workload rewritable.
+#[test]
+fn discovered_constraints_support_rewriting() {
+    let scale = cdr::CdrScale {
+        customers: 300,
+        days: 5,
+        ..cdr::CdrScale::default()
+    };
+    let db = cdr::generate(scale);
+    let mined = bqr_workload::discover_constraints(
+        &db,
+        &bqr_workload::discover::DiscoveryOptions {
+            max_bound: 64,
+            max_key_size: 2,
+        },
+    );
+    assert!(mined.satisfied_by(&db).unwrap());
+    let setting = bqr_core::problem::RewritingSetting::new(
+        cdr::schema(),
+        mined,
+        bqr_query::ViewSet::empty(),
+        120,
+    );
+    let checker = ToppedChecker::new(&setting);
+    let q = &cdr::workload(3, 1)[0]; // callees_of_day: a point lookup
+    let analysis = checker.analyze_cq(&q.query).unwrap();
+    assert!(analysis.topped, "{:?}", analysis.reason);
+}

@@ -1,0 +1,152 @@
+//! Property-based tests on the core invariants.
+
+use bqr_core::topped::ToppedChecker;
+use bqr_data::{tuple, AccessConstraint, AccessSchema, Database, DatabaseSchema, IndexedDatabase};
+use bqr_query::aequiv::cq_a_contained_in;
+use bqr_query::bounded_output::cq_output;
+use bqr_query::containment::cq_contained_in;
+use bqr_query::element::element_queries;
+use bqr_query::eval::{eval_cq, eval_ucq};
+use bqr_query::{Budget, UnionQuery, ViewSet};
+use bqr_workload::random::{generate_queries, RandomQueryConfig};
+use proptest::prelude::*;
+
+fn small_schema() -> DatabaseSchema {
+    DatabaseSchema::with_relations(&[("r", &["a", "b"]), ("s", &["a", "b"])]).unwrap()
+}
+
+fn small_access(n: usize) -> AccessSchema {
+    AccessSchema::new(vec![
+        AccessConstraint::new("r", &["a"], &["b"], n).unwrap(),
+        AccessConstraint::new("s", &["a"], &["b"], 1).unwrap(),
+    ])
+}
+
+/// Generate a small random database over `small_schema` that satisfies the
+/// access schema by construction (at most `n` b-values per a-value in r, one
+/// in s).
+fn db_strategy(n: usize) -> impl Strategy<Value = Database> {
+    let r_rows = prop::collection::vec((0i64..4, 0i64..3), 0..12);
+    let s_rows = prop::collection::vec((0i64..4, 0i64..4), 0..8);
+    (r_rows, s_rows).prop_map(move |(r, s)| {
+        let mut db = Database::empty(small_schema());
+        let mut per_key = std::collections::BTreeMap::new();
+        for (a, b) in r {
+            let set = per_key.entry(a).or_insert_with(std::collections::BTreeSet::new);
+            if set.len() < n || set.contains(&b) {
+                set.insert(b);
+                db.insert("r", tuple![a, b]).unwrap();
+            }
+        }
+        let mut s_key = std::collections::BTreeSet::new();
+        for (a, b) in s {
+            if s_key.insert(a) {
+                db.insert("s", tuple![a, b]).unwrap();
+            }
+        }
+        db
+    })
+}
+
+/// A small pool of random conjunctive queries over the schema.
+fn query_pool() -> Vec<bqr_query::ConjunctiveQuery> {
+    generate_queries(
+        &small_schema(),
+        &RandomQueryConfig {
+            atoms: 2,
+            constant_probability: 0.4,
+            constants: (0..4).map(bqr_data::Value::int).collect(),
+            head_variables: 1,
+            seed: 2024,
+        },
+        12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Q ≡_A ⋃ of its element queries: on every instance satisfying A, the
+    /// query and the union of its (minimal) element queries agree.
+    #[test]
+    fn element_queries_partition_the_query(db in db_strategy(2), qidx in 0usize..12) {
+        let access = small_access(2);
+        prop_assume!(access.satisfied_by(&db).unwrap());
+        let q = query_pool()[qidx].clone();
+        let elements = element_queries(&q, &access, &small_schema(), &Budget::generous()).unwrap();
+        let original = eval_cq(&q, &db, None).unwrap();
+        if elements.is_empty() {
+            prop_assert!(original.is_empty(), "unsatisfiable under A means empty on satisfying instances");
+        } else {
+            let union = UnionQuery::new(elements).unwrap();
+            let via_elements = eval_ucq(&union, &db, None).unwrap();
+            prop_assert_eq!(original, via_elements);
+        }
+    }
+
+    /// A-containment is sound: if Q1 ⊑_A Q2 then Q1(D) ⊆ Q2(D) on satisfying
+    /// instances; and classical containment implies A-containment.
+    #[test]
+    fn a_containment_soundness(db in db_strategy(2), i in 0usize..12, j in 0usize..12) {
+        let access = small_access(2);
+        prop_assume!(access.satisfied_by(&db).unwrap());
+        let pool = query_pool();
+        let (q1, q2) = (pool[i].clone(), pool[j].clone());
+        prop_assume!(q1.arity() == q2.arity());
+        let contained = cq_a_contained_in(&q1, &q2, &access, &small_schema(), &Budget::generous()).unwrap();
+        if contained {
+            let a1 = eval_cq(&q1, &db, None).unwrap();
+            let a2: std::collections::BTreeSet<_> = eval_cq(&q2, &db, None).unwrap().into_iter().collect();
+            for t in a1 {
+                prop_assert!(a2.contains(&t), "{} ⊑_A {} but answer {t} missing", q1, q2);
+            }
+        }
+        if cq_contained_in(&q1, &q2, &small_schema()).unwrap() {
+            prop_assert!(contained, "classical containment must imply A-containment");
+        }
+    }
+
+    /// Bounded-output soundness: when BOP says |Q(D)| ≤ N, no satisfying
+    /// instance produces more answers than that.
+    #[test]
+    fn bounded_output_soundness(db in db_strategy(2), qidx in 0usize..12) {
+        let access = small_access(2);
+        prop_assume!(access.satisfied_by(&db).unwrap());
+        let q = query_pool()[qidx].clone();
+        if let bqr_query::bounded_output::OutputBound::Bounded(n) =
+            cq_output(&q, &access, &small_schema(), &Budget::generous()).unwrap()
+        {
+            let answers = eval_cq(&q, &db, None).unwrap();
+            prop_assert!(answers.len() <= n, "{}: {} answers > bound {}", q, answers.len(), n);
+        }
+    }
+
+    /// Topped-query soundness: whenever the checker produces a plan, the plan
+    /// computes exactly the query on every satisfying instance, without
+    /// scanning base data.
+    #[test]
+    fn generated_plans_are_exact(db in db_strategy(2), qidx in 0usize..12) {
+        let access = small_access(2);
+        prop_assume!(access.satisfied_by(&db).unwrap());
+        let q = query_pool()[qidx].clone();
+        let setting = bqr_core::problem::RewritingSetting::new(
+            small_schema(),
+            access.clone(),
+            ViewSet::empty(),
+            200,
+        );
+        let checker = ToppedChecker::new(&setting);
+        let analysis = checker.analyze_cq(&q).unwrap();
+        if let (true, Some(plan)) = (analysis.topped, analysis.plan) {
+            let idb = IndexedDatabase::build(db.clone(), access).unwrap();
+            let out = bqr_plan::execute(&plan, &idb, &bqr_query::MaterializedViews::empty()).unwrap();
+            let naive = eval_cq(&q, &db, None).unwrap();
+            prop_assert_eq!(out.tuples, naive, "query {}", q);
+            prop_assert_eq!(out.stats.scanned_tuples, 0usize);
+            if let Some(bound) = analysis.fetch_bound {
+                prop_assert!(out.stats.fetched_tuples <= bound,
+                    "fetched {} > declared bound {}", out.stats.fetched_tuples, bound);
+            }
+        }
+    }
+}
