@@ -2,6 +2,7 @@
 //! checking (PTIME effective syntax), element-query enumeration and the
 //! exact VBRP search (exponential) — as problem parameters grow.
 
+use bqr_bench::checker_with_annotations;
 use bqr_core::decide::decide_vbrp;
 use bqr_core::problem::{RewritingSetting, VbrpInstance};
 use bqr_plan::PlanLanguage;
@@ -9,7 +10,6 @@ use bqr_query::element::element_queries;
 use bqr_query::parser::parse_cq;
 use bqr_query::{Budget, ViewSet};
 use bqr_workload::cdr;
-use bqr_bench::checker_with_annotations;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn chain_query(atoms: usize) -> bqr_query::ConjunctiveQuery {
@@ -72,5 +72,10 @@ fn bench_exact_vbrp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_topped_check, bench_element_queries, bench_exact_vbrp);
+criterion_group!(
+    benches,
+    bench_topped_check,
+    bench_element_queries,
+    bench_exact_vbrp
+);
 criterion_main!(benches);

@@ -20,9 +20,11 @@ fn bench_movies(c: &mut Criterion) {
             seed: 1,
         });
         let (idb, cache) = prepare(&setting, db.clone());
-        group.bench_with_input(BenchmarkId::new("bounded_plan", persons), &persons, |b, _| {
-            b.iter(|| bqr_plan::execute(&plan, &idb, &cache).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bounded_plan", persons),
+            &persons,
+            |b, _| b.iter(|| bqr_plan::execute(&plan, &idb, &cache).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("naive_eval", persons), &persons, |b, _| {
             b.iter(|| eval_cq(&movies::q0(), &db, None).unwrap())
         });
@@ -46,9 +48,11 @@ fn bench_graph_search(c: &mut Criterion) {
             seed: 17,
         });
         let (idb, cache) = prepare(&setting, db.clone());
-        group.bench_with_input(BenchmarkId::new("bounded_plan", persons), &persons, |b, _| {
-            b.iter(|| bqr_plan::execute(&plan, &idb, &cache).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bounded_plan", persons),
+            &persons,
+            |b, _| b.iter(|| bqr_plan::execute(&plan, &idb, &cache).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("naive_eval", persons), &persons, |b, _| {
             b.iter(|| eval_cq(&query, &db, None).unwrap())
         });

@@ -1,6 +1,12 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p bqr-bench --bin harness --release -- [e1|e4|e5|e6|e7|all]`
+//! Usage: `cargo run -p bqr-bench --bin harness --release -- [e1|e4|e5|e6|e7|hom|all]`
+//!
+//! The `hom` mode benchmarks the slot-based homomorphism engine against the
+//! retained pre-refactor engine on repeated containment checks and writes
+//! the machine-readable report to `BENCH_hom.json` (path overridable via the
+//! `BENCH_HOM_JSON` environment variable), so the perf trajectory of the
+//! hot path is tracked across PRs.
 
 use bqr_bench::{checker_with_annotations, compare, plan_for, prepare};
 use bqr_core::bounded_eval::boundedly_evaluable_cq;
@@ -18,18 +24,47 @@ fn main() {
         "e5" => e5_graph_search(),
         "e6" => e6_cdr(),
         "e7" => e7_random(),
+        "hom" => hom_engine(),
         "all" => {
             e1_figure1();
             e4_analysis_cost();
             e5_graph_search();
             e6_cdr();
             e7_random();
+            hom_engine();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|all");
+            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|hom|all");
             std::process::exit(1);
         }
     }
+}
+
+/// `hom` — slot-based engine + cached indexes vs the pre-refactor engine on
+/// repeated containment (the same query pair checked 1000×).  Emits
+/// `BENCH_hom.json`.
+fn hom_engine() {
+    use bqr_bench::hom_bench;
+
+    const REPEATS: usize = 1_000;
+    println!("\n== hom: slot engine + IndexCache vs pre-refactor engine, {REPEATS}× repeated containment ==");
+    let (results, json) = hom_bench::report(REPEATS);
+    println!(
+        "{:<36} {:>14} {:>16} {:>9}",
+        "case", "baseline-ms", "slot+cache-ms", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<36} {:>14.2} {:>16.2} {:>8.1}x",
+            r.name,
+            r.baseline_ms,
+            r.slot_cached_ms,
+            r.speedup()
+        );
+    }
+    let path = std::env::var("BENCH_HOM_JSON").unwrap_or_else(|_| "BENCH_hom.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_hom.json");
+    println!("wrote {path}");
 }
 
 /// E1 — Fig. 1 / Examples 1.1, 2.2, 2.3: the rewriting of Q0 over V1 fetches
@@ -64,7 +99,12 @@ fn e1_figure1() {
         let cmp = compare(&movies::q0(), &plan, &idb, &cache);
         println!(
             "{:>10} {:>10} | {:>14} {:>14} | {:>12.3} {:>12.3} | {:>8.0}x",
-            persons, size, cmp.bounded_access, cmp.naive_access, cmp.bounded_ms, cmp.naive_ms,
+            persons,
+            size,
+            cmp.bounded_access,
+            cmp.naive_access,
+            cmp.bounded_ms,
+            cmp.naive_ms,
             cmp.access_reduction()
         );
     }
@@ -78,8 +118,13 @@ fn e4_analysis_cost() {
     use bqr_plan::PlanLanguage;
     use bqr_query::parser::parse_cq;
 
-    println!("\n== E4: analysis cost — effective syntax (PTIME) vs exact search (exponential in M) ==");
-    println!("{:>28} {:>14} {:>16}", "query atoms / bound M", "topped-check", "exact-VBRP");
+    println!(
+        "\n== E4: analysis cost — effective syntax (PTIME) vs exact search (exponential in M) =="
+    );
+    println!(
+        "{:>28} {:>14} {:>16}",
+        "query atoms / bound M", "topped-check", "exact-VBRP"
+    );
     let scale = cdr::CdrScale::default();
     let setting = cdr::setting(&scale, 120);
     let checker = checker_with_annotations(&setting, &cdr::view_bounds());
@@ -98,7 +143,11 @@ fn e4_analysis_cost() {
             "{:>22} atoms {:>11.2}ms {:>16}",
             atoms,
             topped_ms,
-            if analysis.topped { "(topped)" } else { "(not topped)" }
+            if analysis.topped {
+                "(topped)"
+            } else {
+                "(not topped)"
+            }
         );
     }
     // Exact search on a tiny instance with growing M.
@@ -113,17 +162,26 @@ fn e4_analysis_cost() {
     .unwrap()]);
     let q = parse_cq("Q(r) :- rating(42, r)").unwrap();
     for m in [3usize, 4, 5] {
-        let setting =
-            RewritingSetting::new(small_schema.clone(), small_access.clone(), ViewSet::empty(), m);
+        let setting = RewritingSetting::new(
+            small_schema.clone(),
+            small_access.clone(),
+            ViewSet::empty(),
+            m,
+        );
         let t = Instant::now();
-        let outcome = decide_vbrp(&VbrpInstance::new(setting, q.clone()), PlanLanguage::Cq).unwrap();
+        let outcome =
+            decide_vbrp(&VbrpInstance::new(setting, q.clone()), PlanLanguage::Cq).unwrap();
         let ms = t.elapsed().as_secs_f64() * 1_000.0;
         println!(
             "{:>22} M = {m} {:>13} {:>13.1}ms  ({})",
             "exact search,",
             "",
             ms,
-            if outcome.has_rewriting() { "rewriting found" } else { "none" }
+            if outcome.has_rewriting() {
+                "rewriting found"
+            } else {
+                "none"
+            }
         );
     }
 }
@@ -159,7 +217,12 @@ fn e5_graph_search() {
         let cmp = compare(&query, &plan, &idb, &cache);
         println!(
             "{:>10} {:>10} | {:>14} {:>14} | {:>12.3} {:>12.3} | {:>8.0}x",
-            persons, size, cmp.bounded_access, cmp.naive_access, cmp.bounded_ms, cmp.naive_ms,
+            persons,
+            size,
+            cmp.bounded_access,
+            cmp.naive_access,
+            cmp.bounded_ms,
+            cmp.naive_ms,
             cmp.access_reduction()
         );
     }
@@ -193,10 +256,17 @@ fn e6_cdr() {
                 improved += 1;
                 println!(
                     "{:<24} {:>8} {:>14} {:>14} {:>9.0}x",
-                    q.name, "yes", cmp.bounded_access, cmp.naive_access, cmp.access_reduction()
+                    q.name,
+                    "yes",
+                    cmp.bounded_access,
+                    cmp.naive_access,
+                    cmp.access_reduction()
                 );
             } else {
-                println!("{:<24} {:>8} {:>14} {:>14} {:>10}", q.name, "no", "-", "-", "-");
+                println!(
+                    "{:<24} {:>8} {:>14} {:>14} {:>10}",
+                    q.name, "no", "-", "-", "-"
+                );
             }
         }
         println!(
@@ -225,7 +295,11 @@ fn e7_random() {
             max_key_size: 2,
         },
     );
-    println!("mined {} access constraints from a {}-tuple sample", mined.len(), db.size());
+    println!(
+        "mined {} access constraints from a {}-tuple sample",
+        mined.len(),
+        db.size()
+    );
 
     println!(
         "{:>8} {:>12} | {:>22} {:>26}",
@@ -258,10 +332,7 @@ fn e7_random() {
         }
         println!(
             "{:>8} {:>12.1} | {:>20}% {:>25}%",
-            atoms,
-            p,
-            evaluable,
-            rewritable
+            atoms, p, evaluable, rewritable
         );
     }
 }

@@ -9,7 +9,7 @@ use bqr_core::size_bounded::BoundedOutputOracle;
 use bqr_core::topped::{ToppedAnalysis, ToppedChecker};
 use bqr_data::{Database, FetchStats, IndexedDatabase};
 use bqr_plan::QueryPlan;
-use bqr_query::eval::eval_cq_counting;
+use bqr_query::eval::Evaluator;
 use bqr_query::{ConjunctiveQuery, MaterializedViews};
 use std::time::Instant;
 
@@ -31,20 +31,36 @@ pub struct Comparison {
 impl Comparison {
     /// Access reduction factor (naive / bounded).
     pub fn access_reduction(&self) -> f64 {
-        self.naive_access as f64 / self.bounded_access.max(1) as f64
+        guarded_ratio(self.naive_access as f64, self.bounded_access as f64)
     }
 
     /// Speed-up factor (naive / bounded wall-clock).
     pub fn speedup(&self) -> f64 {
-        self.naive_ms / self.bounded_ms.max(1e-6)
+        guarded_ratio(self.naive_ms, self.bounded_ms)
+    }
+}
+
+/// `naive / bounded` with one consistent guard for zero-ish denominators:
+/// `0/0` reports parity (`1.0`), a strictly positive numerator over a
+/// zero-ish denominator reports `+∞`.  Timings below a nanosecond and
+/// zero-tuple accesses both count as zero-ish, so `speedup` and
+/// `access_reduction` behave identically at the boundary instead of one
+/// clamping and the other dividing by an epsilon.
+pub(crate) fn guarded_ratio(naive: f64, bounded: f64) -> f64 {
+    const ZERO_ISH: f64 = 1e-9;
+    if bounded <= ZERO_ISH {
+        if naive <= ZERO_ISH {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        naive / bounded
     }
 }
 
 /// Build the runtime objects for a setting over one instance.
-pub fn prepare(
-    setting: &RewritingSetting,
-    db: Database,
-) -> (IndexedDatabase, MaterializedViews) {
+pub fn prepare(setting: &RewritingSetting, db: Database) -> (IndexedDatabase, MaterializedViews) {
     let cache = setting
         .views
         .materialize(&db)
@@ -79,8 +95,21 @@ pub fn plan_for(checker: &ToppedChecker<'_>, query: &ConjunctiveQuery) -> Topped
 }
 
 /// Execute one query both through a bounded plan and naively, asserting that
-/// the answers agree.
+/// the answers agree.  One-shot; use [`compare_with`] to share an
+/// [`Evaluator`]'s relation-index cache across a workload.
 pub fn compare(
+    query: &ConjunctiveQuery,
+    plan: &QueryPlan,
+    idb: &IndexedDatabase,
+    cache: &MaterializedViews,
+) -> Comparison {
+    compare_with(&Evaluator::new(), query, plan, idb, cache)
+}
+
+/// [`compare`] with a caller-provided evaluator, so repeated comparisons
+/// against the same instance reuse the naive engine's hash indexes.
+pub fn compare_with(
+    evaluator: &Evaluator,
     query: &ConjunctiveQuery,
     plan: &QueryPlan,
     idb: &IndexedDatabase,
@@ -92,7 +121,8 @@ pub fn compare(
 
     let t = Instant::now();
     let mut naive_stats = FetchStats::new();
-    let naive = eval_cq_counting(query, idb.database(), Some(cache), &mut naive_stats)
+    let naive = evaluator
+        .eval_cq_counting(query, idb.database(), Some(cache), &mut naive_stats)
         .expect("naive evaluation succeeds");
     let naive_ms = t.elapsed().as_secs_f64() * 1_000.0;
 
@@ -106,10 +136,224 @@ pub fn compare(
     }
 }
 
+/// The `hom` microbenchmark: the slot-based homomorphism engine with cached
+/// relation indexes versus the retained pre-refactor engine, on repeated
+/// containment checks (the dominant cost of the `A`-equivalence and exact
+/// VBRP procedures).  Shared by `benches/hom.rs` and the harness's `hom`
+/// mode, which persists the numbers to `BENCH_hom.json`.
+pub mod hom_bench {
+    use bqr_data::{DatabaseSchema, Relation};
+    use bqr_query::atom::Term;
+    use bqr_query::canonical::canonical_instance;
+    use bqr_query::containment::ContainmentChecker;
+    use bqr_query::hom::{reference, Assignment};
+    use bqr_query::parser::parse_cq;
+    use bqr_query::ConjunctiveQuery;
+    use bqr_workload::movies;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    /// One containment case: a `(q1, q2, schema)` triple plus the expected
+    /// verdict (asserted by both engines on every run).
+    pub struct ContainmentCase {
+        pub name: &'static str,
+        pub q1: ConjunctiveQuery,
+        pub q2: ConjunctiveQuery,
+        pub schema: DatabaseSchema,
+        pub expected: bool,
+    }
+
+    /// The measured result of one case.
+    #[derive(Debug, Clone)]
+    pub struct CaseResult {
+        pub name: &'static str,
+        pub repeats: usize,
+        /// Pre-refactor engine: canonical instance and hash indexes rebuilt
+        /// on every check (exactly what the old `cq_contained_in` did).
+        pub baseline_ms: f64,
+        /// Slot engine through a shared [`ContainmentChecker`]: canonical
+        /// instances memoised, indexes cached.
+        pub slot_cached_ms: f64,
+    }
+
+    impl CaseResult {
+        /// Wall-clock improvement factor (baseline / slot), with the same
+        /// zero-denominator convention as [`Comparison`](crate::Comparison).
+        pub fn speedup(&self) -> f64 {
+            crate::guarded_ratio(self.baseline_ms, self.slot_cached_ms)
+        }
+    }
+
+    fn path_query(len: usize) -> ConjunctiveQuery {
+        let mut body = String::from("Q() :- e(x0, x1)");
+        for i in 1..len {
+            body.push_str(&format!(", e(x{i}, x{})", i + 1));
+        }
+        parse_cq(&body).unwrap()
+    }
+
+    /// The benchmark's containment cases.
+    pub fn cases() -> Vec<ContainmentCase> {
+        let path_schema = DatabaseSchema::with_relations(&[("e", &["src", "dst"])]).unwrap();
+        let movie_unfolded = movies::views().unfold_cq(&movies::q_xi()).unwrap();
+        vec![
+            ContainmentCase {
+                name: "path6_in_path3",
+                q1: path_query(6),
+                q2: path_query(3),
+                schema: path_schema.clone(),
+                expected: true,
+            },
+            ContainmentCase {
+                name: "path3_not_in_path6",
+                q1: path_query(3),
+                q2: path_query(6),
+                schema: path_schema,
+                expected: false,
+            },
+            ContainmentCase {
+                name: "movie_q0_in_unfolded_rewriting",
+                q1: movies::q0(),
+                q2: movie_unfolded,
+                schema: movies::schema(),
+                expected: true,
+            },
+        ]
+    }
+
+    /// The pre-refactor containment test: fresh canonical instance, fresh
+    /// indexes, `BTreeMap`-driven search — per call.
+    pub fn reference_cq_contained_in(
+        q1: &ConjunctiveQuery,
+        q2: &ConjunctiveQuery,
+        schema: &DatabaseSchema,
+    ) -> bool {
+        let canon = canonical_instance(q1, schema).expect("benchmark queries are valid");
+        let mut initial = Assignment::new();
+        for (i, term) in q2.head().iter().enumerate() {
+            let want = &canon.summary[i];
+            match term {
+                Term::Const(c) => {
+                    if c != want {
+                        return false;
+                    }
+                }
+                Term::Var(v) => match initial.get(v) {
+                    Some(existing) if existing != want => return false,
+                    _ => {
+                        initial.insert(v.clone(), want.clone());
+                    }
+                },
+            }
+        }
+        let relations: BTreeMap<String, &Relation> = q2
+            .relation_names()
+            .into_iter()
+            .map(|name| {
+                let rel = canon.database.relation(&name).expect("base relations only");
+                (name, rel)
+            })
+            .collect();
+        reference::has_homomorphism(q2.atoms(), &relations, &initial)
+            .expect("benchmark searches succeed")
+    }
+
+    /// Run one case `repeats`× through both engines, asserting agreement.
+    pub fn run_case(case: &ContainmentCase, repeats: usize) -> CaseResult {
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let got = reference_cq_contained_in(&case.q1, &case.q2, &case.schema);
+            assert_eq!(
+                got, case.expected,
+                "baseline verdict changed on {}",
+                case.name
+            );
+        }
+        let baseline_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+        let checker = ContainmentChecker::new(&case.schema);
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let got = checker.cq_contained_in(&case.q1, &case.q2).unwrap();
+            assert_eq!(got, case.expected, "slot verdict changed on {}", case.name);
+        }
+        let slot_cached_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+        CaseResult {
+            name: case.name,
+            repeats,
+            baseline_ms,
+            slot_cached_ms,
+        }
+    }
+
+    /// Run every case and render the machine-readable report committed as
+    /// `BENCH_hom.json`.
+    pub fn report(repeats: usize) -> (Vec<CaseResult>, String) {
+        let results: Vec<CaseResult> = cases().iter().map(|c| run_case(c, repeats)).collect();
+        let mut json = String::from("{\n  \"bench\": \"hom\",\n  \"unit\": \"ms\",\n");
+        json.push_str(&format!("  \"repeats\": {repeats},\n  \"cases\": [\n"));
+        for (i, r) in results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"baseline_ms\": {:.3}, \"slot_cached_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+                r.name,
+                r.baseline_ms,
+                r.slot_cached_ms,
+                r.speedup(),
+                if i + 1 < results.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        (results, json)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bqr_workload::movies;
+
+    #[test]
+    fn ratio_guards_are_consistent() {
+        let cmp = Comparison {
+            bounded_access: 0,
+            naive_access: 0,
+            bounded_ms: 0.0,
+            naive_ms: 0.0,
+            answers: 0,
+        };
+        assert_eq!(cmp.access_reduction(), 1.0, "0/0 access is parity");
+        assert_eq!(cmp.speedup(), 1.0, "0/0 time is parity");
+        let cmp = Comparison {
+            bounded_access: 0,
+            naive_access: 10,
+            bounded_ms: 0.0,
+            naive_ms: 2.5,
+            answers: 1,
+        };
+        assert!(cmp.access_reduction().is_infinite());
+        assert!(cmp.speedup().is_infinite());
+        let cmp = Comparison {
+            bounded_access: 5,
+            naive_access: 10,
+            bounded_ms: 2.0,
+            naive_ms: 4.0,
+            answers: 1,
+        };
+        assert_eq!(cmp.access_reduction(), 2.0);
+        assert_eq!(cmp.speedup(), 2.0);
+    }
+
+    #[test]
+    fn hom_bench_engines_agree_and_report_renders() {
+        let (results, json) = hom_bench::report(3);
+        assert_eq!(results.len(), 3);
+        assert!(json.contains("\"bench\": \"hom\""));
+        assert!(json.contains("path6_in_path3"));
+        for r in &results {
+            assert!(r.speedup() > 0.0);
+        }
+    }
 
     #[test]
     fn compare_helper_round_trips_the_movie_example() {

@@ -74,10 +74,8 @@ mod tests {
         // boundedly evaluable (person/like have no constraints), with views
         // it is topped.  This is the paper's motivating gap.
         let setting = setting_with_view();
-        let q = parse_cq(
-            "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)",
-        )
-        .unwrap();
+        let q = parse_cq("Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)")
+            .unwrap();
         let with_views = ToppedChecker::new(&setting).analyze_cq(&q).unwrap();
         assert!(with_views.topped);
 
@@ -87,7 +85,10 @@ mod tests {
         )
         .unwrap();
         let without_views = boundedly_evaluable_cq(&setting, &q0).unwrap();
-        assert!(!without_views.topped, "Q0 is not boundedly evaluable under A0");
+        assert!(
+            !without_views.topped,
+            "Q0 is not boundedly evaluable under A0"
+        );
     }
 
     #[test]

@@ -48,9 +48,13 @@ mod tests {
 
     fn setting(m: usize) -> RewritingSetting {
         let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
-        let access = AccessSchema::new(vec![
-            AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap()
-        ]);
+        let access = AccessSchema::new(vec![AccessConstraint::new(
+            "rating",
+            &["mid"],
+            &["rank"],
+            1,
+        )
+        .unwrap()]);
         RewritingSetting::new(schema, access, ViewSet::empty(), m)
     }
 
@@ -65,7 +69,12 @@ mod tests {
     #[test]
     fn cq_to_larger_languages_finds_the_same_rewriting() {
         let q = parse_cq("Q(r) :- rating(42, r)").unwrap();
-        for target in [PlanLanguage::Cq, PlanLanguage::Ucq, PlanLanguage::PosFo, PlanLanguage::Fo] {
+        for target in [
+            PlanLanguage::Cq,
+            PlanLanguage::Ucq,
+            PlanLanguage::PosFo,
+            PlanLanguage::Fo,
+        ] {
             let inst = VbrpInstance::new(setting(3), q.clone());
             let outcome = decide_vbrp_cross(&inst, target).unwrap();
             assert!(outcome.has_rewriting(), "target {target}");

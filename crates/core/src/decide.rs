@@ -12,7 +12,8 @@ use crate::enumerate::{enumerate_plans, EnumerationOptions};
 use crate::problem::{Query, RewritingSetting, VbrpInstance};
 use crate::Result;
 use bqr_plan::{check_conformance, Conformance, PlanLanguage, QueryPlan};
-use bqr_query::aequiv::{ucq_a_contained_in, ucq_a_equivalent};
+use bqr_query::aequiv::{ucq_a_contained_in_with, ucq_a_equivalent_with};
+use bqr_query::containment::ContainmentChecker;
 use bqr_query::{ConjunctiveQuery, QueryError, UnionQuery};
 
 /// The outcome of an exact decision.
@@ -70,7 +71,9 @@ pub fn decide_vbrp(instance: &VbrpInstance, target: PlanLanguage) -> Result<Deci
             )))
         }
         Err(QueryError::BudgetExceeded(what)) => {
-            return Ok(DecisionOutcome::Unknown(format!("budget exceeded while {what}")))
+            return Ok(DecisionOutcome::Unknown(format!(
+                "budget exceeded while {what}"
+            )))
         }
         Err(e) => return Err(e.into()),
     };
@@ -83,16 +86,22 @@ pub fn decide_vbrp(instance: &VbrpInstance, target: PlanLanguage) -> Result<Deci
     let candidates = match enumerate_plans(setting, &options, &setting.budget) {
         Ok(c) => c,
         Err(QueryError::BudgetExceeded(what)) => {
-            return Ok(DecisionOutcome::Unknown(format!("budget exceeded while {what}")))
+            return Ok(DecisionOutcome::Unknown(format!(
+                "budget exceeded while {what}"
+            )))
         }
         Err(e) => return Err(e.into()),
     };
 
+    // One containment checker for the whole search: every candidate is
+    // tested against the same query, so canonical instances and relation
+    // indexes are shared across the loop.
+    let checker = ContainmentChecker::new(&setting.schema);
     for plan in candidates {
         if plan.arity() != instance.query.arity() {
             continue;
         }
-        if equivalent_to_query(&plan, &query_ucq, setting)? {
+        if equivalent_to_query(&checker, &plan, &query_ucq, setting)? {
             // Conformance is checked second: it is the more expensive test and
             // most candidates fail equivalence first.
             let conf = check_conformance(
@@ -146,17 +155,18 @@ fn max_arity_for(instance: &VbrpInstance) -> usize {
 
 /// Is `plan` `A`-equivalent to the query (after unfolding views)?
 fn equivalent_to_query(
+    checker: &ContainmentChecker<'_>,
     plan: &QueryPlan,
     query: &UnionQuery,
     setting: &RewritingSetting,
 ) -> Result<bool> {
     match plan_as_unfolded_ucq(plan, setting)? {
         None => Ok(false),
-        Some(plan_ucq) => Ok(ucq_a_equivalent(
+        Some(plan_ucq) => Ok(ucq_a_equivalent_with(
+            checker,
             &plan_ucq,
             query,
             &setting.access,
-            &setting.schema,
             &setting.budget,
         )?),
     }
@@ -210,12 +220,16 @@ pub fn decide_acq_by_maximum_plan(
     let candidates = match enumerate_plans(setting, &options, &setting.budget) {
         Ok(c) => c,
         Err(QueryError::BudgetExceeded(what)) => {
-            return Ok(DecisionOutcome::Unknown(format!("budget exceeded while {what}")))
+            return Ok(DecisionOutcome::Unknown(format!(
+                "budget exceeded while {what}"
+            )))
         }
         Err(e) => return Err(e.into()),
     };
 
     // Step (1)–(3) of AlgMP: keep the conforming plans ξ with ξ ⊑_A Q.
+    // The checker is shared across all phases of the algorithm.
+    let checker = ContainmentChecker::new(&setting.schema);
     let mut sound: Vec<(QueryPlan, UnionQuery)> = Vec::new();
     for plan in candidates {
         if plan.arity() != cq.arity() {
@@ -224,7 +238,13 @@ pub fn decide_acq_by_maximum_plan(
         let Some(plan_ucq) = plan_as_unfolded_ucq(&plan, setting)? else {
             continue;
         };
-        if !ucq_a_contained_in(&plan_ucq, &query_ucq, &setting.access, &setting.schema, &setting.budget)? {
+        if !ucq_a_contained_in_with(
+            &checker,
+            &plan_ucq,
+            &query_ucq,
+            &setting.access,
+            &setting.budget,
+        )? {
             continue;
         }
         let conf = check_conformance(
@@ -249,18 +269,18 @@ pub fn decide_acq_by_maximum_plan(
             if i == j {
                 continue;
             }
-            let i_in_j = ucq_a_contained_in(
+            let i_in_j = ucq_a_contained_in_with(
+                &checker,
                 &sound[i].1,
                 &sound[j].1,
                 &setting.access,
-                &setting.schema,
                 &setting.budget,
             )?;
-            let j_in_i = ucq_a_contained_in(
+            let j_in_i = ucq_a_contained_in_with(
+                &checker,
                 &sound[j].1,
                 &sound[i].1,
                 &setting.access,
-                &setting.schema,
                 &setting.budget,
             )?;
             if i_in_j && !j_in_i {
@@ -273,21 +293,21 @@ pub fn decide_acq_by_maximum_plan(
     // Step (5): all maximal plans must be A-equivalent; then test Q ⊑_A ξ.
     let first = maximal[0];
     for &other in &maximal[1..] {
-        if !ucq_a_equivalent(
+        if !ucq_a_equivalent_with(
+            &checker,
             &sound[first].1,
             &sound[other].1,
             &setting.access,
-            &setting.schema,
             &setting.budget,
         )? {
             return Ok(DecisionOutcome::NoRewriting);
         }
     }
-    let complete = ucq_a_contained_in(
+    let complete = ucq_a_contained_in_with(
+        &checker,
         &query_ucq,
         &sound[first].1,
         &setting.access,
-        &setting.schema,
         &setting.budget,
     )?;
     if complete {
@@ -310,9 +330,13 @@ mod tests {
     }
 
     fn rating_access() -> AccessSchema {
-        AccessSchema::new(vec![
-            AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap()
-        ])
+        AccessSchema::new(vec![AccessConstraint::new(
+            "rating",
+            &["mid"],
+            &["rank"],
+            1,
+        )
+        .unwrap()])
     }
 
     /// Q(r) :- rating(42, r) has a 3-node rewriting: fetch rank for mid 42.
@@ -351,7 +375,9 @@ mod tests {
         assert!(matches!(outcome, DecisionOutcome::NoRewriting));
 
         let mut views = ViewSet::empty();
-        views.add_cq("V", parse_cq("V(m) :- rating(m, 5)").unwrap()).unwrap();
+        views
+            .add_cq("V", parse_cq("V(m) :- rating(m, 5)").unwrap())
+            .unwrap();
         let with = RewritingSetting::new(rating_schema(), rating_access(), views, 3);
         let outcome = decide_vbrp(&VbrpInstance::new(with, q), PlanLanguage::Cq).unwrap();
         let plan = outcome.plan().expect("the view itself is the rewriting");
@@ -380,7 +406,10 @@ mod tests {
         let q = parse_cq("Q() :- rating(m, 1), rating(m, 2)").unwrap();
         // Under rating(mid → rank, 1) the query is unsatisfiable.
         let setting = RewritingSetting::new(schema.clone(), access.clone(), ViewSet::empty(), 3);
-        let query_ucq = Query::from(q.clone()).to_ucq(&setting.budget).unwrap().unwrap();
+        let query_ucq = Query::from(q.clone())
+            .to_ucq(&setting.budget)
+            .unwrap()
+            .unwrap();
         // Sanity: it is indeed unsatisfiable under A (no element queries).
         assert!(bqr_query::element::element_queries(
             &query_ucq.disjuncts()[0],
@@ -413,7 +442,9 @@ mod tests {
         let setting2 = RewritingSetting::new(rating_schema(), rating_access(), ViewSet::empty(), 3);
         let q2 = parse_cq("Q(m) :- rating(m, 5)").unwrap();
         let inst2 = VbrpInstance::new(setting2, q2);
-        assert!(!decide_acq_by_maximum_plan(&inst2, PlanLanguage::Cq).unwrap().has_rewriting());
+        assert!(!decide_acq_by_maximum_plan(&inst2, PlanLanguage::Cq)
+            .unwrap()
+            .has_rewriting());
 
         // Non-CQ input is rejected by AlgACQ.
         let setting3 = RewritingSetting::new(rating_schema(), rating_access(), ViewSet::empty(), 2);

@@ -44,10 +44,10 @@ pub fn enumerate_plans(
     let mut total = 0usize;
 
     let push = |node: PlanNode,
-                    size: usize,
-                    by_size: &mut Vec<Vec<PlanNode>>,
-                    seen: &mut BTreeSet<String>,
-                    total: &mut usize|
+                size: usize,
+                by_size: &mut Vec<Vec<PlanNode>>,
+                seen: &mut BTreeSet<String>,
+                total: &mut usize|
      -> Result<(), QueryError> {
         if size > m || node.arity() > options.max_arity {
             return Ok(());
@@ -57,7 +57,11 @@ pub fn enumerate_plans(
             return Ok(());
         }
         *total += 1;
-        Budget::check(*total, budget.max_candidate_plans, "enumerating candidate plans")?;
+        Budget::check(
+            *total,
+            budget.max_candidate_plans,
+            "enumerating candidate plans",
+        )?;
         by_size[size].push(node);
         Ok(())
     };
@@ -270,11 +274,17 @@ mod tests {
 
     fn setting(m: usize) -> RewritingSetting {
         let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
-        let access = AccessSchema::new(vec![
-            AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap()
-        ]);
+        let access = AccessSchema::new(vec![AccessConstraint::new(
+            "rating",
+            &["mid"],
+            &["rank"],
+            1,
+        )
+        .unwrap()]);
         let mut views = ViewSet::empty();
-        views.add_cq("V", parse_cq("V(m) :- rating(m, 5)").unwrap()).unwrap();
+        views
+            .add_cq("V", parse_cq("V(m) :- rating(m, 5)").unwrap())
+            .unwrap();
         RewritingSetting::new(schema, access, views, m)
     }
 

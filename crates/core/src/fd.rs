@@ -9,7 +9,7 @@
 use crate::Result;
 use bqr_data::{AccessSchema, DatabaseSchema};
 use bqr_query::chase::{chase_fds, ChaseResult};
-use bqr_query::containment::cq_contained_in;
+use bqr_query::containment::ContainmentChecker;
 use bqr_query::ConjunctiveQuery;
 
 /// Decide `q1 ⊑_A q2` when `A` consists of FDs only, via the chase.
@@ -19,10 +19,23 @@ pub fn fd_a_contained_in(
     access: &AccessSchema,
     schema: &DatabaseSchema,
 ) -> Result<bool> {
+    let checker = ContainmentChecker::new(schema);
+    fd_a_contained_in_with(&checker, q1, q2, access)
+}
+
+/// [`fd_a_contained_in`] against a caller-provided [`ContainmentChecker`],
+/// so chase-based containment sequences share canonical instances and
+/// relation indexes.
+pub fn fd_a_contained_in_with(
+    checker: &ContainmentChecker<'_>,
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    access: &AccessSchema,
+) -> Result<bool> {
     debug_assert!(access.is_fd_only(), "the chase shortcut requires FDs only");
-    match chase_fds(q1, access, schema)? {
+    match chase_fds(q1, access, checker.schema())? {
         ChaseResult::Inconsistent => Ok(true),
-        ChaseResult::Chased(chased) => Ok(cq_contained_in(&chased, q2, schema)?),
+        ChaseResult::Chased(chased) => Ok(checker.cq_contained_in(&chased, q2)?),
     }
 }
 
@@ -33,8 +46,9 @@ pub fn fd_a_equivalent(
     access: &AccessSchema,
     schema: &DatabaseSchema,
 ) -> Result<bool> {
-    Ok(fd_a_contained_in(q1, q2, access, schema)?
-        && fd_a_contained_in(q2, q1, access, schema)?)
+    let checker = ContainmentChecker::new(schema);
+    Ok(fd_a_contained_in_with(&checker, q1, q2, access)?
+        && fd_a_contained_in_with(&checker, q2, q1, access)?)
 }
 
 #[cfg(test)]
@@ -59,7 +73,7 @@ mod tests {
         // even though classical containment fails.
         let q1 = parse_cq("Q() :- r(x, y1), r(x, y2), s(y1, y2)").unwrap();
         let q2 = parse_cq("Q() :- r(x, y), s(y, y)").unwrap();
-        assert!(!cq_contained_in(&q1, &q2, &schema()).unwrap());
+        assert!(!bqr_query::containment::cq_contained_in(&q1, &q2, &schema()).unwrap());
         assert!(fd_a_contained_in(&q1, &q2, &fds(), &schema()).unwrap());
         assert!(fd_a_equivalent(&q1, &q2, &fds(), &schema()).unwrap());
     }
@@ -76,7 +90,10 @@ mod tests {
     fn chase_shortcut_agrees_with_element_query_procedure() {
         let access = fds();
         let cases = [
-            ("Q(x) :- r(x, y), r(x, z), s(y, z)", "Q(x) :- r(x, y), s(y, y)"),
+            (
+                "Q(x) :- r(x, y), r(x, z), s(y, z)",
+                "Q(x) :- r(x, y), s(y, y)",
+            ),
             ("Q(x) :- r(x, y)", "Q(x) :- r(x, y), r(x, z)"),
             ("Q() :- r(1, y)", "Q() :- r(1, 2)"),
             ("Q(x) :- r(x, 1)", "Q(x) :- r(x, y)"),
@@ -85,9 +102,14 @@ mod tests {
             let qa = parse_cq(a).unwrap();
             let qb = parse_cq(b).unwrap();
             let via_chase = fd_a_contained_in(&qa, &qb, &access, &schema()).unwrap();
-            let via_elements =
-                bqr_query::aequiv::cq_a_contained_in(&qa, &qb, &access, &schema(), &Budget::generous())
-                    .unwrap();
+            let via_elements = bqr_query::aequiv::cq_a_contained_in(
+                &qa,
+                &qb,
+                &access,
+                &schema(),
+                &Budget::generous(),
+            )
+            .unwrap();
             assert_eq!(via_chase, via_elements, "disagreement on {a} ⊑ {b}");
             let eq_chase = fd_a_equivalent(&qa, &qb, &access, &schema()).unwrap();
             let eq_elements =

@@ -147,7 +147,9 @@ impl RewritingSetting {
 
     /// Validate that access schema and views are well formed over the schema.
     pub fn validate(&self) -> crate::Result<()> {
-        self.access.validate(&self.schema).map_err(bqr_query::QueryError::from)?;
+        self.access
+            .validate(&self.schema)
+            .map_err(bqr_query::QueryError::from)?;
         self.views.validate(&self.schema)?;
         Ok(())
     }
@@ -226,16 +228,21 @@ mod tests {
     fn setting_validation() {
         let setting = RewritingSetting::new(
             schema(),
-            AccessSchema::new(vec![bqr_data::AccessConstraint::fd("r", &["a"], &["b"]).unwrap()]),
+            AccessSchema::new(vec![
+                bqr_data::AccessConstraint::fd("r", &["a"], &["b"]).unwrap()
+            ]),
             ViewSet::empty(),
             5,
         );
         assert!(setting.validate().is_ok());
         let bad = RewritingSetting::new(
             schema(),
-            AccessSchema::new(vec![
-                bqr_data::AccessConstraint::fd("missing", &["a"], &["b"]).unwrap()
-            ]),
+            AccessSchema::new(vec![bqr_data::AccessConstraint::fd(
+                "missing",
+                &["a"],
+                &["b"],
+            )
+            .unwrap()]),
             ViewSet::empty(),
             5,
         );

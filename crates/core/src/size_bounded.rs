@@ -100,9 +100,7 @@ pub fn size_bounded_bound(query: &FoQuery) -> Option<usize> {
         return None;
     };
     match guard.as_ref() {
-        Fo::Forall(vars, _) if arity > 0 && vars.len() % arity == 0 => {
-            Some(vars.len() / arity - 1)
-        }
+        Fo::Forall(vars, _) if arity > 0 && vars.len() % arity == 0 => Some(vars.len() / arity - 1),
         Fo::Not(_) => Some(0),
         _ => None,
     }
@@ -146,12 +144,10 @@ impl BoundedOutputOracle {
         }
         let def = views.get(name)?;
         match def {
-            ViewDefinition::Cq(q) => {
-                match cq_output(q, &self.access, &self.schema, &self.budget) {
-                    Ok(OutputBound::Bounded(n)) => Some(n),
-                    _ => None,
-                }
-            }
+            ViewDefinition::Cq(q) => match cq_output(q, &self.access, &self.schema, &self.budget) {
+                Ok(OutputBound::Bounded(n)) => Some(n),
+                _ => None,
+            },
             ViewDefinition::Ucq(q) => {
                 match ucq_output(q, &self.access, &self.schema, &self.budget) {
                     Ok(OutputBound::Bounded(n)) => Some(n),
@@ -196,7 +192,11 @@ mod tests {
     #[test]
     fn make_and_recognise_size_bounded() {
         let inner = FoQuery::from_cq(&parse_cq("Q(x) :- r(x, y)").unwrap());
-        assert_eq!(size_bounded_bound(&inner), None, "plain queries are not size-bounded");
+        assert_eq!(
+            size_bounded_bound(&inner),
+            None,
+            "plain queries are not size-bounded"
+        );
         let sb = make_size_bounded(&inner, 2);
         assert_eq!(size_bounded_bound(&sb), Some(2));
         let sb0 = make_size_bounded(&inner, 0);
@@ -221,19 +221,25 @@ mod tests {
         let mut big = small.clone();
         big.insert("r", tuple![3, 30]).unwrap();
         assert_eq!(eval_fo(&inner, &big, None).unwrap().len(), 3);
-        assert!(eval_fo(&sb, &big, None).unwrap().is_empty(), "guard fails, query collapses");
+        assert!(
+            eval_fo(&sb, &big, None).unwrap().is_empty(),
+            "guard fails, query collapses"
+        );
     }
 
     #[test]
     fn oracle_prefers_annotations_then_analysis() {
-        let access = AccessSchema::new(vec![
-            AccessConstraint::new("r", &["a"], &["b"], 3).unwrap()
-        ]);
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 3).unwrap()]);
         let mut views = ViewSet::empty();
         // Bounded: r-values for a fixed key.
-        views.add_cq("Vb", parse_cq("V(y) :- r(1, y)").unwrap()).unwrap();
+        views
+            .add_cq("Vb", parse_cq("V(y) :- r(1, y)").unwrap())
+            .unwrap();
         // Unbounded: all keys.
-        views.add_cq("Vu", parse_cq("V(x) :- r(x, y)").unwrap()).unwrap();
+        views
+            .add_cq("Vu", parse_cq("V(x) :- r(x, y)").unwrap())
+            .unwrap();
         // A UCQ view made of two bounded disjuncts.
         views
             .add_ucq(
@@ -257,7 +263,11 @@ mod tests {
         assert_eq!(oracle.view_bound("missing", &views), None);
 
         oracle.annotate_view("Vu", 5000);
-        assert_eq!(oracle.view_bound("Vu", &views), Some(5000), "annotations win");
+        assert_eq!(
+            oracle.view_bound("Vu", &views),
+            Some(5000),
+            "annotations win"
+        );
         assert_eq!(oracle.access().len(), 1);
         assert_eq!(oracle.schema().len(), 1);
     }

@@ -162,7 +162,11 @@ impl<'a> ToppedChecker<'a> {
     }
 
     /// Project the final fragment onto the query head.
-    fn finish_head(&self, fragment: Fragment, head: &[Term]) -> std::result::Result<Fragment, String> {
+    fn finish_head(
+        &self,
+        fragment: Fragment,
+        head: &[Term],
+    ) -> std::result::Result<Fragment, String> {
         let mut fragment = fragment;
         let mut columns = Vec::with_capacity(head.len());
         for t in head {
@@ -256,11 +260,11 @@ impl<'a> ToppedChecker<'a> {
                     Ok(fragment)
                 } else {
                     // The condition is unsatisfiable: an empty selection.
-                    fragment.plan = fragment
-                        .plan
-                        .select(vec![SelectCondition::ColNeCol(0, 0)]);
+                    fragment.plan = fragment.plan.select(vec![SelectCondition::ColNeCol(0, 0)]);
                     if fragment.columns.is_empty() {
-                        return Err("a contradictory constant condition on a Boolean context".into());
+                        return Err(
+                            "a contradictory constant condition on a Boolean context".into()
+                        );
                     }
                     fragment.output_bound = Some(0);
                     Ok(fragment)
@@ -389,7 +393,7 @@ impl<'a> ToppedChecker<'a> {
         // Keep only meaningful columns: the context columns plus first
         // occurrences of new variables.
         let keep: Vec<usize> = (0..fragment.columns.len())
-            .filter(|&i| i < qs_arity || atom.args().get(i - qs_arity).map_or(false, |t| {
+            .filter(|&i| i < qs_arity || atom.args().get(i - qs_arity).is_some_and(|t| {
                 matches!(t, Term::Var(v) if qs.column_of(v).is_none() && seen.get(v.as_str()) == Some(&(i - qs_arity)))
             }))
             .collect();
@@ -506,9 +510,13 @@ impl<'a> ToppedChecker<'a> {
             // Every X attribute must be bound: by a constant in the atom or by
             // a context column; and the context must have bounded output
             // unless X is empty (case 7a).
-            let x_positions: Vec<usize> = match rel_schema
-                .positions(&constraint.x().iter().map(String::as_str).collect::<Vec<_>>())
-            {
+            let x_positions: Vec<usize> = match rel_schema.positions(
+                &constraint
+                    .x()
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>(),
+            ) {
                 Ok(p) => p,
                 Err(_) => continue 'constraints,
             };
@@ -532,9 +540,8 @@ impl<'a> ToppedChecker<'a> {
                 .any(|k| matches!(k, KeySource::ContextColumn(_)));
             let context_bound = qs.output_bound;
             if needs_context && context_bound.is_none() {
-                last_reason = format!(
-                    "the context feeding fetch[{constraint}] does not have bounded output"
-                );
+                last_reason =
+                    format!("the context feeding fetch[{constraint}] does not have bounded output");
                 continue 'constraints;
             }
             if !needs_context && constraint.x().is_empty() {
@@ -565,7 +572,9 @@ impl<'a> ToppedChecker<'a> {
             let mut conditions = Vec::new();
             let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
             for (j, attr) in xy.iter().enumerate() {
-                let pos = rel_schema.position(attr).expect("attribute of the relation");
+                let pos = rel_schema
+                    .position(attr)
+                    .expect("attribute of the relation");
                 match &atom.args()[pos] {
                     Term::Const(c) => {
                         conditions.push(SelectCondition::ColEqConst(j, c.clone()));
@@ -647,9 +656,7 @@ impl<'a> ToppedChecker<'a> {
             };
             let fetched_tuples = probes.saturating_mul(constraint.n());
             fragment.fetch_bound = qs.fetch_bound.saturating_add(fetched_tuples);
-            fragment.output_bound = qs
-                .output_bound
-                .map(|b| b.saturating_mul(constraint.n()));
+            fragment.output_bound = qs.output_bound.map(|b| b.saturating_mul(constraint.n()));
             return Ok(fragment);
         }
         Err(last_reason)
@@ -747,7 +754,7 @@ impl<'a> ToppedChecker<'a> {
     ) -> std::result::Result<Fragment, String> {
         if a.free_variables() != b.free_variables() {
             return Err(
-                "the two sides of a disjunction must have the same free variables".to_string()
+                "the two sides of a disjunction must have the same free variables".to_string(),
             );
         }
         let left = self.build(qs, a, live)?;
@@ -805,12 +812,7 @@ fn live_variables(body: &Fo, head: &[Term]) -> BTreeSet<String> {
         .iter()
         .filter_map(|t| t.as_var().map(str::to_string))
         .collect();
-    live.extend(
-        counts
-            .into_iter()
-            .filter(|(_, c)| *c >= 2)
-            .map(|(v, _)| v),
-    );
+    live.extend(counts.into_iter().filter(|(_, c)| *c >= 2).map(|(v, _)| v));
     live
 }
 
@@ -904,8 +906,10 @@ mod tests {
         db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
         db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
         db.insert("person", tuple![3, "Cat", "ESA"]).unwrap();
-        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"]).unwrap();
-        db.insert("movie", tuple![11, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("movie", tuple![11, "Ouija", "Universal", "2014"])
+            .unwrap();
         db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
         db.insert("rating", tuple![10, 5]).unwrap();
         db.insert("rating", tuple![11, 3]).unwrap();
@@ -919,7 +923,8 @@ mod tests {
     /// Q0 is NOT topped without the view: person/like cannot be fetched.
     #[test]
     fn q0_without_views_is_not_topped() {
-        let setting = RewritingSetting::new(movie_schema(), movie_access(100), ViewSet::empty(), 20);
+        let setting =
+            RewritingSetting::new(movie_schema(), movie_access(100), ViewSet::empty(), 20);
         let checker = ToppedChecker::new(&setting);
         let analysis = checker.analyze_cq(&q0()).unwrap();
         assert!(!analysis.topped);
@@ -933,10 +938,9 @@ mod tests {
     fn example_2_3_rewriting_is_topped_and_correct() {
         let setting = RewritingSetting::new(movie_schema(), movie_access(100), v1_views(), 40);
         let checker = ToppedChecker::new(&setting);
-        let q_xi = parse_cq(
-            "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)",
-        )
-        .unwrap();
+        let q_xi =
+            parse_cq("Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)")
+                .unwrap();
         let analysis = checker.analyze_cq(&q_xi).unwrap();
         assert!(analysis.topped, "{:?}", analysis.reason);
         let plan = analysis.plan.clone().unwrap();
@@ -970,13 +974,15 @@ mod tests {
     fn bound_m_is_enforced() {
         let setting = RewritingSetting::new(movie_schema(), movie_access(100), v1_views(), 3);
         let checker = ToppedChecker::new(&setting);
-        let q_xi = parse_cq(
-            "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)",
-        )
-        .unwrap();
+        let q_xi =
+            parse_cq("Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)")
+                .unwrap();
         let analysis = checker.analyze_cq(&q_xi).unwrap();
         assert!(!analysis.topped);
-        assert!(analysis.plan.is_some(), "a plan exists, it is just too large");
+        assert!(
+            analysis.plan.is_some(),
+            "a plan exists, it is just too large"
+        );
         assert!(analysis.plan_size.unwrap() > 3);
         assert!(analysis.reason.unwrap().contains("exceeding the bound"));
     }
@@ -1007,8 +1013,11 @@ mod tests {
         assert!(!analysis.topped, "{:?}", analysis.plan_size);
 
         // Declaring |V2(D)| ≤ 50 makes the same query topped.
-        let mut oracle =
-            BoundedOutputOracle::new(setting.schema.clone(), setting.access.clone(), setting.budget);
+        let mut oracle = BoundedOutputOracle::new(
+            setting.schema.clone(),
+            setting.access.clone(),
+            setting.budget,
+        );
         oracle.annotate_view("V2", 50);
         let checker = ToppedChecker::with_oracle(&setting, oracle);
         let analysis = checker.analyze_cq(&q2).unwrap();
@@ -1030,7 +1039,8 @@ mod tests {
     /// rating is not 5, via a fetch and a set difference.
     #[test]
     fn negation_is_handled_by_difference() {
-        let setting = RewritingSetting::new(movie_schema(), movie_access(100), ViewSet::empty(), 40);
+        let setting =
+            RewritingSetting::new(movie_schema(), movie_access(100), ViewSet::empty(), 40);
         let checker = ToppedChecker::new(&setting);
         // Q(m) = ∃n (movie(m, n, 'Universal', '2014')) ∧ ¬ rating(m, 5)
         let body = Fo::and(
@@ -1061,7 +1071,11 @@ mod tests {
         let idb = IndexedDatabase::build(db.clone(), movie_access(100)).unwrap();
         let out = execute(&plan, &idb, &bqr_query::MaterializedViews::empty()).unwrap();
         assert_eq!(out.tuples, eval_fo(&q, &db, None).unwrap());
-        assert_eq!(out.tuples, vec![tuple![11]], "Ouija is Universal/2014 but rated 3");
+        assert_eq!(
+            out.tuples,
+            vec![tuple![11]],
+            "Ouija is Universal/2014 but rated 3"
+        );
     }
 
     /// Disjunction: movies of either studio, both branches bounded.
@@ -1076,14 +1090,24 @@ mod tests {
                 vec!["n".into(), "r".into()],
                 Fo::Atom(Atom::new(
                     "movie",
-                    vec![Term::var("m"), Term::var("n"), Term::cnst("Universal"), Term::var("r")],
+                    vec![
+                        Term::var("m"),
+                        Term::var("n"),
+                        Term::cnst("Universal"),
+                        Term::var("r"),
+                    ],
                 )),
             ),
             Fo::exists(
                 vec!["n2".into(), "r2".into()],
                 Fo::Atom(Atom::new(
                     "movie",
-                    vec![Term::var("m"), Term::var("n2"), Term::cnst("WB"), Term::var("r2")],
+                    vec![
+                        Term::var("m"),
+                        Term::var("n2"),
+                        Term::cnst("WB"),
+                        Term::var("r2"),
+                    ],
                 )),
             ),
         );
@@ -1093,8 +1117,12 @@ mod tests {
 
         let db = movie_instance();
         let idb = IndexedDatabase::build(db.clone(), access).unwrap();
-        let out = execute(&analysis.plan.unwrap(), &idb, &bqr_query::MaterializedViews::empty())
-            .unwrap();
+        let out = execute(
+            &analysis.plan.unwrap(),
+            &idb,
+            &bqr_query::MaterializedViews::empty(),
+        )
+        .unwrap();
         assert_eq!(out.tuples, eval_fo(&q, &db, None).unwrap());
         assert_eq!(out.tuples.len(), 3);
     }

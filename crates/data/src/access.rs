@@ -30,12 +30,7 @@ impl AccessConstraint {
     ///
     /// `x` may be empty (the constraint then bounds the whole relation's
     /// `Y`-projection, as in `R(∅ → Y, N)`); `y` must not be empty.
-    pub fn new(
-        relation: impl Into<String>,
-        x: &[&str],
-        y: &[&str],
-        n: usize,
-    ) -> Result<Self> {
+    pub fn new(relation: impl Into<String>, x: &[&str], y: &[&str], n: usize) -> Result<Self> {
         if y.is_empty() {
             return Err(DataError::InvalidConstraint(
                 "the Y attribute set of an access constraint must be non-empty".to_string(),
@@ -162,7 +157,13 @@ impl fmt::Display for AccessConstraint {
         } else {
             self.x.join(",")
         };
-        write!(f, "{}(({xs}) -> ({}), {})", self.relation, self.y.join(","), self.n)
+        write!(
+            f,
+            "{}(({xs}) -> ({}), {})",
+            self.relation,
+            self.y.join(","),
+            self.n
+        )
     }
 }
 
@@ -244,7 +245,9 @@ impl AccessSchema {
         &'a self,
         relation: &'a str,
     ) -> impl Iterator<Item = &'a AccessConstraint> + 'a {
-        self.constraints.iter().filter(move |c| c.relation() == relation)
+        self.constraints
+            .iter()
+            .filter(move |c| c.relation() == relation)
     }
 
     /// True if every constraint is a functional dependency (`N = 1`) — the
@@ -280,7 +283,11 @@ impl AccessSchema {
     /// The maximum bound `N` appearing in the schema (0 if empty); used to
     /// derive worst-case fetch sizes for plan cost estimates.
     pub fn max_bound(&self) -> usize {
-        self.constraints.iter().map(AccessConstraint::n).max().unwrap_or(0)
+        self.constraints
+            .iter()
+            .map(AccessConstraint::n)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -355,14 +362,17 @@ mod tests {
     fn satisfaction_of_example_1_1() {
         let (schema, access) = movie_setting();
         let mut db = Database::empty(schema);
-        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"]).unwrap();
-        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"])
+            .unwrap();
         db.insert("rating", tuple![1, 5]).unwrap();
         db.insert("rating", tuple![2, 3]).unwrap();
         assert!(access.satisfied_by(&db).unwrap());
 
         // A third Universal/2014 movie breaks φ1 = movie((studio,release) → mid, 2).
-        db.insert("movie", tuple![3, "Dracula", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![3, "Dracula", "Universal", "2014"])
+            .unwrap();
         let violations = access.violations(&db).unwrap();
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].distinct_y, 3);

@@ -67,7 +67,11 @@ impl Database {
     }
 
     /// Insert a tuple given as convertible values.
-    pub fn insert_values<V: Into<Value>>(&mut self, relation: &str, values: Vec<V>) -> Result<bool> {
+    pub fn insert_values<V: Into<Value>>(
+        &mut self,
+        relation: &str,
+        values: Vec<V>,
+    ) -> Result<bool> {
         self.relation_mut(relation)?.insert_values(values)
     }
 
@@ -125,8 +129,10 @@ mod tests {
         ])
         .unwrap();
         let mut db = Database::empty(schema);
-        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"]).unwrap();
-        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"])
+            .unwrap();
         db.insert("rating", tuple![1, 5]).unwrap();
         db.insert("rating", tuple![2, 3]).unwrap();
         db

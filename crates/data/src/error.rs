@@ -35,12 +35,18 @@ impl fmt::Display for DataError {
             DataError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` is declared more than once")
             }
-            DataError::DuplicateAttribute { relation, attribute } => write!(
+            DataError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(
                 f,
                 "attribute `{attribute}` is declared more than once in relation `{relation}`"
             ),
             DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
-            DataError::UnknownAttribute { relation, attribute } => {
+            DataError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "relation `{relation}` has no attribute `{attribute}`")
             }
             DataError::ArityMismatch {
@@ -93,7 +99,10 @@ mod tests {
                 "arity 3",
             ),
             (DataError::InvalidConstraint("bad".into()), "bad"),
-            (DataError::NoIndexForConstraint("r(X->Y,2)".into()), "r(X->Y,2)"),
+            (
+                DataError::NoIndexForConstraint("r(X->Y,2)".into()),
+                "r(X->Y,2)",
+            ),
         ];
         for (err, needle) in cases {
             assert!(

@@ -105,7 +105,11 @@ impl IndexedDatabase {
             .constraints()
             .map(|c| AccessIndex::build(c, &db))
             .collect::<Result<Vec<_>>>()?;
-        Ok(IndexedDatabase { db, access, indexes })
+        Ok(IndexedDatabase {
+            db,
+            access,
+            indexes,
+        })
     }
 
     /// The underlying database.
@@ -163,8 +167,10 @@ mod tests {
         ])
         .unwrap();
         let mut db = Database::empty(schema);
-        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"]).unwrap();
-        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("movie", tuple![2, "Ouija", "Universal", "2014"])
+            .unwrap();
         db.insert("movie", tuple![3, "Her", "WB", "2013"]).unwrap();
         db.insert("rating", tuple![1, 5]).unwrap();
         db.insert("rating", tuple![2, 3]).unwrap();
@@ -187,7 +193,9 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert!(hits.contains(&tuple!["Universal", "2014", 1]));
         assert!(hits.contains(&tuple!["Universal", "2014", 2]));
-        assert!(idx.probe(&[Value::str("MGM"), Value::str("1999")]).is_empty());
+        assert!(idx
+            .probe(&[Value::str("MGM"), Value::str("1999")])
+            .is_empty());
     }
 
     #[test]
@@ -210,7 +218,11 @@ mod tests {
         assert!(idb.satisfies_access_schema().unwrap());
         let mut stats = FetchStats::new();
         let hits = idb
-            .fetch(0, &[Value::str("Universal"), Value::str("2014")], &mut stats)
+            .fetch(
+                0,
+                &[Value::str("Universal"), Value::str("2014")],
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(hits.len(), 2);
         let hits = idb.fetch(1, &[Value::int(1)], &mut stats).unwrap();
@@ -234,9 +246,13 @@ mod tests {
     #[test]
     fn build_rejects_invalid_constraints() {
         let (db, _) = movie_db();
-        let access = AccessSchema::new(vec![
-            AccessConstraint::new("movie", &["studio"], &["director"], 1).unwrap()
-        ]);
+        let access = AccessSchema::new(vec![AccessConstraint::new(
+            "movie",
+            &["studio"],
+            &["director"],
+            1,
+        )
+        .unwrap()]);
         assert!(IndexedDatabase::build(db, access).is_err());
     }
 

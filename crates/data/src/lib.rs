@@ -14,6 +14,10 @@
 //!   `XY`;
 //! * [`AccessIndex`], [`IndexedDatabase`] — the indices associated with an
 //!   access schema, supporting the `fetch` primitive of bounded query plans;
+//! * [`IndexCache`], [`RelationIndex`] — epoch-keyed memoisation of
+//!   per-access-pattern hash indexes, shared by the homomorphism engine and
+//!   the evaluators in `bqr-query` (invalidated automatically on mutation
+//!   via [`Relation::epoch`]);
 //! * [`FetchStats`] — I/O accounting: how many base tuples a plan fetched
 //!   (`|D_ξ|` in the paper) versus how many a full scan would touch.
 //!
@@ -24,6 +28,7 @@ pub mod access;
 pub mod database;
 pub mod error;
 pub mod index;
+pub mod index_cache;
 pub mod relation;
 pub mod schema;
 pub mod stats;
@@ -34,6 +39,7 @@ pub use access::{AccessConstraint, AccessSchema, ConstraintViolation};
 pub use database::Database;
 pub use error::DataError;
 pub use index::{AccessIndex, IndexedDatabase};
+pub use index_cache::{IndexCache, RelationIndex};
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
 pub use stats::FetchStats;

@@ -7,14 +7,43 @@ use crate::value::Value;
 use crate::Result;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global epoch counter: every stamp is issued exactly once, so two
+/// relations share an epoch only when one is an unmutated clone of the
+/// other — i.e. when their contents are guaranteed identical.  This is what
+/// lets [`crate::IndexCache`] key cached indexes by epoch alone.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A relation instance `D` of a single relation schema `R`, with set
 /// semantics and deterministic (sorted) iteration order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Each instance carries an *epoch*: a globally unique stamp refreshed on
+/// every content mutation.  Derived structures (hash indexes, snapshots) can
+/// therefore be cached under the epoch and are implicitly invalidated the
+/// moment the relation changes.  Clones share the epoch of their source —
+/// sound, because a clone has identical contents until it is itself mutated
+/// (which re-stamps it).
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
     tuples: BTreeSet<Tuple>,
+    epoch: u64,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        // The epoch is an identity stamp, not content: equal-content
+        // relations must compare equal regardless of their mutation history.
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// An empty instance of the given schema.
@@ -22,7 +51,15 @@ impl Relation {
         Relation {
             schema,
             tuples: BTreeSet::new(),
+            epoch: fresh_epoch(),
         }
+    }
+
+    /// The relation's current epoch: a globally unique stamp that changes on
+    /// every mutation.  Two relations with the same epoch are guaranteed to
+    /// have identical contents.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Build a relation from an iterator of tuples, validating arity.
@@ -66,7 +103,11 @@ impl Relation {
                 actual: tuple.arity(),
             });
         }
-        Ok(self.tuples.insert(tuple))
+        let inserted = self.tuples.insert(tuple);
+        if inserted {
+            self.epoch = fresh_epoch();
+        }
+        Ok(inserted)
     }
 
     /// Insert a tuple built from values convertible into [`Value`].
@@ -154,7 +195,14 @@ mod tests {
     fn arity_checked_on_insert() {
         let mut r = rating();
         let err = r.insert(tuple![1, 2, 3]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 2, actual: 3, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                actual: 3,
+                ..
+            }
+        ));
         assert!(r.insert(tuple![9, 1]).unwrap());
         assert!(!r.insert(tuple![9, 1]).unwrap(), "re-insert reports false");
     }
@@ -163,8 +211,12 @@ mod tests {
     fn insert_values_converts() {
         let schema = RelationSchema::new("person", &["pid", "name", "affiliation"]).unwrap();
         let mut r = Relation::empty(schema);
-        r.insert_values(vec![Value::from(1), Value::from("Ann"), Value::from("NASA")])
-            .unwrap();
+        r.insert_values(vec![
+            Value::from(1),
+            Value::from("Ann"),
+            Value::from("NASA"),
+        ])
+        .unwrap();
         assert_eq!(r.len(), 1);
     }
 
@@ -192,6 +244,45 @@ mod tests {
         let r = rating();
         let vals: Vec<_> = r.distinct_values(1).into_iter().collect();
         assert_eq!(vals, vec![Value::int(4), Value::int(5)]);
+    }
+
+    #[test]
+    fn epoch_changes_on_mutation_only() {
+        let mut r = rating();
+        let e0 = r.epoch();
+        // Re-inserting an existing tuple leaves the contents (and epoch) alone.
+        assert!(!r.insert(tuple![1, 5]).unwrap());
+        assert_eq!(r.epoch(), e0);
+        // A genuine insertion re-stamps the relation.
+        assert!(r.insert(tuple![7, 7]).unwrap());
+        assert_ne!(r.epoch(), e0);
+    }
+
+    #[test]
+    fn epoch_is_shared_by_clones_until_divergence() {
+        let r = rating();
+        let mut c = r.clone();
+        assert_eq!(
+            r.epoch(),
+            c.epoch(),
+            "unmutated clone has identical contents"
+        );
+        c.insert(tuple![8, 1]).unwrap();
+        assert_ne!(r.epoch(), c.epoch(), "divergent clone must be re-stamped");
+        // Epochs are globally unique: two fresh relations never collide.
+        let schema = RelationSchema::new("x", &["a"]).unwrap();
+        assert_ne!(
+            Relation::empty(schema.clone()).epoch(),
+            Relation::empty(schema).epoch()
+        );
+    }
+
+    #[test]
+    fn equality_ignores_epoch() {
+        let a = rating();
+        let b = rating();
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a, b, "content equality must ignore the identity stamp");
     }
 
     #[test]

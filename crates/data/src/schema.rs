@@ -60,10 +60,11 @@ impl RelationSchema {
         attributes
             .iter()
             .map(|a| {
-                self.position(a.as_ref()).ok_or_else(|| DataError::UnknownAttribute {
-                    relation: self.name.to_string(),
-                    attribute: a.as_ref().to_string(),
-                })
+                self.position(a.as_ref())
+                    .ok_or_else(|| DataError::UnknownAttribute {
+                        relation: self.name.to_string(),
+                        attribute: a.as_ref().to_string(),
+                    })
             })
             .collect()
     }

@@ -206,7 +206,10 @@ mod tests {
         assert_eq!(plan.size(), 5);
         assert_eq!(plan.language(), PlanLanguage::Ucq);
 
-        let diff = Plan::constant(vec![1]).difference(Plan::constant(vec![2])).build().unwrap();
+        let diff = Plan::constant(vec![1])
+            .difference(Plan::constant(vec![2]))
+            .build()
+            .unwrap();
         assert_eq!(diff.language(), PlanLanguage::Fo);
     }
 

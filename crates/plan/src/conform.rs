@@ -79,7 +79,9 @@ pub fn check_conformance(
             BoundOutcome::Unknown(reason) => return Ok(Conformance::Unknown(reason)),
         }
     }
-    Ok(Conformance::Conforms { fetch_bound: total_bound })
+    Ok(Conformance::Conforms {
+        fetch_bound: total_bound,
+    })
 }
 
 enum BoundOutcome {
@@ -174,9 +176,14 @@ mod tests {
         let n0 = 100;
         let access = AccessSchema::new(vec![phi1(n0), phi2()]);
         let plan = figure1_plan(&phi1(n0), &phi2()).unwrap();
-        let result =
-            check_conformance(&plan, &access, &movie_schema(), &v1_views(), &Budget::generous())
-                .unwrap();
+        let result = check_conformance(
+            &plan,
+            &access,
+            &movie_schema(),
+            &v1_views(),
+            &Budget::generous(),
+        )
+        .unwrap();
         match result {
             Conformance::Conforms { fetch_bound } => {
                 assert_eq!(fetch_bound, 2 * n0, "1·N0 from φ1 plus N0·1 from φ2");
@@ -189,9 +196,14 @@ mod tests {
     fn fetch_with_foreign_constraint_violates() {
         let access = AccessSchema::new(vec![phi2()]);
         let plan = figure1_plan(&phi1(10), &phi2()).unwrap();
-        let result =
-            check_conformance(&plan, &access, &movie_schema(), &v1_views(), &Budget::generous())
-                .unwrap();
+        let result = check_conformance(
+            &plan,
+            &access,
+            &movie_schema(),
+            &v1_views(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert!(matches!(result, Conformance::Violation(_)));
         assert!(!result.is_conforming());
     }
@@ -202,19 +214,32 @@ mod tests {
         // |V1(D)| is not bounded under A0 (Example 3.3).
         let access = AccessSchema::new(vec![phi1(10), phi2()]);
         let plan = Plan::view("V1", 1).fetch(phi2(), vec![0]).build().unwrap();
-        let result =
-            check_conformance(&plan, &access, &movie_schema(), &v1_views(), &Budget::generous())
-                .unwrap();
+        let result = check_conformance(
+            &plan,
+            &access,
+            &movie_schema(),
+            &v1_views(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert!(matches!(result, Conformance::Violation(_)), "{result:?}");
     }
 
     #[test]
     fn fetch_driven_by_constant_conforms() {
         let access = AccessSchema::new(vec![phi2()]);
-        let plan = Plan::constant(vec![42]).fetch(phi2(), vec![0]).build().unwrap();
-        let result =
-            check_conformance(&plan, &access, &movie_schema(), &ViewSet::empty(), &Budget::generous())
-                .unwrap();
+        let plan = Plan::constant(vec![42])
+            .fetch(phi2(), vec![0])
+            .build()
+            .unwrap();
+        let result = check_conformance(
+            &plan,
+            &access,
+            &movie_schema(),
+            &ViewSet::empty(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert_eq!(result, Conformance::Conforms { fetch_bound: 1 });
     }
 
@@ -222,9 +247,14 @@ mod tests {
     fn plan_without_fetches_trivially_conforms() {
         let access = AccessSchema::empty();
         let plan = Plan::view("V1", 1).project(vec![0]).build().unwrap();
-        let result =
-            check_conformance(&plan, &access, &movie_schema(), &v1_views(), &Budget::generous())
-                .unwrap();
+        let result = check_conformance(
+            &plan,
+            &access,
+            &movie_schema(),
+            &v1_views(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert_eq!(result, Conformance::Conforms { fetch_bound: 0 });
         assert!(result.is_conforming());
     }
@@ -234,9 +264,14 @@ mod tests {
         let access = AccessSchema::new(vec![phi2()]);
         let input = Plan::constant(vec![1]).difference(Plan::constant(vec![2]));
         let plan = input.fetch(phi2(), vec![0]).build().unwrap();
-        let result =
-            check_conformance(&plan, &access, &movie_schema(), &ViewSet::empty(), &Budget::generous())
-                .unwrap();
+        let result = check_conformance(
+            &plan,
+            &access,
+            &movie_schema(),
+            &ViewSet::empty(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert!(matches!(result, Conformance::Unknown(_)), "{result:?}");
     }
 
@@ -252,9 +287,19 @@ mod tests {
             .fetch(phi2(), vec![0])
             .build()
             .unwrap();
-        let result =
-            check_conformance(&plan, &access, &movie_schema(), &ViewSet::empty(), &Budget::generous())
-                .unwrap();
-        assert_eq!(result, Conformance::Conforms { fetch_bound: 2 * n0 });
+        let result = check_conformance(
+            &plan,
+            &access,
+            &movie_schema(),
+            &ViewSet::empty(),
+            &Budget::generous(),
+        )
+        .unwrap();
+        assert_eq!(
+            result,
+            Conformance::Conforms {
+                fetch_bound: 2 * n0
+            }
+        );
     }
 }

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = PlanError::ColumnOutOfRange { column: 3, arity: 2 };
+        let e = PlanError::ColumnOutOfRange {
+            column: 3,
+            arity: 2,
+        };
         assert!(e.to_string().contains('3'));
         assert!(Error::source(&e).is_none());
         let e: PlanError = DataError::UnknownRelation("r".into()).into();
@@ -85,10 +88,17 @@ mod tests {
         let e: PlanError = QueryError::UnknownRelation("r".into()).into();
         assert!(e.to_string().contains('r'));
         assert!(PlanError::UnknownView("V".into()).to_string().contains('V'));
-        assert!(PlanError::ArityMismatch { left: 1, right: 2 }.to_string().contains('2'));
-        assert!(PlanError::FetchKeyMismatch { expected: 2, actual: 1 }
+        assert!(PlanError::ArityMismatch { left: 1, right: 2 }
             .to_string()
             .contains('2'));
-        assert!(PlanError::ConstraintNotInSchema("c".into()).to_string().contains('c'));
+        assert!(PlanError::FetchKeyMismatch {
+            expected: 2,
+            actual: 1
+        }
+        .to_string()
+        .contains('2'));
+        assert!(PlanError::ConstraintNotInSchema("c".into())
+            .to_string()
+            .contains('c'));
     }
 }

@@ -199,8 +199,10 @@ mod tests {
         db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
         db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
         db.insert("person", tuple![3, "Cat", "ESA"]).unwrap();
-        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"]).unwrap();
-        db.insert("movie", tuple![11, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("movie", tuple![11, "Ouija", "Universal", "2014"])
+            .unwrap();
         db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
         db.insert("rating", tuple![10, 5]).unwrap();
         db.insert("rating", tuple![11, 3]).unwrap();
@@ -244,7 +246,10 @@ mod tests {
         let (idb, cache) = setup();
         // Two identical keys in the input: the fetch must count the probe once.
         let plan = Plan::constant(vec![Value::str("Universal"), Value::str("2014")])
-            .union(Plan::constant(vec![Value::str("Universal"), Value::str("2014")]))
+            .union(Plan::constant(vec![
+                Value::str("Universal"),
+                Value::str("2014"),
+            ]))
             .fetch(phi1(), vec![0, 1])
             .build()
             .unwrap();
@@ -263,7 +268,10 @@ mod tests {
         ));
 
         let foreign = AccessConstraint::new("like", &["pid"], &["id"], 5000).unwrap();
-        let plan = Plan::constant(vec![1]).fetch(foreign, vec![0]).build().unwrap();
+        let plan = Plan::constant(vec![1])
+            .fetch(foreign, vec![0])
+            .build()
+            .unwrap();
         assert!(matches!(
             execute(&plan, &idb, &cache),
             Err(PlanError::ConstraintNotInSchema(_))
@@ -276,20 +284,36 @@ mod tests {
         let a = Plan::constant(vec![1]).union(Plan::constant(vec![2]));
         let b = Plan::constant(vec![2]).union(Plan::constant(vec![3]));
         let diff = a.clone().difference(b.clone()).build().unwrap();
-        assert_eq!(execute(&diff, &idb, &cache).unwrap().tuples, vec![tuple![1]]);
+        assert_eq!(
+            execute(&diff, &idb, &cache).unwrap().tuples,
+            vec![tuple![1]]
+        );
         let union = a.clone().union(b.clone()).build().unwrap();
         assert_eq!(execute(&union, &idb, &cache).unwrap().tuples.len(), 3);
         let product = a.product(b).build().unwrap();
         assert_eq!(execute(&product, &idb, &cache).unwrap().tuples.len(), 4);
-        let renamed = Plan::constant(vec![7, 8]).rename().project(vec![1]).build().unwrap();
-        assert_eq!(execute(&renamed, &idb, &cache).unwrap().tuples, vec![tuple![8]]);
+        let renamed = Plan::constant(vec![7, 8])
+            .rename()
+            .project(vec![1])
+            .build()
+            .unwrap();
+        assert_eq!(
+            execute(&renamed, &idb, &cache).unwrap().tuples,
+            vec![tuple![8]]
+        );
         let selected = Plan::constant(vec![7, 7])
             .select_eq_cols(0, 1)
             .build()
             .unwrap();
         assert_eq!(execute(&selected, &idb, &cache).unwrap().tuples.len(), 1);
-        let empty_select = Plan::constant(vec![7, 8]).select_eq_cols(0, 1).build().unwrap();
-        assert!(execute(&empty_select, &idb, &cache).unwrap().tuples.is_empty());
+        let empty_select = Plan::constant(vec![7, 8])
+            .select_eq_cols(0, 1)
+            .build()
+            .unwrap();
+        assert!(execute(&empty_select, &idb, &cache)
+            .unwrap()
+            .tuples
+            .is_empty());
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub enum PlanNode {
         key_columns: Vec<usize>,
     },
     /// Projection onto the given columns (in the given order).
-    Project { input: Box<PlanNode>, columns: Vec<usize> },
+    Project {
+        input: Box<PlanNode>,
+        columns: Vec<usize>,
+    },
     /// Selection by a conjunction of conditions.
     Select {
         input: Box<PlanNode>,
@@ -290,10 +293,10 @@ impl PlanNode {
             let mut found = false;
             n.visit(&mut |m| match m {
                 PlanNode::Difference(_, _) => found = true,
-                PlanNode::Select { conditions, .. } => {
-                    if conditions.iter().any(|c| !c.is_equality()) {
-                        found = true;
-                    }
+                PlanNode::Select { conditions, .. }
+                    if conditions.iter().any(|c| !c.is_equality()) =>
+                {
+                    found = true;
                 }
                 _ => {}
             });
@@ -331,17 +334,13 @@ impl PlanNode {
         let pad = "  ".repeat(indent);
         match self {
             PlanNode::Const(t) => out.push_str(&format!("{pad}const {t}\n")),
-            PlanNode::View { name, arity } => {
-                out.push_str(&format!("{pad}view {name}/{arity}\n"))
-            }
+            PlanNode::View { name, arity } => out.push_str(&format!("{pad}view {name}/{arity}\n")),
             PlanNode::Fetch {
                 input,
                 constraint,
                 key_columns,
             } => {
-                out.push_str(&format!(
-                    "{pad}fetch[{constraint}] keys {key_columns:?}\n"
-                ));
+                out.push_str(&format!("{pad}fetch[{constraint}] keys {key_columns:?}\n"));
                 input.render(indent + 1, out);
             }
             PlanNode::Project { input, columns } => {
@@ -461,7 +460,10 @@ mod tests {
         };
         assert_eq!(project.arity(), 1);
         assert_eq!(project.size(), 3);
-        let view = PlanNode::View { name: "V1".into(), arity: 1 };
+        let view = PlanNode::View {
+            name: "V1".into(),
+            arity: 1,
+        };
         assert_eq!(view.arity(), 1);
         let product = PlanNode::Product(Box::new(project.clone()), Box::new(view.clone()));
         assert_eq!(product.arity(), 2);
@@ -558,7 +560,10 @@ mod tests {
         assert!(SelectCondition::ColEqConst(0, Value::int(1)).is_equality());
         assert!(!SelectCondition::ColNeCol(0, 1).is_equality());
         assert_eq!(SelectCondition::ColEqCol(0, 1).max_column(), 1);
-        assert_eq!(SelectCondition::ColNeConst(4, Value::int(0)).max_column(), 4);
+        assert_eq!(
+            SelectCondition::ColNeConst(4, Value::int(0)).max_column(),
+            4
+        );
         assert!(SelectCondition::ColEqCol(0, 1).to_string().contains('='));
     }
 

@@ -83,9 +83,9 @@ fn formula(
             constraint,
             key_columns,
         } => {
-            let rel_schema = schema.expect_relation(constraint.relation()).map_err(
-                bqr_query::QueryError::from,
-            )?;
+            let rel_schema = schema
+                .expect_relation(constraint.relation())
+                .map_err(bqr_query::QueryError::from)?;
             let xy = constraint.xy();
             // Input variables.
             let in_vars: Vec<String> = (0..input.arity()).map(|_| fresh(counter)).collect();
@@ -231,10 +231,8 @@ mod tests {
         let unfolded = views.unfold_cq(&cq).unwrap();
         let q_xi = views
             .unfold_cq(
-                &parse_cq(
-                    "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)",
-                )
-                .unwrap(),
+                &parse_cq("Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)")
+                    .unwrap(),
             )
             .unwrap();
         assert!(bqr_query::containment::cq_equivalent(&unfolded, &q_xi, &schema).unwrap());
@@ -247,8 +245,10 @@ mod tests {
         let schema = movie_schema();
         let mut db = Database::empty(schema.clone());
         db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
-        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"]).unwrap();
-        db.insert("movie", tuple![11, "Ouija", "Universal", "2014"]).unwrap();
+        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("movie", tuple![11, "Ouija", "Universal", "2014"])
+            .unwrap();
         db.insert("rating", tuple![10, 5]).unwrap();
         db.insert("rating", tuple![11, 3]).unwrap();
         db.insert("like", tuple![1, 10, "movie"]).unwrap();
@@ -279,7 +279,9 @@ mod tests {
     #[test]
     fn const_and_view_conversions() {
         let schema = movie_schema();
-        let plan = Plan::constant(vec![Value::int(7), Value::str("x")]).build().unwrap();
+        let plan = Plan::constant(vec![Value::int(7), Value::str("x")])
+            .build()
+            .unwrap();
         let fo = plan_to_fo(&plan, &schema).unwrap();
         assert_eq!(fo.arity(), 2);
         // Constants appear as equalities in the body.
@@ -296,13 +298,21 @@ mod tests {
     #[test]
     fn union_and_difference_classify_correctly() {
         let schema = movie_schema();
-        let union = Plan::constant(vec![1]).union(Plan::constant(vec![2])).build().unwrap();
+        let union = Plan::constant(vec![1])
+            .union(Plan::constant(vec![2]))
+            .build()
+            .unwrap();
         let fo = plan_to_fo(&union, &schema).unwrap();
         assert_eq!(fo.language(), QueryLanguage::Ucq);
-        let ucq = plan_to_ucq(&union, &schema, &Budget::generous()).unwrap().unwrap();
+        let ucq = plan_to_ucq(&union, &schema, &Budget::generous())
+            .unwrap()
+            .unwrap();
         assert_eq!(ucq.len(), 2);
 
-        let diff = Plan::constant(vec![1]).difference(Plan::constant(vec![1])).build().unwrap();
+        let diff = Plan::constant(vec![1])
+            .difference(Plan::constant(vec![1]))
+            .build()
+            .unwrap();
         let fo = plan_to_fo(&diff, &schema).unwrap();
         assert_eq!(fo.language(), QueryLanguage::Fo);
         assert!(plan_to_cq(&diff, &schema).is_err());
@@ -340,10 +350,15 @@ mod tests {
     fn fetch_with_empty_x_constraint() {
         let schema = DatabaseSchema::with_relations(&[("r01", &["a"])]).unwrap();
         let c = AccessConstraint::new("r01", &[], &["a"], 2).unwrap();
-        let plan = Plan::constant(Vec::<Value>::new()).fetch(c, vec![]).build().unwrap();
+        let plan = Plan::constant(Vec::<Value>::new())
+            .fetch(c, vec![])
+            .build()
+            .unwrap();
         let fo = node_to_fo(plan.root(), &schema).unwrap();
         assert_eq!(fo.arity(), 1);
-        let ucq = node_to_ucq(plan.root(), &schema, &Budget::generous()).unwrap().unwrap();
+        let ucq = node_to_ucq(plan.root(), &schema, &Budget::generous())
+            .unwrap()
+            .unwrap();
         assert_eq!(ucq.len(), 1);
         assert!(ucq.disjuncts()[0].relation_names().contains("r01"));
     }

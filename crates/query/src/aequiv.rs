@@ -9,7 +9,7 @@
 //! budgeted.
 
 use crate::budget::Budget;
-use crate::containment::cq_contained_in_ucq;
+use crate::containment::ContainmentChecker;
 use crate::cq::ConjunctiveQuery;
 use crate::element::element_queries;
 use crate::ucq::UnionQuery;
@@ -41,9 +41,24 @@ pub fn ucq_a_contained_in(
     schema: &DatabaseSchema,
     budget: &Budget,
 ) -> Result<bool> {
+    let checker = ContainmentChecker::new(schema);
+    ucq_a_contained_in_with(&checker, u1, u2, access, budget)
+}
+
+/// [`ucq_a_contained_in`] against a caller-provided [`ContainmentChecker`],
+/// so that a sequence of `A`-containment tests (the exact VBRP search checks
+/// hundreds of candidate plans against the same query) shares canonical
+/// instances and relation indexes.
+pub fn ucq_a_contained_in_with(
+    checker: &ContainmentChecker<'_>,
+    u1: &UnionQuery,
+    u2: &UnionQuery,
+    access: &AccessSchema,
+    budget: &Budget,
+) -> Result<bool> {
     for d in u1.disjuncts() {
-        for qe in element_queries(d, access, schema, budget)? {
-            if !cq_contained_in_ucq(&qe, u2, schema)? {
+        for qe in element_queries(d, access, checker.schema(), budget)? {
+            if !checker.cq_contained_in_ucq(&qe, u2)? {
                 return Ok(false);
             }
         }
@@ -59,8 +74,13 @@ pub fn cq_a_equivalent(
     schema: &DatabaseSchema,
     budget: &Budget,
 ) -> Result<bool> {
-    Ok(cq_a_contained_in(q1, q2, access, schema, budget)?
-        && cq_a_contained_in(q2, q1, access, schema, budget)?)
+    ucq_a_equivalent(
+        &UnionQuery::single(q1.clone()),
+        &UnionQuery::single(q2.clone()),
+        access,
+        schema,
+        budget,
+    )
 }
 
 /// Decide `u1 ≡_A u2` for unions of conjunctive queries.
@@ -71,8 +91,20 @@ pub fn ucq_a_equivalent(
     schema: &DatabaseSchema,
     budget: &Budget,
 ) -> Result<bool> {
-    Ok(ucq_a_contained_in(u1, u2, access, schema, budget)?
-        && ucq_a_contained_in(u2, u1, access, schema, budget)?)
+    let checker = ContainmentChecker::new(schema);
+    ucq_a_equivalent_with(&checker, u1, u2, access, budget)
+}
+
+/// [`ucq_a_equivalent`] against a caller-provided [`ContainmentChecker`].
+pub fn ucq_a_equivalent_with(
+    checker: &ContainmentChecker<'_>,
+    u1: &UnionQuery,
+    u2: &UnionQuery,
+    access: &AccessSchema,
+    budget: &Budget,
+) -> Result<bool> {
+    Ok(ucq_a_contained_in_with(checker, u1, u2, access, budget)?
+        && ucq_a_contained_in_with(checker, u2, u1, access, budget)?)
 }
 
 #[cfg(test)]
@@ -91,21 +123,27 @@ mod tests {
     #[test]
     fn classical_containment_implies_a_containment() {
         let schema = simple_schema();
-        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
         let specific = ConjunctiveQuery::new(
             vec![Term::var("x")],
             vec![Atom::new("r", vec![Term::var("x"), Term::cnst(1)])],
         )
         .unwrap();
-        let general = ConjunctiveQuery::new(
-            vec![Term::var("x")],
-            vec![va("r", &["x", "y"])],
-        )
-        .unwrap();
-        assert!(cq_a_contained_in(&specific, &general, &access, &schema, &Budget::generous()).unwrap());
-        assert!(!cq_a_contained_in(&general, &specific, &access, &schema, &Budget::generous()).unwrap());
-        assert!(!cq_a_equivalent(&general, &specific, &access, &schema, &Budget::generous()).unwrap());
-        assert!(cq_a_equivalent(&general, &general, &access, &schema, &Budget::generous()).unwrap());
+        let general =
+            ConjunctiveQuery::new(vec![Term::var("x")], vec![va("r", &["x", "y"])]).unwrap();
+        assert!(
+            cq_a_contained_in(&specific, &general, &access, &schema, &Budget::generous()).unwrap()
+        );
+        assert!(
+            !cq_a_contained_in(&general, &specific, &access, &schema, &Budget::generous()).unwrap()
+        );
+        assert!(
+            !cq_a_equivalent(&general, &specific, &access, &schema, &Budget::generous()).unwrap()
+        );
+        assert!(
+            cq_a_equivalent(&general, &general, &access, &schema, &Budget::generous()).unwrap()
+        );
     }
 
     #[test]
@@ -121,8 +159,12 @@ mod tests {
             va("s", &["y1", "y2"]),
         ])
         .unwrap();
-        let q2 = ConjunctiveQuery::boolean(vec![va("r", &["x", "y"]), va("s", &["y", "y"])]).unwrap();
-        assert!(!cq_contained_in(&q1, &q2, &schema).unwrap(), "not classically contained");
+        let q2 =
+            ConjunctiveQuery::boolean(vec![va("r", &["x", "y"]), va("s", &["y", "y"])]).unwrap();
+        assert!(
+            !cq_contained_in(&q1, &q2, &schema).unwrap(),
+            "not classically contained"
+        );
         assert!(
             cq_a_contained_in(&q1, &q2, &access, &schema, &Budget::generous()).unwrap(),
             "but A-contained thanks to the FD"
@@ -143,8 +185,12 @@ mod tests {
         ])
         .unwrap();
         let anything = ConjunctiveQuery::boolean(vec![va("s", &["u", "v"])]).unwrap();
-        assert!(cq_a_contained_in(&unsat, &anything, &access, &schema, &Budget::generous()).unwrap());
-        assert!(!cq_a_contained_in(&anything, &unsat, &access, &schema, &Budget::generous()).unwrap());
+        assert!(
+            cq_a_contained_in(&unsat, &anything, &access, &schema, &Budget::generous()).unwrap()
+        );
+        assert!(
+            !cq_a_contained_in(&anything, &unsat, &access, &schema, &Budget::generous()).unwrap()
+        );
     }
 
     #[test]
@@ -159,7 +205,12 @@ mod tests {
             vec![
                 Atom::new(
                     "movie",
-                    vec![Term::var("mid"), Term::var("ym"), Term::cnst("Universal"), Term::cnst("2014")],
+                    vec![
+                        Term::var("mid"),
+                        Term::var("ym"),
+                        Term::cnst("Universal"),
+                        Term::cnst("2014"),
+                    ],
                 ),
                 Atom::new("V1", vec![Term::var("mid")]),
                 Atom::new("rating", vec![Term::var("mid"), Term::cnst(5)]),
@@ -173,7 +224,8 @@ mod tests {
     #[test]
     fn ucq_a_containment_respects_disjuncts() {
         let schema = simple_schema();
-        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
         let d1 = ConjunctiveQuery::new(
             vec![Term::var("x")],
             vec![Atom::new("r", vec![Term::var("x"), Term::cnst(1)])],
@@ -187,7 +239,9 @@ mod tests {
         let both = UnionQuery::new(vec![d1.clone(), d2.clone()]).unwrap();
         let just_r = UnionQuery::single(d1);
         assert!(ucq_a_contained_in(&just_r, &both, &access, &schema, &Budget::generous()).unwrap());
-        assert!(!ucq_a_contained_in(&both, &just_r, &access, &schema, &Budget::generous()).unwrap());
+        assert!(
+            !ucq_a_contained_in(&both, &just_r, &access, &schema, &Budget::generous()).unwrap()
+        );
         assert!(ucq_a_equivalent(&both, &both, &access, &schema, &Budget::generous()).unwrap());
         assert!(!ucq_a_equivalent(&both, &just_r, &access, &schema, &Budget::generous()).unwrap());
     }

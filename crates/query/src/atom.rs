@@ -190,7 +190,12 @@ mod tests {
     fn atom_accessors_and_display() {
         let a = Atom::new(
             "movie",
-            vec![Term::var("mid"), Term::var("n"), Term::cnst("Universal"), Term::cnst("2014")],
+            vec![
+                Term::var("mid"),
+                Term::var("n"),
+                Term::cnst("Universal"),
+                Term::cnst("2014"),
+            ],
         );
         assert_eq!(a.relation(), "movie");
         assert_eq!(a.arity(), 4);
@@ -204,8 +209,7 @@ mod tests {
 
     #[test]
     fn validation_against_schema() {
-        let schema =
-            DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
+        let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
         let good = Atom::new("rating", vec![Term::var("m"), Term::cnst(5)]);
         assert!(good.validate_against_schema(&schema).is_ok());
         let wrong_arity = Atom::new("rating", vec![Term::var("m")]);

@@ -119,7 +119,13 @@ mod tests {
     #[test]
     fn v1_is_unbounded_under_a0() {
         // V1 collects movies liked by NASA folks; no constraint bounds it.
-        let out = cq_output(&v1(), &movie_access(100), &movie_schema(), &Budget::generous()).unwrap();
+        let out = cq_output(
+            &v1(),
+            &movie_access(100),
+            &movie_schema(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert_eq!(out, OutputBound::Unbounded);
         assert!(!out.is_bounded());
         assert_eq!(out.bound(), None);
@@ -136,8 +142,13 @@ mod tests {
             )],
         )
         .unwrap();
-        let out =
-            cq_output(&v2, &movie_access(100), &movie_schema(), &Budget::generous()).unwrap();
+        let out = cq_output(
+            &v2,
+            &movie_access(100),
+            &movie_schema(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert_eq!(out, OutputBound::Unbounded);
 
         // Movies of a fixed studio/year are bounded by N0 = 100.
@@ -145,7 +156,12 @@ mod tests {
             vec![Term::var("m")],
             vec![Atom::new(
                 "movie",
-                vec![Term::var("m"), Term::var("n"), Term::cnst("Universal"), Term::cnst("2014")],
+                vec![
+                    Term::var("m"),
+                    Term::var("n"),
+                    Term::cnst("Universal"),
+                    Term::cnst("2014"),
+                ],
             )],
         )
         .unwrap();
@@ -174,7 +190,8 @@ mod tests {
         // element query pins x to 1 or 2, so the output is bounded even though
         // cov(Q, A) alone would not cover x (k is not bounded).
         let schema = DatabaseSchema::with_relations(&[("r", &["a", "b"])]).unwrap();
-        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
         let q = ConjunctiveQuery::new(
             vec![Term::var("x")],
             vec![
@@ -195,15 +212,18 @@ mod tests {
             vec![Term::var("m")],
             vec![Atom::new(
                 "movie",
-                vec![Term::var("m"), Term::var("n"), Term::cnst("U"), Term::cnst("2014")],
+                vec![
+                    Term::var("m"),
+                    Term::var("n"),
+                    Term::cnst("U"),
+                    Term::cnst("2014"),
+                ],
             )],
         )
         .unwrap();
-        let unbounded = ConjunctiveQuery::new(
-            vec![Term::var("p")],
-            vec![va("person", &["p", "n", "a"])],
-        )
-        .unwrap();
+        let unbounded =
+            ConjunctiveQuery::new(vec![Term::var("p")], vec![va("person", &["p", "n", "a"])])
+                .unwrap();
         let u1 = UnionQuery::new(vec![bounded.clone(), bounded.clone()]).unwrap();
         assert_eq!(
             ucq_output(&u1, &access, &movie_schema(), &Budget::generous()).unwrap(),
@@ -225,11 +245,21 @@ mod tests {
             Fo::or(
                 Fo::Atom(Atom::new(
                     "movie",
-                    vec![Term::var("m"), Term::var("n"), Term::cnst("U"), Term::cnst("2014")],
+                    vec![
+                        Term::var("m"),
+                        Term::var("n"),
+                        Term::cnst("U"),
+                        Term::cnst("2014"),
+                    ],
                 )),
                 Fo::Atom(Atom::new(
                     "movie",
-                    vec![Term::var("m"), Term::var("n"), Term::cnst("WB"), Term::cnst("2014")],
+                    vec![
+                        Term::var("m"),
+                        Term::var("n"),
+                        Term::cnst("WB"),
+                        Term::cnst("2014"),
+                    ],
                 )),
             ),
         );

@@ -43,7 +43,10 @@ pub struct CanonicalInstance {
 ///
 /// Every atom must reference a base relation of `schema` (unfold views
 /// first); arities are validated.
-pub fn canonical_instance(cq: &ConjunctiveQuery, schema: &DatabaseSchema) -> Result<CanonicalInstance> {
+pub fn canonical_instance(
+    cq: &ConjunctiveQuery,
+    schema: &DatabaseSchema,
+) -> Result<CanonicalInstance> {
     cq.validate(schema, &BTreeMap::new())?;
     let mut database = Database::empty(schema.clone());
     let mut assignment = BTreeMap::new();

@@ -81,7 +81,10 @@ impl TermUnion {
     }
 
     /// The substitution induced on a set of variables.
-    pub(crate) fn substitution(&mut self, vars: impl IntoIterator<Item = String>) -> BTreeMap<String, Term> {
+    pub(crate) fn substitution(
+        &mut self,
+        vars: impl IntoIterator<Item = String>,
+    ) -> BTreeMap<String, Term> {
         vars.into_iter()
             .map(|v| {
                 let rep = self.find(&Term::Var(v.clone()));
@@ -240,16 +243,19 @@ mod tests {
         ])
         .unwrap();
         let access = AccessSchema::new(vec![fd("s", &["a"], &["b"])]);
-        assert_eq!(chase_fds(&q, &access, &schema()).unwrap(), ChaseResult::Inconsistent);
+        assert_eq!(
+            chase_fds(&q, &access, &schema()).unwrap(),
+            ChaseResult::Inconsistent
+        );
         assert!(chase_fds(&q, &access, &schema()).unwrap().query().is_none());
     }
 
     #[test]
     fn non_fd_constraints_are_ignored() {
-        let q = ConjunctiveQuery::boolean(vec![va("s", &["x", "y"]), va("s", &["x", "z"])]).unwrap();
-        let access = AccessSchema::new(vec![
-            AccessConstraint::new("s", &["a"], &["b"], 3).unwrap()
-        ]);
+        let q =
+            ConjunctiveQuery::boolean(vec![va("s", &["x", "y"]), va("s", &["x", "z"])]).unwrap();
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("s", &["a"], &["b"], 3).unwrap()]);
         let result = chase_fds(&q, &access, &schema()).unwrap();
         assert_eq!(result.query().unwrap(), &q, "N>1 constraints force nothing");
     }

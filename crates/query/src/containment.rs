@@ -8,72 +8,246 @@
 //!
 //! `A`-relative containment (`Q1 ⊑_A Q2`) lives in [`crate::aequiv`] and is
 //! built on element queries plus the tests in this module.
+//!
+//! Repeated checks should go through a [`ContainmentChecker`], which
+//! memoises canonical instances per query and relation indexes per
+//! (canonical relation, access pattern) — see the slot engine in
+//! [`crate::hom`].
 
 use crate::atom::Term;
-use crate::canonical::canonical_instance;
+use crate::canonical::{canonical_instance, CanonicalInstance};
 use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
-use crate::hom::{has_homomorphism, Assignment};
+use crate::hom::{Assignment, HomSearch};
 use crate::ucq::UnionQuery;
 use crate::Result;
-use bqr_data::{DatabaseSchema, Relation};
-use std::collections::BTreeMap;
+use bqr_data::{DatabaseSchema, IndexCache, Relation};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// A containment oracle for one schema, with three layers of memoisation:
+///
+/// * **canonical instances** — the tableau `(T_Q, ū)` of every left-hand
+///   query is built once and reused across checks;
+/// * **relation indexes** — the hash indexes probed by the homomorphism
+///   search come from a shared [`IndexCache`], keyed by relation epoch, so
+///   repeatedly matching into the same canonical instance (the dominant
+///   cost of the `A`-equivalence procedures) never rebuilds an index; and
+/// * **compiled searches** — the slot machine ([`HomSearch`]) for a
+///   `(q1, q2)` pair is compiled once; re-checking the pair only re-runs
+///   the backtracking search.  `None` records a head/summary mismatch, for
+///   which no search is needed at all.
+///
+/// The free functions below keep the historical one-shot signatures; create
+/// a checker explicitly whenever more than one containment test runs against
+/// the same queries or schema.
+/// Memo table of compiled searches, keyed `q1 → q2 → search`; `None`
+/// records a head/summary mismatch that needs no search at all.  Nested so
+/// lookups probe with borrowed queries — cloning happens only on insert.
+type SearchMemo = HashMap<ConjunctiveQuery, HashMap<ConjunctiveQuery, Option<Rc<HomSearch>>>>;
+
+pub struct ContainmentChecker<'s> {
+    schema: &'s DatabaseSchema,
+    cache: IndexCache,
+    canonicals: RefCell<HashMap<ConjunctiveQuery, Rc<CanonicalInstance>>>,
+    searches: RefCell<SearchMemo>,
+}
+
+impl<'s> ContainmentChecker<'s> {
+    /// A checker with empty caches.
+    pub fn new(schema: &'s DatabaseSchema) -> Self {
+        ContainmentChecker {
+            schema,
+            cache: IndexCache::new(),
+            canonicals: RefCell::new(HashMap::new()),
+            searches: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The shared relation-index cache (e.g. for hit/miss statistics).
+    pub fn cache(&self) -> &IndexCache {
+        &self.cache
+    }
+
+    /// The schema the checker decides containment over.
+    pub fn schema(&self) -> &'s DatabaseSchema {
+        self.schema
+    }
+
+    /// Soft bound on each memo map; exceeding it clears the map.  The memos
+    /// are pure caches, so clearing is always sound — it only bounds memory
+    /// when a long-running search (e.g. the exact VBRP enumeration) streams
+    /// thousands of distinct query pairs through one checker.  Clearing
+    /// `searches` also releases the `Rc<RelationIndex>` snapshots the
+    /// compiled machines pin, which the [`IndexCache`]'s own bound cannot
+    /// free on its own.
+    const MAX_MEMO_ENTRIES: usize = 4096;
+
+    /// The memoised canonical instance of `q`.
+    fn canonical(&self, q: &ConjunctiveQuery) -> Result<Rc<CanonicalInstance>> {
+        if let Some(c) = self.canonicals.borrow().get(q) {
+            return Ok(Rc::clone(c));
+        }
+        let built = Rc::new(canonical_instance(q, self.schema)?);
+        let mut canonicals = self.canonicals.borrow_mut();
+        if canonicals.len() >= Self::MAX_MEMO_ENTRIES {
+            canonicals.clear();
+        }
+        canonicals.insert(q.clone(), Rc::clone(&built));
+        Ok(built)
+    }
+
+    /// Decide `q1 ⊆ q2` (over all instances of the schema).
+    pub fn cq_contained_in(&self, q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool> {
+        if q1.arity() != q2.arity() {
+            return Err(QueryError::MismatchedUnionArity {
+                expected: q1.arity(),
+                actual: q2.arity(),
+            });
+        }
+        let canon = self.canonical(q1)?;
+        self.cq_maps_onto(q1, q2, &canon)
+    }
+
+    /// Decide `q1 ⊆ u2`: some disjunct of `u2` must map onto the canonical
+    /// instance of `q1`.
+    pub fn cq_contained_in_ucq(&self, q1: &ConjunctiveQuery, u2: &UnionQuery) -> Result<bool> {
+        if q1.arity() != u2.arity() {
+            return Err(QueryError::MismatchedUnionArity {
+                expected: q1.arity(),
+                actual: u2.arity(),
+            });
+        }
+        let canon = self.canonical(q1)?;
+        for d in u2.disjuncts() {
+            if self.cq_maps_onto(q1, d, &canon)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Decide `u1 ⊆ u2` (disjunct-wise, by Sagiv–Yannakakis).
+    pub fn ucq_contained_in(&self, u1: &UnionQuery, u2: &UnionQuery) -> Result<bool> {
+        for d in u1.disjuncts() {
+            if !self.cq_contained_in_ucq(d, u2)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Decide classical CQ equivalence `q1 ≡ q2`.
+    pub fn cq_equivalent(&self, q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool> {
+        Ok(self.cq_contained_in(q1, q2)? && self.cq_contained_in(q2, q1)?)
+    }
+
+    /// Decide classical UCQ equivalence `u1 ≡ u2`.
+    pub fn ucq_equivalent(&self, u1: &UnionQuery, u2: &UnionQuery) -> Result<bool> {
+        Ok(self.ucq_contained_in(u1, u2)? && self.ucq_contained_in(u2, u1)?)
+    }
+
+    /// Decide whether `q` has a homomorphism into the canonical instance of
+    /// `q1` that sends its head onto the summary.  The compiled slot machine
+    /// for the `(q1, q)` pair is memoised, so repeats only re-run the search.
+    fn cq_maps_onto(
+        &self,
+        q1: &ConjunctiveQuery,
+        q: &ConjunctiveQuery,
+        canon: &CanonicalInstance,
+    ) -> Result<bool> {
+        let memoised = self
+            .searches
+            .borrow()
+            .get(q1)
+            .and_then(|per_q1| per_q1.get(q))
+            .cloned();
+        let search = match memoised {
+            Some(Some(s)) => s,
+            Some(None) => return Ok(false),
+            None => {
+                let compiled = self.compile_maps_onto(q, canon)?;
+                let mut searches = self.searches.borrow_mut();
+                if searches.len() >= Self::MAX_MEMO_ENTRIES {
+                    searches.clear();
+                }
+                searches
+                    .entry(q1.clone())
+                    .or_default()
+                    .insert(q.clone(), compiled.clone());
+                match compiled {
+                    Some(s) => s,
+                    None => return Ok(false),
+                }
+            }
+        };
+        let mut found = false;
+        search.run(|_| {
+            found = true;
+            std::ops::ControlFlow::Break(())
+        })?;
+        Ok(found)
+    }
+
+    /// Compile the slot machine matching `q` into `canon`; `None` when the
+    /// head cannot map onto the summary (constant mismatch or a head
+    /// variable forced onto two distinct values).
+    fn compile_maps_onto(
+        &self,
+        q: &ConjunctiveQuery,
+        canon: &CanonicalInstance,
+    ) -> Result<Option<Rc<HomSearch>>> {
+        let db = &canon.database;
+        let target = &canon.summary;
+        // Seed the assignment with the head: head variables must map to the
+        // target values; head constants must equal them.
+        let mut initial = Assignment::new();
+        for (i, term) in q.head().iter().enumerate() {
+            let want = &target[i];
+            match term {
+                Term::Const(c) => {
+                    if c != want {
+                        return Ok(None);
+                    }
+                }
+                Term::Var(v) => match initial.get(v) {
+                    Some(existing) if existing != want => return Ok(None),
+                    _ => {
+                        initial.insert(v.clone(), want.clone());
+                    }
+                },
+            }
+        }
+        let relations: BTreeMap<String, &Relation> = q
+            .relation_names()
+            .into_iter()
+            .map(|name| {
+                db.relation(&name)
+                    .map(|r| (name.clone(), r))
+                    .ok_or(QueryError::UnknownRelation(name))
+            })
+            .collect::<Result<_>>()?;
+        Ok(Some(Rc::new(HomSearch::compile(
+            q.atoms(),
+            &relations,
+            &initial,
+            &self.cache,
+        )?)))
+    }
+}
 
 /// Decide `q1 ⊆ q2` (over all instances of `schema`).
 ///
 /// Both queries must be over base relations only (unfold views first) and
-/// have the same arity.
+/// have the same arity.  One-shot; see [`ContainmentChecker`] for repeated
+/// checks.
 pub fn cq_contained_in(
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
     schema: &DatabaseSchema,
 ) -> Result<bool> {
-    if q1.arity() != q2.arity() {
-        return Err(QueryError::MismatchedUnionArity {
-            expected: q1.arity(),
-            actual: q2.arity(),
-        });
-    }
-    let canon = canonical_instance(q1, schema)?;
-    cq_maps_onto(q2, &canon.database, &canon.summary)
-}
-
-/// Decide whether `q` has a homomorphism into `db` that sends its head onto
-/// `target` (used with canonical instances).
-fn cq_maps_onto(
-    q: &ConjunctiveQuery,
-    db: &bqr_data::Database,
-    target: &bqr_data::Tuple,
-) -> Result<bool> {
-    // Seed the assignment with the head: head variables must map to the
-    // target values; head constants must equal them.
-    let mut initial = Assignment::new();
-    for (i, term) in q.head().iter().enumerate() {
-        let want = &target[i];
-        match term {
-            Term::Const(c) => {
-                if c != want {
-                    return Ok(false);
-                }
-            }
-            Term::Var(v) => match initial.get(v) {
-                Some(existing) if existing != want => return Ok(false),
-                _ => {
-                    initial.insert(v.clone(), want.clone());
-                }
-            },
-        }
-    }
-    let relations: BTreeMap<String, &Relation> = q
-        .relation_names()
-        .into_iter()
-        .map(|name| {
-            db.relation(&name)
-                .map(|r| (name.clone(), r))
-                .ok_or(QueryError::UnknownRelation(name))
-        })
-        .collect::<Result<_>>()?;
-    has_homomorphism(q.atoms(), &relations, &initial)
+    ContainmentChecker::new(schema).cq_contained_in(q1, q2)
 }
 
 /// Decide `q1 ⊆ u2` for a CQ `q1` and a UCQ `u2`: some disjunct of `u2` must
@@ -83,33 +257,12 @@ pub fn cq_contained_in_ucq(
     u2: &UnionQuery,
     schema: &DatabaseSchema,
 ) -> Result<bool> {
-    if q1.arity() != u2.arity() {
-        return Err(QueryError::MismatchedUnionArity {
-            expected: q1.arity(),
-            actual: u2.arity(),
-        });
-    }
-    let canon = canonical_instance(q1, schema)?;
-    for d in u2.disjuncts() {
-        if cq_maps_onto(d, &canon.database, &canon.summary)? {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+    ContainmentChecker::new(schema).cq_contained_in_ucq(q1, u2)
 }
 
 /// Decide `u1 ⊆ u2` for UCQs (disjunct-wise, by Sagiv–Yannakakis).
-pub fn ucq_contained_in(
-    u1: &UnionQuery,
-    u2: &UnionQuery,
-    schema: &DatabaseSchema,
-) -> Result<bool> {
-    for d in u1.disjuncts() {
-        if !cq_contained_in_ucq(d, u2, schema)? {
-            return Ok(false);
-        }
-    }
-    Ok(true)
+pub fn ucq_contained_in(u1: &UnionQuery, u2: &UnionQuery, schema: &DatabaseSchema) -> Result<bool> {
+    ContainmentChecker::new(schema).ucq_contained_in(u1, u2)
 }
 
 /// Decide classical CQ equivalence `q1 ≡ q2`.
@@ -118,16 +271,12 @@ pub fn cq_equivalent(
     q2: &ConjunctiveQuery,
     schema: &DatabaseSchema,
 ) -> Result<bool> {
-    Ok(cq_contained_in(q1, q2, schema)? && cq_contained_in(q2, q1, schema)?)
+    ContainmentChecker::new(schema).cq_equivalent(q1, q2)
 }
 
 /// Decide classical UCQ equivalence `u1 ≡ u2`.
-pub fn ucq_equivalent(
-    u1: &UnionQuery,
-    u2: &UnionQuery,
-    schema: &DatabaseSchema,
-) -> Result<bool> {
-    Ok(ucq_contained_in(u1, u2, schema)? && ucq_contained_in(u2, u1, schema)?)
+pub fn ucq_equivalent(u1: &UnionQuery, u2: &UnionQuery, schema: &DatabaseSchema) -> Result<bool> {
+    ContainmentChecker::new(schema).ucq_equivalent(u1, u2)
 }
 
 #[cfg(test)]
@@ -152,11 +301,7 @@ mod tests {
                 )
             })
             .collect();
-        ConjunctiveQuery::new(
-            vec![Term::var("x0"), Term::var(format!("x{len}"))],
-            atoms,
-        )
-        .unwrap()
+        ConjunctiveQuery::new(vec![Term::var("x0"), Term::var(format!("x{len}"))], atoms).unwrap()
     }
 
     #[test]
@@ -238,7 +383,12 @@ mod tests {
             vec![
                 Atom::new(
                     "movie",
-                    vec![Term::var("mid"), Term::var("ym"), Term::cnst("Universal"), Term::cnst("2014")],
+                    vec![
+                        Term::var("mid"),
+                        Term::var("ym"),
+                        Term::cnst("Universal"),
+                        Term::cnst("2014"),
+                    ],
                 ),
                 Atom::new("V1", vec![Term::var("mid")]),
                 Atom::new("rating", vec![Term::var("mid"), Term::cnst(5)]),
@@ -248,6 +398,26 @@ mod tests {
         let unfolded = views.unfold_cq(&q_xi).unwrap();
         assert!(cq_contained_in(&unfolded, &q0(), &schema).unwrap());
         assert!(cq_contained_in(&q0(), &unfolded, &schema).unwrap());
+    }
+
+    #[test]
+    fn checker_memoises_canonical_instances_and_indexes() {
+        let schema = path_schema();
+        let checker = ContainmentChecker::new(&schema);
+        let p1 = path(1).with_head(vec![]).unwrap();
+        let p2 = path(2).with_head(vec![]).unwrap();
+        for _ in 0..10 {
+            assert!(checker.cq_contained_in(&p2, &p1).unwrap());
+            assert!(!checker.cq_contained_in(&p1, &p2).unwrap());
+        }
+        // Two canonical instances and two compiled searches, built on the
+        // first round; every further round only re-runs the slot machines,
+        // touching neither the canonical store nor the index cache.
+        assert_eq!(checker.canonicals.borrow().len(), 2);
+        assert_eq!(checker.searches.borrow().len(), 2);
+        let misses_after_ten_rounds = checker.cache().misses();
+        assert!(checker.cq_contained_in(&p2, &p1).unwrap());
+        assert_eq!(checker.cache().misses(), misses_after_ten_rounds);
     }
 
     #[test]

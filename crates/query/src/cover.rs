@@ -56,11 +56,9 @@ pub fn covered_variables(
             };
             let x_pos = rel_schema.positions(constraint.x())?;
             let y_pos = rel_schema.positions(constraint.y())?;
-            for atom in cq
-                .atoms()
-                .iter()
-                .filter(|a| a.relation() == constraint.relation() && a.arity() == rel_schema.arity())
-            {
+            for atom in cq.atoms().iter().filter(|a| {
+                a.relation() == constraint.relation() && a.arity() == rel_schema.arity()
+            }) {
                 // All non-constant variables in the X positions must already
                 // be covered.
                 let mut key_bound: usize = 1;
@@ -165,7 +163,10 @@ mod tests {
         // xp (the person) is not covered: no constraint reaches person/like.
         assert!(!cov.contains("xp"));
         assert!(satisfying_cq_has_bounded_output(&q0(), &access, &movie_schema()).unwrap());
-        assert_eq!(output_bound(&q0(), &access, &movie_schema()).unwrap(), Some(100));
+        assert_eq!(
+            output_bound(&q0(), &access, &movie_schema()).unwrap(),
+            Some(100)
+        );
     }
 
     #[test]
@@ -177,7 +178,12 @@ mod tests {
             vec![
                 Atom::new(
                     "movie",
-                    vec![Term::var("m"), Term::var("n"), Term::cnst("U"), Term::cnst("2014")],
+                    vec![
+                        Term::var("m"),
+                        Term::var("n"),
+                        Term::cnst("U"),
+                        Term::cnst("2014"),
+                    ],
                 ),
                 va("rating", &["m", "r"]),
             ],
@@ -188,7 +194,10 @@ mod tests {
         assert!(cov.contains("m"));
         assert!(cov.contains("r"));
         assert_eq!(cov.bounds.get("r"), Some(&50));
-        assert_eq!(output_bound(&q, &access, &movie_schema()).unwrap(), Some(50));
+        assert_eq!(
+            output_bound(&q, &access, &movie_schema()).unwrap(),
+            Some(50)
+        );
     }
 
     #[test]
@@ -209,11 +218,8 @@ mod tests {
 
     #[test]
     fn constant_head_terms_are_always_bounded() {
-        let q = ConjunctiveQuery::new(
-            vec![Term::cnst("fixed")],
-            vec![va("rating", &["m", "r"])],
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::new(vec![Term::cnst("fixed")], vec![va("rating", &["m", "r"])])
+            .unwrap();
         let access = movie_access(10);
         assert!(satisfying_cq_has_bounded_output(&q, &access, &movie_schema()).unwrap());
         assert_eq!(output_bound(&q, &access, &movie_schema()).unwrap(), Some(1));
@@ -233,9 +239,10 @@ mod tests {
         // running example: the only non-constant variable x is covered
         // because the X-position of its atom holds a constant.
         let schema = DatabaseSchema::with_relations(&[("r", &["x", "y"])]).unwrap();
-        let access = bqr_data::AccessSchema::new(vec![
-            AccessConstraint::new("r", &["x"], &["y"], 2).unwrap()
-        ]);
+        let access =
+            bqr_data::AccessSchema::new(vec![
+                AccessConstraint::new("r", &["x"], &["y"], 2).unwrap()
+            ]);
         // Q2(x) :- r(k, 1), r(k, 2), r(2, x)   (x2 = x3 = 2 after equalities)
         let q = ConjunctiveQuery::new(
             vec![Term::var("x")],
@@ -254,14 +261,15 @@ mod tests {
     #[test]
     fn coverage_ignores_unknown_relations_gracefully() {
         // A constraint on a relation the query never mentions changes nothing.
-        let access = bqr_data::AccessSchema::new(vec![
-            AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap()
-        ]);
-        let q = ConjunctiveQuery::new(
-            vec![Term::var("p")],
-            vec![va("person", &["p", "n", "a"])],
+        let access = bqr_data::AccessSchema::new(vec![AccessConstraint::new(
+            "rating",
+            &["mid"],
+            &["rank"],
+            1,
         )
-        .unwrap();
+        .unwrap()]);
+        let q = ConjunctiveQuery::new(vec![Term::var("p")], vec![va("person", &["p", "n", "a"])])
+            .unwrap();
         let cov = covered_variables(&q, &access, &movie_schema()).unwrap();
         assert!(cov.covered.is_empty());
     }

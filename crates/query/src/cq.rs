@@ -89,19 +89,29 @@ impl ConjunctiveQuery {
     /// The existentially quantified variables (body variables not in the head).
     pub fn existential_variables(&self) -> BTreeSet<String> {
         let head = self.head_variables();
-        self.variables().into_iter().filter(|v| !head.contains(v)).collect()
+        self.variables()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
     }
 
     /// Names of all relations (and views) mentioned in the body.
     pub fn relation_names(&self) -> BTreeSet<String> {
-        self.atoms.iter().map(|a| a.relation().to_string()).collect()
+        self.atoms
+            .iter()
+            .map(|a| a.relation().to_string())
+            .collect()
     }
 
     /// All constants mentioned anywhere in the query (head or body).  Bounded
     /// rewritings may only use constants taken from the query (Section 2).
     pub fn constants(&self) -> BTreeSet<bqr_data::Value> {
         let mut out = BTreeSet::new();
-        for t in self.head.iter().chain(self.atoms.iter().flat_map(|a| a.args().iter())) {
+        for t in self
+            .head
+            .iter()
+            .chain(self.atoms.iter().flat_map(|a| a.args().iter()))
+        {
             if let Term::Const(c) = t {
                 out.insert(c.clone());
             }
@@ -112,7 +122,9 @@ impl ConjunctiveQuery {
     /// True if no relation name appears in two different atoms.
     pub fn is_self_join_free(&self) -> bool {
         let mut seen = BTreeSet::new();
-        self.atoms.iter().all(|a| seen.insert(a.relation().to_string()))
+        self.atoms
+            .iter()
+            .all(|a| seen.insert(a.relation().to_string()))
     }
 
     /// Validate every atom against the schema, treating names in

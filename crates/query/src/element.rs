@@ -18,11 +18,11 @@
 //! `X`-group with more than `N` distinct `Y`-projections, branch over the
 //! ways to merge two of those `Y`-projections.
 
+use crate::atom::Term;
 use crate::budget::Budget;
 use crate::canonical::{canonical_instance, frozen_var_name};
 use crate::cq::ConjunctiveQuery;
 use crate::fo::resolve_equalities;
-use crate::atom::Term;
 use crate::Result;
 use bqr_data::{AccessSchema, DatabaseSchema, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -51,7 +51,11 @@ pub fn element_queries(
             continue;
         }
         explored += 1;
-        Budget::check(explored, budget.max_partitions, "enumerating element-query partitions")?;
+        Budget::check(
+            explored,
+            budget.max_partitions,
+            "enumerating element-query partitions",
+        )?;
 
         match first_violation(&q, access, schema)? {
             None => {
@@ -193,10 +197,15 @@ mod tests {
         // giving the three ways of equating a pair.
         let q = ConjunctiveQuery::new(
             vec![Term::var("x1")],
-            vec![va("r", &["k", "x1"]), va("r", &["k", "x2"]), va("r", &["k", "x3"])],
+            vec![
+                va("r", &["k", "x1"]),
+                va("r", &["k", "x2"]),
+                va("r", &["k", "x3"]),
+            ],
         )
         .unwrap();
-        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
         let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
         assert_eq!(qs.len(), 3, "x1=x2, x1=x3, x2=x3");
         for qe in &qs {
@@ -234,7 +243,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 2).unwrap()]);
         let qs = element_queries(&q, &access, &simple_schema(), &Budget::generous()).unwrap();
         assert_eq!(qs.len(), 2);
         let heads: BTreeSet<Term> = qs.iter().map(|q| q.head()[0].clone()).collect();
@@ -279,9 +289,13 @@ mod tests {
 
     #[test]
     fn empty_access_schema_returns_query_itself() {
-        let qs =
-            element_queries(&q0(), &AccessSchema::empty(), &movie_schema(), &Budget::generous())
-                .unwrap();
+        let qs = element_queries(
+            &q0(),
+            &AccessSchema::empty(),
+            &movie_schema(),
+            &Budget::generous(),
+        )
+        .unwrap();
         assert_eq!(qs.len(), 1);
     }
 
@@ -290,7 +304,8 @@ mod tests {
         // A wide violation with a tiny budget aborts instead of spinning.
         let atoms: Vec<Atom> = (0..6).map(|i| va("r", &["k", &format!("x{i}")])).collect();
         let q = ConjunctiveQuery::boolean(atoms).unwrap();
-        let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 1).unwrap()]);
+        let access =
+            AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 1).unwrap()]);
         assert!(matches!(
             element_queries(&q, &access, &simple_schema(), &Budget::tiny()),
             Err(QueryError::BudgetExceeded(_))

@@ -80,15 +80,24 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(QueryError::UnknownRelation("r".into()).to_string().contains("r"));
-        assert!(QueryError::UnsafeHeadVariable("x".into()).to_string().contains("x"));
+        assert!(QueryError::UnknownRelation("r".into())
+            .to_string()
+            .contains("r"));
+        assert!(QueryError::UnsafeHeadVariable("x".into())
+            .to_string()
+            .contains("x"));
         assert!(QueryError::BudgetExceeded("enumerating element queries")
             .to_string()
             .contains("element"));
-        assert!(QueryError::Parse("oops".into()).to_string().contains("oops"));
-        assert!(QueryError::MismatchedUnionArity { expected: 2, actual: 3 }
+        assert!(QueryError::Parse("oops".into())
             .to_string()
-            .contains("3"));
+            .contains("oops"));
+        assert!(QueryError::MismatchedUnionArity {
+            expected: 2,
+            actual: 3
+        }
+        .to_string()
+        .contains("3"));
         assert!(QueryError::AtomArity {
             relation: "movie".into(),
             expected: 4,

@@ -10,24 +10,165 @@
 //! 2. the **oracle** for correctness tests — every bounded plan produced by
 //!    `bqr-core` is checked against it on satisfying instances.
 //!
-//! CQ/UCQ evaluation uses the homomorphism engine of [`crate::hom`]
-//! (an index-nested-loop join with on-the-fly hash indices).  FO evaluation
-//! uses active-domain semantics, which coincides with the standard semantics
-//! for the domain-independent (safe-range) queries used throughout the paper.
+//! CQ/UCQ evaluation drives the slot-based homomorphism engine of
+//! [`crate::hom`] through its visitor interface: head tuples are projected
+//! straight out of the variable slots, so no intermediate name→value maps
+//! are materialised.  An [`Evaluator`] owns a [`bqr_data::IndexCache`] and a
+//! result budget; repeated evaluations against the same (unmutated)
+//! relations reuse the per-atom hash indexes instead of rebuilding them per
+//! call.  The free functions ([`eval_cq`] & friends) keep the historical
+//! one-shot signatures and simply run a transient `Evaluator`.
+//!
+//! FO evaluation uses active-domain semantics, which coincides with the
+//! standard semantics for the domain-independent (safe-range) queries used
+//! throughout the paper.
 
 use crate::atom::Term;
 use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
 use crate::fo::{Fo, FoQuery};
-use crate::hom::{enumerate_homomorphisms, Assignment, MatchLimit};
+use crate::hom::{Assignment, HomSearch};
 use crate::ucq::UnionQuery;
 use crate::views::MaterializedViews;
 use crate::Result;
-use bqr_data::{Database, FetchStats, Relation, Tuple, Value};
+use bqr_data::{Database, FetchStats, IndexCache, Relation, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::ControlFlow;
 
-/// Default cap on the number of homomorphisms enumerated per CQ evaluation.
-const MAX_RESULTS: usize = 10_000_000;
+/// Default cap on the number of homomorphisms enumerated per CQ evaluation;
+/// override it with [`Evaluator::with_max_results`].
+pub const DEFAULT_MAX_RESULTS: usize = 10_000_000;
+
+/// A query evaluator with cached relation indexes and a configurable result
+/// budget.
+///
+/// The cache is keyed by relation epoch (see [`bqr_data::IndexCache`]), so
+/// holding an `Evaluator` across calls is always sound: mutated relations
+/// miss the cache and get fresh indexes automatically.
+#[derive(Debug, Default)]
+pub struct Evaluator {
+    cache: IndexCache,
+    max_results: Option<usize>,
+}
+
+impl Evaluator {
+    /// An evaluator with an empty cache and the default result budget.
+    pub fn new() -> Self {
+        Evaluator::default()
+    }
+
+    /// Replace the per-evaluation cap on enumerated homomorphisms
+    /// (default: [`DEFAULT_MAX_RESULTS`]).
+    pub fn with_max_results(mut self, max_results: usize) -> Self {
+        self.max_results = Some(max_results);
+        self
+    }
+
+    /// The configured result budget.
+    pub fn max_results(&self) -> usize {
+        self.max_results.unwrap_or(DEFAULT_MAX_RESULTS)
+    }
+
+    /// The underlying index cache (e.g. for hit/miss statistics).
+    pub fn cache(&self) -> &IndexCache {
+        &self.cache
+    }
+
+    /// Evaluate a conjunctive query, returning its answers as a sorted,
+    /// duplicate-free list of tuples.
+    pub fn eval_cq(
+        &self,
+        cq: &ConjunctiveQuery,
+        db: &Database,
+        views: Option<&MaterializedViews>,
+    ) -> Result<Vec<Tuple>> {
+        let relations = relation_map(cq.relation_names(), db, views)?;
+        let search = HomSearch::compile(cq.atoms(), &relations, &Assignment::new(), &self.cache)?;
+
+        // Pre-resolve the head terms against the slot table so projection is
+        // a flat copy per match, with no name lookups.
+        enum HeadPart {
+            Const(Value),
+            Slot(u32),
+        }
+        let head: Vec<HeadPart> = cq
+            .head()
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => HeadPart::Const(c.clone()),
+                Term::Var(v) => HeadPart::Slot(
+                    search
+                        .vars()
+                        .slot(v)
+                        .expect("safety guarantees every head variable is bound"),
+                ),
+            })
+            .collect();
+
+        let max_results = self.max_results();
+        let mut out = BTreeSet::new();
+        let mut matches = 0usize;
+        let _ = search.try_run(|m| {
+            matches += 1;
+            if matches > max_results {
+                return Err(QueryError::BudgetExceeded("enumerating homomorphisms"));
+            }
+            out.insert(
+                head.iter()
+                    .map(|p| match p {
+                        HeadPart::Const(c) => c.clone(),
+                        HeadPart::Slot(s) => m
+                            .value(*s)
+                            .cloned()
+                            .expect("head slots are bound in every total match"),
+                    })
+                    .collect::<Tuple>(),
+            );
+            Ok(ControlFlow::Continue(()))
+        })?;
+        Ok(out.into_iter().collect())
+    }
+
+    /// Evaluate a CQ and record the base tuples a scan-based engine touches.
+    pub fn eval_cq_counting(
+        &self,
+        cq: &ConjunctiveQuery,
+        db: &Database,
+        views: Option<&MaterializedViews>,
+        stats: &mut FetchStats,
+    ) -> Result<Vec<Tuple>> {
+        charge_scans(cq, db, views, stats)?;
+        self.eval_cq(cq, db, views)
+    }
+
+    /// Evaluate a union of conjunctive queries.
+    pub fn eval_ucq(
+        &self,
+        ucq: &UnionQuery,
+        db: &Database,
+        views: Option<&MaterializedViews>,
+    ) -> Result<Vec<Tuple>> {
+        let mut out = BTreeSet::new();
+        for d in ucq.disjuncts() {
+            out.extend(self.eval_cq(d, db, views)?);
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Evaluate a UCQ, charging scans for every disjunct.
+    pub fn eval_ucq_counting(
+        &self,
+        ucq: &UnionQuery,
+        db: &Database,
+        views: Option<&MaterializedViews>,
+        stats: &mut FetchStats,
+    ) -> Result<Vec<Tuple>> {
+        for d in ucq.disjuncts() {
+            charge_scans(d, db, views, stats)?;
+        }
+        self.eval_ucq(ucq, db, views)
+    }
+}
 
 /// Resolve a relation name against the base instance and the cached views.
 fn resolve<'a>(
@@ -59,25 +200,14 @@ fn relation_map<'a>(
     Ok(map)
 }
 
-/// Evaluate a conjunctive query, returning its answers as a sorted,
-/// duplicate-free list of tuples.
+/// Evaluate a conjunctive query with a transient [`Evaluator`], returning
+/// its answers as a sorted, duplicate-free list of tuples.
 pub fn eval_cq(
     cq: &ConjunctiveQuery,
     db: &Database,
     views: Option<&MaterializedViews>,
 ) -> Result<Vec<Tuple>> {
-    let relations = relation_map(cq.relation_names(), db, views)?;
-    let matches = enumerate_homomorphisms(
-        cq.atoms(),
-        &relations,
-        &Assignment::new(),
-        MatchLimit::AtMost(MAX_RESULTS),
-    )?;
-    let mut out = BTreeSet::new();
-    for m in matches {
-        out.insert(project_head(cq.head(), &m));
-    }
-    Ok(out.into_iter().collect())
+    Evaluator::new().eval_cq(cq, db, views)
 }
 
 /// Evaluate a CQ and record the base tuples a scan-based engine touches
@@ -88,8 +218,7 @@ pub fn eval_cq_counting(
     views: Option<&MaterializedViews>,
     stats: &mut FetchStats,
 ) -> Result<Vec<Tuple>> {
-    charge_scans(cq, db, views, stats)?;
-    eval_cq(cq, db, views)
+    Evaluator::new().eval_cq_counting(cq, db, views, stats)
 }
 
 /// Evaluate a union of conjunctive queries.
@@ -98,11 +227,7 @@ pub fn eval_ucq(
     db: &Database,
     views: Option<&MaterializedViews>,
 ) -> Result<Vec<Tuple>> {
-    let mut out = BTreeSet::new();
-    for d in ucq.disjuncts() {
-        out.extend(eval_cq(d, db, views)?);
-    }
-    Ok(out.into_iter().collect())
+    Evaluator::new().eval_ucq(ucq, db, views)
 }
 
 /// Evaluate a UCQ, charging scans for every disjunct.
@@ -112,10 +237,7 @@ pub fn eval_ucq_counting(
     views: Option<&MaterializedViews>,
     stats: &mut FetchStats,
 ) -> Result<Vec<Tuple>> {
-    for d in ucq.disjuncts() {
-        charge_scans(d, db, views, stats)?;
-    }
-    eval_ucq(ucq, db, views)
+    Evaluator::new().eval_ucq_counting(ucq, db, views, stats)
 }
 
 fn charge_scans(
@@ -135,18 +257,6 @@ fn charge_scans(
     Ok(())
 }
 
-fn project_head(head: &[Term], assignment: &Assignment) -> Tuple {
-    head.iter()
-        .map(|t| match t {
-            Term::Const(c) => c.clone(),
-            Term::Var(v) => assignment
-                .get(v)
-                .cloned()
-                .expect("safety guarantees every head variable is bound"),
-        })
-        .collect()
-}
-
 // ---------------------------------------------------------------------------
 // First-order evaluation (active-domain semantics)
 // ---------------------------------------------------------------------------
@@ -164,7 +274,10 @@ impl VarRelation {
         if value {
             rows.insert(Vec::new());
         }
-        VarRelation { vars: Vec::new(), rows }
+        VarRelation {
+            vars: Vec::new(),
+            rows,
+        }
     }
 
     fn position(&self, var: &str) -> Option<usize> {
@@ -208,7 +321,9 @@ pub fn eval_fo(
             .map(|t| match t {
                 Term::Const(c) => c.clone(),
                 Term::Var(v) => {
-                    let pos = rel.position(v).expect("head variables are free in the body");
+                    let pos = rel
+                        .position(v)
+                        .expect("head variables are free in the body");
                     row[pos].clone()
                 }
             })
@@ -271,10 +386,7 @@ fn eval_formula(
                     actual: atom.arity(),
                 });
             }
-            let vars: Vec<String> = atom
-                .variables()
-                .into_iter()
-                .collect();
+            let vars: Vec<String> = atom.variables().into_iter().collect();
             let mut rows = BTreeSet::new();
             'tuples: for t in rel.iter() {
                 let mut binding: BTreeMap<&str, Value> = BTreeMap::new();
@@ -310,7 +422,10 @@ fn eval_formula(
             (Term::Var(v1), Term::Var(v2)) => {
                 if v1 == v2 {
                     let rows = domain.iter().map(|d| vec![d.clone()]).collect();
-                    return Ok(VarRelation { vars: vec![v1.clone()], rows });
+                    return Ok(VarRelation {
+                        vars: vec![v1.clone()],
+                        rows,
+                    });
                 }
                 let vars = vec![v1.clone(), v2.clone()];
                 let rows = domain.iter().map(|d| vec![d.clone(), d.clone()]).collect();
@@ -334,7 +449,10 @@ fn eval_formula(
             let right = pad(&right, &all_vars, domain);
             let mut rows = left.rows;
             rows.extend(right.rows);
-            Ok(VarRelation { vars: all_vars, rows })
+            Ok(VarRelation {
+                vars: all_vars,
+                rows,
+            })
         }
         Fo::Not(a) => {
             let inner = eval_formula(a, db, views, domain)?;
@@ -399,7 +517,10 @@ fn pad(rel: &VarRelation, vars: &[String], domain: &[Value]) -> VarRelation {
             .iter()
             .map(|r| positions.iter().map(|&p| r[p].clone()).collect())
             .collect();
-        return VarRelation { vars: vars.to_vec(), rows };
+        return VarRelation {
+            vars: vars.to_vec(),
+            rows,
+        };
     }
     let mut rows = BTreeSet::new();
     for row in &rel.rows {
@@ -429,7 +550,10 @@ fn pad(rel: &VarRelation, vars: &[String], domain: &[Value]) -> VarRelation {
             rows.insert(full);
         }
     }
-    VarRelation { vars: vars.to_vec(), rows }
+    VarRelation {
+        vars: vars.to_vec(),
+        rows,
+    }
 }
 
 /// Complement of a relation with respect to `domain^k`.
@@ -470,7 +594,10 @@ fn project_out(rel: &VarRelation, vars: &[String]) -> VarRelation {
         .iter()
         .map(|r| keep.iter().map(|&i| r[i].clone()).collect())
         .collect();
-    VarRelation { vars: new_vars, rows }
+    VarRelation {
+        vars: new_vars,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -509,7 +636,12 @@ mod tests {
             vec![
                 crate::atom::Atom::new(
                     "movie",
-                    vec![Term::var("mid"), Term::var("ym"), Term::cnst("Universal"), Term::cnst("2014")],
+                    vec![
+                        Term::var("mid"),
+                        Term::var("ym"),
+                        Term::cnst("Universal"),
+                        Term::cnst("2014"),
+                    ],
                 ),
                 crate::atom::Atom::new("V1", vec![Term::var("mid")]),
                 crate::atom::Atom::new("rating", vec![Term::var("mid"), Term::cnst(5)]),
@@ -533,7 +665,12 @@ mod tests {
             vec![
                 crate::atom::Atom::new(
                     "movie",
-                    vec![Term::var("mid"), Term::var("ym"), Term::cnst("Universal"), Term::cnst("2014")],
+                    vec![
+                        Term::var("mid"),
+                        Term::var("ym"),
+                        Term::cnst("Universal"),
+                        Term::cnst("2014"),
+                    ],
                 ),
                 crate::atom::Atom::new("V1", vec![Term::var("mid")]),
             ],
@@ -551,12 +688,18 @@ mod tests {
         let db = movie_instance();
         let d1 = ConjunctiveQuery::new(
             vec![Term::var("m")],
-            vec![crate::atom::Atom::new("rating", vec![Term::var("m"), Term::cnst(5)])],
+            vec![crate::atom::Atom::new(
+                "rating",
+                vec![Term::var("m"), Term::cnst(5)],
+            )],
         )
         .unwrap();
         let d2 = ConjunctiveQuery::new(
             vec![Term::var("m")],
-            vec![crate::atom::Atom::new("rating", vec![Term::var("m"), Term::cnst(3)])],
+            vec![crate::atom::Atom::new(
+                "rating",
+                vec![Term::var("m"), Term::cnst(3)],
+            )],
         )
         .unwrap();
         let ucq = UnionQuery::new(vec![d1, d2]).unwrap();
@@ -565,7 +708,10 @@ mod tests {
         let mut stats = FetchStats::new();
         let counted = eval_ucq_counting(&ucq, &db, None, &mut stats).unwrap();
         assert_eq!(counted.len(), 3);
-        assert_eq!(stats.scanned_tuples, 2 * db.relation("rating").unwrap().len());
+        assert_eq!(
+            stats.scanned_tuples,
+            2 * db.relation("rating").unwrap().len()
+        );
     }
 
     #[test]
@@ -588,7 +734,12 @@ mod tests {
                 vec!["n".into(), "s".into(), "r".into()],
                 Fo::Atom(crate::atom::Atom::new(
                     "movie",
-                    vec![Term::var("m"), Term::var("n"), Term::var("s"), Term::var("r")],
+                    vec![
+                        Term::var("m"),
+                        Term::var("n"),
+                        Term::var("s"),
+                        Term::var("r"),
+                    ],
                 )),
             ),
             Fo::not(Fo::Atom(crate::atom::Atom::new(
@@ -620,7 +771,11 @@ mod tests {
         );
         let q = FoQuery::boolean(body);
         let answers = eval_fo(&q, &db, None).unwrap();
-        assert_eq!(answers.len(), 1, "the sentence holds on the example instance");
+        assert_eq!(
+            answers.len(),
+            1,
+            "the sentence holds on the example instance"
+        );
 
         // Tighten to "every rating is 5": fails because movie 11 is rated 3.
         let body = Fo::forall(
@@ -664,9 +819,52 @@ mod tests {
     }
 
     #[test]
+    fn evaluator_reuses_cached_indexes_across_calls() {
+        let db = movie_instance();
+        let evaluator = Evaluator::new();
+        let first = evaluator.eval_cq(&q0(), &db, None).unwrap();
+        let misses = evaluator.cache().misses();
+        for _ in 0..4 {
+            assert_eq!(evaluator.eval_cq(&q0(), &db, None).unwrap(), first);
+        }
+        assert_eq!(
+            evaluator.cache().misses(),
+            misses,
+            "repeat evaluations hit the cache"
+        );
+        assert!(evaluator.cache().hits() > 0);
+        assert_eq!(first, vec![tuple![10]]);
+    }
+
+    #[test]
+    fn max_results_budget_is_enforced() {
+        let db = movie_instance();
+        // rating has 3 tuples; a budget of 2 must abort the enumeration.
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("m")],
+            vec![crate::atom::Atom::new(
+                "rating",
+                vec![Term::var("m"), Term::var("r")],
+            )],
+        )
+        .unwrap();
+        let strict = Evaluator::new().with_max_results(2);
+        assert!(matches!(
+            strict.eval_cq(&q, &db, None),
+            Err(QueryError::BudgetExceeded(_))
+        ));
+        let ample = Evaluator::new().with_max_results(3);
+        assert_eq!(ample.eval_cq(&q, &db, None).unwrap().len(), 3);
+        assert_eq!(ample.max_results(), 3);
+        assert_eq!(Evaluator::new().max_results(), DEFAULT_MAX_RESULTS);
+    }
+
+    #[test]
     fn empty_database_yields_empty_answers() {
         let db = Database::empty(movie_schema());
         assert!(eval_cq(&q0(), &db, None).unwrap().is_empty());
-        assert!(eval_fo(&FoQuery::from_cq(&q0()), &db, None).unwrap().is_empty());
+        assert!(eval_fo(&FoQuery::from_cq(&q0()), &db, None)
+            .unwrap()
+            .is_empty());
     }
 }

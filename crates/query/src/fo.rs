@@ -82,6 +82,7 @@ impl Fo {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)] // constructor mirroring `Fo::and`/`Fo::or`, not a negation operator impl
     pub fn not(a: Fo) -> Fo {
         Fo::Not(Box::new(a))
     }
@@ -121,7 +122,9 @@ impl Fo {
     /// Disjunction of a non-empty list of formulas.
     pub fn disjunction(mut formulas: Vec<Fo>) -> Result<Fo> {
         match formulas.len() {
-            0 => Err(QueryError::UnsupportedFragment("empty disjunction".to_string())),
+            0 => Err(QueryError::UnsupportedFragment(
+                "empty disjunction".to_string(),
+            )),
             1 => Ok(formulas.pop().expect("len checked")),
             _ => {
                 let mut iter = formulas.into_iter();
@@ -381,7 +384,10 @@ impl FoQuery {
 
     /// A Boolean FO query.
     pub fn boolean(body: Fo) -> Self {
-        FoQuery { head: Vec::new(), body }
+        FoQuery {
+            head: Vec::new(),
+            body,
+        }
     }
 
     /// Head terms.
@@ -526,7 +532,11 @@ fn collect_conjuncts(f: &Fo, atoms: &mut Vec<Atom>, eqs: &mut Vec<(Term, Term)>)
 
 /// Expand a positive formula into `(atoms, equalities)` bundles, one per
 /// disjunct of the equivalent UCQ.
-fn expand_positive(f: &Fo, budget: &Budget) -> Result<Vec<(Vec<Atom>, Vec<(Term, Term)>)>> {
+/// One positive disjunct during `∃FO+` → UCQ expansion: its atoms plus the
+/// pending equality conditions.
+type PositiveDisjunct = (Vec<Atom>, Vec<(Term, Term)>);
+
+fn expand_positive(f: &Fo, budget: &Budget) -> Result<Vec<PositiveDisjunct>> {
     let out = match f {
         Fo::Atom(a) => vec![(vec![a.clone()], Vec::new())],
         Fo::Eq(t1, t2) => vec![(Vec::new(), vec![(t1.clone(), t2.clone())])],
@@ -673,7 +683,10 @@ mod tests {
         assert_eq!(ucq_body.language(), QueryLanguage::Ucq);
 
         // ∨ nested below ∧ is ∃FO+ but not (syntactically) UCQ.
-        let pos_body = Fo::and(Fo::or(atom("r", &["x", "y"]), atom("s", &["x"])), atom("t", &["x"]));
+        let pos_body = Fo::and(
+            Fo::or(atom("r", &["x", "y"]), atom("s", &["x"])),
+            atom("t", &["x"]),
+        );
         assert_eq!(pos_body.language(), QueryLanguage::PosFo);
 
         let fo_body = Fo::and(atom("r", &["x", "y"]), Fo::not(atom("s", &["x"])));
@@ -847,7 +860,10 @@ mod tests {
     fn display_renders_connectives() {
         let f = Fo::exists(
             vec!["y".into()],
-            Fo::and(atom("r", &["x", "y"]), Fo::not(Fo::Eq(Term::var("x"), Term::cnst(1)))),
+            Fo::and(
+                atom("r", &["x", "y"]),
+                Fo::not(Fo::Eq(Term::var("x"), Term::cnst(1))),
+            ),
         );
         let q = FoQuery::new(vec![Term::var("x")], f).unwrap();
         let s = q.to_string();
@@ -858,11 +874,17 @@ mod tests {
 
     #[test]
     fn conjunction_and_disjunction_helpers() {
-        assert_eq!(Fo::conjunction(vec![]), Fo::Eq(Term::cnst(0), Term::cnst(0)));
+        assert_eq!(
+            Fo::conjunction(vec![]),
+            Fo::Eq(Term::cnst(0), Term::cnst(0))
+        );
         let single = Fo::conjunction(vec![atom("r", &["x"])]);
         assert_eq!(single, atom("r", &["x"]));
         assert!(Fo::disjunction(vec![]).is_err());
-        assert_eq!(Fo::disjunction(vec![atom("r", &["x"])]).unwrap(), atom("r", &["x"]));
+        assert_eq!(
+            Fo::disjunction(vec![atom("r", &["x"])]).unwrap(),
+            atom("r", &["x"])
+        );
         assert_eq!(Fo::exists(vec![], atom("r", &["x"])), atom("r", &["x"]));
         assert_eq!(Fo::forall(vec![], atom("r", &["x"])), atom("r", &["x"]));
     }

@@ -4,19 +4,44 @@
 //! This is the single engine behind CQ evaluation (enumerate all matches and
 //! project the head), the Chandra–Merlin containment test (match into a
 //! canonical instance) and the `A`-equivalence procedures.  The search is a
-//! backtracking join: atoms are ordered greedily so that each atom shares as
-//! many already-bound variables as possible with its predecessors, and for
-//! every atom a hash index keyed on its bound positions is built once and
-//! probed per candidate binding — i.e. an index-nested-loop join with
-//! on-the-fly hash indices.
+//! backtracking index-nested-loop join; this module implements it as a small
+//! *slot machine* compiled once per query:
+//!
+//! * **Variable slots** — a [`VarTable`] interns every variable name to a
+//!   dense `u32` slot; the partial assignment is a flat `Vec<Option<Value>>`
+//!   indexed by slot.  No string comparison or `BTreeMap` traffic happens
+//!   inside the search.
+//! * **Compiled atoms** — for each atom (in greedy join order) the positions
+//!   bound at probe time are precompiled into a probe-key recipe, and the
+//!   remaining positions into a short list of bind/check ops.  Positions
+//!   covered by the probe key need no per-candidate re-checking: the hash
+//!   index already groups tuples by exactly those values.
+//! * **Cached indexes** — the per-atom hash indexes come from a
+//!   [`bqr_data::IndexCache`], so a workload that repeatedly matches into the
+//!   same relation (the dominant cost of repeated containment checks) builds
+//!   each `(relation, access pattern)` index once instead of once per call.
+//! * **Visitor-driven search** — [`HomSearch::run`] reports matches through a
+//!   callback borrowing the slot array; nothing is materialised unless the
+//!   caller asks for it.  `has_homomorphism` allocates no result vectors at
+//!   all, and the inner candidate loop performs no heap allocation (`Value`
+//!   clones are `Copy`-or-`Arc`) and no `String`-keyed map operations.
+//!   [`Assignment`] maps are cloned only at match emission, for callers that
+//!   need materialised name→value maps.
+//!
+//! The original `BTreeMap`-driven engine is retained verbatim in
+//! [`reference`]: it is the oracle for the engine-equivalence property tests
+//! and the baseline of the `hom` microbenchmarks.
 
 use crate::atom::{Atom, Term};
 use crate::error::QueryError;
 use crate::Result;
-use bqr_data::{Relation, Tuple, Value};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use bqr_data::{IndexCache, Relation, RelationIndex, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::ControlFlow;
+use std::rc::Rc;
 
-/// A (partial) assignment of values to variable names.
+/// A (partial) assignment of values to variable names — the materialised
+/// form handed to callers that need maps; the engine itself works on slots.
 pub type Assignment = BTreeMap<String, Value>;
 
 /// How many results the caller wants.
@@ -28,52 +53,326 @@ pub enum MatchLimit {
     AtMost(usize),
 }
 
+/// Interning of variable names to dense `u32` slots.
+///
+/// Queries have few variables, so lookup is a linear scan over a `Vec` —
+/// cheaper in practice than hashing, and only used at compile time anyway.
+#[derive(Debug, Default, Clone)]
+pub struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    fn intern(&mut self, name: &str) -> u32 {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => i as u32,
+            None => {
+                self.names.push(name.to_string());
+                (self.names.len() - 1) as u32
+            }
+        }
+    }
+
+    /// The slot of `name`, if interned.
+    pub fn slot(&self, name: &str) -> Option<u32> {
+        self.names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+
+    /// The name interned at `slot`.
+    pub fn name(&self, slot: u32) -> &str {
+        &self.names[slot as usize]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no variable is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// One component of an atom's probe key.
+#[derive(Debug)]
+enum KeyPart {
+    Const(Value),
+    Slot(u32),
+}
+
+/// Per-position work left after the index probe: bind a fresh slot or check
+/// a slot bound earlier *within the same atom* (every other position is part
+/// of the probe key and therefore already guaranteed to match).
+#[derive(Debug)]
+enum PosOp {
+    Bind { pos: usize, slot: u32 },
+    CheckSlot { pos: usize, slot: u32 },
+}
+
+/// One atom compiled against the join order.
+#[derive(Debug)]
+struct CompiledAtom {
+    key: Vec<KeyPart>,
+    ops: Vec<PosOp>,
+    /// Slots bound by this atom, for backtracking.
+    bind_slots: Vec<u32>,
+    index: Rc<RelationIndex>,
+}
+
+/// A view of one match during [`HomSearch::run`]: variable slots plus their
+/// current values, alive only for the duration of the callback.
+pub struct HomMatch<'a> {
+    vars: &'a VarTable,
+    slots: &'a [Option<Value>],
+}
+
+impl HomMatch<'_> {
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.slot(name).and_then(|s| self.value(s))
+    }
+
+    /// The value bound to `slot`, if any.
+    pub fn value(&self, slot: u32) -> Option<&Value> {
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// The variable table of the search.
+    pub fn vars(&self) -> &VarTable {
+        self.vars
+    }
+
+    /// Materialise the match as a name→value map (this is the only point
+    /// where the engine clones into an [`Assignment`]).
+    pub fn to_assignment(&self) -> Assignment {
+        let mut out = Assignment::new();
+        for (i, v) in self.slots.iter().enumerate() {
+            if let Some(v) = v {
+                out.insert(self.vars.name(i as u32).to_string(), v.clone());
+            }
+        }
+        out
+    }
+}
+
+/// A homomorphism search compiled for one (atom list, relation set, initial
+/// assignment) triple.  Compile once, [`run`](HomSearch::run) as often as
+/// needed.
+#[derive(Debug)]
+pub struct HomSearch {
+    vars: VarTable,
+    atoms: Vec<CompiledAtom>,
+    /// Slot values fixed by the initial assignment.
+    initial: Vec<(u32, Value)>,
+}
+
+impl HomSearch {
+    /// Compile the search.  Validates relation names and arities (the same
+    /// errors the old engine reported) and builds or fetches the per-atom
+    /// hash indexes through `cache`.
+    pub fn compile(
+        atoms: &[Atom],
+        relations: &BTreeMap<String, &Relation>,
+        initial: &Assignment,
+        cache: &IndexCache,
+    ) -> Result<Self> {
+        for atom in atoms {
+            let rel = relations
+                .get(atom.relation())
+                .ok_or_else(|| QueryError::UnknownRelation(atom.relation().to_string()))?;
+            if rel.schema().arity() != atom.arity() {
+                return Err(QueryError::AtomArity {
+                    relation: atom.relation().to_string(),
+                    expected: rel.schema().arity(),
+                    actual: atom.arity(),
+                });
+            }
+        }
+
+        let order = order_atoms(atoms, initial);
+        let mut vars = VarTable::default();
+        let mut initial_slots = Vec::with_capacity(initial.len());
+        for (name, value) in initial {
+            initial_slots.push((vars.intern(name), value.clone()));
+        }
+
+        // `bound[slot]` = the slot has a value by the time the current atom
+        // is reached (initially bound, or bound by an earlier atom).
+        let mut bound: Vec<bool> = vec![true; initial_slots.len()];
+        let mut compiled = Vec::with_capacity(order.len());
+        let mut key_positions: Vec<usize> = Vec::new();
+        for &atom_idx in &order {
+            let atom = &atoms[atom_idx];
+            key_positions.clear();
+            let mut key = Vec::new();
+            let mut ops = Vec::new();
+            let mut bind_slots: Vec<u32> = Vec::new();
+            for (pos, term) in atom.args().iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        key_positions.push(pos);
+                        key.push(KeyPart::Const(c.clone()));
+                    }
+                    Term::Var(v) => {
+                        let slot = vars.intern(v);
+                        if bound.len() <= slot as usize {
+                            bound.push(false);
+                        }
+                        if bound[slot as usize] {
+                            key_positions.push(pos);
+                            key.push(KeyPart::Slot(slot));
+                        } else if bind_slots.contains(&slot) {
+                            // Repeated occurrence within this atom: the first
+                            // occurrence binds, later ones compare.
+                            ops.push(PosOp::CheckSlot { pos, slot });
+                        } else {
+                            bind_slots.push(slot);
+                            ops.push(PosOp::Bind { pos, slot });
+                        }
+                    }
+                }
+            }
+            for &slot in &bind_slots {
+                bound[slot as usize] = true;
+            }
+            let index = cache.index_for(relations[atom.relation()], &key_positions);
+            compiled.push(CompiledAtom {
+                key,
+                ops,
+                bind_slots,
+                index,
+            });
+        }
+        Ok(HomSearch {
+            vars,
+            atoms: compiled,
+            initial: initial_slots,
+        })
+    }
+
+    /// The variable table (name ↔ slot mapping) of the compiled search.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Run the search, invoking `visit` once per homomorphism.  Returning
+    /// `ControlFlow::Break(())` from the callback stops the enumeration.
+    pub fn run(&self, mut visit: impl FnMut(HomMatch<'_>) -> ControlFlow<()>) -> Result<()> {
+        self.try_run(|m| Ok(visit(m))).map(|_| ())
+    }
+
+    /// Like [`run`](HomSearch::run), but the callback may fail; the error
+    /// aborts the search and is propagated.
+    pub fn try_run(
+        &self,
+        mut visit: impl FnMut(HomMatch<'_>) -> Result<ControlFlow<()>>,
+    ) -> Result<ControlFlow<()>> {
+        let mut slots: Vec<Option<Value>> = vec![None; self.vars.len()];
+        for (slot, value) in &self.initial {
+            slots[*slot as usize] = Some(value.clone());
+        }
+        let mut key_buf: Vec<Value> = Vec::new();
+        self.search(0, &mut slots, &mut key_buf, &mut visit)
+    }
+
+    fn search(
+        &self,
+        depth: usize,
+        slots: &mut Vec<Option<Value>>,
+        key_buf: &mut Vec<Value>,
+        visit: &mut dyn FnMut(HomMatch<'_>) -> Result<ControlFlow<()>>,
+    ) -> Result<ControlFlow<()>> {
+        if depth == self.atoms.len() {
+            return visit(HomMatch {
+                vars: &self.vars,
+                slots,
+            });
+        }
+        let atom = &self.atoms[depth];
+
+        // Build the probe key into the shared scratch buffer (its capacity
+        // is reused across the whole search); the buffer is free for reuse
+        // by deeper levels as soon as the probe below returns.
+        key_buf.clear();
+        for part in &atom.key {
+            key_buf.push(match part {
+                KeyPart::Const(c) => c.clone(),
+                KeyPart::Slot(s) => slots[*s as usize]
+                    .clone()
+                    .expect("probe-key slots are bound by construction"),
+            });
+        }
+
+        'candidates: for &ti in atom.index.probe(key_buf) {
+            let tuple = atom.index.tuple(ti);
+            for op in &atom.ops {
+                match op {
+                    PosOp::Bind { pos, slot } => {
+                        slots[*slot as usize] = Some(tuple[*pos].clone());
+                    }
+                    PosOp::CheckSlot { pos, slot } => {
+                        if slots[*slot as usize].as_ref() != Some(&tuple[*pos]) {
+                            for &s in &atom.bind_slots {
+                                slots[s as usize] = None;
+                            }
+                            continue 'candidates;
+                        }
+                    }
+                }
+            }
+            let flow = self.search(depth + 1, slots, key_buf, visit)?;
+            for &s in &atom.bind_slots {
+                slots[s as usize] = None;
+            }
+            if flow == ControlFlow::Break(()) {
+                return Ok(ControlFlow::Break(()));
+            }
+        }
+        Ok(ControlFlow::Continue(()))
+    }
+}
+
 /// Enumerate homomorphisms from `atoms` into the relations provided by
 /// `relations` (one entry per distinct relation name used by the atoms),
 /// starting from an initial partial assignment.
 ///
 /// Returns the list of total assignments restricted to the variables of the
-/// atoms (plus whatever the initial assignment already bound).
+/// atoms (plus whatever the initial assignment already bound).  Builds its
+/// indexes into a transient cache; use [`enumerate_homomorphisms_cached`]
+/// when making repeated calls against the same relations.
 pub fn enumerate_homomorphisms(
     atoms: &[Atom],
     relations: &BTreeMap<String, &Relation>,
     initial: &Assignment,
     limit: MatchLimit,
 ) -> Result<Vec<Assignment>> {
-    for atom in atoms {
-        let rel = relations
-            .get(atom.relation())
-            .ok_or_else(|| QueryError::UnknownRelation(atom.relation().to_string()))?;
-        if rel.schema().arity() != atom.arity() {
-            return Err(QueryError::AtomArity {
-                relation: atom.relation().to_string(),
-                expected: rel.schema().arity(),
-                actual: atom.arity(),
-            });
-        }
-    }
+    enumerate_homomorphisms_cached(atoms, relations, initial, limit, &IndexCache::new())
+}
 
-    let order = order_atoms(atoms, initial);
+/// [`enumerate_homomorphisms`] with caller-provided index caching.
+pub fn enumerate_homomorphisms_cached(
+    atoms: &[Atom],
+    relations: &BTreeMap<String, &Relation>,
+    initial: &Assignment,
+    limit: MatchLimit,
+    cache: &IndexCache,
+) -> Result<Vec<Assignment>> {
+    let search = HomSearch::compile(atoms, relations, initial, cache)?;
     let mut results = Vec::new();
-    let mut assignment = initial.clone();
-    let mut indices: Vec<AtomIndex<'_>> = Vec::with_capacity(order.len());
-
-    // Pre-compute, for each atom in join order, which of its positions are
-    // bound by the time it is processed (either initially bound variables,
-    // constants, repeated variables within the atom, or variables bound by
-    // earlier atoms), then build a hash index on those positions.
-    let mut bound: BTreeSet<String> = initial.keys().cloned().collect();
-    for &atom_idx in &order {
-        let atom = &atoms[atom_idx];
-        let rel = relations[atom.relation()];
-        let index = AtomIndex::build(atom, rel, &bound);
-        for v in atom.variables() {
-            bound.insert(v);
+    let _ = search.try_run(|m| {
+        results.push(m.to_assignment());
+        match limit {
+            MatchLimit::First => Ok(ControlFlow::Break(())),
+            MatchLimit::AtMost(max) => {
+                if results.len() > max {
+                    Err(QueryError::BudgetExceeded("enumerating homomorphisms"))
+                } else {
+                    Ok(ControlFlow::Continue(()))
+                }
+            }
         }
-        indices.push(index);
-    }
-
-    search(&order, atoms, &indices, 0, &mut assignment, &mut results, limit)?;
+    })?;
     Ok(results)
 }
 
@@ -83,7 +382,24 @@ pub fn has_homomorphism(
     relations: &BTreeMap<String, &Relation>,
     initial: &Assignment,
 ) -> Result<bool> {
-    Ok(!enumerate_homomorphisms(atoms, relations, initial, MatchLimit::First)?.is_empty())
+    has_homomorphism_cached(atoms, relations, initial, &IndexCache::new())
+}
+
+/// [`has_homomorphism`] with caller-provided index caching.  Materialises
+/// nothing: the visitor short-circuits on the first match.
+pub fn has_homomorphism_cached(
+    atoms: &[Atom],
+    relations: &BTreeMap<String, &Relation>,
+    initial: &Assignment,
+    cache: &IndexCache,
+) -> Result<bool> {
+    let search = HomSearch::compile(atoms, relations, initial, cache)?;
+    let mut found = false;
+    search.run(|_| {
+        found = true;
+        ControlFlow::Break(())
+    })?;
+    Ok(found)
 }
 
 /// Greedy join order: repeatedly pick the atom with the most bound positions
@@ -119,112 +435,179 @@ fn order_atoms(atoms: &[Atom], initial: &Assignment) -> Vec<usize> {
     order
 }
 
-/// A hash index over one atom's relation, keyed on the positions that are
-/// bound when the atom is reached in the join order.
-struct AtomIndex<'a> {
-    /// Positions of the atom that are bound at probe time.
-    key_positions: Vec<usize>,
-    /// Hash index from key values to tuples.
-    map: HashMap<Vec<Value>, Vec<&'a Tuple>>,
-}
+/// The pre-refactor `BTreeMap`-driven engine, kept as the oracle for the
+/// engine-equivalence property tests and as the baseline of the `hom`
+/// microbenchmarks.  Semantics are identical to the slot engine; performance
+/// is not: it allocates a fresh probe key per node, clones the whole map per
+/// match, and rebuilds its hash indexes on every call.
+pub mod reference {
+    use super::{order_atoms, Assignment, MatchLimit};
+    use crate::atom::{Atom, Term};
+    use crate::error::QueryError;
+    use crate::Result;
+    use bqr_data::{Relation, Tuple, Value};
+    use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-impl<'a> AtomIndex<'a> {
-    fn build(atom: &Atom, relation: &'a Relation, bound: &BTreeSet<String>) -> Self {
-        let key_positions: Vec<usize> = atom
-            .args()
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| match t {
-                Term::Const(_) => true,
-                Term::Var(v) => bound.contains(v),
-            })
-            .map(|(i, _)| i)
-            .collect();
-        let mut map: HashMap<Vec<Value>, Vec<&'a Tuple>> = HashMap::new();
-        for tuple in relation.iter() {
-            let key: Vec<Value> = key_positions.iter().map(|&p| tuple[p].clone()).collect();
-            map.entry(key).or_default().push(tuple);
-        }
-        AtomIndex { key_positions, map }
-    }
-
-    fn probe(&self, key: &[Value]) -> &[&'a Tuple] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn search(
-    order: &[usize],
-    atoms: &[Atom],
-    indices: &[AtomIndex<'_>],
-    depth: usize,
-    assignment: &mut Assignment,
-    results: &mut Vec<Assignment>,
-    limit: MatchLimit,
-) -> Result<()> {
-    if depth == order.len() {
-        results.push(assignment.clone());
-        if let MatchLimit::AtMost(max) = limit {
-            if results.len() > max {
-                return Err(QueryError::BudgetExceeded("enumerating homomorphisms"));
+    /// Enumerate homomorphisms with the naive engine.
+    pub fn enumerate_homomorphisms(
+        atoms: &[Atom],
+        relations: &BTreeMap<String, &Relation>,
+        initial: &Assignment,
+        limit: MatchLimit,
+    ) -> Result<Vec<Assignment>> {
+        for atom in atoms {
+            let rel = relations
+                .get(atom.relation())
+                .ok_or_else(|| QueryError::UnknownRelation(atom.relation().to_string()))?;
+            if rel.schema().arity() != atom.arity() {
+                return Err(QueryError::AtomArity {
+                    relation: atom.relation().to_string(),
+                    expected: rel.schema().arity(),
+                    actual: atom.arity(),
+                });
             }
         }
-        return Ok(());
+
+        let order = order_atoms(atoms, initial);
+        let mut results = Vec::new();
+        let mut assignment = initial.clone();
+        let mut indices: Vec<AtomIndex<'_>> = Vec::with_capacity(order.len());
+
+        let mut bound: BTreeSet<String> = initial.keys().cloned().collect();
+        for &atom_idx in &order {
+            let atom = &atoms[atom_idx];
+            let rel = relations[atom.relation()];
+            let index = AtomIndex::build(atom, rel, &bound);
+            for v in atom.variables() {
+                bound.insert(v);
+            }
+            indices.push(index);
+        }
+
+        search(
+            &order,
+            atoms,
+            &indices,
+            0,
+            &mut assignment,
+            &mut results,
+            limit,
+        )?;
+        Ok(results)
     }
-    let atom = &atoms[order[depth]];
-    let index = &indices[depth];
 
-    // Build the probe key from the current assignment.
-    let key: Vec<Value> = index
-        .key_positions
-        .iter()
-        .map(|&p| match &atom.args()[p] {
-            Term::Const(c) => c.clone(),
-            Term::Var(v) => assignment
-                .get(v)
-                .cloned()
-                .expect("key positions only contain bound variables"),
-        })
-        .collect();
+    /// Is there at least one homomorphism (naive engine)?
+    pub fn has_homomorphism(
+        atoms: &[Atom],
+        relations: &BTreeMap<String, &Relation>,
+        initial: &Assignment,
+    ) -> Result<bool> {
+        Ok(!enumerate_homomorphisms(atoms, relations, initial, MatchLimit::First)?.is_empty())
+    }
 
-    'candidates: for tuple in index.probe(&key) {
-        // Try to extend the assignment with this tuple.
-        let mut newly_bound: Vec<String> = Vec::new();
-        for (pos, term) in atom.args().iter().enumerate() {
-            match term {
-                Term::Const(c) => {
-                    if &tuple[pos] != c {
-                        undo(assignment, &newly_bound);
-                        continue 'candidates;
-                    }
+    /// A hash index over one atom's relation, keyed on the positions that are
+    /// bound when the atom is reached in the join order.  Rebuilt per call.
+    struct AtomIndex<'a> {
+        key_positions: Vec<usize>,
+        map: HashMap<Vec<Value>, Vec<&'a Tuple>>,
+    }
+
+    impl<'a> AtomIndex<'a> {
+        fn build(atom: &Atom, relation: &'a Relation, bound: &BTreeSet<String>) -> Self {
+            let key_positions: Vec<usize> = atom
+                .args()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let mut map: HashMap<Vec<Value>, Vec<&'a Tuple>> = HashMap::new();
+            for tuple in relation.iter() {
+                let key: Vec<Value> = key_positions.iter().map(|&p| tuple[p].clone()).collect();
+                map.entry(key).or_default().push(tuple);
+            }
+            AtomIndex { key_positions, map }
+        }
+
+        fn probe(&self, key: &[Value]) -> &[&'a Tuple] {
+            self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        order: &[usize],
+        atoms: &[Atom],
+        indices: &[AtomIndex<'_>],
+        depth: usize,
+        assignment: &mut Assignment,
+        results: &mut Vec<Assignment>,
+        limit: MatchLimit,
+    ) -> Result<()> {
+        if depth == order.len() {
+            results.push(assignment.clone());
+            if let MatchLimit::AtMost(max) = limit {
+                if results.len() > max {
+                    return Err(QueryError::BudgetExceeded("enumerating homomorphisms"));
                 }
-                Term::Var(v) => match assignment.get(v) {
-                    Some(existing) => {
-                        if existing != &tuple[pos] {
+            }
+            return Ok(());
+        }
+        let atom = &atoms[order[depth]];
+        let index = &indices[depth];
+
+        let key: Vec<Value> = index
+            .key_positions
+            .iter()
+            .map(|&p| match &atom.args()[p] {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => assignment
+                    .get(v)
+                    .cloned()
+                    .expect("key positions only contain bound variables"),
+            })
+            .collect();
+
+        'candidates: for tuple in index.probe(&key) {
+            let mut newly_bound: Vec<String> = Vec::new();
+            for (pos, term) in atom.args().iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if &tuple[pos] != c {
                             undo(assignment, &newly_bound);
                             continue 'candidates;
                         }
                     }
-                    None => {
-                        assignment.insert(v.clone(), tuple[pos].clone());
-                        newly_bound.push(v.clone());
-                    }
-                },
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(existing) => {
+                            if existing != &tuple[pos] {
+                                undo(assignment, &newly_bound);
+                                continue 'candidates;
+                            }
+                        }
+                        None => {
+                            assignment.insert(v.clone(), tuple[pos].clone());
+                            newly_bound.push(v.clone());
+                        }
+                    },
+                }
+            }
+            search(order, atoms, indices, depth + 1, assignment, results, limit)?;
+            undo(assignment, &newly_bound);
+            if matches!(limit, MatchLimit::First) && !results.is_empty() {
+                return Ok(());
             }
         }
-        search(order, atoms, indices, depth + 1, assignment, results, limit)?;
-        undo(assignment, &newly_bound);
-        if matches!(limit, MatchLimit::First) && !results.is_empty() {
-            return Ok(());
-        }
+        Ok(())
     }
-    Ok(())
-}
 
-fn undo(assignment: &mut Assignment, newly_bound: &[String]) {
-    for v in newly_bound {
-        assignment.remove(v);
+    fn undo(assignment: &mut Assignment, newly_bound: &[String]) {
+        for v in newly_bound {
+            assignment.remove(v);
+        }
     }
 }
 
@@ -247,17 +630,16 @@ mod tests {
             enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(100))
                 .unwrap();
         assert_eq!(matches.len(), 3);
-        assert!(matches.iter().all(|m| m.contains_key("m") && m.contains_key("r")));
+        assert!(matches
+            .iter()
+            .all(|m| m.contains_key("m") && m.contains_key("r")));
     }
 
     #[test]
     fn constants_filter_candidates() {
         let db = movie_instance();
         let rels = relations(&db);
-        let atoms = vec![Atom::new(
-            "rating",
-            vec![Term::var("m"), Term::cnst(5)],
-        )];
+        let atoms = vec![Atom::new("rating", vec![Term::var("m"), Term::cnst(5)])];
         let matches =
             enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(100))
                 .unwrap();
@@ -270,17 +652,20 @@ mod tests {
         let rels = relations(&db);
         // people from NASA together with the movies they like
         let atoms = vec![
-            Atom::new("person", vec![Term::var("p"), Term::var("n"), Term::cnst("NASA")]),
-            Atom::new("like", vec![Term::var("p"), Term::var("m"), Term::cnst("movie")]),
+            Atom::new(
+                "person",
+                vec![Term::var("p"), Term::var("n"), Term::cnst("NASA")],
+            ),
+            Atom::new(
+                "like",
+                vec![Term::var("p"), Term::var("m"), Term::cnst("movie")],
+            ),
         ];
         let matches =
             enumerate_homomorphisms(&atoms, &rels, &Assignment::new(), MatchLimit::AtMost(100))
                 .unwrap();
         assert_eq!(matches.len(), 2);
-        let liked: BTreeSet<i64> = matches
-            .iter()
-            .map(|m| m["m"].as_int().unwrap())
-            .collect();
+        let liked: BTreeSet<i64> = matches.iter().map(|m| m["m"].as_int().unwrap()).collect();
         assert_eq!(liked, [10i64, 12].into_iter().collect());
     }
 
@@ -295,6 +680,7 @@ mod tests {
             enumerate_homomorphisms(&atoms, &rels, &initial, MatchLimit::AtMost(100)).unwrap();
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0]["r"], Value::int(5));
+        assert_eq!(matches[0]["m"], Value::int(10), "initial bindings survive");
     }
 
     #[test]
@@ -360,5 +746,115 @@ mod tests {
                 .unwrap();
         assert_eq!(matches.len(), 1);
         assert!(matches[0].is_empty());
+    }
+
+    #[test]
+    fn shared_cache_is_hit_on_repeated_runs() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let atoms = vec![
+            Atom::new(
+                "person",
+                vec![Term::var("p"), Term::var("n"), Term::cnst("NASA")],
+            ),
+            Atom::new(
+                "like",
+                vec![Term::var("p"), Term::var("m"), Term::cnst("movie")],
+            ),
+        ];
+        let cache = IndexCache::new();
+        let first = enumerate_homomorphisms_cached(
+            &atoms,
+            &rels,
+            &Assignment::new(),
+            MatchLimit::AtMost(100),
+            &cache,
+        )
+        .unwrap();
+        let misses_after_first = cache.misses();
+        assert!(misses_after_first >= 2, "each atom builds one index");
+        for _ in 0..5 {
+            let again = enumerate_homomorphisms_cached(
+                &atoms,
+                &rels,
+                &Assignment::new(),
+                MatchLimit::AtMost(100),
+                &cache,
+            )
+            .unwrap();
+            assert_eq!(again, first);
+        }
+        assert_eq!(
+            cache.misses(),
+            misses_after_first,
+            "repeat runs never rebuild"
+        );
+        assert!(cache.hits() >= 10);
+    }
+
+    #[test]
+    fn visitor_run_short_circuits_without_materialising() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let atoms = vec![va("rating", &["m", "r"])];
+        let cache = IndexCache::new();
+        let search = HomSearch::compile(&atoms, &rels, &Assignment::new(), &cache).unwrap();
+        let mut seen = 0usize;
+        search
+            .run(|m| {
+                assert!(m.get("m").is_some() && m.get("r").is_some());
+                assert!(m.get("nope").is_none());
+                seen += 1;
+                if seen == 2 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
+        assert_eq!(seen, 2, "break stops the enumeration early");
+    }
+
+    #[test]
+    fn slot_engine_agrees_with_reference_on_fixture_queries() {
+        let db = movie_instance();
+        let rels = relations(&db);
+        let cases: Vec<Vec<Atom>> = vec![
+            vec![va("rating", &["m", "r"])],
+            vec![va("like", &["p", "p", "t"])],
+            vec![
+                Atom::new(
+                    "person",
+                    vec![Term::var("p"), Term::var("n"), Term::cnst("NASA")],
+                ),
+                Atom::new(
+                    "like",
+                    vec![Term::var("p"), Term::var("m"), Term::cnst("movie")],
+                ),
+                va("rating", &["m", "r"]),
+            ],
+            vec![],
+        ];
+        for atoms in cases {
+            let slot: BTreeSet<Assignment> = enumerate_homomorphisms(
+                &atoms,
+                &rels,
+                &Assignment::new(),
+                MatchLimit::AtMost(1000),
+            )
+            .unwrap()
+            .into_iter()
+            .collect();
+            let naive: BTreeSet<Assignment> = reference::enumerate_homomorphisms(
+                &atoms,
+                &rels,
+                &Assignment::new(),
+                MatchLimit::AtMost(1000),
+            )
+            .unwrap()
+            .into_iter()
+            .collect();
+            assert_eq!(slot, naive, "engines disagree on {atoms:?}");
+        }
     }
 }

@@ -41,7 +41,7 @@ pub fn parse_cq(input: &str) -> Result<ConjunctiveQuery> {
 /// `;`), all with the same head arity.
 pub fn parse_ucq(input: &str) -> Result<UnionQuery> {
     let mut disjuncts = Vec::new();
-    for part in input.split(|c| c == ';' || c == '\n') {
+    for part in input.split([';', '\n']) {
         let trimmed = part.trim();
         if trimmed.is_empty() {
             continue;
@@ -128,7 +128,10 @@ impl<'a> Parser<'a> {
     fn term(&mut self) -> Result<Term> {
         self.skip_ws();
         let rest = self.rest();
-        let first = rest.chars().next().ok_or_else(|| self.error("expected a term"))?;
+        let first = rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.error("expected a term"))?;
         match first {
             '\'' | '"' => {
                 let quote = first;
@@ -313,10 +316,8 @@ mod tests {
 
     #[test]
     fn parses_ucq_with_semicolons_and_newlines() {
-        let u = parse_ucq(
-            "Q(m) :- rating(m, 5);\n Q(m) :- rating(m, 3)\n\n Q(m) :- rating(m, 1)",
-        )
-        .unwrap();
+        let u = parse_ucq("Q(m) :- rating(m, 5);\n Q(m) :- rating(m, 3)\n\n Q(m) :- rating(m, 1)")
+            .unwrap();
         assert_eq!(u.len(), 3);
         assert_eq!(u.arity(), 1);
         assert!(parse_ucq("Q(m) :- rating(m, 5); Q(m, n) :- rating(m, n)").is_err());

@@ -29,12 +29,23 @@ pub fn q0() -> ConjunctiveQuery {
     ConjunctiveQuery::new(
         vec![Term::var("mid")],
         vec![
-            Atom::new("person", vec![Term::var("xp"), Term::var("xp2"), Term::cnst("NASA")]),
+            Atom::new(
+                "person",
+                vec![Term::var("xp"), Term::var("xp2"), Term::cnst("NASA")],
+            ),
             Atom::new(
                 "movie",
-                vec![Term::var("mid"), Term::var("ym"), Term::cnst("Universal"), Term::cnst("2014")],
+                vec![
+                    Term::var("mid"),
+                    Term::var("ym"),
+                    Term::cnst("Universal"),
+                    Term::cnst("2014"),
+                ],
             ),
-            Atom::new("like", vec![Term::var("xp"), Term::var("mid"), Term::cnst("movie")]),
+            Atom::new(
+                "like",
+                vec![Term::var("xp"), Term::var("mid"), Term::cnst("movie")],
+            ),
             Atom::new("rating", vec![Term::var("mid"), Term::cnst(5)]),
         ],
     )
@@ -46,12 +57,23 @@ pub fn v1() -> ConjunctiveQuery {
     ConjunctiveQuery::new(
         vec![Term::var("mid")],
         vec![
-            Atom::new("person", vec![Term::var("xp"), Term::var("xp2"), Term::cnst("NASA")]),
+            Atom::new(
+                "person",
+                vec![Term::var("xp"), Term::var("xp2"), Term::cnst("NASA")],
+            ),
             Atom::new(
                 "movie",
-                vec![Term::var("mid"), Term::var("ym"), Term::var("z1"), Term::var("z2")],
+                vec![
+                    Term::var("mid"),
+                    Term::var("ym"),
+                    Term::var("z1"),
+                    Term::var("z2"),
+                ],
             ),
-            Atom::new("like", vec![Term::var("xp"), Term::var("mid"), Term::cnst("movie")]),
+            Atom::new(
+                "like",
+                vec![Term::var("xp"), Term::var("mid"), Term::cnst("movie")],
+            ),
         ],
     )
     .unwrap()
@@ -64,8 +86,10 @@ pub fn movie_instance() -> Database {
     db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
     db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
     db.insert("person", tuple![3, "Cat", "ESA"]).unwrap();
-    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"]).unwrap();
-    db.insert("movie", tuple![11, "Ouija", "Universal", "2014"]).unwrap();
+    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![11, "Ouija", "Universal", "2014"])
+        .unwrap();
     db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
     db.insert("rating", tuple![10, 5]).unwrap();
     db.insert("rating", tuple![11, 3]).unwrap();

@@ -35,7 +35,9 @@ impl UnionQuery {
 
     /// A union with a single disjunct (a plain CQ).
     pub fn single(cq: ConjunctiveQuery) -> Self {
-        UnionQuery { disjuncts: vec![cq] }
+        UnionQuery {
+            disjuncts: vec![cq],
+        }
     }
 
     /// The disjuncts.
@@ -65,7 +67,10 @@ impl UnionQuery {
 
     /// Relation / view names mentioned anywhere in the query.
     pub fn relation_names(&self) -> BTreeSet<String> {
-        self.disjuncts.iter().flat_map(|d| d.relation_names()).collect()
+        self.disjuncts
+            .iter()
+            .flat_map(|d| d.relation_names())
+            .collect()
     }
 
     /// All constants mentioned anywhere in the query.
@@ -117,7 +122,10 @@ mod tests {
         assert!(UnionQuery::new(vec![cq("r", 2), cq("s", 2)]).is_ok());
         assert!(matches!(
             UnionQuery::new(vec![cq("r", 2), cq("s", 3)]),
-            Err(QueryError::MismatchedUnionArity { expected: 2, actual: 3 })
+            Err(QueryError::MismatchedUnionArity {
+                expected: 2,
+                actual: 3
+            })
         ));
     }
 

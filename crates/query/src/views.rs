@@ -337,7 +337,10 @@ mod tests {
             "V",
             ConjunctiveQuery::new(
                 vec![crate::atom::Term::var("x")],
-                vec![crate::atom::Atom::new("nope", vec![crate::atom::Term::var("x")])],
+                vec![crate::atom::Atom::new(
+                    "nope",
+                    vec![crate::atom::Term::var("x")],
+                )],
             )
             .unwrap(),
         )
@@ -352,7 +355,10 @@ mod tests {
                 "V2",
                 ConjunctiveQuery::new(
                     vec![crate::atom::Term::var("x")],
-                    vec![crate::atom::Atom::new("V1", vec![crate::atom::Term::var("x")])],
+                    vec![crate::atom::Atom::new(
+                        "V1",
+                        vec![crate::atom::Term::var("x")],
+                    )],
                 )
                 .unwrap(),
             )
@@ -424,12 +430,13 @@ mod tests {
     #[test]
     fn unfold_rejects_non_cq_views() {
         let mut views = ViewSet::empty();
-        views
-            .add_ucq("U", UnionQuery::single(v1()))
-            .unwrap();
+        views.add_ucq("U", UnionQuery::single(v1())).unwrap();
         let q = ConjunctiveQuery::new(
             vec![crate::atom::Term::var("x")],
-            vec![crate::atom::Atom::new("U", vec![crate::atom::Term::var("x")])],
+            vec![crate::atom::Atom::new(
+                "U",
+                vec![crate::atom::Term::var("x")],
+            )],
         )
         .unwrap();
         assert!(views.unfold_cq(&q).is_err());

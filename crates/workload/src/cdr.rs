@@ -185,9 +185,7 @@ pub fn workload(cid: i64, day: i64) -> Vec<CdrQuery> {
         ),
         q(
             "second_hop_callees",
-            format!(
-                "Q(c2) :- calls({cid}, {day}, c1, d1), calls(c1, {day}, c2, d2)"
-            ),
+            format!("Q(c2) :- calls({cid}, {day}, c1, d1), calls(c1, {day}, c2, d2)"),
             true,
         ),
         q(
@@ -213,7 +211,11 @@ pub fn generate(scale: CdrScale) -> Database {
     for cid in 0..scale.customers {
         // Keep the premium segment small so that the view-bound annotation of
         // `view_bounds()` is honest.
-        let plan = if cid % 37 == 0 { "premium" } else { plans[rng.gen_range(0..2)] };
+        let plan = if cid % 37 == 0 {
+            "premium"
+        } else {
+            plans[rng.gen_range(0..2usize)]
+        };
         let region = regions[rng.gen_range(0..regions.len())];
         db.insert("customer", tuple![cid, format!("c{cid}"), plan, region])
             .unwrap();
@@ -222,7 +224,8 @@ pub fn generate(scale: CdrScale) -> Database {
             for _ in 0..calls {
                 let callee = rng.gen_range(0..scale.customers);
                 let duration = rng.gen_range(1..3600i64);
-                db.insert("calls", tuple![cid, day, callee, duration]).unwrap();
+                db.insert("calls", tuple![cid, day, callee, duration])
+                    .unwrap();
             }
             let attaches = rng.gen_range(0..=scale.max_attach_per_day);
             for _ in 0..attaches {
@@ -257,7 +260,7 @@ mod tests {
         let db = generate(scale);
         assert!(access_schema(&scale).satisfied_by(&db).unwrap());
         assert_eq!(db.relation("customer").unwrap().len(), 200);
-        assert!(db.relation("calls").unwrap().len() > 0);
+        assert!(!db.relation("calls").unwrap().is_empty());
     }
 
     #[test]
@@ -296,7 +299,10 @@ mod tests {
         let db = generate(scale);
         let cache = views().materialize(&db).unwrap();
         let premium = cache.extent("V_premium").unwrap().len();
-        assert!(premium > 0 && premium <= 200, "premium segment stays small: {premium}");
+        assert!(
+            premium > 0 && premium <= 200,
+            "premium segment stays small: {premium}"
+        );
         assert!(cache.extent("V_north_towers").unwrap().len() <= 40);
     }
 }

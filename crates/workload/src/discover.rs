@@ -77,8 +77,8 @@ pub fn discover_constraints(db: &Database, options: &DiscoveryOptions) -> Access
 fn attribute_subsets(attrs: &[String], max_size: usize) -> Vec<Vec<String>> {
     let mut out = Vec::new();
     let n = attrs.len();
-    for i in 0..n {
-        out.push(vec![attrs[i].clone()]);
+    for attr in attrs {
+        out.push(vec![attr.clone()]);
     }
     if max_size >= 2 {
         for i in 0..n {

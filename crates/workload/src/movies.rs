@@ -124,7 +124,8 @@ pub fn generate(scale: MovieScale) -> Database {
     // Persons and likes.
     for pid in 0..scale.persons {
         let aff = AFFILIATIONS[rng.gen_range(0..AFFILIATIONS.len())];
-        db.insert("person", tuple![pid, format!("p{pid}"), aff]).unwrap();
+        db.insert("person", tuple![pid, format!("p{pid}"), aff])
+            .unwrap();
         for _ in 0..3 {
             let liked = rng.gen_range(0..scale.movies.max(1));
             db.insert("like", tuple![pid, liked, "movie"]).unwrap();

@@ -50,7 +50,10 @@ pub fn generate_queries(
 ) -> Vec<ConjunctiveQuery> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let relations: Vec<_> = schema.relations().cloned().collect();
-    assert!(!relations.is_empty(), "the schema must have at least one relation");
+    assert!(
+        !relations.is_empty(),
+        "the schema must have at least one relation"
+    );
     (0..count)
         .map(|_| generate_one(&relations, config, &mut rng))
         .collect()
@@ -126,7 +129,10 @@ mod tests {
         for q in &queries {
             assert_eq!(q.atoms().len(), 4);
             assert!(q.arity() <= 2);
-            assert!(is_acyclic(q), "join-tree construction keeps queries acyclic: {q}");
+            assert!(
+                is_acyclic(q),
+                "join-tree construction keeps queries acyclic: {q}"
+            );
             assert!(q.validate(&schema, &Default::default()).is_ok());
         }
     }

@@ -80,11 +80,8 @@ pub fn graph_search_query_with_negation(pid: i64, day: i64) -> bqr_query::FoQuer
         "dine",
         vec![Term::cnst(pid), Term::cnst(day), Term::var("rid")],
     )));
-    FoQuery::new(
-        base.head().to_vec(),
-        Fo::and(base.body().clone(), negated),
-    )
-    .expect("head variables unchanged")
+    FoQuery::new(base.head().to_vec(), Fo::and(base.body().clone(), negated))
+        .expect("head variables unchanged")
 }
 
 /// No views are needed for this workload: the constraints alone make the

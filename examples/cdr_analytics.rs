@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(plan) if analysis.topped => {
                 let out = bqr_plan::execute(&plan, &idb, &cache)?;
                 assert_eq!(out.tuples, naive, "{} must be answered exactly", q.name);
-                let reduction =
-                    naive_stats.base_tuples_accessed() as f64 / out.stats.base_tuples_accessed().max(1) as f64;
+                let reduction = naive_stats.base_tuples_accessed() as f64
+                    / out.stats.base_tuples_accessed().max(1) as f64;
                 improved += 1;
                 println!(
                     "{:<24} {:>8} {:>16} {:>14} {:>9.0}x",

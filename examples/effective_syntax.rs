@@ -8,10 +8,10 @@ use bqr_core::decide::{decide_vbrp, DecisionOutcome};
 use bqr_core::problem::{RewritingSetting, VbrpInstance};
 use bqr_core::size_bounded::{make_size_bounded, size_bounded_bound};
 use bqr_core::topped::ToppedChecker;
+use bqr_data::{AccessConstraint, AccessSchema, DatabaseSchema};
 use bqr_plan::PlanLanguage;
 use bqr_query::parser::parse_cq;
 use bqr_query::{Atom, Fo, FoQuery, Term, ViewSet};
-use bqr_data::{AccessConstraint, AccessSchema, DatabaseSchema};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t.elapsed()
     );
     if let Some(plan) = &analysis.plan {
-        println!("\nGenerated FO plan (language {}):\n{plan}", plan.language());
+        println!(
+            "\nGenerated FO plan (language {}):\n{plan}",
+            plan.language()
+        );
     }
 
     // Size-bounded queries: wrap an FO view so that its output is bounded by

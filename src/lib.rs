@@ -1,0 +1,20 @@
+//! Umbrella crate for the reproduction of *Bounded Query Rewriting Using
+//! Views* (Cao, Fan, Geerts, Lu; PODS'16).
+//!
+//! The implementation lives in the workspace crates; this package re-exports
+//! them for convenience and anchors the workspace-level integration tests and
+//! examples:
+//!
+//! * [`bqr_data`] — values, tuples, relations, access schemas, indices;
+//! * [`bqr_query`] — CQ/UCQ/FO ASTs, homomorphisms, containment, chase;
+//! * [`bqr_plan`] — bounded query plans and their executor;
+//! * [`bqr_core`] — the topped-query checker and exact decision procedures;
+//! * [`bqr_workload`] — synthetic workloads (movies, social, CDR, random);
+//! * [`bqr_bench`] — the experiment harness.
+
+pub use bqr_bench as bench;
+pub use bqr_core as core;
+pub use bqr_data as data;
+pub use bqr_plan as plan;
+pub use bqr_query as query;
+pub use bqr_workload as workload;

@@ -39,7 +39,10 @@ fn movie_workload_end_to_end() {
     // access under the same constant bound (the exact count may vary with the
     // data, the bound may not).
     let declared = analysis.fetch_bound.unwrap();
-    assert!(accesses.iter().all(|&a| a <= declared), "{accesses:?} vs bound {declared}");
+    assert!(
+        accesses.iter().all(|&a| a <= declared),
+        "{accesses:?} vs bound {declared}"
+    );
 }
 
 /// The CDR workload: at least 90% of the templates have bounded rewritings,

@@ -37,7 +37,12 @@ fn example_2_2_figure1_plan_is_11_bounded() {
         &setting.budget,
     )
     .unwrap();
-    assert_eq!(conf, Conformance::Conforms { fetch_bound: 2 * n0 });
+    assert_eq!(
+        conf,
+        Conformance::Conforms {
+            fetch_bound: 2 * n0
+        }
+    );
 
     // ξ0 answers Q0 on generated instances, touching ≤ 2·N0 base tuples.
     let db = movies::generate(movies::MovieScale {
@@ -106,11 +111,7 @@ fn example_3_3_bounded_output_of_views() {
 /// controls whether the output variable is bounded.
 #[test]
 fn figure_2_gadget_bounded_output() {
-    let schema = DatabaseSchema::with_relations(&[
-        ("r01", &["a"]),
-        ("ro", &["i", "x"]),
-    ])
-    .unwrap();
+    let schema = DatabaseSchema::with_relations(&[("r01", &["a"]), ("ro", &["i", "x"])]).unwrap();
     let access = AccessSchema::new(vec![
         AccessConstraint::new("r01", &[], &["a"], 2).unwrap(),
         AccessConstraint::new("ro", &["i"], &["x"], 2).unwrap(),

@@ -32,7 +32,9 @@ fn db_strategy(n: usize) -> impl Strategy<Value = Database> {
         let mut db = Database::empty(small_schema());
         let mut per_key = std::collections::BTreeMap::new();
         for (a, b) in r {
-            let set = per_key.entry(a).or_insert_with(std::collections::BTreeSet::new);
+            let set = per_key
+                .entry(a)
+                .or_insert_with(std::collections::BTreeSet::new);
             if set.len() < n || set.contains(&b) {
                 set.insert(b);
                 db.insert("r", tuple![a, b]).unwrap();
