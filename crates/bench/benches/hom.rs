@@ -114,10 +114,34 @@ fn bench_repeated_eval(c: &mut Criterion) {
     group.finish();
 }
 
+/// Planner cases: cyclic / skewed workloads evaluated under the PR 1
+/// fixed-order engine versus the cost-based planner (generic join for the
+/// triangle, selectivity-ordered probes for the chain).
+fn bench_planner_vs_fixed_order(c: &mut Criterion) {
+    use bqr_query::{JoinStrategy, PlannerConfig};
+
+    let mut group = c.benchmark_group("planner_vs_fixed_order");
+    group.sample_size(10);
+    for case in hom_bench::eval_cases() {
+        for (label, strategy) in [
+            ("fixed_order", JoinStrategy::Heuristic),
+            ("planner", JoinStrategy::Auto),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, case.name), &case, |b, case| {
+                let evaluator =
+                    Evaluator::new().with_planner(PlannerConfig::with_strategy(strategy));
+                b.iter(|| evaluator.eval_cq(&case.query, &case.db, None).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_repeated_containment,
     bench_enumeration,
-    bench_repeated_eval
+    bench_repeated_eval,
+    bench_planner_vs_fixed_order
 );
 criterion_main!(benches);

@@ -41,22 +41,28 @@ fn main() {
 }
 
 /// `hom` — slot-based engine + cached indexes vs the pre-refactor engine on
-/// repeated containment (the same query pair checked 1000×).  Emits
-/// `BENCH_hom.json`.
+/// repeated containment (the same query pair checked 1000×), plus the
+/// planner cases: cost-based / generic-join plans vs the PR 1 fixed-order
+/// slot engine on cyclic and skewed workloads.  Emits `BENCH_hom.json`.
 fn hom_engine() {
     use bqr_bench::hom_bench;
 
     const REPEATS: usize = 1_000;
-    println!("\n== hom: slot engine + IndexCache vs pre-refactor engine, {REPEATS}× repeated containment ==");
+    println!(
+        "\n== hom: slot engine vs pre-refactor engine ({REPEATS}× containment); \
+         planner vs PR 1 fixed order ({}× eval on *_agm_* / *_skew_* rows) ==",
+        hom_bench::EVAL_REPEATS
+    );
     let (results, json) = hom_bench::report(REPEATS);
     println!(
-        "{:<36} {:>14} {:>16} {:>9}",
-        "case", "baseline-ms", "slot+cache-ms", "speedup"
+        "{:<36} {:>8} {:>14} {:>16} {:>9}",
+        "case", "repeats", "baseline-ms", "planned-ms", "speedup"
     );
     for r in &results {
         println!(
-            "{:<36} {:>14.2} {:>16.2} {:>8.1}x",
+            "{:<36} {:>8} {:>14.2} {:>16.2} {:>8.1}x",
             r.name,
+            r.repeats,
             r.baseline_ms,
             r.slot_cached_ms,
             r.speedup()

@@ -139,16 +139,19 @@ pub fn compare_with(
 /// The `hom` microbenchmark: the slot-based homomorphism engine with cached
 /// relation indexes versus the retained pre-refactor engine, on repeated
 /// containment checks (the dominant cost of the `A`-equivalence and exact
-/// VBRP procedures).  Shared by `benches/hom.rs` and the harness's `hom`
-/// mode, which persists the numbers to `BENCH_hom.json`.
+/// VBRP procedures), plus the cyclic-workload cases where the cost-based
+/// planner's generic join is measured against the PR 1 fixed-order engine.
+/// Shared by `benches/hom.rs` and the harness's `hom` mode, which persists
+/// the numbers to `BENCH_hom.json`.
 pub mod hom_bench {
-    use bqr_data::{DatabaseSchema, Relation};
+    use bqr_data::{Database, DatabaseSchema, Relation};
     use bqr_query::atom::Term;
     use bqr_query::canonical::canonical_instance;
     use bqr_query::containment::ContainmentChecker;
+    use bqr_query::eval::Evaluator;
     use bqr_query::hom::{reference, Assignment};
     use bqr_query::parser::parse_cq;
-    use bqr_query::ConjunctiveQuery;
+    use bqr_query::{ConjunctiveQuery, JoinStrategy, PlannerConfig};
     use bqr_workload::movies;
     use std::collections::BTreeMap;
     use std::time::Instant;
@@ -287,16 +290,150 @@ pub mod hom_bench {
         }
     }
 
+    /// One cyclic-evaluation case: a query over an adversarial graph where
+    /// the atom-at-a-time engine is forced through a quadratic intermediate
+    /// result while the generic join stays near-linear.  The baseline is the
+    /// PR 1 fixed-order slot engine ([`JoinStrategy::Heuristic`]); the
+    /// contender is the cost-based planner ([`JoinStrategy::Auto`], which
+    /// picks generic join for these shapes).
+    pub struct EvalCase {
+        pub name: &'static str,
+        pub query: ConjunctiveQuery,
+        pub db: Database,
+    }
+
+    /// The AGM-style lower-bound instance for the triangle query: a
+    /// tripartite graph `A → B → C → A` where one hub node per part is
+    /// connected to everything in the next part.  `|E| = 6n`, the triangle
+    /// count is `Θ(n)`, but every atom order must enumerate a `Θ(n²)`
+    /// intermediate join.  Node encoding: `A = 3i`, `B = 3i+1`, `C = 3i+2`.
+    fn agm_graph(n: i64, parts: i64) -> Database {
+        let schema = DatabaseSchema::with_relations(&[("e", &["src", "dst"])]).unwrap();
+        let mut db = Database::empty(schema);
+        let node = |part: i64, i: i64| part + parts * i;
+        for part in 0..parts {
+            let next = (part + 1) % parts;
+            for i in 0..n {
+                // Hub of this part reaches everything in the next part, and
+                // everything in this part reaches the next part's hub.
+                db.insert("e", bqr_data::tuple![node(part, 0), node(next, i)])
+                    .unwrap();
+                db.insert("e", bqr_data::tuple![node(part, i), node(next, 0)])
+                    .unwrap();
+            }
+        }
+        db
+    }
+
+    fn k_cycle_query(k: usize) -> ConjunctiveQuery {
+        let mut body = String::from("Q() :- ");
+        for i in 0..k {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&format!("e(x{i}, x{})", (i + 1) % k));
+        }
+        parse_cq(&body).unwrap()
+    }
+
+    /// A skewed chain instance for the cost-model case: `u` is large, `t` is
+    /// tiny, and only a handful of `e`-edges reach `t`.  With no constants
+    /// anywhere the PR 1 heuristic scores every atom equally and falls back
+    /// to declaration order, starting from the big unary relation and
+    /// scanning all of it; the cost-based order ignores declaration order,
+    /// starts from `t` and probes backwards, touching a constant number of
+    /// tuples.
+    fn skewed_chain(n: i64) -> (ConjunctiveQuery, Database) {
+        let schema =
+            DatabaseSchema::with_relations(&[("u", &["a"]), ("e", &["a", "b"]), ("t", &["b"])])
+                .unwrap();
+        let mut db = Database::empty(schema);
+        for i in 0..n {
+            db.insert("u", bqr_data::tuple![i]).unwrap();
+            db.insert("e", bqr_data::tuple![i, n + i]).unwrap();
+        }
+        for i in 0..3i64 {
+            db.insert("t", bqr_data::tuple![n + i]).unwrap();
+        }
+        let query = parse_cq("Q() :- t(y), e(x, y), u(x)").unwrap();
+        (query, db)
+    }
+
+    /// The planner evaluation cases of the `hom` benchmark: the cyclic
+    /// (triangle) workload where generic join wins, and the skewed chain
+    /// where the selectivity cost model wins.
+    pub fn eval_cases() -> Vec<EvalCase> {
+        let (chain_query, chain_db) = skewed_chain(20_000);
+        vec![
+            EvalCase {
+                name: "triangle_agm_n400",
+                query: k_cycle_query(3),
+                db: agm_graph(400, 3),
+            },
+            EvalCase {
+                name: "chain_skew_n20000",
+                query: chain_query,
+                db: chain_db,
+            },
+        ]
+    }
+
+    /// Run one cyclic case `repeats`× under the fixed-order baseline and the
+    /// planner, asserting both produce the same answers.  Warm caches on
+    /// both sides: the comparison isolates join strategy, not caching.
+    pub fn run_eval_case(case: &EvalCase, repeats: usize) -> CaseResult {
+        let fixed =
+            Evaluator::new().with_planner(PlannerConfig::with_strategy(JoinStrategy::Heuristic));
+        let planned =
+            Evaluator::new().with_planner(PlannerConfig::with_strategy(JoinStrategy::Auto));
+        let expected = fixed.eval_cq(&case.query, &case.db, None).unwrap();
+        assert_eq!(
+            expected,
+            planned.eval_cq(&case.query, &case.db, None).unwrap(),
+            "strategies disagree on {}",
+            case.name
+        );
+
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let got = fixed.eval_cq(&case.query, &case.db, None).unwrap();
+            assert_eq!(got.len(), expected.len());
+        }
+        let baseline_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let got = planned.eval_cq(&case.query, &case.db, None).unwrap();
+            assert_eq!(got.len(), expected.len());
+        }
+        let slot_cached_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+        CaseResult {
+            name: case.name,
+            repeats,
+            baseline_ms,
+            slot_cached_ms,
+        }
+    }
+
+    /// How often each cyclic evaluation case runs in the committed report.
+    pub const EVAL_REPEATS: usize = 10;
+
     /// Run every case and render the machine-readable report committed as
-    /// `BENCH_hom.json`.
+    /// `BENCH_hom.json`.  Containment rows compare the slot engine against
+    /// the pre-refactor reference engine; the cyclic `*_agm_*` rows compare
+    /// the cost-based planner (generic join) against the PR 1 fixed-order
+    /// slot engine.
     pub fn report(repeats: usize) -> (Vec<CaseResult>, String) {
-        let results: Vec<CaseResult> = cases().iter().map(|c| run_case(c, repeats)).collect();
+        let mut results: Vec<CaseResult> = cases().iter().map(|c| run_case(c, repeats)).collect();
+        results.extend(eval_cases().iter().map(|c| run_eval_case(c, EVAL_REPEATS)));
         let mut json = String::from("{\n  \"bench\": \"hom\",\n  \"unit\": \"ms\",\n");
         json.push_str(&format!("  \"repeats\": {repeats},\n  \"cases\": [\n"));
         for (i, r) in results.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"baseline_ms\": {:.3}, \"slot_cached_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+                "    {{\"name\": \"{}\", \"repeats\": {}, \"baseline_ms\": {:.3}, \"slot_cached_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
                 r.name,
+                r.repeats,
                 r.baseline_ms,
                 r.slot_cached_ms,
                 r.speedup(),
@@ -347,11 +484,27 @@ mod tests {
     #[test]
     fn hom_bench_engines_agree_and_report_renders() {
         let (results, json) = hom_bench::report(3);
-        assert_eq!(results.len(), 3);
+        assert_eq!(results.len(), 5);
         assert!(json.contains("\"bench\": \"hom\""));
         assert!(json.contains("path6_in_path3"));
+        assert!(json.contains("triangle_agm_n400"));
+        assert!(json.contains("chain_skew_n20000"));
         for r in &results {
             assert!(r.speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn planner_beats_fixed_order_on_cyclic_workloads() {
+        for case in hom_bench::eval_cases() {
+            let r = hom_bench::run_eval_case(&case, 2);
+            assert!(
+                r.speedup() > 1.0,
+                "{}: planner ({:.2} ms) must beat the fixed-order engine ({:.2} ms)",
+                r.name,
+                r.slot_cached_ms,
+                r.baseline_ms
+            );
         }
     }
 

@@ -29,6 +29,7 @@ pub fn boundedly_evaluable(setting: &RewritingSetting, query: &FoQuery) -> Resul
         views: ViewSet::empty(),
         bound_m: setting.bound_m,
         budget: setting.budget,
+        planner: setting.planner,
     };
     let checker = ToppedChecker::new(&viewless);
     // The checker borrows the setting, so the analysis must be produced

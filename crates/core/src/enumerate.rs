@@ -9,6 +9,11 @@
 //! budgeted and meant for the small bounds used throughout the paper's
 //! reductions and examples (`M ≤ 8` or so); the *effective syntax* of
 //! [`crate::topped`] is the scalable path.
+//!
+//! Enumeration produces candidates only; the `A`-equivalence test each
+//! candidate then faces in [`crate::decide`] runs on the join planner
+//! configured by [`RewritingSetting::planner`], which is where cyclic
+//! candidate plans benefit from the generic-join strategy.
 
 use crate::problem::RewritingSetting;
 use bqr_data::Value;

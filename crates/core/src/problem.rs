@@ -6,7 +6,9 @@
 //! an `M`-bounded query plan `ξ(Q, V, R)`.
 
 use bqr_data::{AccessSchema, DatabaseSchema};
-use bqr_query::{Budget, ConjunctiveQuery, FoQuery, QueryLanguage, UnionQuery, ViewSet};
+use bqr_query::{
+    Budget, ConjunctiveQuery, FoQuery, PlannerConfig, QueryLanguage, UnionQuery, ViewSet,
+};
 use std::fmt;
 
 /// A query in one of the paper's languages.
@@ -120,6 +122,9 @@ pub struct RewritingSetting {
     pub bound_m: usize,
     /// Budgets for the worst-case-exponential analyses.
     pub budget: Budget,
+    /// Join-planner configuration for every homomorphism search the
+    /// decision procedures run (containment, `A`-equivalence, evaluation).
+    pub planner: PlannerConfig,
 }
 
 impl RewritingSetting {
@@ -136,12 +141,19 @@ impl RewritingSetting {
             views,
             bound_m,
             budget: Budget::generous(),
+            planner: PlannerConfig::default(),
         }
     }
 
     /// Replace the analysis budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Replace the join-planner configuration.
+    pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
         self
     }
 

@@ -13,7 +13,10 @@
 //! be recognised in PTIME.  The [`BoundedOutputOracle`] combines this syntax
 //! with the exact `BOP` procedure for `∃FO+` views and with explicit
 //! annotations, and is the oracle used by the topped-query checker
-//! (Theorem 5.1(c)).
+//! (Theorem 5.1(c)).  Its element-query analysis is chase-based and never
+//! probes instances; the planner of `bqr-query::hom` enters this pipeline
+//! only downstream, when oracle verdicts are cross-checked against actual
+//! view extents in the benchmarks and differential tests.
 
 use bqr_data::{AccessSchema, DatabaseSchema};
 use bqr_query::bounded_output::{cq_output, fo_output, ucq_output, OutputBound};

@@ -20,6 +20,11 @@
 //! `M`-bounded plan) and PTIME; like every effective syntax it is
 //! necessarily incomplete for FO (Corollary 3.9), which is exactly the
 //! trade-off the paper advocates.
+//!
+//! The checker itself never runs a homomorphism search (it is purely
+//! syntactic), but the plans it emits are verified against evaluation by the
+//! test suite, and the exact procedures it is compared with run containment
+//! through the join planner configured on [`RewritingSetting::planner`].
 
 use crate::problem::RewritingSetting;
 use crate::size_bounded::BoundedOutputOracle;

@@ -21,12 +21,15 @@
 //! across further cache activity.  It is single-threaded by design, like the
 //! rest of the decision procedures.
 
+use crate::intern::ValueId;
 use crate::relation::Relation;
+use crate::snapshot::{snapshot_of, InternedSnapshot};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A hash index over one relation snapshot, keyed on a fixed list of
 /// attribute positions.  Probing with a key returns the positions (into the
@@ -96,14 +99,81 @@ impl RelationIndex {
     }
 }
 
+/// A hash index over an [`InternedSnapshot`], keyed on a fixed list of
+/// attribute positions.  This is the index shape the slot-based homomorphism
+/// engine probes: keys and payloads are dense `u32` ids, so hashing an
+/// integer key and comparing candidates never touches a [`Value`].
+#[derive(Debug)]
+pub struct InternedIndex {
+    key_positions: Vec<usize>,
+    snapshot: Arc<InternedSnapshot>,
+    map: HashMap<Vec<ValueId>, Vec<u32>>,
+}
+
+impl InternedIndex {
+    fn build(snapshot: Arc<InternedSnapshot>, key_positions: &[usize]) -> Self {
+        let mut map: HashMap<Vec<ValueId>, Vec<u32>> = HashMap::new();
+        for i in 0..snapshot.len() as u32 {
+            let row = snapshot.row(i);
+            let key: Vec<ValueId> = key_positions.iter().map(|&p| row[p]).collect();
+            map.entry(key).or_default().push(i);
+        }
+        InternedIndex {
+            key_positions: key_positions.to_vec(),
+            snapshot,
+            map,
+        }
+    }
+
+    /// The positions this index is keyed on.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// The snapshot the index is built over.
+    pub fn snapshot(&self) -> &Arc<InternedSnapshot> {
+        &self.snapshot
+    }
+
+    /// Row indexes (for [`InternedIndex::row`]) of the rows matching `key`.
+    pub fn probe(&self, key: &[ValueId]) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The row at snapshot position `i` (as returned by `probe`).
+    pub fn row(&self, i: u32) -> &[ValueId] {
+        self.snapshot.row(i)
+    }
+
+    /// Number of rows in the underlying snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_empty()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Cache key: a relation epoch plus the indexed key positions.
 type IndexKey = (u64, Vec<usize>);
 
-/// Memoisation of [`RelationIndex`]es keyed by `(epoch, key positions)`.
+/// Memoisation of [`RelationIndex`]es and [`InternedIndex`]es keyed by
+/// `(epoch, key positions)`.  Interned snapshots themselves come from the
+/// process-global registry (see [`crate::snapshot`]), so they are shared
+/// *across* cache instances; the per-cache maps below only memoise the
+/// indexes built over them.
 #[derive(Debug, Default)]
 pub struct IndexCache {
     snapshots: RefCell<HashMap<u64, Rc<Vec<Tuple>>>>,
     indexes: RefCell<HashMap<IndexKey, Rc<RelationIndex>>>,
+    interned: RefCell<HashMap<IndexKey, Rc<InternedIndex>>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
@@ -146,6 +216,36 @@ impl IndexCache {
         idx
     }
 
+    /// The shared interned snapshot of `relation`'s current epoch (built at
+    /// most once per epoch *process-wide*, not per cache).
+    pub fn snapshot(&self, relation: &Relation) -> Arc<InternedSnapshot> {
+        snapshot_of(relation)
+    }
+
+    /// The interned index for `relation` keyed on `key_positions`, built at
+    /// most once per (epoch, access pattern) in this cache; the underlying
+    /// snapshot is shared across caches.
+    pub fn interned_index_for(
+        &self,
+        relation: &Relation,
+        key_positions: &[usize],
+    ) -> Rc<InternedIndex> {
+        let epoch = relation.epoch();
+        if let Some(idx) = self.interned.borrow().get(&(epoch, key_positions.to_vec())) {
+            self.hits.set(self.hits.get() + 1);
+            return Rc::clone(idx);
+        }
+        self.misses.set(self.misses.get() + 1);
+        if self.interned.borrow().len() >= MAX_CACHED_INDEXES {
+            self.interned.borrow_mut().clear();
+        }
+        let idx = Rc::new(InternedIndex::build(snapshot_of(relation), key_positions));
+        self.interned
+            .borrow_mut()
+            .insert((epoch, key_positions.to_vec()), Rc::clone(&idx));
+        idx
+    }
+
     /// Cache hits so far (index served without building).
     pub fn hits(&self) -> u64 {
         self.hits.get()
@@ -156,20 +256,21 @@ impl IndexCache {
         self.misses.get()
     }
 
-    /// Number of indexes currently cached.
+    /// Number of indexes currently cached (value-keyed and interned).
     pub fn len(&self) -> usize {
-        self.indexes.borrow().len()
+        self.indexes.borrow().len() + self.interned.borrow().len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.indexes.borrow().is_empty()
+        self.indexes.borrow().is_empty() && self.interned.borrow().is_empty()
     }
 
     /// Drop every cached snapshot and index (statistics are kept).
     pub fn clear(&self) {
         self.snapshots.borrow_mut().clear();
         self.indexes.borrow_mut().clear();
+        self.interned.borrow_mut().clear();
     }
 }
 
@@ -257,6 +358,49 @@ mod tests {
             Rc::ptr_eq(&a, &b),
             "clone with identical contents may share the index"
         );
+    }
+
+    #[test]
+    fn interned_index_probes_by_id() {
+        let cache = IndexCache::new();
+        let r = rating();
+        let idx = cache.interned_index_for(&r, &[1]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.key_positions(), &[1]);
+        let five = crate::intern::ValueId::intern(&Value::int(5));
+        let hits = idx.probe(&[five]);
+        assert_eq!(hits.len(), 2);
+        let mids: Vec<Value> = hits.iter().map(|&i| idx.row(i)[0].value()).collect();
+        assert_eq!(mids, vec![Value::int(1), Value::int(3)]);
+        let nine = crate::intern::ValueId::intern(&Value::int(9));
+        assert!(idx.probe(&[nine]).is_empty());
+    }
+
+    #[test]
+    fn interned_indexes_share_the_snapshot_and_invalidate_by_epoch() {
+        let cache = IndexCache::new();
+        let other_cache = IndexCache::new();
+        let mut r = rating();
+        let a = cache.interned_index_for(&r, &[0]);
+        let b = cache.interned_index_for(&r, &[1]);
+        assert!(
+            std::sync::Arc::ptr_eq(a.snapshot(), b.snapshot()),
+            "two access patterns share one interned snapshot"
+        );
+        let c = other_cache.interned_index_for(&r, &[0]);
+        assert!(
+            std::sync::Arc::ptr_eq(a.snapshot(), c.snapshot()),
+            "snapshots are shared across cache instances"
+        );
+        let again = cache.interned_index_for(&r, &[0]);
+        assert!(Rc::ptr_eq(&a, &again), "repeat lookups hit the cache");
+
+        r.insert(tuple![4, 5]).unwrap();
+        let fresh = cache.interned_index_for(&r, &[0]);
+        assert!(!Rc::ptr_eq(&a, &fresh), "mutation must miss the cache");
+        assert_eq!(fresh.len(), 4);
+        assert_eq!(a.len(), 3, "stale index keeps its frozen snapshot");
     }
 
     #[test]

@@ -14,12 +14,18 @@
 //!   `XY`;
 //! * [`AccessIndex`], [`IndexedDatabase`] — the indices associated with an
 //!   access schema, supporting the `fetch` primitive of bounded query plans;
-//! * [`IndexCache`], [`RelationIndex`] — epoch-keyed memoisation of
-//!   per-access-pattern hash indexes, shared by the homomorphism engine and
-//!   the evaluators in `bqr-query` (invalidated automatically on mutation
-//!   via [`Relation::epoch`]);
+//! * [`IndexCache`], [`RelationIndex`], [`InternedIndex`] — epoch-keyed
+//!   memoisation of per-access-pattern hash indexes, shared by the
+//!   homomorphism engine and the evaluators in `bqr-query` (invalidated
+//!   automatically on mutation via [`Relation::epoch`]);
+//! * [`ValueId`] ([`intern`]), [`InternedSnapshot`] ([`snapshot`]) — dense
+//!   `u32` value interning and immutable per-epoch relation snapshots,
+//!   shared process-wide so the join engine's hot loop never touches a
+//!   [`Value`];
 //! * [`FetchStats`] — I/O accounting: how many base tuples a plan fetched
-//!   (`|D_ξ|` in the paper) versus how many a full scan would touch.
+//!   (`|D_ξ|` in the paper) versus how many a full scan would touch — and
+//!   [`RelationStats`], the per-snapshot cardinality statistics consumed by
+//!   the cost-based join planner in `bqr-query`.
 //!
 //! The crate is deliberately free of query-language concepts; those live in
 //! `bqr-query` and `bqr-plan`.
@@ -29,8 +35,10 @@ pub mod database;
 pub mod error;
 pub mod index;
 pub mod index_cache;
+pub mod intern;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod tuple;
 pub mod value;
@@ -39,10 +47,12 @@ pub use access::{AccessConstraint, AccessSchema, ConstraintViolation};
 pub use database::Database;
 pub use error::DataError;
 pub use index::{AccessIndex, IndexedDatabase};
-pub use index_cache::{IndexCache, RelationIndex};
+pub use index_cache::{IndexCache, InternedIndex, RelationIndex};
+pub use intern::ValueId;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
-pub use stats::FetchStats;
+pub use snapshot::InternedSnapshot;
+pub use stats::{FetchStats, RelationStats};
 pub use tuple::Tuple;
 pub use value::Value;
 

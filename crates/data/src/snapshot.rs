@@ -1,0 +1,212 @@
+//! Interned, immutable relation snapshots, shared process-wide per epoch.
+//!
+//! An [`InternedSnapshot`] freezes one relation epoch as a flat, row-major
+//! `Vec<ValueId>` (see [`crate::intern`]) plus its [`RelationStats`].  It is
+//! the storage format the slot-based homomorphism engine executes over: the
+//! inner search loop touches only dense `u32` ids, never `Value`s.
+//!
+//! Snapshots are **shared across [`crate::IndexCache`] instances** through a
+//! process-global registry keyed by relation epoch and holding `Weak`
+//! references: two caches (or two threads) snapshotting the same unmutated
+//! relation receive the same `Arc`, so the tuple data and statistics are
+//! interned and materialised exactly once per epoch.  The registry piggybacks
+//! on the epoch discipline of [`crate::Relation`] for invalidation: a mutated
+//! relation presents a fresh epoch, its old snapshot entry simply goes stale
+//! and is swept out once the last cache drops its `Arc`.
+
+use crate::intern::ValueId;
+use crate::relation::Relation;
+use crate::stats::RelationStats;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// An immutable, interned copy of one relation epoch.  Rows appear in the
+/// relation's sorted iteration order, so row indexes are deterministic.
+#[derive(Debug)]
+pub struct InternedSnapshot {
+    epoch: u64,
+    arity: usize,
+    rows: usize,
+    /// Row-major: row `i` occupies `data[i*arity .. (i+1)*arity]`.
+    data: Vec<ValueId>,
+    stats: RelationStats,
+}
+
+impl InternedSnapshot {
+    fn build(relation: &Relation) -> Self {
+        let arity = relation.schema().arity();
+        let mut data = Vec::with_capacity(relation.len() * arity);
+        for tuple in relation.iter() {
+            for value in tuple.iter() {
+                data.push(ValueId::intern(value));
+            }
+        }
+        let stats = RelationStats::of_rows(relation.len(), arity, &data);
+        InternedSnapshot {
+            epoch: relation.epoch(),
+            arity,
+            rows: relation.len(),
+            data,
+            stats,
+        }
+    }
+
+    /// The epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Attribute count.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the snapshot holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `i` as a slice of interned ids.
+    pub fn row(&self, i: u32) -> &[ValueId] {
+        let start = i as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// The snapshot's cardinality statistics.
+    pub fn stats(&self) -> &RelationStats {
+        &self.stats
+    }
+}
+
+/// Registry of live snapshots, keyed by epoch.  `Weak` entries keep the
+/// registry from pinning snapshots nobody uses; the sweep below bounds the
+/// dead-entry backlog.
+static REGISTRY: OnceLock<Mutex<HashMap<u64, Weak<InternedSnapshot>>>> = OnceLock::new();
+
+/// Sweep threshold: when the registry holds this many entries, dead `Weak`s
+/// are dropped before inserting the next snapshot.
+const SWEEP_AT: usize = 1024;
+
+/// The shared snapshot of `relation`'s current epoch, building (and
+/// registering) it on first request.  All callers — every [`crate::IndexCache`]
+/// on every thread — receive the same `Arc` for the same epoch.
+///
+/// The registry lock is never held across a build: the `O(|R| · arity)`
+/// interning work happens unlocked, so a thread looking up an
+/// already-registered snapshot never waits behind another thread's build.
+/// Two threads racing to build the same epoch both do the work; the loser's
+/// copy is discarded in favour of the registered one, which is benign (the
+/// builds are content-identical) and keeps `Arc::ptr_eq` sharing intact.
+pub fn snapshot_of(relation: &Relation) -> Arc<InternedSnapshot> {
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(live) = registry
+        .lock()
+        .unwrap()
+        .get(&relation.epoch())
+        .and_then(Weak::upgrade)
+    {
+        return live;
+    }
+    let built = Arc::new(InternedSnapshot::build(relation));
+    let mut map = registry.lock().unwrap();
+    if let Some(live) = map.get(&relation.epoch()).and_then(Weak::upgrade) {
+        return live;
+    }
+    if map.len() >= SWEEP_AT {
+        map.retain(|_, w| w.strong_count() > 0);
+    }
+    map.insert(relation.epoch(), Arc::downgrade(&built));
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use crate::value::Value;
+
+    fn rating() -> Relation {
+        let schema = RelationSchema::new("rating", &["mid", "rank"]).unwrap();
+        Relation::from_tuples(schema, vec![tuple![1, 5], tuple![2, 4], tuple![3, 5]]).unwrap()
+    }
+
+    #[test]
+    fn snapshot_rows_are_interned_in_iteration_order() {
+        let r = rating();
+        let snap = snapshot_of(&r);
+        assert_eq!(snap.arity(), 2);
+        assert_eq!(snap.len(), 3);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.epoch(), r.epoch());
+        // Row 0 is the smallest tuple (1, 5); ids round-trip to the values.
+        let row0: Vec<Value> = snap.row(0).iter().map(|id| id.value()).collect();
+        assert_eq!(row0, vec![Value::int(1), Value::int(5)]);
+        assert_eq!(snap.stats().tuples(), 3);
+        assert_eq!(snap.stats().distinct(1), 2);
+    }
+
+    #[test]
+    fn same_epoch_shares_one_snapshot() {
+        let r = rating();
+        let a = snapshot_of(&r);
+        let b = snapshot_of(&r);
+        assert!(Arc::ptr_eq(&a, &b), "one epoch, one snapshot");
+        let clone = r.clone();
+        let c = snapshot_of(&clone);
+        assert!(Arc::ptr_eq(&a, &c), "unmutated clones share the epoch");
+    }
+
+    #[test]
+    fn mutation_yields_a_fresh_snapshot() {
+        let mut r = rating();
+        let before = snapshot_of(&r);
+        r.insert(tuple![4, 5]).unwrap();
+        let after = snapshot_of(&r);
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(before.len(), 3, "old snapshot is frozen");
+        assert_eq!(after.len(), 4);
+    }
+
+    #[test]
+    fn dropped_snapshots_are_rebuilt_on_demand() {
+        let r = rating();
+        let first = snapshot_of(&r);
+        let epoch = first.epoch();
+        drop(first);
+        // The registry only holds a Weak: after the last Arc is gone the
+        // snapshot is rebuilt (fresh allocation) for the same epoch.
+        let again = snapshot_of(&r);
+        assert_eq!(again.epoch(), epoch);
+        assert_eq!(again.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_snapshot() {
+        let r = rating();
+        let snap = snapshot_of(&r);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&snap);
+                let rel = r.clone();
+                std::thread::spawn(move || {
+                    let local = snapshot_of(&rel);
+                    assert!(Arc::ptr_eq(&local, &s), "threads share the epoch snapshot");
+                    // Concurrent reads resolve consistently.
+                    (0..local.len() as u32)
+                        .map(|i| local.row(i)[0].value())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            let firsts = h.join().unwrap();
+            assert_eq!(firsts, vec![Value::int(1), Value::int(2), Value::int(3)]);
+        }
+    }
+}

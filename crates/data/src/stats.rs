@@ -1,4 +1,5 @@
-//! I/O accounting for bounded plans.
+//! I/O accounting for bounded plans, and cardinality statistics for the
+//! cost-based join planner.
 //!
 //! The central quantitative claim of bounded rewriting is that a bounded plan
 //! touches `|D_ξ|` base tuples where `|D_ξ|` depends only on the query and the
@@ -7,8 +8,70 @@
 //! tuples retrieved through constraint indices (`fetched_tuples`, the paper's
 //! `|D_ξ|` as a bag), the number of `fetch` invocations, tuples read from
 //! cached views (free of base-data I/O), and tuples a full scan would touch.
+//!
+//! [`RelationStats`] is the other half of this module: per-snapshot
+//! cardinality and per-position distinct-value counts, computed once when an
+//! interned snapshot is built (see [`crate::snapshot::InternedSnapshot`]) and
+//! consumed by the join planner in `bqr-query::hom` to estimate per-atom
+//! selectivity.
 
+use crate::intern::ValueId;
+use std::collections::HashSet;
 use std::fmt;
+
+/// Cardinality statistics of one relation snapshot: total tuple count plus
+/// the number of distinct values at every attribute position.  Computed
+/// exactly (the snapshots the decision procedures index are small); on a
+/// production ingest path the same shape would be fed by sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStats {
+    tuples: usize,
+    distinct: Vec<usize>,
+}
+
+impl RelationStats {
+    /// Compute the statistics of a flattened row-major snapshot of `tuples`
+    /// rows with the given arity (`data.len() == tuples * arity`).  The row
+    /// count is passed explicitly rather than derived from `data.len()`
+    /// because a nullary relation has `data.len() == 0` regardless of
+    /// whether it holds zero rows or one.
+    pub fn of_rows(tuples: usize, arity: usize, data: &[ValueId]) -> Self {
+        debug_assert_eq!(data.len(), tuples * arity);
+        let mut distinct = vec![0usize; arity];
+        let mut seen: HashSet<ValueId> = HashSet::new();
+        for (pos, d) in distinct.iter_mut().enumerate() {
+            seen.clear();
+            for row in 0..tuples {
+                seen.insert(data[row * arity + pos]);
+            }
+            *d = seen.len();
+        }
+        RelationStats { tuples, distinct }
+    }
+
+    /// Number of tuples in the snapshot.
+    pub fn tuples(&self) -> usize {
+        self.tuples
+    }
+
+    /// Number of distinct values at attribute `position`.
+    pub fn distinct(&self, position: usize) -> usize {
+        self.distinct[position]
+    }
+
+    /// Estimated number of tuples matching an index probe on
+    /// `bound_positions`, under the textbook uniformity-and-independence
+    /// assumptions: `|R| / Π_p d_p`, with each `d_p` capped at `|R|` by
+    /// construction.  An unbound probe (`bound_positions` empty) estimates
+    /// the full scan, `|R|`.
+    pub fn estimated_matches(&self, bound_positions: &[usize]) -> f64 {
+        let mut est = self.tuples as f64;
+        for &p in bound_positions {
+            est /= self.distinct[p].max(1) as f64;
+        }
+        est
+    }
+}
 
 /// Counters describing the data accessed while answering one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -120,5 +183,42 @@ mod tests {
         let s = FetchStats::default();
         assert_eq!(s.base_tuples_accessed(), 0);
         assert_eq!(s, FetchStats::new());
+    }
+
+    #[test]
+    fn relation_stats_count_distinct_per_position() {
+        use crate::value::Value;
+        let ids: Vec<ValueId> = [
+            // (1, 5), (2, 5), (3, 4) — 3 distinct at position 0, 2 at 1.
+            (1, 5),
+            (2, 5),
+            (3, 4),
+        ]
+        .iter()
+        .flat_map(|&(a, b)| [Value::int(a), Value::int(b)])
+        .map(|v| ValueId::intern(&v))
+        .collect();
+        let stats = RelationStats::of_rows(3, 2, &ids);
+        assert_eq!(stats.tuples(), 3);
+        assert_eq!(stats.distinct(0), 3);
+        assert_eq!(stats.distinct(1), 2);
+        assert_eq!(stats.estimated_matches(&[]), 3.0);
+        assert_eq!(stats.estimated_matches(&[0]), 1.0);
+        assert_eq!(stats.estimated_matches(&[1]), 1.5);
+        assert_eq!(stats.estimated_matches(&[0, 1]), 0.5);
+    }
+
+    #[test]
+    fn relation_stats_of_empty_and_nullary_snapshots() {
+        let stats = RelationStats::of_rows(0, 2, &[]);
+        assert_eq!(stats.tuples(), 0);
+        assert_eq!(stats.distinct(0), 0);
+        assert_eq!(stats.estimated_matches(&[0]), 0.0);
+        // A nullary relation holding the empty tuple has one row even
+        // though its flattened data is empty.
+        let nullary = RelationStats::of_rows(1, 0, &[]);
+        assert_eq!(nullary.tuples(), 1);
+        assert_eq!(nullary.estimated_matches(&[]), 1.0);
+        assert_eq!(RelationStats::of_rows(0, 0, &[]).tuples(), 0);
     }
 }

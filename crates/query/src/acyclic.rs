@@ -31,70 +31,74 @@ impl Hypergraph {
 
     /// Run the GYO reduction; returns the remaining (non-empty) edges.
     pub fn gyo_residue(&self) -> Vec<BTreeSet<String>> {
-        let mut edges: Vec<BTreeSet<String>> = self
-            .edges
-            .iter()
-            .filter(|e| !e.is_empty())
-            .cloned()
-            .collect();
-        loop {
-            let mut changed = false;
+        gyo_residue_of(self.edges.iter().filter(|e| !e.is_empty()).cloned())
+    }
+}
 
-            // Rule 1: remove vertices occurring in at most one edge.
-            let mut counts: std::collections::BTreeMap<&String, usize> =
-                std::collections::BTreeMap::new();
-            for e in &edges {
-                for v in e {
-                    *counts.entry(v).or_insert(0) += 1;
-                }
-            }
-            let isolated: BTreeSet<String> = counts
-                .into_iter()
-                .filter(|(_, c)| *c <= 1)
-                .map(|(v, _)| v.clone())
-                .collect();
-            if !isolated.is_empty() {
-                for e in &mut edges {
-                    let before = e.len();
-                    e.retain(|v| !isolated.contains(v));
-                    if e.len() != before {
-                        changed = true;
-                    }
-                }
-            }
-            edges.retain(|e| !e.is_empty());
+/// The GYO reduction over arbitrary (`Ord`) vertex types.  The query
+/// hypergraph uses variable names; the join planner in [`crate::hom`] runs
+/// the same reduction over interned `u32` slots to detect cyclic probe
+/// structure after initially-bound variables have been stripped.
+pub fn gyo_residue_of<T: Ord + Clone>(
+    edges: impl IntoIterator<Item = BTreeSet<T>>,
+) -> Vec<BTreeSet<T>> {
+    let mut edges: Vec<BTreeSet<T>> = edges.into_iter().filter(|e| !e.is_empty()).collect();
+    loop {
+        let mut changed = false;
 
-            // Rule 2: remove edges contained in another edge.
-            let mut keep: Vec<bool> = vec![true; edges.len()];
-            for i in 0..edges.len() {
-                if !keep[i] {
-                    continue;
-                }
-                for j in 0..edges.len() {
-                    if i == j || !keep[j] {
-                        continue;
-                    }
-                    if edges[i].is_subset(&edges[j]) && (edges[i] != edges[j] || i > j) {
-                        keep[i] = false;
-                        changed = true;
-                        break;
-                    }
-                }
-            }
-            let filtered: Vec<BTreeSet<String>> = edges
-                .into_iter()
-                .zip(&keep)
-                .filter(|(_, k)| **k)
-                .map(|(e, _)| e)
-                .collect();
-            edges = filtered;
-
-            if !changed {
-                break;
+        // Rule 1: remove vertices occurring in at most one edge.
+        let mut counts: std::collections::BTreeMap<&T, usize> = std::collections::BTreeMap::new();
+        for e in &edges {
+            for v in e {
+                *counts.entry(v).or_insert(0) += 1;
             }
         }
-        edges
+        let isolated: BTreeSet<T> = counts
+            .into_iter()
+            .filter(|(_, c)| *c <= 1)
+            .map(|(v, _)| v.clone())
+            .collect();
+        if !isolated.is_empty() {
+            for e in &mut edges {
+                let before = e.len();
+                e.retain(|v| !isolated.contains(v));
+                if e.len() != before {
+                    changed = true;
+                }
+            }
+        }
+        edges.retain(|e| !e.is_empty());
+
+        // Rule 2: remove edges contained in another edge.
+        let mut keep: Vec<bool> = vec![true; edges.len()];
+        for i in 0..edges.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if edges[i].is_subset(&edges[j]) && (edges[i] != edges[j] || i > j) {
+                    keep[i] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        let filtered: Vec<BTreeSet<T>> = edges
+            .into_iter()
+            .zip(&keep)
+            .filter(|(_, k)| **k)
+            .map(|(e, _)| e)
+            .collect();
+        edges = filtered;
+
+        if !changed {
+            break;
+        }
     }
+    edges
 }
 
 /// Is the query acyclic (an ACQ)?
@@ -181,6 +185,23 @@ mod tests {
     fn duplicate_edges_do_not_confuse_reduction() {
         let q = boolean(vec![va("e", &["x", "y"]), va("e", &["x", "y"])]);
         assert!(is_acyclic(&q));
+    }
+
+    #[test]
+    fn generic_residue_agrees_on_slot_edges() {
+        // Triangle over u32 slots: cyclic.
+        let triangle: Vec<BTreeSet<u32>> = vec![
+            [0u32, 1].into_iter().collect(),
+            [1u32, 2].into_iter().collect(),
+            [2u32, 0].into_iter().collect(),
+        ];
+        assert!(gyo_residue_of(triangle).len() > 1);
+        // Path: acyclic.
+        let path: Vec<BTreeSet<u32>> = vec![
+            [0u32, 1].into_iter().collect(),
+            [1u32, 2].into_iter().collect(),
+        ];
+        assert!(gyo_residue_of(path).len() <= 1);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! with classical containment `Q_e ⊆ Q2` (the canonical instance of `Q_e`
 //! itself satisfies `A`).  The problem is Πᵖ₂-complete, so everything is
 //! budgeted.
+//!
+//! Every containment test here runs on the planned slot engine of
+//! [`crate::hom`]: the [`ContainmentChecker`] carries a
+//! [`crate::planner::PlannerConfig`], so `A`-containment over cyclic
+//! element queries benefits from the generic-join strategy.  The one-shot
+//! functions below use the default (auto) planner; pass a checker built
+//! with [`ContainmentChecker::with_planner`] to the `*_with` variants to
+//! override it for a whole decision procedure.
 
 use crate::budget::Budget;
 use crate::containment::ContainmentChecker;

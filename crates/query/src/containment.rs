@@ -19,6 +19,7 @@ use crate::canonical::{canonical_instance, CanonicalInstance};
 use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
 use crate::hom::{Assignment, HomSearch};
+use crate::planner::PlannerConfig;
 use crate::ucq::UnionQuery;
 use crate::Result;
 use bqr_data::{DatabaseSchema, IndexCache, Relation};
@@ -50,16 +51,23 @@ type SearchMemo = HashMap<ConjunctiveQuery, HashMap<ConjunctiveQuery, Option<Rc<
 pub struct ContainmentChecker<'s> {
     schema: &'s DatabaseSchema,
     cache: IndexCache,
+    planner: PlannerConfig,
     canonicals: RefCell<HashMap<ConjunctiveQuery, Rc<CanonicalInstance>>>,
     searches: RefCell<SearchMemo>,
 }
 
 impl<'s> ContainmentChecker<'s> {
-    /// A checker with empty caches.
+    /// A checker with empty caches and the default (auto) join planner.
     pub fn new(schema: &'s DatabaseSchema) -> Self {
+        ContainmentChecker::with_planner(schema, PlannerConfig::default())
+    }
+
+    /// A checker whose homomorphism searches are planned under `planner`.
+    pub fn with_planner(schema: &'s DatabaseSchema, planner: PlannerConfig) -> Self {
         ContainmentChecker {
             schema,
             cache: IndexCache::new(),
+            planner,
             canonicals: RefCell::new(HashMap::new()),
             searches: RefCell::new(HashMap::new()),
         }
@@ -228,11 +236,12 @@ impl<'s> ContainmentChecker<'s> {
                     .ok_or(QueryError::UnknownRelation(name))
             })
             .collect::<Result<_>>()?;
-        Ok(Some(Rc::new(HomSearch::compile(
+        Ok(Some(Rc::new(HomSearch::compile_with(
             q.atoms(),
             &relations,
             &initial,
             &self.cache,
+            &self.planner,
         )?)))
     }
 }

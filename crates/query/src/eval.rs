@@ -28,6 +28,7 @@ use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
 use crate::fo::{Fo, FoQuery};
 use crate::hom::{Assignment, HomSearch};
+use crate::planner::PlannerConfig;
 use crate::ucq::UnionQuery;
 use crate::views::MaterializedViews;
 use crate::Result;
@@ -49,6 +50,7 @@ pub const DEFAULT_MAX_RESULTS: usize = 10_000_000;
 pub struct Evaluator {
     cache: IndexCache,
     max_results: Option<usize>,
+    planner: PlannerConfig,
 }
 
 impl Evaluator {
@@ -62,6 +64,18 @@ impl Evaluator {
     pub fn with_max_results(mut self, max_results: usize) -> Self {
         self.max_results = Some(max_results);
         self
+    }
+
+    /// Replace the join-planner configuration (default:
+    /// [`crate::planner::JoinStrategy::Auto`]).
+    pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// The configured planner.
+    pub fn planner(&self) -> PlannerConfig {
+        self.planner
     }
 
     /// The configured result budget.
@@ -83,7 +97,13 @@ impl Evaluator {
         views: Option<&MaterializedViews>,
     ) -> Result<Vec<Tuple>> {
         let relations = relation_map(cq.relation_names(), db, views)?;
-        let search = HomSearch::compile(cq.atoms(), &relations, &Assignment::new(), &self.cache)?;
+        let search = HomSearch::compile_with(
+            cq.atoms(),
+            &relations,
+            &Assignment::new(),
+            &self.cache,
+            &self.planner,
+        )?;
 
         // Pre-resolve the head terms against the slot table so projection is
         // a flat copy per match, with no name lookups.
@@ -119,7 +139,6 @@ impl Evaluator {
                         HeadPart::Const(c) => c.clone(),
                         HeadPart::Slot(s) => m
                             .value(*s)
-                            .cloned()
                             .expect("head slots are bound in every total match"),
                     })
                     .collect::<Tuple>(),

@@ -3,30 +3,41 @@
 //!
 //! This is the single engine behind CQ evaluation (enumerate all matches and
 //! project the head), the Chandra–Merlin containment test (match into a
-//! canonical instance) and the `A`-equivalence procedures.  The search is a
-//! backtracking index-nested-loop join; this module implements it as a small
-//! *slot machine* compiled once per query:
+//! canonical instance) and the `A`-equivalence procedures.  The module
+//! compiles each query into a small *slot machine* chosen by the cost-based
+//! planner in [`crate::planner`]:
 //!
 //! * **Variable slots** — a [`VarTable`] interns every variable name to a
-//!   dense `u32` slot; the partial assignment is a flat `Vec<Option<Value>>`
+//!   dense `u32` slot; the partial assignment is a flat `Vec<Option<ValueId>>`
 //!   indexed by slot.  No string comparison or `BTreeMap` traffic happens
 //!   inside the search.
-//! * **Compiled atoms** — for each atom (in greedy join order) the positions
-//!   bound at probe time are precompiled into a probe-key recipe, and the
-//!   remaining positions into a short list of bind/check ops.  Positions
-//!   covered by the probe key need no per-candidate re-checking: the hash
-//!   index already groups tuples by exactly those values.
-//! * **Cached indexes** — the per-atom hash indexes come from a
-//!   [`bqr_data::IndexCache`], so a workload that repeatedly matches into the
-//!   same relation (the dominant cost of repeated containment checks) builds
-//!   each `(relation, access pattern)` index once instead of once per call.
+//! * **Interned values** — relations are executed over per-epoch
+//!   [`bqr_data::InternedSnapshot`]s: every [`Value`] is interned to a dense
+//!   [`ValueId`] once at snapshot-build time, so the inner loop compares and
+//!   hashes plain `u32`s.  Snapshots (and their [`bqr_data::RelationStats`])
+//!   are shared process-wide across [`IndexCache`] instances.
+//! * **Planned execution** — the planner picks between two compiled shapes.
+//!   For acyclic probe structure, a greedy *cost-based atom order* (estimated
+//!   probe fan-out `|R| / Π d_p` from the snapshot statistics, bushy in
+//!   effect because disconnected cheap atoms may be interleaved); for cyclic
+//!   structure (triangles, k-cycles — detected by the GYO reduction over
+//!   free slots), a *generic join*: variables are eliminated one at a time
+//!   and each candidate value must survive an intersection across every atom
+//!   containing the variable, which is worst-case optimal where any atom
+//!   order degenerates.  See [`crate::planner`] for the cost model and the
+//!   exact trigger conditions; [`JoinStrategy::Heuristic`] keeps the PR 1
+//!   "most bound positions first" order as the benchmark baseline.
+//! * **Cached indexes** — the per-access-pattern hash indexes come from a
+//!   [`bqr_data::IndexCache`], so a workload that repeatedly matches into
+//!   the same relation (the dominant cost of repeated containment checks)
+//!   builds each `(relation, access pattern)` index once instead of once per
+//!   call.
 //! * **Visitor-driven search** — [`HomSearch::run`] reports matches through a
 //!   callback borrowing the slot array; nothing is materialised unless the
 //!   caller asks for it.  `has_homomorphism` allocates no result vectors at
-//!   all, and the inner candidate loop performs no heap allocation (`Value`
-//!   clones are `Copy`-or-`Arc`) and no `String`-keyed map operations.
-//!   [`Assignment`] maps are cloned only at match emission, for callers that
-//!   need materialised name→value maps.
+//!   all, and the atom-order candidate loop performs no heap allocation and
+//!   no `String`-keyed map operations.  [`Assignment`] maps are cloned only
+//!   at match emission, for callers that need materialised name→value maps.
 //!
 //! The original `BTreeMap`-driven engine is retained verbatim in
 //! [`reference`]: it is the oracle for the engine-equivalence property tests
@@ -34,8 +45,9 @@
 
 use crate::atom::{Atom, Term};
 use crate::error::QueryError;
+use crate::planner::{self, AtomShape, JoinStrategy, PlannedExecution, PlannerConfig, TermShape};
 use crate::Result;
-use bqr_data::{IndexCache, Relation, RelationIndex, Value};
+use bqr_data::{IndexCache, InternedIndex, Relation, Value, ValueId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
 use std::rc::Rc;
@@ -94,14 +106,23 @@ impl VarTable {
     }
 }
 
-/// One component of an atom's probe key.
+/// One component of a probe-key recipe, evaluated against the slot array.
 #[derive(Debug)]
 enum KeyPart {
-    Const(Value),
+    Const(ValueId),
     Slot(u32),
 }
 
-/// Per-position work left after the index probe: bind a fresh slot or check
+/// One component of a generic-join membership key: like [`KeyPart`], plus
+/// the candidate value currently being tested.
+#[derive(Debug)]
+enum CheckPart {
+    Const(ValueId),
+    Slot(u32),
+    Candidate,
+}
+
+/// Per-position work left after an index probe: bind a fresh slot or check
 /// a slot bound earlier *within the same atom* (every other position is part
 /// of the probe key and therefore already guaranteed to match).
 #[derive(Debug)]
@@ -110,32 +131,107 @@ enum PosOp {
     CheckSlot { pos: usize, slot: u32 },
 }
 
-/// One atom compiled against the join order.
+/// One atom compiled against an atom order.
 #[derive(Debug)]
 struct CompiledAtom {
     key: Vec<KeyPart>,
     ops: Vec<PosOp>,
     /// Slots bound by this atom, for backtracking.
     bind_slots: Vec<u32>,
-    index: Rc<RelationIndex>,
+    index: Rc<InternedIndex>,
+}
+
+/// One atom's access paths at one generic-join level (one per atom that
+/// contains the level's variable).
+#[derive(Debug)]
+struct GjAtomAccess {
+    /// Index keyed on the context positions (constants, initially bound
+    /// variables, variables eliminated earlier): enumerates matching rows.
+    enum_index: Rc<InternedIndex>,
+    enum_key: Vec<KeyPart>,
+    /// First position of the level's variable in the atom: where candidate
+    /// values are projected from.
+    value_pos: usize,
+    /// Index keyed on context positions *plus every position of the level's
+    /// variable*: a non-empty probe certifies the atom admits the candidate.
+    check_index: Rc<InternedIndex>,
+    check_key: Vec<CheckPart>,
+    /// The variable occurs more than once in the atom, so even the
+    /// enumerating atom must re-check its own candidates.
+    self_check: bool,
+}
+
+/// One variable-elimination level of a generic join.
+#[derive(Debug)]
+struct GjLevel {
+    slot: u32,
+    atoms: Vec<GjAtomAccess>,
+}
+
+/// An atom with no free variables: a single existence probe run before the
+/// variable elimination starts.
+#[derive(Debug)]
+struct GjFilter {
+    index: Rc<InternedIndex>,
+    key: Vec<KeyPart>,
+}
+
+/// Generic-join execution plan.
+#[derive(Debug)]
+struct GjPlan {
+    levels: Vec<GjLevel>,
+    filters: Vec<GjFilter>,
+}
+
+/// The compiled execution shape.
+#[derive(Debug)]
+enum Exec {
+    AtomOrder(Vec<CompiledAtom>),
+    GenericJoin(GjPlan),
+    /// Compilation proved the search empty: some query constant has never
+    /// been interned, so it occurs in no snapshot and no probe can match.
+    Unsat,
+}
+
+/// Reusable scratch space for one generic-join run: the shared probe-key
+/// buffer plus one candidate buffer per elimination level, so the search
+/// tree performs no per-node heap allocation (matching the atom-order path).
+struct GjScratch {
+    key_buf: Vec<ValueId>,
+    candidates: Vec<Vec<ValueId>>,
+}
+
+/// A human-inspectable summary of the plan the engine compiled — used by the
+/// determinism tests and the benchmark labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanSummary {
+    /// Atoms probed in this order (indexes into the input atom list).
+    AtomOrder(Vec<usize>),
+    /// Generic join eliminating these variables, in order.
+    GenericJoin(Vec<String>),
 }
 
 /// A view of one match during [`HomSearch::run`]: variable slots plus their
 /// current values, alive only for the duration of the callback.
 pub struct HomMatch<'a> {
     vars: &'a VarTable,
-    slots: &'a [Option<Value>],
+    slots: &'a [Option<ValueId>],
 }
 
 impl HomMatch<'_> {
     /// The value bound to `name`, if any.
-    pub fn get(&self, name: &str) -> Option<&Value> {
+    pub fn get(&self, name: &str) -> Option<Value> {
         self.vars.slot(name).and_then(|s| self.value(s))
     }
 
-    /// The value bound to `slot`, if any.
-    pub fn value(&self, slot: u32) -> Option<&Value> {
-        self.slots[slot as usize].as_ref()
+    /// The value bound to `slot`, if any (resolved out of the value pool).
+    pub fn value(&self, slot: u32) -> Option<Value> {
+        self.slots[slot as usize].map(ValueId::value)
+    }
+
+    /// The interned id bound to `slot`, if any.
+    pub fn id(&self, slot: u32) -> Option<ValueId> {
+        self.slots[slot as usize]
     }
 
     /// The variable table of the search.
@@ -149,7 +245,7 @@ impl HomMatch<'_> {
         let mut out = Assignment::new();
         for (i, v) in self.slots.iter().enumerate() {
             if let Some(v) = v {
-                out.insert(self.vars.name(i as u32).to_string(), v.clone());
+                out.insert(self.vars.name(i as u32).to_string(), v.value());
             }
         }
         out
@@ -162,20 +258,34 @@ impl HomMatch<'_> {
 #[derive(Debug)]
 pub struct HomSearch {
     vars: VarTable,
-    atoms: Vec<CompiledAtom>,
+    exec: Exec,
     /// Slot values fixed by the initial assignment.
-    initial: Vec<(u32, Value)>,
+    initial: Vec<(u32, ValueId)>,
+    summary: PlanSummary,
 }
 
 impl HomSearch {
-    /// Compile the search.  Validates relation names and arities (the same
-    /// errors the old engine reported) and builds or fetches the per-atom
-    /// hash indexes through `cache`.
+    /// Compile the search with the default (auto) planner configuration.
+    /// Validates relation names and arities (the same errors the old engine
+    /// reported) and builds or fetches the per-atom hash indexes through
+    /// `cache`.
     pub fn compile(
         atoms: &[Atom],
         relations: &BTreeMap<String, &Relation>,
         initial: &Assignment,
         cache: &IndexCache,
+    ) -> Result<Self> {
+        HomSearch::compile_with(atoms, relations, initial, cache, &PlannerConfig::default())
+    }
+
+    /// [`compile`](HomSearch::compile) under an explicit planner
+    /// configuration.
+    pub fn compile_with(
+        atoms: &[Atom],
+        relations: &BTreeMap<String, &Relation>,
+        initial: &Assignment,
+        cache: &IndexCache,
+        config: &PlannerConfig,
     ) -> Result<Self> {
         for atom in atoms {
             let rel = relations
@@ -190,70 +300,91 @@ impl HomSearch {
             }
         }
 
-        let order = order_atoms(atoms, initial);
+        // Slot numbering is declaration order (initial assignment first),
+        // independent of the plan the planner picks.
         let mut vars = VarTable::default();
         let mut initial_slots = Vec::with_capacity(initial.len());
         for (name, value) in initial {
-            initial_slots.push((vars.intern(name), value.clone()));
+            initial_slots.push((vars.intern(name), ValueId::intern(value)));
         }
+        let initial_len = initial_slots.len();
 
-        // `bound[slot]` = the slot has a value by the time the current atom
-        // is reached (initially bound, or bound by an earlier atom).
-        let mut bound: Vec<bool> = vec![true; initial_slots.len()];
-        let mut compiled = Vec::with_capacity(order.len());
-        let mut key_positions: Vec<usize> = Vec::new();
-        for &atom_idx in &order {
-            let atom = &atoms[atom_idx];
-            key_positions.clear();
-            let mut key = Vec::new();
-            let mut ops = Vec::new();
-            let mut bind_slots: Vec<u32> = Vec::new();
-            for (pos, term) in atom.args().iter().enumerate() {
-                match term {
-                    Term::Const(c) => {
-                        key_positions.push(pos);
-                        key.push(KeyPart::Const(c.clone()));
-                    }
+        let mut shapes: Vec<AtomShape> = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            let stats = cache.snapshot(relations[atom.relation()]).stats().clone();
+            let terms = atom
+                .args()
+                .iter()
+                .map(|t| match t {
+                    Term::Const(_) => TermShape::Bound,
                     Term::Var(v) => {
                         let slot = vars.intern(v);
-                        if bound.len() <= slot as usize {
-                            bound.push(false);
-                        }
-                        if bound[slot as usize] {
-                            key_positions.push(pos);
-                            key.push(KeyPart::Slot(slot));
-                        } else if bind_slots.contains(&slot) {
-                            // Repeated occurrence within this atom: the first
-                            // occurrence binds, later ones compare.
-                            ops.push(PosOp::CheckSlot { pos, slot });
+                        if (slot as usize) < initial_len {
+                            TermShape::Bound
                         } else {
-                            bind_slots.push(slot);
-                            ops.push(PosOp::Bind { pos, slot });
+                            TermShape::Free(slot)
                         }
                     }
-                }
-            }
-            for &slot in &bind_slots {
-                bound[slot as usize] = true;
-            }
-            let index = cache.index_for(relations[atom.relation()], &key_positions);
-            compiled.push(CompiledAtom {
-                key,
-                ops,
-                bind_slots,
-                index,
-            });
+                })
+                .collect();
+            shapes.push(AtomShape { terms, stats });
         }
+
+        let planned = match config.strategy {
+            JoinStrategy::Heuristic => PlannedExecution::AtomOrder(order_atoms(atoms, initial)),
+            _ => planner::plan(&shapes, vars.len(), config),
+        };
+
+        let (exec, summary) = match planned {
+            PlannedExecution::AtomOrder(order) => {
+                let exec = match compile_atom_order(
+                    atoms,
+                    relations,
+                    cache,
+                    &mut vars,
+                    initial_len,
+                    &order,
+                ) {
+                    Some(compiled) => Exec::AtomOrder(compiled),
+                    None => Exec::Unsat,
+                };
+                (exec, PlanSummary::AtomOrder(order))
+            }
+            PlannedExecution::GenericJoin(var_order) => {
+                let exec = match compile_generic_join(
+                    atoms,
+                    relations,
+                    cache,
+                    &vars,
+                    initial_len,
+                    &var_order,
+                ) {
+                    Some(plan) => Exec::GenericJoin(plan),
+                    None => Exec::Unsat,
+                };
+                let names = var_order
+                    .iter()
+                    .map(|&s| vars.name(s).to_string())
+                    .collect();
+                (exec, PlanSummary::GenericJoin(names))
+            }
+        };
         Ok(HomSearch {
             vars,
-            atoms: compiled,
+            exec,
             initial: initial_slots,
+            summary,
         })
     }
 
     /// The variable table (name ↔ slot mapping) of the compiled search.
     pub fn vars(&self) -> &VarTable {
         &self.vars
+    }
+
+    /// What the planner compiled (for tests and benchmark labels).
+    pub fn plan_summary(&self) -> &PlanSummary {
+        &self.summary
     }
 
     /// Run the search, invoking `visit` once per homomorphism.  Returning
@@ -268,51 +399,62 @@ impl HomSearch {
         &self,
         mut visit: impl FnMut(HomMatch<'_>) -> Result<ControlFlow<()>>,
     ) -> Result<ControlFlow<()>> {
-        let mut slots: Vec<Option<Value>> = vec![None; self.vars.len()];
+        let mut slots: Vec<Option<ValueId>> = vec![None; self.vars.len()];
         for (slot, value) in &self.initial {
-            slots[*slot as usize] = Some(value.clone());
+            slots[*slot as usize] = Some(*value);
         }
-        let mut key_buf: Vec<Value> = Vec::new();
-        self.search(0, &mut slots, &mut key_buf, &mut visit)
+        match &self.exec {
+            Exec::AtomOrder(atoms) => {
+                let mut key_buf: Vec<ValueId> = Vec::new();
+                self.atom_search(atoms, 0, &mut slots, &mut key_buf, &mut |m| visit(m))
+            }
+            Exec::GenericJoin(plan) => {
+                let mut scratch = GjScratch {
+                    key_buf: Vec::new(),
+                    candidates: vec![Vec::new(); plan.levels.len()],
+                };
+                for filter in &plan.filters {
+                    build_key(&filter.key, &slots, &mut scratch.key_buf);
+                    if filter.index.probe(&scratch.key_buf).is_empty() {
+                        return Ok(ControlFlow::Continue(()));
+                    }
+                }
+                self.gj_search(plan, 0, &mut slots, &mut scratch, &mut |m| visit(m))
+            }
+            Exec::Unsat => Ok(ControlFlow::Continue(())),
+        }
     }
 
-    fn search(
+    fn atom_search(
         &self,
+        atoms: &[CompiledAtom],
         depth: usize,
-        slots: &mut Vec<Option<Value>>,
-        key_buf: &mut Vec<Value>,
+        slots: &mut Vec<Option<ValueId>>,
+        key_buf: &mut Vec<ValueId>,
         visit: &mut dyn FnMut(HomMatch<'_>) -> Result<ControlFlow<()>>,
     ) -> Result<ControlFlow<()>> {
-        if depth == self.atoms.len() {
+        if depth == atoms.len() {
             return visit(HomMatch {
                 vars: &self.vars,
                 slots,
             });
         }
-        let atom = &self.atoms[depth];
+        let atom = &atoms[depth];
 
         // Build the probe key into the shared scratch buffer (its capacity
         // is reused across the whole search); the buffer is free for reuse
         // by deeper levels as soon as the probe below returns.
-        key_buf.clear();
-        for part in &atom.key {
-            key_buf.push(match part {
-                KeyPart::Const(c) => c.clone(),
-                KeyPart::Slot(s) => slots[*s as usize]
-                    .clone()
-                    .expect("probe-key slots are bound by construction"),
-            });
-        }
+        build_key(&atom.key, slots, key_buf);
 
         'candidates: for &ti in atom.index.probe(key_buf) {
-            let tuple = atom.index.tuple(ti);
+            let row = atom.index.row(ti);
             for op in &atom.ops {
                 match op {
                     PosOp::Bind { pos, slot } => {
-                        slots[*slot as usize] = Some(tuple[*pos].clone());
+                        slots[*slot as usize] = Some(row[*pos]);
                     }
                     PosOp::CheckSlot { pos, slot } => {
-                        if slots[*slot as usize].as_ref() != Some(&tuple[*pos]) {
+                        if slots[*slot as usize] != Some(row[*pos]) {
                             for &s in &atom.bind_slots {
                                 slots[s as usize] = None;
                             }
@@ -321,7 +463,7 @@ impl HomSearch {
                     }
                 }
             }
-            let flow = self.search(depth + 1, slots, key_buf, visit)?;
+            let flow = self.atom_search(atoms, depth + 1, slots, key_buf, visit)?;
             for &s in &atom.bind_slots {
                 slots[s as usize] = None;
             }
@@ -331,8 +473,289 @@ impl HomSearch {
         }
         Ok(ControlFlow::Continue(()))
     }
+
+    fn gj_search(
+        &self,
+        plan: &GjPlan,
+        level: usize,
+        slots: &mut Vec<Option<ValueId>>,
+        scratch: &mut GjScratch,
+        visit: &mut dyn FnMut(HomMatch<'_>) -> Result<ControlFlow<()>>,
+    ) -> Result<ControlFlow<()>> {
+        if level == plan.levels.len() {
+            return visit(HomMatch {
+                vars: &self.vars,
+                slots,
+            });
+        }
+        let lv = &plan.levels[level];
+
+        // Enumerate candidates from the atom with the fewest context
+        // matches (classic generic join: smallest set drives the
+        // intersection).
+        let mut best = 0usize;
+        let mut best_len = usize::MAX;
+        for (i, a) in lv.atoms.iter().enumerate() {
+            build_key(&a.enum_key, slots, &mut scratch.key_buf);
+            let n = a.enum_index.probe(&scratch.key_buf).len();
+            if n < best_len {
+                best_len = n;
+                best = i;
+                if n == 0 {
+                    return Ok(ControlFlow::Continue(()));
+                }
+            }
+        }
+        let driver = &lv.atoms[best];
+        build_key(&driver.enum_key, slots, &mut scratch.key_buf);
+        // This level's candidate buffer is taken out of the scratch for the
+        // duration of the loop (deeper levels use their own buffers) and put
+        // back before returning, so the whole search reuses one allocation
+        // per level.
+        let mut candidates = std::mem::take(&mut scratch.candidates[level]);
+        candidates.clear();
+        candidates.extend(
+            driver
+                .enum_index
+                .probe(&scratch.key_buf)
+                .iter()
+                .map(|&r| driver.enum_index.row(r)[driver.value_pos]),
+        );
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut flow = ControlFlow::Continue(());
+        'candidate: for &c in &candidates {
+            for (i, a) in lv.atoms.iter().enumerate() {
+                if i == best && !a.self_check {
+                    continue;
+                }
+                build_check_key(&a.check_key, slots, c, &mut scratch.key_buf);
+                if a.check_index.probe(&scratch.key_buf).is_empty() {
+                    continue 'candidate;
+                }
+            }
+            slots[lv.slot as usize] = Some(c);
+            let deeper = self.gj_search(plan, level + 1, slots, scratch, visit);
+            slots[lv.slot as usize] = None;
+            match deeper {
+                Ok(ControlFlow::Continue(())) => {}
+                Ok(ControlFlow::Break(())) => {
+                    flow = ControlFlow::Break(());
+                    break;
+                }
+                Err(e) => {
+                    scratch.candidates[level] = candidates;
+                    return Err(e);
+                }
+            }
+        }
+        scratch.candidates[level] = candidates;
+        Ok(flow)
+    }
 }
 
+fn build_key(recipe: &[KeyPart], slots: &[Option<ValueId>], out: &mut Vec<ValueId>) {
+    out.clear();
+    for part in recipe {
+        out.push(match part {
+            KeyPart::Const(c) => *c,
+            KeyPart::Slot(s) => {
+                slots[*s as usize].expect("probe-key slots are bound by construction")
+            }
+        });
+    }
+}
+
+fn build_check_key(
+    recipe: &[CheckPart],
+    slots: &[Option<ValueId>],
+    candidate: ValueId,
+    out: &mut Vec<ValueId>,
+) {
+    out.clear();
+    for part in recipe {
+        out.push(match part {
+            CheckPart::Const(c) => *c,
+            CheckPart::Slot(s) => {
+                slots[*s as usize].expect("check-key slots are bound by construction")
+            }
+            CheckPart::Candidate => candidate,
+        });
+    }
+}
+
+/// Compile atoms for atom-at-a-time execution in the given order.
+fn compile_atom_order(
+    atoms: &[Atom],
+    relations: &BTreeMap<String, &Relation>,
+    cache: &IndexCache,
+    vars: &mut VarTable,
+    initial_len: usize,
+    order: &[usize],
+) -> Option<Vec<CompiledAtom>> {
+    // `bound[slot]` = the slot has a value by the time the current atom
+    // is reached (initially bound, or bound by an earlier atom).
+    let mut bound: Vec<bool> = vec![false; vars.len()];
+    for b in bound.iter_mut().take(initial_len) {
+        *b = true;
+    }
+    let mut compiled = Vec::with_capacity(order.len());
+    let mut key_positions: Vec<usize> = Vec::new();
+    for &atom_idx in order {
+        let atom = &atoms[atom_idx];
+        key_positions.clear();
+        let mut key = Vec::new();
+        let mut ops = Vec::new();
+        let mut bind_slots: Vec<u32> = Vec::new();
+        for (pos, term) in atom.args().iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    // Every snapshot of this query's relations is already
+                    // built (and interned) by `compile_with`, so a constant
+                    // the pool has never seen occurs in no probed relation:
+                    // the search is unsatisfiable and needs no pool entry.
+                    key_positions.push(pos);
+                    key.push(KeyPart::Const(ValueId::lookup(c)?));
+                }
+                Term::Var(v) => {
+                    let slot = vars.intern(v);
+                    if bound.len() <= slot as usize {
+                        bound.push(false);
+                    }
+                    if bound[slot as usize] {
+                        key_positions.push(pos);
+                        key.push(KeyPart::Slot(slot));
+                    } else if bind_slots.contains(&slot) {
+                        // Repeated occurrence within this atom: the first
+                        // occurrence binds, later ones compare.
+                        ops.push(PosOp::CheckSlot { pos, slot });
+                    } else {
+                        bind_slots.push(slot);
+                        ops.push(PosOp::Bind { pos, slot });
+                    }
+                }
+            }
+        }
+        for &slot in &bind_slots {
+            bound[slot as usize] = true;
+        }
+        let index = cache.interned_index_for(relations[atom.relation()], &key_positions);
+        compiled.push(CompiledAtom {
+            key,
+            ops,
+            bind_slots,
+            index,
+        });
+    }
+    Some(compiled)
+}
+
+/// Compile atoms for generic-join execution under the given variable order.
+fn compile_generic_join(
+    atoms: &[Atom],
+    relations: &BTreeMap<String, &Relation>,
+    cache: &IndexCache,
+    vars: &VarTable,
+    initial_len: usize,
+    var_order: &[u32],
+) -> Option<GjPlan> {
+    // Elimination level of each slot (`None` for initially bound slots).
+    let level_of = |slot: u32| -> Option<usize> { var_order.iter().position(|&s| s == slot) };
+    let is_free = |slot: u32| (slot as usize) >= initial_len;
+
+    let mut levels: Vec<GjLevel> = var_order
+        .iter()
+        .map(|&slot| GjLevel {
+            slot,
+            atoms: Vec::new(),
+        })
+        .collect();
+    let mut filters: Vec<GjFilter> = Vec::new();
+
+    for atom in atoms {
+        let rel = relations[atom.relation()];
+        // Slot of each position, if it is a free variable.
+        let pos_slot: Vec<Option<u32>> = atom
+            .args()
+            .iter()
+            .map(|t| match t {
+                Term::Const(_) => None,
+                Term::Var(v) => {
+                    let slot = vars.slot(v).expect("all atom variables are interned");
+                    is_free(slot).then_some(slot)
+                }
+            })
+            .collect();
+        let free_levels: BTreeSet<usize> = pos_slot
+            .iter()
+            .flatten()
+            .map(|&s| level_of(s).expect("free slots appear in the variable order"))
+            .collect();
+
+        // A constant the pool has never seen occurs in no snapshot (all of
+        // this query's snapshots are interned by now): unsatisfiable.
+        let base_part = |pos: usize| -> Option<KeyPart> {
+            match &atom.args()[pos] {
+                Term::Const(c) => Some(KeyPart::Const(ValueId::lookup(c)?)),
+                Term::Var(v) => Some(KeyPart::Slot(vars.slot(v).expect("interned"))),
+            }
+        };
+
+        if free_levels.is_empty() {
+            // No free variables: one existence probe over all positions.
+            let all: Vec<usize> = (0..atom.arity()).collect();
+            filters.push(GjFilter {
+                index: cache.interned_index_for(rel, &all),
+                key: all.iter().map(|&p| base_part(p)).collect::<Option<_>>()?,
+            });
+            continue;
+        }
+
+        for &level in &free_levels {
+            let v_slot = var_order[level];
+            // Context: constants, initially bound variables, and free
+            // variables eliminated at an earlier level.
+            let context: Vec<usize> = (0..atom.arity())
+                .filter(|&p| match pos_slot[p] {
+                    None => true,
+                    Some(s) => level_of(s).expect("free slot has a level") < level,
+                })
+                .collect();
+            let v_positions: Vec<usize> = (0..atom.arity())
+                .filter(|&p| pos_slot[p] == Some(v_slot))
+                .collect();
+            let mut check_positions: Vec<usize> =
+                context.iter().chain(v_positions.iter()).copied().collect();
+            check_positions.sort_unstable();
+            let check_key = check_positions
+                .iter()
+                .map(|&p| {
+                    if v_positions.contains(&p) {
+                        Some(CheckPart::Candidate)
+                    } else {
+                        match base_part(p)? {
+                            KeyPart::Const(c) => Some(CheckPart::Const(c)),
+                            KeyPart::Slot(s) => Some(CheckPart::Slot(s)),
+                        }
+                    }
+                })
+                .collect::<Option<_>>()?;
+            levels[level].atoms.push(GjAtomAccess {
+                enum_index: cache.interned_index_for(rel, &context),
+                enum_key: context
+                    .iter()
+                    .map(|&p| base_part(p))
+                    .collect::<Option<_>>()?,
+                value_pos: v_positions[0],
+                check_index: cache.interned_index_for(rel, &check_positions),
+                check_key,
+                self_check: v_positions.len() > 1,
+            });
+        }
+    }
+    Some(GjPlan { levels, filters })
+}
 /// Enumerate homomorphisms from `atoms` into the relations provided by
 /// `relations` (one entry per distinct relation name used by the atoms),
 /// starting from an initial partial assignment.
@@ -813,6 +1236,219 @@ mod tests {
             })
             .unwrap();
         assert_eq!(seen, 2, "break stops the enumeration early");
+    }
+
+    fn graph_db() -> bqr_data::Database {
+        let schema = bqr_data::DatabaseSchema::with_relations(&[("e", &["s", "d"])]).unwrap();
+        let mut db = bqr_data::Database::empty(schema);
+        for (a, b) in [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 3),
+            (3, 4),
+            (4, 0),
+            (1, 3),
+            (3, 1),
+            (2, 2),
+            (5, 5),
+        ] {
+            db.insert("e", bqr_data::tuple![a, b]).unwrap();
+        }
+        db
+    }
+
+    fn both_engines(
+        atoms: &[Atom],
+        rels: &BTreeMap<String, &Relation>,
+        initial: &Assignment,
+    ) -> (BTreeSet<Assignment>, BTreeSet<Assignment>) {
+        let slot = enumerate_homomorphisms(atoms, rels, initial, MatchLimit::AtMost(10_000))
+            .unwrap()
+            .into_iter()
+            .collect();
+        let naive =
+            reference::enumerate_homomorphisms(atoms, rels, initial, MatchLimit::AtMost(10_000))
+                .unwrap()
+                .into_iter()
+                .collect();
+        (slot, naive)
+    }
+
+    #[test]
+    fn cyclic_queries_use_generic_join_and_agree_with_reference() {
+        let db = graph_db();
+        let rels = relations(&db);
+        let triangle = vec![
+            va("e", &["x", "y"]),
+            va("e", &["y", "z"]),
+            va("e", &["z", "x"]),
+        ];
+        let cache = IndexCache::new();
+        let search = HomSearch::compile(&triangle, &rels, &Assignment::new(), &cache).unwrap();
+        assert!(
+            matches!(search.plan_summary(), PlanSummary::GenericJoin(_)),
+            "triangles are cyclic: {:?}",
+            search.plan_summary()
+        );
+        let (slot, naive) = both_engines(&triangle, &rels, &Assignment::new());
+        assert!(!slot.is_empty(), "the graph contains triangles");
+        assert_eq!(slot, naive);
+
+        // 4-cycle, with and without an initial binding.
+        let square = vec![
+            va("e", &["a", "b"]),
+            va("e", &["b", "c"]),
+            va("e", &["c", "d"]),
+            va("e", &["d", "a"]),
+        ];
+        let (slot, naive) = both_engines(&square, &rels, &Assignment::new());
+        assert_eq!(slot, naive);
+        let mut initial = Assignment::new();
+        initial.insert("a".to_string(), Value::int(0));
+        let (slot, naive) = both_engines(&square, &rels, &initial);
+        assert_eq!(slot, naive);
+    }
+
+    #[test]
+    fn generic_join_handles_repeated_variables_and_constant_atoms() {
+        let db = graph_db();
+        let rels = relations(&db);
+        // Triangle plus a self-loop atom on one of its variables (repeated
+        // variable within an atom) plus an all-constant existence check.
+        let atoms = vec![
+            va("e", &["x", "y"]),
+            va("e", &["y", "z"]),
+            va("e", &["z", "x"]),
+            va("e", &["z", "z"]),
+            Atom::new("e", vec![Term::cnst(0), Term::cnst(1)]),
+        ];
+        let (slot, naive) = both_engines(&atoms, &rels, &Assignment::new());
+        assert_eq!(slot, naive);
+        let zs: BTreeSet<Value> = slot.iter().map(|m| m["z"].clone()).collect();
+        assert_eq!(
+            zs,
+            [Value::int(2), Value::int(5)].into_iter().collect(),
+            "nodes 2 and 5 are the self-looped triangle corners"
+        );
+
+        // The all-constant filter can also be unsatisfiable.
+        let atoms = vec![
+            va("e", &["x", "y"]),
+            va("e", &["y", "z"]),
+            va("e", &["z", "x"]),
+            Atom::new("e", vec![Term::cnst(7), Term::cnst(7)]),
+        ];
+        let (slot, naive) = both_engines(&atoms, &rels, &Assignment::new());
+        assert!(slot.is_empty());
+        assert_eq!(slot, naive);
+    }
+
+    #[test]
+    fn never_interned_constants_compile_to_an_unsatisfiable_search() {
+        let db = graph_db();
+        let rels = relations(&db);
+        // A constant value no snapshot (or other code path) has ever
+        // interned: compilation proves emptiness without running a search,
+        // and without minting a pool id for the constant.
+        let ghost = Value::str("hom-test-never-interned-constant-3b1f");
+        for strategy in [JoinStrategy::CostBased, JoinStrategy::GenericJoin] {
+            let atoms = vec![
+                va("e", &["x", "y"]),
+                va("e", &["y", "z"]),
+                va("e", &["z", "x"]),
+                Atom::new("e", vec![Term::var("x"), Term::Const(ghost.clone())]),
+            ];
+            let cache = IndexCache::new();
+            let search = HomSearch::compile_with(
+                &atoms,
+                &rels,
+                &Assignment::new(),
+                &cache,
+                &PlannerConfig::with_strategy(strategy),
+            )
+            .unwrap();
+            let mut n = 0usize;
+            search
+                .run(|_| {
+                    n += 1;
+                    ControlFlow::Continue(())
+                })
+                .unwrap();
+            assert_eq!(n, 0, "{strategy:?}");
+        }
+        assert_eq!(
+            bqr_data::ValueId::lookup(&ghost),
+            None,
+            "compilation must not mint ids for unmatched constants"
+        );
+    }
+
+    #[test]
+    fn planner_config_overrides_the_strategy() {
+        let db = graph_db();
+        let rels = relations(&db);
+        let triangle = vec![
+            va("e", &["x", "y"]),
+            va("e", &["y", "z"]),
+            va("e", &["z", "x"]),
+        ];
+        let cache = IndexCache::new();
+        for (strategy, expect_gj) in [
+            (JoinStrategy::CostBased, false),
+            (JoinStrategy::Heuristic, false),
+            (JoinStrategy::GenericJoin, true),
+            (JoinStrategy::Auto, true),
+        ] {
+            let search = HomSearch::compile_with(
+                &triangle,
+                &rels,
+                &Assignment::new(),
+                &cache,
+                &PlannerConfig::with_strategy(strategy),
+            )
+            .unwrap();
+            assert_eq!(
+                matches!(search.plan_summary(), PlanSummary::GenericJoin(_)),
+                expect_gj,
+                "{strategy:?}"
+            );
+            // Every strategy enumerates the same matches.
+            let mut n = 0usize;
+            search
+                .run(|_| {
+                    n += 1;
+                    ControlFlow::Continue(())
+                })
+                .unwrap();
+            assert_eq!(
+                n, 8,
+                "two 3-cycles (3 rotations each) plus two self-loop triangles"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_plans_are_deterministic() {
+        let db = graph_db();
+        let rels = relations(&db);
+        let atoms = vec![
+            va("e", &["x", "y"]),
+            va("e", &["y", "z"]),
+            va("e", &["z", "x"]),
+        ];
+        let cache = IndexCache::new();
+        let first = HomSearch::compile(&atoms, &rels, &Assignment::new(), &cache)
+            .unwrap()
+            .plan_summary()
+            .clone();
+        for _ in 0..5 {
+            let again = HomSearch::compile(&atoms, &rels, &Assignment::new(), &cache)
+                .unwrap()
+                .plan_summary()
+                .clone();
+            assert_eq!(again, first, "same query, same stats, same plan");
+        }
     }
 
     #[test]

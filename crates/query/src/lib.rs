@@ -40,6 +40,7 @@ pub mod eval;
 pub mod fo;
 pub mod hom;
 pub mod parser;
+pub mod planner;
 pub mod ucq;
 pub mod views;
 
@@ -51,6 +52,7 @@ pub use budget::Budget;
 pub use cq::ConjunctiveQuery;
 pub use error::QueryError;
 pub use fo::{Fo, FoQuery, QueryLanguage};
+pub use planner::{JoinStrategy, PlannerConfig};
 pub use ucq::UnionQuery;
 pub use views::{MaterializedViews, ViewDefinition, ViewSet};
 

@@ -131,6 +131,112 @@ fn figure_2_gadget_bounded_output() {
     );
 }
 
+/// Golden test: the movie example pinned to exact answers on a fixed-seed
+/// instance, under every planner strategy.  Planner changes that alter the
+/// semantics of evaluation (rather than just its cost) fail here.
+#[test]
+fn golden_movie_example_answers_are_pinned() {
+    use bqr_data::tuple;
+    use bqr_query::eval::Evaluator;
+    use bqr_query::{JoinStrategy, PlannerConfig};
+
+    let db = bqr_workload::movies::generate(bqr_workload::movies::MovieScale {
+        persons: 400,
+        movies: 200,
+        n0: 25,
+        seed: 7,
+    });
+    assert_eq!(db.size(), 1992, "the seed-7 instance is pinned");
+    for strategy in [
+        JoinStrategy::Auto,
+        JoinStrategy::Heuristic,
+        JoinStrategy::CostBased,
+        JoinStrategy::GenericJoin,
+    ] {
+        let evaluator = Evaluator::new().with_planner(PlannerConfig::with_strategy(strategy));
+        let answers = evaluator
+            .eval_cq(&bqr_workload::movies::q0(), &db, None)
+            .unwrap();
+        assert_eq!(
+            answers,
+            vec![tuple![108]],
+            "Q0 answer drifted ({strategy:?})"
+        );
+    }
+    let views = bqr_workload::movies::views().materialize(&db).unwrap();
+    assert_eq!(
+        views.extent("V1").unwrap().len(),
+        152,
+        "V1 extent cardinality is pinned"
+    );
+}
+
+/// Golden test: the CDR workload pinned to exact answers and topped
+/// decisions on a fixed-scale instance.  Guards both the evaluator and the
+/// effective-syntax checker against silent semantic drift.
+#[test]
+fn golden_cdr_workload_answers_and_decisions_are_pinned() {
+    use bqr_bench::checker_with_annotations;
+    use bqr_data::{tuple, Tuple};
+    use bqr_query::eval::eval_cq;
+    use bqr_workload::cdr;
+
+    let scale = cdr::CdrScale {
+        customers: 300,
+        days: 5,
+        ..cdr::CdrScale::default()
+    };
+    let db = cdr::generate(scale);
+    assert_eq!(db.size(), 11_633, "the fixed-scale CDR instance is pinned");
+    let setting = cdr::setting(&scale, 120);
+    let cache = setting.views.materialize(&db).unwrap();
+    let checker = checker_with_annotations(&setting, &cdr::view_bounds());
+
+    // (query name, answer count, topped?) for customer 17, day 3.
+    let expected: &[(&str, usize, bool)] = &[
+        ("callees_of_day", 0, true),
+        ("callee_regions", 0, true),
+        ("towers_visited", 5, true),
+        ("regions_visited", 4, true),
+        ("call_partners_plans", 0, true),
+        ("premium_callees", 0, true),
+        ("premium_callee_towers", 0, true),
+        ("north_tower_visits", 1, true),
+        ("second_hop_callees", 0, true),
+        ("who_called_me", 8, false),
+    ];
+    let workload = cdr::workload(17, 3);
+    assert_eq!(workload.len(), expected.len());
+    for (q, &(name, count, topped)) in workload.iter().zip(expected) {
+        assert_eq!(q.name, name);
+        let answers = eval_cq(&q.query, &db, Some(&cache)).unwrap();
+        assert_eq!(answers.len(), count, "{name} answer count drifted");
+        let analysis = checker.analyze_cq(&q.query).unwrap();
+        assert_eq!(analysis.topped, topped, "{name} topped decision drifted");
+    }
+
+    // Exact tuples for the non-empty answers.
+    let towers = eval_cq(&workload[2].query, &db, Some(&cache)).unwrap();
+    assert_eq!(
+        towers,
+        vec![tuple![31], tuple![37], tuple![38], tuple![56], tuple![74]]
+    );
+    let regions = eval_cq(&workload[3].query, &db, Some(&cache)).unwrap();
+    let expected_regions: Vec<Tuple> = ["east", "north", "south", "west"]
+        .iter()
+        .map(|r| tuple![*r])
+        .collect();
+    assert_eq!(regions, expected_regions);
+    let north = eval_cq(&workload[7].query, &db, Some(&cache)).unwrap();
+    assert_eq!(north, vec![tuple![38]]);
+    let callers = eval_cq(&workload[9].query, &db, Some(&cache)).unwrap();
+    let expected_callers: Vec<Tuple> = [4i64, 27, 82, 179, 208, 215, 249, 283]
+        .iter()
+        .map(|c| tuple![*c])
+        .collect();
+    assert_eq!(callers, expected_callers);
+}
+
 /// The exact decision procedure agrees with the effective syntax on the
 /// paper's running example, for a bound large enough for the Fig.-1 plan.
 #[test]
