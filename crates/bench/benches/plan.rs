@@ -1,0 +1,53 @@
+//! Criterion bench for plan execution: the compiled operator pipeline
+//! (interned ids, hash joins, id-native fetches) versus the retained
+//! tree-walking interpreter (`exec::reference`), plus sharded-parallel
+//! execution of the compiled pipeline.  The committed rows live in
+//! `BENCH_plan.json` (harness `plan` mode).
+
+use bqr_bench::plan_bench;
+use bqr_plan::exec::{reference, ExecOptions, Pipeline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Reference interpreter vs compiled pipeline (compile once, execute per
+/// iteration) on every plan-execution case.
+fn bench_plan_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_exec");
+    group.sample_size(10);
+    for case in plan_bench::cases() {
+        group.bench_with_input(
+            BenchmarkId::new("reference", case.name),
+            &case,
+            |b, case| b.iter(|| reference::execute(&case.plan, &case.idb, &case.views).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("compiled", case.name), &case, |b, case| {
+            let pipeline = Pipeline::compile(&case.plan, &case.idb, &case.views).unwrap();
+            let serial = ExecOptions::serial();
+            b.iter(|| pipeline.execute(&case.idb, &serial).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Sharded-parallel scaling on the largest workload (the AGM triangle
+/// plan); bit-identical output is asserted by `tests/exec_diff.rs` and the
+/// plan-bench helpers, here only wall-clock is measured.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let case = plan_bench::triangle_case(400, 1);
+    let pipeline = Pipeline::compile(&case.plan, &case.idb, &case.views).unwrap();
+    let mut group = c.benchmark_group("plan_exec_parallel");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("triangle_agm_n400_plan", shards),
+            &shards,
+            |b, &shards| {
+                let options = ExecOptions::parallel(shards);
+                b.iter(|| pipeline.execute(&case.idb, &options).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_executors, bench_parallel_scaling);
+criterion_main!(benches);

@@ -1,12 +1,19 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p bqr-bench --bin harness --release -- [e1|e4|e5|e6|e7|hom|all]`
+//! Usage: `cargo run -p bqr-bench --bin harness --release -- [e1|e4|e5|e6|e7|hom|plan|all]`
 //!
 //! The `hom` mode benchmarks the slot-based homomorphism engine against the
 //! retained pre-refactor engine on repeated containment checks and writes
 //! the machine-readable report to `BENCH_hom.json` (path overridable via the
 //! `BENCH_HOM_JSON` environment variable), so the perf trajectory of the
 //! hot path is tracked across PRs.
+//!
+//! The `plan` mode benchmarks the compiled plan-execution pipeline against
+//! the retained tree-walking interpreter (`exec::reference`) on the movies,
+//! CDR and AGM-triangle plan workloads, measures sharded-parallel scaling at
+//! 1/2/4 shards, writes `BENCH_plan.json` (`BENCH_PLAN_JSON` to override),
+//! and **exits non-zero** if the compiled executor is slower than the
+//! reference on the movies workload — CI runs it as a regression gate.
 
 use bqr_bench::{checker_with_annotations, compare, plan_for, prepare};
 use bqr_core::bounded_eval::boundedly_evaluable_cq;
@@ -25,6 +32,7 @@ fn main() {
         "e6" => e6_cdr(),
         "e7" => e7_random(),
         "hom" => hom_engine(),
+        "plan" => plan_executor(),
         "all" => {
             e1_figure1();
             e4_analysis_cost();
@@ -32,9 +40,10 @@ fn main() {
             e6_cdr();
             e7_random();
             hom_engine();
+            plan_executor();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|hom|all");
+            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|hom|plan|all");
             std::process::exit(1);
         }
     }
@@ -71,6 +80,58 @@ fn hom_engine() {
     let path = std::env::var("BENCH_HOM_JSON").unwrap_or_else(|_| "BENCH_hom.json".to_string());
     std::fs::write(&path, json).expect("write BENCH_hom.json");
     println!("wrote {path}");
+}
+
+/// `plan` — the compiled plan-execution pipeline vs the tree-walking
+/// reference interpreter, plus parallel scaling.  Emits `BENCH_plan.json`
+/// and fails (exit 1) when the compiled executor loses to the reference on
+/// the movies workload.
+fn plan_executor() {
+    use bqr_bench::plan_bench;
+
+    println!(
+        "\n== plan: compiled pipeline vs exec::reference; parallel scaling at 1/2/4 shards =="
+    );
+    let (results, parallel, json) = plan_bench::report();
+    println!(
+        "{:<28} {:>8} {:>14} {:>14} {:>9}",
+        "case", "repeats", "reference-ms", "compiled-ms", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>8} {:>14.2} {:>14.2} {:>8.1}x",
+            r.name,
+            r.repeats,
+            r.reference_ms,
+            r.compiled_ms,
+            r.speedup()
+        );
+    }
+    println!(
+        "{:<28} {:>8} {:>14} {:>14}",
+        "parallel", "shards", "ms", "scaling"
+    );
+    for p in &parallel {
+        println!(
+            "{:<28} {:>8} {:>14.2} {:>13.2}x",
+            p.name, p.shards, p.ms, p.scaling
+        );
+    }
+    let path = std::env::var("BENCH_PLAN_JSON").unwrap_or_else(|_| "BENCH_plan.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_plan.json");
+    println!("wrote {path}");
+
+    let movies = results
+        .iter()
+        .find(|r| r.name.starts_with("movies"))
+        .expect("the movies row exists");
+    if movies.speedup() < 1.0 {
+        eprintln!(
+            "REGRESSION: compiled executor ({:.2} ms) is slower than exec::reference ({:.2} ms) on the movies workload",
+            movies.compiled_ms, movies.reference_ms
+        );
+        std::process::exit(1);
+    }
 }
 
 /// E1 — Fig. 1 / Examples 1.1, 2.2, 2.3: the rewriting of Q0 over V1 fetches

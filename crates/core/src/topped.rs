@@ -63,6 +63,21 @@ impl ToppedAnalysis {
             reason: Some(reason),
         }
     }
+
+    /// Compile the constructed plan (when one exists) into `bqr-plan`'s
+    /// executor pipeline, ready for repeated — optionally sharded-parallel —
+    /// execution against `idb` and `views`.  This is the serving path: the
+    /// checker constructs the plan once, the pipeline is compiled once, and
+    /// every query execution runs over interned ids.
+    pub fn compile_plan(
+        &self,
+        idb: &bqr_data::IndexedDatabase,
+        views: &bqr_query::MaterializedViews,
+    ) -> Option<bqr_plan::Result<bqr_plan::Pipeline>> {
+        self.plan
+            .as_ref()
+            .map(|plan| bqr_plan::Pipeline::compile(plan, idb, views))
+    }
 }
 
 /// A partial plan labelled with the variables its columns hold, the key
@@ -923,6 +938,35 @@ mod tests {
         db.insert("like", tuple![2, 12, "movie"]).unwrap();
         db.insert("like", tuple![3, 11, "movie"]).unwrap();
         db
+    }
+
+    /// The constructed plan compiles into the executor pipeline and the
+    /// pipeline (serial and sharded-parallel) agrees with the one-shot
+    /// execute — the compile-once serving path.
+    #[test]
+    fn topped_plans_compile_into_the_executor_pipeline() {
+        let setting = RewritingSetting::new(movie_schema(), movie_access(100), v1_views(), 40);
+        let checker = ToppedChecker::new(&setting);
+        let q_xi =
+            parse_cq("Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)")
+                .unwrap();
+        let analysis = checker.analyze_cq(&q_xi).unwrap();
+        let db = movie_instance();
+        let cache = v1_views().materialize(&db).unwrap();
+        let idb = IndexedDatabase::build(db, movie_access(100)).unwrap();
+        let pipeline = analysis.compile_plan(&idb, &cache).unwrap().unwrap();
+        assert!(pipeline.describe().contains("fetch["));
+        let one_shot = execute(analysis.plan.as_ref().unwrap(), &idb, &cache).unwrap();
+        for options in [
+            bqr_plan::ExecOptions::serial(),
+            bqr_plan::ExecOptions::parallel(4),
+        ] {
+            let out = pipeline.execute(&idb, &options).unwrap();
+            assert_eq!(out, one_shot);
+        }
+        // A rejected analysis has no plan to compile.
+        let rejected = ToppedAnalysis::rejected("no".into());
+        assert!(rejected.compile_plan(&idb, &cache).is_none());
     }
 
     /// Q0 is NOT topped without the view: person/like cannot be fetched.

@@ -10,11 +10,13 @@
 use crate::access::{AccessConstraint, AccessSchema};
 use crate::database::Database;
 use crate::error::DataError;
+use crate::intern::ValueId;
 use crate::stats::FetchStats;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A hash index on `X` for `X ∪ Y`, backing one access constraint.
 #[derive(Debug, Clone)]
@@ -24,6 +26,73 @@ pub struct AccessIndex {
     /// (the constraint's `X ∪ Y`, in that order).
     xy_attributes: Vec<String>,
     map: HashMap<Vec<Value>, Vec<Tuple>>,
+    /// The id-native sibling, built lazily on first interned probe.  The
+    /// index is immutable after construction, so the lazily built sibling
+    /// can never go stale.
+    interned: OnceLock<InternedAccessIndex>,
+}
+
+/// The id-native form of an [`AccessIndex`]: groups are stored contiguously
+/// in one flat row-major `Vec<ValueId>`, and probing with an interned key
+/// returns the whole group `D_{R:XY}(X = ā)` as a flat id slice.  This is
+/// the index the compiled plan executor fetches through — the hot loop never
+/// touches a [`Value`], yet every probe still accounts `|D_ξ|` tuple by
+/// tuple (the group's row count) exactly like the `Value`-keyed path.
+#[derive(Debug, Clone)]
+pub struct InternedAccessIndex {
+    /// `|X ∪ Y|` — always ≥ 1 (constraints require a non-empty `Y`).
+    arity: usize,
+    /// Flattened groups, row-major; each key's group is contiguous.
+    rows: Vec<ValueId>,
+    /// Key → (first row, row count) into `rows`.
+    map: HashMap<Vec<ValueId>, (u32, u32)>,
+}
+
+impl InternedAccessIndex {
+    fn build(index: &AccessIndex) -> Self {
+        let arity = index.xy_attributes.len();
+        let mut rows = Vec::new();
+        let mut map = HashMap::with_capacity(index.map.len());
+        for (key, group) in &index.map {
+            let key_ids: Vec<ValueId> = key.iter().map(ValueId::intern).collect();
+            let first = (rows.len() / arity) as u32;
+            for t in group {
+                for v in t.iter() {
+                    rows.push(ValueId::intern(v));
+                }
+            }
+            map.insert(key_ids, (first, group.len() as u32));
+        }
+        InternedAccessIndex { arity, rows, map }
+    }
+
+    /// Arity of the returned rows (`|X ∪ Y|`).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Retrieve `D_{R:XY}(X = ā)` as a flat id slice of
+    /// `n · arity()` ids (`n` tuples, in the same deterministic group order
+    /// as [`AccessIndex::probe`]).  Empty for absent keys.
+    pub fn probe(&self, key: &[ValueId]) -> &[ValueId] {
+        match self.map.get(key) {
+            Some(&(first, count)) => {
+                let start = first as usize * self.arity;
+                &self.rows[start..start + count as usize * self.arity]
+            }
+            None => &[],
+        }
+    }
+
+    /// Number of tuples a probe result holds.
+    pub fn probe_len(&self, key: &[ValueId]) -> usize {
+        self.map.get(key).map(|&(_, n)| n as usize).unwrap_or(0)
+    }
+
+    /// Number of distinct `X`-values indexed.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
 }
 
 impl AccessIndex {
@@ -49,7 +118,15 @@ impl AccessIndex {
             constraint: constraint.clone(),
             xy_attributes: xy_attrs,
             map,
+            interned: OnceLock::new(),
         })
+    }
+
+    /// The id-native form of the index, built (and its values interned) on
+    /// first use and cached for the lifetime of the index.
+    pub fn interned(&self) -> &InternedAccessIndex {
+        self.interned
+            .get_or_init(|| InternedAccessIndex::build(self))
     }
 
     /// The constraint this index backs.
@@ -148,6 +225,33 @@ impl IndexedDatabase {
         Ok(tuples)
     }
 
+    /// The id-native path of [`IndexedDatabase::fetch`]: probe the constraint
+    /// index with an interned key and return the matching `X ∪ Y` rows as a
+    /// flat slice of `n · arity` ids, recording `n` fetched tuples in
+    /// `stats` — the same `|D_ξ|` accounting as the `Value`-keyed path,
+    /// preserved to the tuple.
+    pub fn fetch_ids(
+        &self,
+        constraint_idx: usize,
+        key: &[ValueId],
+        stats: &mut FetchStats,
+    ) -> Result<(&[ValueId], usize)> {
+        let index = self.interned_access_index(constraint_idx)?;
+        let rows = index.probe(key);
+        stats.record_fetch(rows.len() / index.arity());
+        Ok((rows, index.arity()))
+    }
+
+    /// The id-native index of the `idx`-th constraint (built lazily; callers
+    /// that record their own [`FetchStats`] — e.g. sharded probe loops —
+    /// probe it directly).
+    pub fn interned_access_index(&self, idx: usize) -> Result<&InternedAccessIndex> {
+        self.indexes
+            .get(idx)
+            .map(AccessIndex::interned)
+            .ok_or_else(|| DataError::NoIndexForConstraint(format!("constraint #{idx}")))
+    }
+
     /// Whether the wrapped instance satisfies the access schema.
     pub fn satisfies_access_schema(&self) -> Result<bool> {
         self.access.satisfied_by(&self.db)
@@ -230,6 +334,47 @@ mod tests {
         assert_eq!(stats.fetch_calls, 2);
         assert_eq!(stats.fetched_tuples, 3);
         assert_eq!(stats.scanned_tuples, 0);
+    }
+
+    #[test]
+    fn interned_fetch_agrees_with_value_fetch() {
+        let (db, access) = movie_db();
+        let idb = IndexedDatabase::build(db, access).unwrap();
+        let mut stats = FetchStats::new();
+        let key = [Value::str("Universal"), Value::str("2014")];
+        let tuples: Vec<Tuple> = idb.fetch(0, &key, &mut stats).unwrap().to_vec();
+
+        let id_key: Vec<ValueId> = key.iter().map(ValueId::intern).collect();
+        let mut id_stats = FetchStats::new();
+        let (rows, arity) = idb.fetch_ids(0, &id_key, &mut id_stats).unwrap();
+        assert_eq!(arity, 3, "studio, release, mid");
+        // Same tuples, in the same group order, resolved out of the pool.
+        let resolved: Vec<Tuple> = rows
+            .chunks(arity)
+            .map(|r| Tuple::new(r.iter().map(|id| id.value()).collect()))
+            .collect();
+        assert_eq!(resolved, tuples);
+        // Identical |D_ξ| accounting, preserved to the tuple.
+        assert_eq!(id_stats, stats);
+
+        // Absent keys fetch zero tuples but still count the probe.
+        let ghost: Vec<ValueId> = [Value::str("MGM"), Value::str("1950")]
+            .iter()
+            .map(ValueId::intern)
+            .collect();
+        let (rows, _) = idb.fetch_ids(0, &ghost, &mut id_stats).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(id_stats.fetch_calls, 2);
+        assert_eq!(id_stats.fetched_tuples, 2);
+
+        let interned = idb.interned_access_index(0).unwrap();
+        assert_eq!(interned.distinct_keys(), 2);
+        assert_eq!(interned.probe_len(&id_key), 2);
+        assert!(idb.interned_access_index(9).is_err());
+        assert!(matches!(
+            idb.fetch_ids(9, &[], &mut id_stats),
+            Err(DataError::NoIndexForConstraint(_))
+        ));
     }
 
     #[test]

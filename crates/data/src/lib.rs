@@ -46,12 +46,12 @@ pub mod value;
 pub use access::{AccessConstraint, AccessSchema, ConstraintViolation};
 pub use database::Database;
 pub use error::DataError;
-pub use index::{AccessIndex, IndexedDatabase};
+pub use index::{AccessIndex, IndexedDatabase, InternedAccessIndex};
 pub use index_cache::{IndexCache, InternedIndex, RelationIndex};
 pub use intern::ValueId;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
-pub use snapshot::InternedSnapshot;
+pub use snapshot::{shard_ranges, snapshot_of, InternedSnapshot, SnapshotShard};
 pub use stats::{FetchStats, RelationStats};
 pub use tuple::Tuple;
 pub use value::Value;

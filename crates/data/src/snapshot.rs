@@ -77,10 +77,90 @@ impl InternedSnapshot {
         &self.data[start..start + self.arity]
     }
 
+    /// The flat row-major id data: `len() * arity()` ids.  This is the view
+    /// the plan executor copies from (one `memcpy`, no per-row work).
+    pub fn id_rows(&self) -> &[ValueId] {
+        &self.data
+    }
+
     /// The snapshot's cardinality statistics.
     pub fn stats(&self) -> &RelationStats {
         &self.stats
     }
+
+    /// Split the snapshot into at most `shards` contiguous, near-equal row
+    /// ranges — [`shard_ranges`] packaged as borrowing views for data-layer
+    /// consumers (the snapshot is `Send + Sync`, so shards can be handed to
+    /// scoped threads).  The plan executor in `bqr-plan` drives the same
+    /// partition through [`shard_ranges`] directly; either way the ranges
+    /// depend only on `(len, shards)`, so evaluations that merge shard
+    /// outputs in shard order are deterministic.
+    pub fn shards(&self, shards: usize) -> Vec<SnapshotShard<'_>> {
+        shard_ranges(self.rows, shards)
+            .into_iter()
+            .map(|(start, end)| SnapshotShard {
+                snapshot: self,
+                start: start as u32,
+                end: end as u32,
+            })
+            .collect()
+    }
+}
+
+/// A contiguous row range of an [`InternedSnapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotShard<'a> {
+    snapshot: &'a InternedSnapshot,
+    start: u32,
+    end: u32,
+}
+
+impl<'a> SnapshotShard<'a> {
+    /// Number of rows in the shard.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True when the shard holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The shard's `[start, end)` row range within the snapshot.
+    pub fn row_range(&self) -> (u32, u32) {
+        (self.start, self.end)
+    }
+
+    /// Iterate over the shard's rows (slices into the snapshot).
+    pub fn rows(&self) -> impl Iterator<Item = &'a [ValueId]> + '_ {
+        let snapshot = self.snapshot;
+        (self.start..self.end).map(move |i| snapshot.row(i))
+    }
+
+    /// The shard's flat row-major data.
+    pub fn data(&self) -> &'a [ValueId] {
+        let arity = self.snapshot.arity;
+        &self.snapshot.data[self.start as usize * arity..self.end as usize * arity]
+    }
+}
+
+/// Split `rows` into at most `shards` contiguous, near-equal `[start, end)`
+/// ranges (fewer when `rows < shards`; never an empty range unless
+/// `rows == 0`, which yields one empty range so callers still run their
+/// merge path).  Pure function of `(rows, shards)` — the basis of
+/// deterministic sharded evaluation.
+pub fn shard_ranges(rows: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1).min(rows.max(1));
+    let base = rows / shards;
+    let extra = rows % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
 }
 
 /// Registry of live snapshots, keyed by epoch.  `Weak` entries keep the
@@ -184,6 +264,51 @@ mod tests {
         let again = snapshot_of(&r);
         assert_eq!(again.epoch(), epoch);
         assert_eq!(again.len(), 3);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        assert_eq!(shard_ranges(0, 4), vec![(0, 0)]);
+        assert_eq!(shard_ranges(3, 1), vec![(0, 3)]);
+        assert_eq!(shard_ranges(2, 4), vec![(0, 1), (1, 2)], "never empty");
+        assert_eq!(shard_ranges(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        assert_eq!(shard_ranges(10, 0), vec![(0, 10)], "0 shards clamps to 1");
+        // Every partition covers [0, rows) without gaps or overlaps.
+        for rows in [0usize, 1, 7, 100, 101] {
+            for shards in [1usize, 2, 3, 4, 8] {
+                let ranges = shard_ranges(rows, shards);
+                let mut expect = 0;
+                for (s, e) in &ranges {
+                    assert_eq!(*s, expect);
+                    assert!(e >= s);
+                    expect = *e;
+                }
+                assert_eq!(expect, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_shards_cover_every_row() {
+        let r = rating();
+        let snap = snapshot_of(&r);
+        assert_eq!(snap.id_rows().len(), snap.len() * snap.arity());
+        let shards = snap.shards(2);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards.iter().map(SnapshotShard::len).sum::<usize>(), 3);
+        assert!(!shards[0].is_empty());
+        assert_eq!(shards[0].row_range().0, 0);
+        // Concatenating shard data in shard order reproduces the snapshot.
+        let mut data = Vec::new();
+        let mut rows = 0usize;
+        for s in &shards {
+            data.extend_from_slice(s.data());
+            rows += s.rows().count();
+        }
+        assert_eq!(data, snap.id_rows());
+        assert_eq!(rows, snap.len());
+        // More shards than rows: one shard per row.
+        assert_eq!(snap.shards(16).len(), 3);
     }
 
     #[test]

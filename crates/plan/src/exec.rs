@@ -1,18 +1,67 @@
-//! Plan execution over an indexed database and cached views, with
+//! Plan execution: a compiled operator pipeline over interned ids, with
 //! I/O accounting.
 //!
 //! The invariant that makes bounded rewriting work is visible directly in the
-//! code: the only place base data is read is the `Fetch` arm, which goes
-//! through [`IndexedDatabase::fetch`] and therefore through the indices of
-//! the access schema.  Everything else works on intermediate results, cached
-//! view extents, or constants.
+//! code: the only place base data is read is the fetch operator, which goes
+//! through the constraint indices of the access schema ([`bqr_data::IndexedDatabase`]).
+//! Everything else works on intermediate results, cached view extents, or
+//! constants.
+//!
+//! # Execution model
+//!
+//! [`execute`] compiles the plan tree into a flat [`Pipeline`] of operators
+//! (fetch, view scan, hash join, select, project, product, union,
+//! difference, dedup) and evaluates them in dependency order over columns of
+//! dense [`ValueId`]s:
+//!
+//! * view extents are read through the process-wide interned snapshots of
+//!   `bqr-data` (one `memcpy` per scan, shared across executions of the same
+//!   epoch);
+//! * fetches go through the id-native constraint indexes
+//!   ([`bqr_data::InternedAccessIndex`]), with `X`-keys deduplicated globally
+//!   so `fetch_calls` counts distinct probes exactly as the set-semantics
+//!   interpreter did;
+//! * the σ-over-× join pattern compiles to a hash join whose build side is
+//!   the smaller input (the PR 2 lesson — actual cardinalities are the best
+//!   statistics, and at pipeline time they are exact);
+//! * `Tuple`s (and `Value`s) are materialised only at the root.
+//!
+//! # `FetchStats` semantics (pinned)
+//!
+//! `fetched_tuples` is the paper's `|D_ξ|`, counted as a bag over distinct
+//! `X`-keys per fetch operator.  `view_tuples` counts the **full cached
+//! extent** once per view leaf, *before* any selection above it: reading the
+//! cache is the I/O, filtering happens afterwards in memory.  Both engines
+//! (this pipeline and [`reference`]) implement exactly these semantics and
+//! `tests/exec_diff.rs` holds them equal on randomized plans.
+//!
+//! # Parallelism
+//!
+//! [`execute_with`] takes [`ExecOptions`]: with `parallel` set, data-parallel
+//! operators (select, project, hash-join probe, fetch probe, product)
+//! partition their input into `shards` contiguous row ranges — via
+//! [`bqr_data::shard_ranges`], the same partitioning that backs
+//! [`bqr_data::InternedSnapshot::shards`] for data-layer consumers — and
+//! evaluate them on scoped threads, merging shard outputs *in shard order*.
+//! Because the ranges are a pure function of `(rows, shards)` and every
+//! operator is deterministic, parallel execution produces bit-identical
+//! tables (and identical `FetchStats`) to serial execution.
+//!
+//! The original tree-walking interpreter (`BTreeSet<Tuple>` at every node)
+//! is retained verbatim as [`reference`]: it is the oracle for the
+//! differential tests and the baseline of the plan benchmarks.
 
 use crate::error::PlanError;
 use crate::node::{PlanNode, QueryPlan, SelectCondition};
 use crate::Result;
-use bqr_data::{FetchStats, IndexedDatabase, Tuple, Value};
+use bqr_data::{
+    shard_ranges, snapshot_of, FetchStats, IndexedDatabase, InternedSnapshot, Tuple, Value, ValueId,
+};
 use bqr_query::MaterializedViews;
-use std::collections::BTreeSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// The result of executing a plan: the answer relation and the I/O counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,78 +79,441 @@ impl ExecOutput {
     }
 }
 
+/// Options controlling pipeline execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// How many contiguous row ranges data-parallel operators split their
+    /// inputs into.  Meaningful only with `parallel`; clamped to ≥ 1.
+    pub shards: usize,
+    /// Evaluate data-parallel operators on `shards` scoped threads.  Inputs
+    /// below [`ExecOptions::PARALLEL_MIN_ROWS`] rows stay serial — thread
+    /// startup would dominate.  Output is bit-identical to serial execution.
+    pub parallel: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            shards: 1,
+            parallel: false,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Operators with fewer input rows than this run serially even under
+    /// `parallel` (spawning threads costs more than the work saved).
+    pub const PARALLEL_MIN_ROWS: usize = 4096;
+
+    /// Serial execution (the default).
+    pub fn serial() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Parallel execution over `shards` row ranges.
+    pub fn parallel(shards: usize) -> Self {
+        ExecOptions {
+            shards: shards.max(1),
+            parallel: true,
+        }
+    }
+}
+
 /// Execute a plan over `idb` (base data reachable only through constraint
-/// indices) and `views` (cached extents).
+/// indices) and `views` (cached extents), serially.
 pub fn execute(
     plan: &QueryPlan,
     idb: &IndexedDatabase,
     views: &MaterializedViews,
 ) -> Result<ExecOutput> {
-    let mut stats = FetchStats::new();
-    let tuples = eval(plan.root(), idb, views, &mut stats)?;
-    Ok(ExecOutput {
-        tuples: tuples.into_iter().collect(),
-        stats,
-    })
+    execute_with(plan, idb, views, &ExecOptions::serial())
 }
 
-fn eval(
+/// [`execute`] under explicit [`ExecOptions`] (e.g. sharded-parallel).
+pub fn execute_with(
+    plan: &QueryPlan,
+    idb: &IndexedDatabase,
+    views: &MaterializedViews,
+    options: &ExecOptions,
+) -> Result<ExecOutput> {
+    Pipeline::compile(plan, idb, views)?.execute(idb, options)
+}
+
+/// A selection condition over interned ids.  Constants are interned at
+/// compile time: a constant absent from the pool would have minted a fresh
+/// id, which by construction matches no id occurring in any table — so
+/// equality against it is always false and inequality always true, exactly
+/// the `Value` semantics.
+#[derive(Debug, Clone)]
+enum IdCond {
+    EqConst(usize, ValueId),
+    NeConst(usize, ValueId),
+    EqCol(usize, usize),
+    NeCol(usize, usize),
+}
+
+impl IdCond {
+    fn compile(cond: &SelectCondition) -> IdCond {
+        match cond {
+            SelectCondition::ColEqConst(c, v) => IdCond::EqConst(*c, ValueId::intern(v)),
+            SelectCondition::ColNeConst(c, v) => IdCond::NeConst(*c, ValueId::intern(v)),
+            SelectCondition::ColEqCol(a, b) => IdCond::EqCol(*a, *b),
+            SelectCondition::ColNeCol(a, b) => IdCond::NeCol(*a, *b),
+        }
+    }
+
+    fn holds(&self, row: &[ValueId]) -> bool {
+        match self {
+            IdCond::EqConst(c, v) => row[*c] == *v,
+            IdCond::NeConst(c, v) => row[*c] != *v,
+            IdCond::EqCol(a, b) => row[*a] == row[*b],
+            IdCond::NeCol(a, b) => row[*a] != row[*b],
+        }
+    }
+}
+
+impl fmt::Display for IdCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdCond::EqConst(c, v) => write!(f, "#{c} = id:{}", v.as_u32()),
+            IdCond::NeConst(c, v) => write!(f, "#{c} ≠ id:{}", v.as_u32()),
+            IdCond::EqCol(a, b) => write!(f, "#{a} = #{b}"),
+            IdCond::NeCol(a, b) => write!(f, "#{a} ≠ #{b}"),
+        }
+    }
+}
+
+/// One operator of the compiled pipeline.  Operands are indexes of earlier
+/// operators (the pipeline is in dependency order by construction).
+#[derive(Debug)]
+enum Op {
+    /// A constant single-row table.
+    Const { ids: Vec<ValueId>, arity: usize },
+    /// Scan of a cached view extent through its interned snapshot.
+    ViewScan {
+        name: String,
+        snapshot: Arc<InternedSnapshot>,
+    },
+    /// Selection fused directly over a view extent: filters the interned
+    /// snapshot's rows (range-sharded under a parallel driver) without
+    /// materialising the unfiltered scan first.
+    ViewFilter {
+        name: String,
+        snapshot: Arc<InternedSnapshot>,
+        conds: Vec<IdCond>,
+    },
+    /// `fetch(X ∈ input, R, Y)` through the id-native constraint index.
+    /// `bound` is the constraint's `N`, the per-key output ceiling — used to
+    /// estimate the operator's work for the parallel driver.
+    Fetch {
+        input: usize,
+        constraint_idx: usize,
+        constraint_display: String,
+        key_cols: Vec<usize>,
+        arity: usize,
+        bound: usize,
+    },
+    /// Projection onto columns.
+    Project { input: usize, cols: Vec<usize> },
+    /// Selection by a conjunction of conditions.
+    Select { input: usize, conds: Vec<IdCond> },
+    /// Equi-join (compiled from the σ-over-× pattern); `residual` holds the
+    /// non-join conditions, applied to the concatenated row.
+    HashJoin {
+        left: usize,
+        right: usize,
+        pairs: Vec<(usize, usize)>,
+        residual: Vec<IdCond>,
+    },
+    /// Cartesian product.
+    Product { left: usize, right: usize },
+    /// Concatenation (set union once deduplicated).
+    Union { left: usize, right: usize },
+    /// Set difference.
+    Difference { left: usize, right: usize },
+    /// Sort + dedup, inserted after duplicate-introducing operators so every
+    /// intermediate table stays set-like (matching the interpreter's
+    /// `BTreeSet` semantics without its per-tuple cost).
+    Dedup { input: usize },
+}
+
+/// A `QueryPlan` compiled to a flat operator pipeline over interned ids.
+///
+/// Compile once with [`Pipeline::compile`], inspect with
+/// [`Pipeline::describe`], run with [`Pipeline::execute`].  The pipeline
+/// resolves views (snapshots) and fetch constraints (index positions)
+/// against the `idb`/`views` it was compiled for; execute it against the
+/// same `idb`.
+#[derive(Debug)]
+pub struct Pipeline {
+    ops: Vec<Op>,
+    root: usize,
+    arity: usize,
+}
+
+impl Pipeline {
+    /// Compile `plan` against an indexed database and materialised views.
+    /// Resolution errors (unknown views, view arity mismatches, fetches
+    /// through constraints outside the access schema) surface here, exactly
+    /// as the interpreter reported them during evaluation.
+    pub fn compile(
+        plan: &QueryPlan,
+        idb: &IndexedDatabase,
+        views: &MaterializedViews,
+    ) -> Result<Pipeline> {
+        let mut ops = Vec::new();
+        let root = compile_node(plan.root(), idb, views, &mut ops)?;
+        Ok(Pipeline {
+            ops,
+            root,
+            arity: plan.arity(),
+        })
+    }
+
+    /// Number of operators in the pipeline.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the pipeline holds no operators (never the case for a
+    /// compiled plan; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// A human-readable rendering of the compiled pipeline, one operator per
+    /// line — the plan-level counterpart of the homomorphism engine's
+    /// `plan_summary()`.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            let line = match op {
+                Op::Const { arity, .. } => format!("const/{arity}"),
+                Op::ViewScan { name, snapshot } => {
+                    format!("view-scan {name} [{} rows]", snapshot.len())
+                }
+                Op::ViewFilter {
+                    name,
+                    snapshot,
+                    conds,
+                } => {
+                    let conds: Vec<String> = conds.iter().map(|c| c.to_string()).collect();
+                    format!(
+                        "view-filter {name} [{} rows] σ[{}]",
+                        snapshot.len(),
+                        conds.join(" ∧ ")
+                    )
+                }
+                Op::Fetch {
+                    input,
+                    constraint_display,
+                    key_cols,
+                    ..
+                } => format!("fetch[{constraint_display}] keys {key_cols:?} of %{input}"),
+                Op::Project { input, cols } => format!("π{cols:?} %{input}"),
+                Op::Select { input, conds } => {
+                    let conds: Vec<String> = conds.iter().map(|c| c.to_string()).collect();
+                    format!("σ[{}] %{input}", conds.join(" ∧ "))
+                }
+                Op::HashJoin {
+                    left, right, pairs, ..
+                } => format!("hash-join %{left} ⋈ %{right} on {pairs:?}"),
+                Op::Product { left, right } => format!("× %{left} %{right}"),
+                Op::Union { left, right } => format!("∪ %{left} %{right}"),
+                Op::Difference { left, right } => format!("\\ %{left} %{right}"),
+                Op::Dedup { input } => format!("dedup %{input}"),
+            };
+            out.push_str(&format!("%{i} = {line}\n"));
+        }
+        out.push_str(&format!("root: %{} (arity {})", self.root, self.arity));
+        out
+    }
+
+    /// Evaluate the pipeline.  `idb` must be the database the pipeline was
+    /// compiled against (fetches are resolved by constraint position).
+    pub fn execute(&self, idb: &IndexedDatabase, options: &ExecOptions) -> Result<ExecOutput> {
+        let mut stats = FetchStats::new();
+        // Each operator's inputs are dropped after their final consumer so
+        // peak memory follows the live path, not the sum of every
+        // intermediate (the tree interpreter freed child sets the same way).
+        let last_use = self.last_use();
+        let mut tables: Vec<IdTable> = Vec::with_capacity(self.ops.len());
+        for (op_idx, op) in self.ops.iter().enumerate() {
+            let table = match op {
+                Op::Const { ids, arity } => IdTable {
+                    arity: *arity,
+                    rows: 1,
+                    data: ids.clone(),
+                },
+                Op::ViewScan { snapshot, .. } => {
+                    stats.record_view_read(snapshot.len());
+                    IdTable {
+                        arity: snapshot.arity(),
+                        rows: snapshot.len(),
+                        data: snapshot.id_rows().to_vec(),
+                    }
+                }
+                Op::ViewFilter {
+                    snapshot, conds, ..
+                } => eval_view_filter(snapshot, conds, &mut stats, options),
+                Op::Fetch {
+                    input,
+                    constraint_idx,
+                    key_cols,
+                    arity,
+                    bound,
+                    ..
+                } => eval_fetch(
+                    &tables[*input],
+                    idb,
+                    *constraint_idx,
+                    key_cols,
+                    *arity,
+                    *bound,
+                    &mut stats,
+                    options,
+                )?,
+                Op::Project { input, cols } => eval_project(&tables[*input], cols, options),
+                Op::Select { input, conds } => eval_select(&tables[*input], conds, options),
+                Op::HashJoin {
+                    left,
+                    right,
+                    pairs,
+                    residual,
+                } => eval_hash_join(&tables[*left], &tables[*right], pairs, residual, options),
+                Op::Product { left, right } => {
+                    eval_product(&tables[*left], &tables[*right], options)
+                }
+                Op::Union { left, right } => eval_union(&tables[*left], &tables[*right]),
+                Op::Difference { left, right } => eval_difference(&tables[*left], &tables[*right]),
+                Op::Dedup { input } => dedup_table(&tables[*input]),
+            };
+            tables.push(table);
+            for (input, &last) in last_use.iter().enumerate() {
+                if last == op_idx && input != self.root {
+                    tables[input] = IdTable::default();
+                }
+            }
+        }
+        Ok(ExecOutput {
+            tuples: materialize(&tables[self.root]),
+            stats,
+        })
+    }
+
+    /// For every operator, the index of the last operator consuming its
+    /// output (its own index when nothing does; the root is exempted from
+    /// dropping in `execute`, which materialises it at the end).
+    fn last_use(&self) -> Vec<usize> {
+        let mut last: Vec<usize> = (0..self.ops.len()).collect();
+        for (i, op) in self.ops.iter().enumerate() {
+            let mut mark = |input: usize| last[input] = i;
+            match op {
+                Op::Const { .. } | Op::ViewScan { .. } | Op::ViewFilter { .. } => {}
+                Op::Fetch { input, .. }
+                | Op::Project { input, .. }
+                | Op::Select { input, .. }
+                | Op::Dedup { input } => mark(*input),
+                Op::HashJoin { left, right, .. }
+                | Op::Product { left, right }
+                | Op::Union { left, right }
+                | Op::Difference { left, right } => {
+                    mark(*left);
+                    mark(*right);
+                }
+            }
+        }
+        last
+    }
+}
+
+/// Compile one plan node, appending its operators to `ops` and returning the
+/// index of the operator producing the node's output.
+fn compile_node(
     node: &PlanNode,
     idb: &IndexedDatabase,
     views: &MaterializedViews,
-    stats: &mut FetchStats,
-) -> Result<BTreeSet<Tuple>> {
-    match node {
-        PlanNode::Const(t) => Ok([t.clone()].into_iter().collect()),
+    ops: &mut Vec<Op>,
+) -> Result<usize> {
+    let idx = match node {
+        PlanNode::Const(t) => {
+            let ids = t.iter().map(ValueId::intern).collect();
+            push(
+                ops,
+                Op::Const {
+                    ids,
+                    arity: t.arity(),
+                },
+            )
+        }
         PlanNode::View { name, arity } => {
             let extent = views
                 .extent(name)
                 .ok_or_else(|| PlanError::UnknownView(name.clone()))?;
-            stats.record_view_read(extent.len());
             if extent.schema().arity() != *arity {
                 return Err(PlanError::ArityMismatch {
                     left: *arity,
                     right: extent.schema().arity(),
                 });
             }
-            Ok(extent.iter().cloned().collect())
+            push(
+                ops,
+                Op::ViewScan {
+                    name: name.clone(),
+                    snapshot: snapshot_of(extent),
+                },
+            )
         }
         PlanNode::Fetch {
             input,
             constraint,
             key_columns,
         } => {
-            let input_tuples = eval(input, idb, views, stats)?;
+            let input = compile_node(input, idb, views, ops)?;
             let position = idb
                 .constraint_position(constraint)
                 .ok_or_else(|| PlanError::ConstraintNotInSchema(constraint.to_string()))?;
-            let mut out = BTreeSet::new();
-            let mut seen_keys: BTreeSet<Vec<Value>> = BTreeSet::new();
-            for t in &input_tuples {
-                let key: Vec<Value> = key_columns.iter().map(|&c| t[c].clone()).collect();
-                // Each distinct X-value is fetched once (the index returns the
-                // same set for duplicates; re-fetching would double-count I/O).
-                if !seen_keys.insert(key.clone()) {
-                    continue;
-                }
-                for fetched in idb.fetch(position, &key, stats)? {
-                    out.insert(fetched.clone());
-                }
-            }
-            Ok(out)
+            // Force the id-native index (and the interning of its values)
+            // into existence now, so select-constant interning below always
+            // sees a fully populated pool for this database.
+            let _ = idb.interned_access_index(position)?;
+            push(
+                ops,
+                Op::Fetch {
+                    input,
+                    constraint_idx: position,
+                    constraint_display: constraint.to_string(),
+                    key_cols: key_columns.clone(),
+                    arity: constraint.xy().len(),
+                    bound: constraint.n(),
+                },
+            )
         }
         PlanNode::Project { input, columns } => {
-            let input_tuples = eval(input, idb, views, stats)?;
-            Ok(input_tuples.iter().map(|t| t.project(columns)).collect())
+            let input = compile_node(input, idb, views, ops)?;
+            let project = push(
+                ops,
+                Op::Project {
+                    input,
+                    cols: columns.clone(),
+                },
+            );
+            // Projection introduces duplicates; keep the table set-like.
+            push(ops, Op::Dedup { input: project })
         }
         PlanNode::Select { input, conditions } => {
             // The σ-over-× pattern is how plans express joins (the plan
-            // grammar has no join operator).  Materialising the product first
-            // would make joins quadratic, so equi-joins across the product
-            // boundary are executed as hash joins.
+            // grammar has no join operator).  Materialising the product
+            // first would make joins quadratic, so equi-joins across the
+            // product boundary are compiled to hash joins.
             if let PlanNode::Product(a, b) = input.as_ref() {
                 let left_arity = a.arity();
-                let cross_eq: Vec<(usize, usize)> = conditions
+                let pairs: Vec<(usize, usize)> = conditions
                     .iter()
                     .filter_map(|c| match c {
                         SelectCondition::ColEqCol(i, j) if *i < left_arity && *j >= left_arity => {
@@ -113,58 +525,604 @@ fn eval(
                         _ => None,
                     })
                     .collect();
-                if !cross_eq.is_empty() {
-                    let left = eval(a, idb, views, stats)?;
-                    let right = eval(b, idb, views, stats)?;
-                    let mut index: std::collections::HashMap<Vec<Value>, Vec<&Tuple>> =
-                        std::collections::HashMap::new();
-                    for r in &right {
-                        let key: Vec<Value> = cross_eq.iter().map(|&(_, j)| r[j].clone()).collect();
-                        index.entry(key).or_default().push(r);
+                if !pairs.is_empty() {
+                    let left = compile_node(a, idb, views, ops)?;
+                    let right = compile_node(b, idb, views, ops)?;
+                    let residual: Vec<IdCond> = conditions
+                        .iter()
+                        .filter(|c| {
+                            !matches!(c, SelectCondition::ColEqCol(i, j)
+                                if (*i < left_arity) != (*j < left_arity))
+                        })
+                        .map(IdCond::compile)
+                        .collect();
+                    return Ok(push(
+                        ops,
+                        Op::HashJoin {
+                            left,
+                            right,
+                            pairs,
+                            residual,
+                        },
+                    ));
+                }
+            }
+            // A selection directly over a view leaf fuses into one
+            // snapshot-filtering operator: the unfiltered scan is never
+            // materialised, and under a parallel driver the filter runs
+            // over the snapshot's range shards.
+            if let PlanNode::View { name, arity } = input.as_ref() {
+                let extent = views
+                    .extent(name)
+                    .ok_or_else(|| PlanError::UnknownView(name.clone()))?;
+                if extent.schema().arity() != *arity {
+                    return Err(PlanError::ArityMismatch {
+                        left: *arity,
+                        right: extent.schema().arity(),
+                    });
+                }
+                return Ok(push(
+                    ops,
+                    Op::ViewFilter {
+                        name: name.clone(),
+                        snapshot: snapshot_of(extent),
+                        conds: conditions.iter().map(IdCond::compile).collect(),
+                    },
+                ));
+            }
+            let input = compile_node(input, idb, views, ops)?;
+            push(
+                ops,
+                Op::Select {
+                    input,
+                    conds: conditions.iter().map(IdCond::compile).collect(),
+                },
+            )
+        }
+        PlanNode::Rename { input } => compile_node(input, idb, views, ops)?,
+        PlanNode::Product(a, b) => {
+            let left = compile_node(a, idb, views, ops)?;
+            let right = compile_node(b, idb, views, ops)?;
+            push(ops, Op::Product { left, right })
+        }
+        PlanNode::Union(a, b) => {
+            let left = compile_node(a, idb, views, ops)?;
+            let right = compile_node(b, idb, views, ops)?;
+            let union = push(ops, Op::Union { left, right });
+            push(ops, Op::Dedup { input: union })
+        }
+        PlanNode::Difference(a, b) => {
+            let left = compile_node(a, idb, views, ops)?;
+            let right = compile_node(b, idb, views, ops)?;
+            push(ops, Op::Difference { left, right })
+        }
+    };
+    Ok(idx)
+}
+
+fn push(ops: &mut Vec<Op>, op: Op) -> usize {
+    ops.push(op);
+    ops.len() - 1
+}
+
+/// An intermediate result: `rows` rows of `arity` interned ids, row-major.
+/// The row count is explicit because nullary tables (`arity == 0`, e.g. the
+/// unit constant or a Boolean projection) carry no data yet hold rows.
+#[derive(Debug, Clone, Default)]
+struct IdTable {
+    arity: usize,
+    rows: usize,
+    data: Vec<ValueId>,
+}
+
+impl IdTable {
+    fn empty(arity: usize) -> IdTable {
+        IdTable {
+            arity,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    fn row(&self, i: usize) -> &[ValueId] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    fn from_data(arity: usize, rows_hint: usize, data: Vec<ValueId>) -> IdTable {
+        // A nullary table has no data to derive the row count from; the
+        // caller's hint is authoritative there.
+        let rows = data.len().checked_div(arity).unwrap_or(rows_hint);
+        IdTable { arity, rows, data }
+    }
+}
+
+/// Split `rows` into shard ranges and run `work` over each — on scoped
+/// threads when the options ask for parallelism and `work_hint` (an
+/// estimate of the operator's total work: at least the row count, more when
+/// the operator is output-heavy like a fanning-out join) is large enough to
+/// amortise thread startup.  Results come back in shard order, so merges
+/// are deterministic.
+fn run_sharded<T, F>(rows: usize, work_hint: usize, options: &ExecOptions, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let parallel =
+        options.parallel && options.shards > 1 && work_hint >= ExecOptions::PARALLEL_MIN_ROWS;
+    if !parallel {
+        return vec![work(0..rows)];
+    }
+    let ranges = shard_ranges(rows, options.shards);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|(s, e)| scope.spawn(move || work(s..e)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_fetch(
+    input: &IdTable,
+    idb: &IndexedDatabase,
+    constraint_idx: usize,
+    key_cols: &[usize],
+    arity: usize,
+    bound: usize,
+    stats: &mut FetchStats,
+    options: &ExecOptions,
+) -> Result<IdTable> {
+    // Resolve the index up front: a missing constraint errors before any
+    // probing (and before any threads spawn).
+    let index_arity = idb.interned_access_index(constraint_idx)?.arity();
+    debug_assert_eq!(index_arity, arity);
+    // Global key dedup in first-seen order: each distinct X-value is fetched
+    // (and counted) exactly once, matching the interpreter — and making the
+    // accounting independent of sharding.
+    let mut seen: HashSet<Vec<ValueId>> = HashSet::new();
+    let mut keys: Vec<Vec<ValueId>> = Vec::new();
+    for i in 0..input.rows {
+        let row = input.row(i);
+        let key: Vec<ValueId> = key_cols.iter().map(|&c| row[c]).collect();
+        if seen.insert(key.clone()) {
+            keys.push(key);
+        }
+    }
+    // Work hint: each key probes once and may return up to the
+    // constraint's bound N tuples, so an output-heavy fetch parallelizes
+    // like an output-heavy join.
+    let work_hint = keys.len().saturating_mul(bound.max(1));
+    let shard_results = run_sharded(keys.len(), work_hint, options, |range| {
+        let mut data = Vec::new();
+        let mut local = FetchStats::new();
+        for key in &keys[range] {
+            // The id-native fetch path records each probe's |D_ξ| into the
+            // shard-local counters; compile already resolved the constraint,
+            // so the lookup cannot fail here.
+            let (rows, _) = idb
+                .fetch_ids(constraint_idx, key, &mut local)
+                .expect("fetch constraint was resolved at compile time");
+            data.extend_from_slice(rows);
+        }
+        (data, local)
+    });
+    let mut data = Vec::new();
+    for (shard_data, shard_stats) in shard_results {
+        data.extend(shard_data);
+        stats.merge(&shard_stats);
+    }
+    Ok(IdTable::from_data(arity, 0, data))
+}
+
+fn eval_project(input: &IdTable, cols: &[usize], options: &ExecOptions) -> IdTable {
+    let arity = cols.len();
+    if arity == 0 {
+        return IdTable {
+            arity: 0,
+            rows: input.rows,
+            data: Vec::new(),
+        };
+    }
+    let shard_results = run_sharded(input.rows, input.rows, options, |range| {
+        let mut data = Vec::with_capacity(range.len() * arity);
+        for i in range {
+            let row = input.row(i);
+            data.extend(cols.iter().map(|&c| row[c]));
+        }
+        data
+    });
+    let mut data = Vec::new();
+    for shard in shard_results {
+        data.extend(shard);
+    }
+    IdTable::from_data(arity, 0, data)
+}
+
+fn eval_select(input: &IdTable, conds: &[IdCond], options: &ExecOptions) -> IdTable {
+    if input.arity == 0 {
+        // Conditions reference columns, so a nullary select has none and
+        // passes everything through.
+        return input.clone();
+    }
+    let shard_results = run_sharded(input.rows, input.rows, options, |range| {
+        let mut data = Vec::new();
+        for i in range {
+            let row = input.row(i);
+            if conds.iter().all(|c| c.holds(row)) {
+                data.extend_from_slice(row);
+            }
+        }
+        data
+    });
+    let mut data = Vec::new();
+    for shard in shard_results {
+        data.extend(shard);
+    }
+    IdTable::from_data(input.arity, 0, data)
+}
+
+/// Fused σ-over-view: filter the snapshot's rows directly — the same
+/// contiguous row ranges [`bqr_data::InternedSnapshot::shards`] exposes as
+/// [`bqr_data::SnapshotShard`]s to data-layer consumers, threaded here
+/// through the executor's shared [`run_sharded`] driver.  The pinned
+/// `FetchStats` semantics hold: the **full** extent counts as read before
+/// filtering.
+fn eval_view_filter(
+    snapshot: &InternedSnapshot,
+    conds: &[IdCond],
+    stats: &mut FetchStats,
+    options: &ExecOptions,
+) -> IdTable {
+    stats.record_view_read(snapshot.len());
+    if snapshot.arity() == 0 {
+        // Conditions reference columns, so a nullary filter has none and
+        // passes the (at most one-row) extent through.
+        return IdTable {
+            arity: 0,
+            rows: snapshot.len(),
+            data: Vec::new(),
+        };
+    }
+    let shard_results = run_sharded(snapshot.len(), snapshot.len(), options, |range| {
+        let mut data = Vec::new();
+        for i in range {
+            let row = snapshot.row(i as u32);
+            if conds.iter().all(|c| c.holds(row)) {
+                data.extend_from_slice(row);
+            }
+        }
+        data
+    });
+    let mut data = Vec::new();
+    for shard in shard_results {
+        data.extend(shard);
+    }
+    IdTable::from_data(snapshot.arity(), 0, data)
+}
+
+fn eval_hash_join(
+    left: &IdTable,
+    right: &IdTable,
+    pairs: &[(usize, usize)],
+    residual: &[IdCond],
+    options: &ExecOptions,
+) -> IdTable {
+    let out_arity = left.arity + right.arity;
+    if left.rows == 0 || right.rows == 0 {
+        return IdTable::empty(out_arity);
+    }
+    // Cost model: build on the smaller input, probe the larger — with exact
+    // cardinalities in hand the textbook rule is exact, not an estimate.
+    let build_left = left.rows < right.rows;
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let mut table: HashMap<Vec<ValueId>, Vec<u32>> = HashMap::new();
+    for i in 0..build.rows {
+        let row = build.row(i);
+        let key: Vec<ValueId> = pairs
+            .iter()
+            .map(|&(l, r)| row[if build_left { l } else { r }])
+            .collect();
+        table.entry(key).or_default().push(i as u32);
+    }
+    // Work hint: probing is at least one lookup per probe row, plus the
+    // output rows a fanning-out build side produces.
+    let avg_group = (build.rows / table.len().max(1)).max(1);
+    let work_hint = probe.rows.saturating_mul(avg_group);
+    let shard_results = run_sharded(probe.rows, work_hint, options, |range| {
+        let mut data = Vec::new();
+        let mut key: Vec<ValueId> = Vec::with_capacity(pairs.len());
+        for i in range {
+            let probe_row = probe.row(i);
+            key.clear();
+            key.extend(
+                pairs
+                    .iter()
+                    .map(|&(l, r)| probe_row[if build_left { r } else { l }]),
+            );
+            if let Some(matches) = table.get(&key) {
+                for &b in matches {
+                    let build_row = build.row(b as usize);
+                    let (l_row, r_row) = if build_left {
+                        (build_row, probe_row)
+                    } else {
+                        (probe_row, build_row)
+                    };
+                    let start = data.len();
+                    data.extend_from_slice(l_row);
+                    data.extend_from_slice(r_row);
+                    if !residual.iter().all(|c| c.holds(&data[start..])) {
+                        data.truncate(start);
                     }
-                    let mut out = BTreeSet::new();
-                    for l in &left {
-                        let key: Vec<Value> = cross_eq.iter().map(|&(i, _)| l[i].clone()).collect();
-                        if let Some(matches) = index.get(&key) {
-                            for r in matches {
-                                let joined = l.concat(r);
-                                if conditions.iter().all(|c| c.holds(&joined)) {
-                                    out.insert(joined);
+                }
+            }
+        }
+        data
+    });
+    let mut data = Vec::new();
+    for shard in shard_results {
+        data.extend(shard);
+    }
+    IdTable::from_data(out_arity, 0, data)
+}
+
+fn eval_product(left: &IdTable, right: &IdTable, options: &ExecOptions) -> IdTable {
+    let out_arity = left.arity + right.arity;
+    let out_rows = left.rows * right.rows;
+    if out_arity == 0 {
+        return IdTable {
+            arity: 0,
+            rows: out_rows,
+            data: Vec::new(),
+        };
+    }
+    let shard_results = run_sharded(left.rows, out_rows, options, |range| {
+        let mut data = Vec::with_capacity(range.len() * right.rows * out_arity);
+        for i in range {
+            let l_row = left.row(i);
+            for j in 0..right.rows {
+                data.extend_from_slice(l_row);
+                data.extend_from_slice(right.row(j));
+            }
+        }
+        data
+    });
+    let mut data = Vec::new();
+    for shard in shard_results {
+        data.extend(shard);
+    }
+    IdTable::from_data(out_arity, out_rows, data)
+}
+
+fn eval_union(left: &IdTable, right: &IdTable) -> IdTable {
+    let mut data = left.data.clone();
+    data.extend_from_slice(&right.data);
+    IdTable::from_data(left.arity, left.rows + right.rows, data)
+}
+
+fn eval_difference(left: &IdTable, right: &IdTable) -> IdTable {
+    if left.arity == 0 {
+        return IdTable {
+            arity: 0,
+            rows: if right.rows > 0 { 0 } else { left.rows },
+            data: Vec::new(),
+        };
+    }
+    let exclude: HashSet<&[ValueId]> = (0..right.rows).map(|i| right.row(i)).collect();
+    let mut data = Vec::new();
+    for i in 0..left.rows {
+        let row = left.row(i);
+        if !exclude.contains(row) {
+            data.extend_from_slice(row);
+        }
+    }
+    IdTable::from_data(left.arity, 0, data)
+}
+
+/// Sort + dedup a table's rows (lexicographic on ids).  Intermediate order
+/// is only an engine-internal detail — the root materialisation re-sorts by
+/// `Value` — but it is deterministic, which keeps sharded runs bit-identical.
+fn dedup_table(input: &IdTable) -> IdTable {
+    if input.arity == 0 {
+        return IdTable {
+            arity: 0,
+            rows: input.rows.min(1),
+            data: Vec::new(),
+        };
+    }
+    let mut rows: Vec<&[ValueId]> = (0..input.rows).map(|i| input.row(i)).collect();
+    rows.sort_unstable();
+    rows.dedup();
+    let mut data = Vec::with_capacity(rows.len() * input.arity);
+    for row in &rows {
+        data.extend_from_slice(row);
+    }
+    IdTable::from_data(input.arity, 0, data)
+}
+
+/// Resolve the root table back to sorted, duplicate-free `Tuple`s — the only
+/// point where the executor touches `Value`s.
+fn materialize(root: &IdTable) -> Vec<Tuple> {
+    let mut memo: HashMap<ValueId, Value> = HashMap::new();
+    let mut tuples: Vec<Tuple> = (0..root.rows)
+        .map(|i| {
+            Tuple::new(
+                root.row(i)
+                    .iter()
+                    .map(|id| memo.entry(*id).or_insert_with(|| id.value()).clone())
+                    .collect(),
+            )
+        })
+        .collect();
+    tuples.sort_unstable();
+    tuples.dedup();
+    tuples
+}
+
+/// The original tree-walking interpreter: `BTreeSet<Tuple>` at every node,
+/// `Value` comparisons throughout.  Retained verbatim as the oracle for
+/// `tests/exec_diff.rs` and the baseline of the plan benchmarks
+/// (`BENCH_plan.json`); semantics — including the pinned `FetchStats`
+/// accounting — are identical to the compiled pipeline.
+pub mod reference {
+    use super::{ExecOutput, PlanError, Result};
+    use crate::node::{PlanNode, QueryPlan, SelectCondition};
+    use bqr_data::{FetchStats, IndexedDatabase, Tuple, Value};
+    use bqr_query::MaterializedViews;
+    use std::collections::BTreeSet;
+
+    /// Execute a plan with the reference interpreter.
+    pub fn execute(
+        plan: &QueryPlan,
+        idb: &IndexedDatabase,
+        views: &MaterializedViews,
+    ) -> Result<ExecOutput> {
+        let mut stats = FetchStats::new();
+        let tuples = eval(plan.root(), idb, views, &mut stats)?;
+        Ok(ExecOutput {
+            tuples: tuples.into_iter().collect(),
+            stats,
+        })
+    }
+
+    fn eval(
+        node: &PlanNode,
+        idb: &IndexedDatabase,
+        views: &MaterializedViews,
+        stats: &mut FetchStats,
+    ) -> Result<BTreeSet<Tuple>> {
+        match node {
+            PlanNode::Const(t) => Ok([t.clone()].into_iter().collect()),
+            PlanNode::View { name, arity } => {
+                let extent = views
+                    .extent(name)
+                    .ok_or_else(|| PlanError::UnknownView(name.clone()))?;
+                // Pinned semantics: the whole cached extent counts as read,
+                // before any selection above this leaf (see the module docs).
+                stats.record_view_read(extent.len());
+                if extent.schema().arity() != *arity {
+                    return Err(PlanError::ArityMismatch {
+                        left: *arity,
+                        right: extent.schema().arity(),
+                    });
+                }
+                Ok(extent.iter().cloned().collect())
+            }
+            PlanNode::Fetch {
+                input,
+                constraint,
+                key_columns,
+            } => {
+                let input_tuples = eval(input, idb, views, stats)?;
+                let position = idb
+                    .constraint_position(constraint)
+                    .ok_or_else(|| PlanError::ConstraintNotInSchema(constraint.to_string()))?;
+                let mut out = BTreeSet::new();
+                let mut seen_keys: BTreeSet<Vec<Value>> = BTreeSet::new();
+                for t in &input_tuples {
+                    let key: Vec<Value> = key_columns.iter().map(|&c| t[c].clone()).collect();
+                    // Each distinct X-value is fetched once (the index
+                    // returns the same set for duplicates; re-fetching would
+                    // double-count I/O).
+                    if !seen_keys.insert(key.clone()) {
+                        continue;
+                    }
+                    for fetched in idb.fetch(position, &key, stats)? {
+                        out.insert(fetched.clone());
+                    }
+                }
+                Ok(out)
+            }
+            PlanNode::Project { input, columns } => {
+                let input_tuples = eval(input, idb, views, stats)?;
+                Ok(input_tuples.iter().map(|t| t.project(columns)).collect())
+            }
+            PlanNode::Select { input, conditions } => {
+                // The σ-over-× pattern is how plans express joins (the plan
+                // grammar has no join operator).  Materialising the product
+                // first would make joins quadratic, so equi-joins across the
+                // product boundary are executed as hash joins.
+                if let PlanNode::Product(a, b) = input.as_ref() {
+                    let left_arity = a.arity();
+                    let cross_eq: Vec<(usize, usize)> = conditions
+                        .iter()
+                        .filter_map(|c| match c {
+                            SelectCondition::ColEqCol(i, j)
+                                if *i < left_arity && *j >= left_arity =>
+                            {
+                                Some((*i, *j - left_arity))
+                            }
+                            SelectCondition::ColEqCol(i, j)
+                                if *j < left_arity && *i >= left_arity =>
+                            {
+                                Some((*j, *i - left_arity))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    if !cross_eq.is_empty() {
+                        let left = eval(a, idb, views, stats)?;
+                        let right = eval(b, idb, views, stats)?;
+                        let mut index: std::collections::HashMap<Vec<Value>, Vec<&Tuple>> =
+                            std::collections::HashMap::new();
+                        for r in &right {
+                            let key: Vec<Value> =
+                                cross_eq.iter().map(|&(_, j)| r[j].clone()).collect();
+                            index.entry(key).or_default().push(r);
+                        }
+                        let mut out = BTreeSet::new();
+                        for l in &left {
+                            let key: Vec<Value> =
+                                cross_eq.iter().map(|&(i, _)| l[i].clone()).collect();
+                            if let Some(matches) = index.get(&key) {
+                                for r in matches {
+                                    let joined = l.concat(r);
+                                    if conditions.iter().all(|c| c.holds(&joined)) {
+                                        out.insert(joined);
+                                    }
                                 }
                             }
                         }
+                        return Ok(out);
                     }
-                    return Ok(out);
                 }
+                let input_tuples = eval(input, idb, views, stats)?;
+                Ok(input_tuples
+                    .into_iter()
+                    .filter(|t| conditions.iter().all(|c| c.holds(t)))
+                    .collect())
             }
-            let input_tuples = eval(input, idb, views, stats)?;
-            Ok(input_tuples
-                .into_iter()
-                .filter(|t| conditions.iter().all(|c| c.holds(t)))
-                .collect())
-        }
-        PlanNode::Rename { input } => eval(input, idb, views, stats),
-        PlanNode::Product(a, b) => {
-            let left = eval(a, idb, views, stats)?;
-            let right = eval(b, idb, views, stats)?;
-            let mut out = BTreeSet::new();
-            for l in &left {
-                for r in &right {
-                    out.insert(l.concat(r));
+            PlanNode::Rename { input } => eval(input, idb, views, stats),
+            PlanNode::Product(a, b) => {
+                let left = eval(a, idb, views, stats)?;
+                let right = eval(b, idb, views, stats)?;
+                let mut out = BTreeSet::new();
+                for l in &left {
+                    for r in &right {
+                        out.insert(l.concat(r));
+                    }
                 }
+                Ok(out)
             }
-            Ok(out)
-        }
-        PlanNode::Union(a, b) => {
-            let mut left = eval(a, idb, views, stats)?;
-            let right = eval(b, idb, views, stats)?;
-            left.extend(right);
-            Ok(left)
-        }
-        PlanNode::Difference(a, b) => {
-            let left = eval(a, idb, views, stats)?;
-            let right = eval(b, idb, views, stats)?;
-            Ok(left.difference(&right).cloned().collect())
+            PlanNode::Union(a, b) => {
+                let mut left = eval(a, idb, views, stats)?;
+                let right = eval(b, idb, views, stats)?;
+                left.extend(right);
+                Ok(left)
+            }
+            PlanNode::Difference(a, b) => {
+                let left = eval(a, idb, views, stats)?;
+                let right = eval(b, idb, views, stats)?;
+                Ok(left.difference(&right).cloned().collect())
+            }
         }
     }
 }
@@ -242,6 +1200,115 @@ mod tests {
     }
 
     #[test]
+    fn compiled_pipeline_matches_reference_on_figure1() {
+        let (idb, cache) = setup();
+        let plan = figure1_plan(&phi1(), &phi2()).unwrap();
+        let compiled = execute(&plan, &idb, &cache).unwrap();
+        let interpreted = reference::execute(&plan, &idb, &cache).unwrap();
+        assert_eq!(compiled.tuples, interpreted.tuples);
+        assert_eq!(
+            compiled.stats, interpreted.stats,
+            "identical |D_ξ| accounting"
+        );
+        // Parallel execution is bit-identical too.
+        for shards in [1usize, 2, 4] {
+            let parallel =
+                execute_with(&plan, &idb, &cache, &ExecOptions::parallel(shards)).unwrap();
+            assert_eq!(parallel.tuples, interpreted.tuples, "{shards} shards");
+            assert_eq!(parallel.stats, interpreted.stats, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn pipeline_introspection_names_the_operators() {
+        let (idb, cache) = setup();
+        let plan = figure1_plan(&phi1(), &phi2()).unwrap();
+        let pipeline = Pipeline::compile(&plan, &idb, &cache).unwrap();
+        assert!(!pipeline.is_empty());
+        assert_eq!(pipeline.arity(), 1);
+        let text = pipeline.describe();
+        assert!(text.contains("fetch["), "{text}");
+        assert!(text.contains("view-scan V1"), "{text}");
+        assert!(text.contains("hash-join"), "{text}");
+        assert!(text.contains("π"), "{text}");
+        assert!(text.contains("root: %"), "{text}");
+        // Fig. 1's σ-over-× join compiled into a hash join; the only
+        // surviving bare product is the const × const key constructor.
+        assert_eq!(text.matches("hash-join").count(), 1, "{text}");
+        assert_eq!(text.matches("× %").count(), 1, "{text}");
+    }
+
+    /// Pinned `FetchStats` semantics: a view leaf records its full cached
+    /// extent — reading the cache is the I/O — even when a selection above
+    /// it keeps nothing; fetches count every retrieved tuple even when a
+    /// selection above the fetch drops them all.  Both engines agree.
+    #[test]
+    fn view_and_fetch_reads_are_counted_before_selection() {
+        let (idb, cache) = setup();
+        let extent_len = cache.extent("V1").unwrap().len();
+        assert!(extent_len >= 2);
+        let plan = Plan::view("V1", 1)
+            .select_eq_const(0, -777)
+            .build()
+            .unwrap();
+        for out in [
+            execute(&plan, &idb, &cache).unwrap(),
+            reference::execute(&plan, &idb, &cache).unwrap(),
+        ] {
+            assert!(out.tuples.is_empty(), "the selection keeps nothing");
+            assert_eq!(
+                out.stats.view_tuples, extent_len,
+                "the full extent counts as read"
+            );
+        }
+
+        let plan = Plan::constant(vec![Value::str("Universal"), Value::str("2014")])
+            .fetch(phi1(), vec![0, 1])
+            .select_eq_const(2, -777)
+            .build()
+            .unwrap();
+        for out in [
+            execute(&plan, &idb, &cache).unwrap(),
+            reference::execute(&plan, &idb, &cache).unwrap(),
+        ] {
+            assert!(out.tuples.is_empty());
+            assert_eq!(out.stats.fetched_tuples, 2, "both fetched movies count");
+            assert_eq!(out.stats.fetch_calls, 1);
+        }
+    }
+
+    /// σ directly over a view leaf fuses into one snapshot-filtering
+    /// operator (no intermediate scan), with unchanged semantics and the
+    /// pinned view-read accounting.
+    #[test]
+    fn select_over_view_fuses_into_view_filter() {
+        let (idb, cache) = setup();
+        let plan = Plan::view("V1", 1).select_eq_const(0, 10).build().unwrap();
+        let pipeline = Pipeline::compile(&plan, &idb, &cache).unwrap();
+        let text = pipeline.describe();
+        assert!(text.contains("view-filter V1"), "{text}");
+        assert!(!text.contains("view-scan"), "{text}");
+        assert_eq!(pipeline.len(), 1, "one fused operator");
+        let out = pipeline.execute(&idb, &ExecOptions::serial()).unwrap();
+        let interpreted = reference::execute(&plan, &idb, &cache).unwrap();
+        assert_eq!(out, interpreted);
+        assert_eq!(out.tuples, vec![tuple![10]]);
+        // A rename in between blocks the fusion (matching the interpreter's
+        // node-by-node evaluation structure).
+        let unfused = Plan::view("V1", 1)
+            .rename()
+            .select_eq_const(0, 10)
+            .build()
+            .unwrap();
+        let pipeline = Pipeline::compile(&unfused, &idb, &cache).unwrap();
+        assert!(pipeline.describe().contains("view-scan V1"));
+        assert_eq!(
+            pipeline.execute(&idb, &ExecOptions::serial()).unwrap(),
+            interpreted
+        );
+    }
+
+    #[test]
     fn fetch_deduplicates_keys() {
         let (idb, cache) = setup();
         // Two identical keys in the input: the fetch must count the probe once.
@@ -256,6 +1323,7 @@ mod tests {
         let out = execute(&plan, &idb, &cache).unwrap();
         assert_eq!(out.stats.fetch_calls, 1);
         assert_eq!(out.tuples.len(), 2);
+        assert_eq!(out, reference::execute(&plan, &idb, &cache).unwrap());
     }
 
     #[test]
@@ -266,6 +1334,10 @@ mod tests {
             execute(&plan, &idb, &cache),
             Err(PlanError::UnknownView(_))
         ));
+        assert!(matches!(
+            reference::execute(&plan, &idb, &cache),
+            Err(PlanError::UnknownView(_))
+        ));
 
         let foreign = AccessConstraint::new("like", &["pid"], &["id"], 5000).unwrap();
         let plan = Plan::constant(vec![1])
@@ -274,6 +1346,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             execute(&plan, &idb, &cache),
+            Err(PlanError::ConstraintNotInSchema(_))
+        ));
+        assert!(matches!(
+            reference::execute(&plan, &idb, &cache),
             Err(PlanError::ConstraintNotInSchema(_))
         ));
     }
@@ -317,6 +1393,35 @@ mod tests {
     }
 
     #[test]
+    fn nullary_plans_execute() {
+        let (idb, cache) = setup();
+        // The unit constant, a Boolean projection, and their difference.
+        let unit = Plan::constant(Vec::<Value>::new()).build().unwrap();
+        let out = execute(&unit, &idb, &cache).unwrap();
+        assert_eq!(out.tuples, vec![Tuple::unit()]);
+        assert_eq!(out, reference::execute(&unit, &idb, &cache).unwrap());
+
+        let boolean = Plan::constant(vec![7]).project(vec![]).build().unwrap();
+        let out = execute(&boolean, &idb, &cache).unwrap();
+        assert_eq!(out.tuples, vec![Tuple::unit()]);
+
+        let empty = Plan::constant(Vec::<Value>::new())
+            .difference(Plan::constant(Vec::<Value>::new()))
+            .build()
+            .unwrap();
+        let out = execute(&empty, &idb, &cache).unwrap();
+        assert!(out.tuples.is_empty());
+        assert_eq!(out, reference::execute(&empty, &idb, &cache).unwrap());
+
+        let product = Plan::constant(Vec::<Value>::new())
+            .product(Plan::constant(vec![1]))
+            .build()
+            .unwrap();
+        let out = execute(&product, &idb, &cache).unwrap();
+        assert_eq!(out.tuples, vec![tuple![1]]);
+    }
+
+    #[test]
     fn fetch_on_absent_key_returns_empty() {
         let (idb, cache) = setup();
         let plan = Plan::constant(vec![Value::str("MGM"), Value::str("1950")])
@@ -327,6 +1432,7 @@ mod tests {
         assert!(out.tuples.is_empty());
         assert_eq!(out.stats.fetch_calls, 1);
         assert_eq!(out.stats.fetched_tuples, 0);
+        assert_eq!(out, reference::execute(&plan, &idb, &cache).unwrap());
     }
 
     #[test]
@@ -337,5 +1443,48 @@ mod tests {
             execute(&plan, &idb, &cache),
             Err(PlanError::ArityMismatch { .. })
         ));
+        assert!(matches!(
+            reference::execute(&plan, &idb, &cache),
+            Err(PlanError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn exec_options_constructors() {
+        assert_eq!(ExecOptions::default(), ExecOptions::serial());
+        let p = ExecOptions::parallel(4);
+        assert!(p.parallel);
+        assert_eq!(p.shards, 4);
+        assert_eq!(ExecOptions::parallel(0).shards, 1, "shards clamp to ≥ 1");
+    }
+
+    /// Sharded-parallel execution over an input large enough to cross the
+    /// parallel threshold is bit-identical to serial execution.
+    #[test]
+    fn parallel_execution_is_deterministic_over_large_inputs() {
+        let schema = DatabaseSchema::with_relations(&[("edge", &["src", "dst"])]).unwrap();
+        let mut db = Database::empty(schema);
+        for i in 0..3000i64 {
+            db.insert("edge", tuple![i % 300, i]).unwrap();
+        }
+        let mut views = ViewSet::empty();
+        views
+            .add_cq("E", parse_cq("E(x, y) :- edge(x, y)").unwrap())
+            .unwrap();
+        let cache = views.materialize(&db).unwrap();
+        let idb = IndexedDatabase::build(db, AccessSchema::empty()).unwrap();
+        // E ⋈ E on dst = src: 3000 × fan-in join, well above the threshold.
+        let plan = Plan::view("E", 2)
+            .join_eq(Plan::view("E", 2), &[(1, 0)])
+            .project(vec![0, 3])
+            .build()
+            .unwrap();
+        let serial = execute(&plan, &idb, &cache).unwrap();
+        assert_eq!(serial, reference::execute(&plan, &idb, &cache).unwrap());
+        for shards in [2usize, 4, 8] {
+            let parallel =
+                execute_with(&plan, &idb, &cache, &ExecOptions::parallel(shards)).unwrap();
+            assert_eq!(parallel, serial, "{shards} shards");
+        }
     }
 }

@@ -9,7 +9,11 @@
 //! * [`PlanNode`] / [`QueryPlan`] — the tree representation, size measure,
 //!   Fig.-1-style pretty printing and the CQ/UCQ/∃FO+/FO plan classification;
 //! * [`exec`] — executing a plan over an [`IndexedDatabase`] plus
-//!   materialised views, with [`FetchStats`] accounting of `|D_ξ|`;
+//!   materialised views, with [`FetchStats`] accounting of `|D_ξ|`: plans are
+//!   compiled to a flat operator [`Pipeline`] over interned ids (hash joins
+//!   for the σ-over-× pattern, id-native fetches, optional sharded-parallel
+//!   evaluation via [`ExecOptions`]); the original tree-walking interpreter
+//!   is retained as [`exec::reference`] for differential testing;
 //! * [`to_query`] — the query `Q_ξ` expressed by a plan (unfolding into the
 //!   calculus), used by the equivalence checks of `bqr-core`;
 //! * [`conform`] — conformance to an access schema: every fetch is justified
@@ -24,7 +28,7 @@ pub mod to_query;
 
 pub use conform::{check_conformance, Conformance};
 pub use error::PlanError;
-pub use exec::{execute, ExecOutput};
+pub use exec::{execute, execute_with, ExecOptions, ExecOutput, Pipeline};
 pub use node::{PlanLanguage, PlanNode, QueryPlan, SelectCondition};
 
 /// Convenience result alias.

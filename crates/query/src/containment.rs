@@ -56,6 +56,13 @@ pub struct ContainmentChecker<'s> {
     searches: RefCell<SearchMemo>,
 }
 
+/// Process-wide count of checkers ever constructed.  Constructing a checker
+/// is cheap, but *using a fresh one per phase* throws away the canonical
+/// instances and compiled searches the previous phase memoised — the
+/// decision procedures in `bqr-core` are required to construct at most one
+/// per top-level call, and their tests pin that with this counter.
+static CONSTRUCTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl<'s> ContainmentChecker<'s> {
     /// A checker with empty caches and the default (auto) join planner.
     pub fn new(schema: &'s DatabaseSchema) -> Self {
@@ -64,6 +71,7 @@ impl<'s> ContainmentChecker<'s> {
 
     /// A checker whose homomorphism searches are planned under `planner`.
     pub fn with_planner(schema: &'s DatabaseSchema, planner: PlannerConfig) -> Self {
+        CONSTRUCTED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         ContainmentChecker {
             schema,
             cache: IndexCache::new(),
@@ -71,6 +79,13 @@ impl<'s> ContainmentChecker<'s> {
             canonicals: RefCell::new(HashMap::new()),
             searches: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// How many checkers this process has constructed so far (both
+    /// [`ContainmentChecker::new`] and [`ContainmentChecker::with_planner`]).
+    /// Diff two readings around a call to count its constructions.
+    pub fn constructed_count() -> u64 {
+        CONSTRUCTED.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The shared relation-index cache (e.g. for hit/miss statistics).

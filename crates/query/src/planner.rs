@@ -200,40 +200,86 @@ pub(crate) fn cost_based_order(atoms: &[AtomShape], slot_count: usize) -> Vec<us
     order
 }
 
-/// Greedy variable-elimination order for generic join: smallest estimated
-/// candidate set first, preferring variables that co-occur (in some atom)
-/// with an already-eliminated variable so intersections stay selective.
+/// Greedy, degree-aware variable-elimination order for generic join.
+///
+/// Generic join's per-level intersections only *prune* when the variable
+/// being eliminated has **two or more bound neighbours** — atoms in which it
+/// co-occurs with already-eliminated variables.  The PR 2 order grew the
+/// frontier connectedly ("smallest candidate set among neighbours"), which
+/// walks even cycles like C4 as a chain: every level but the last has one
+/// bound neighbour, so nothing prunes and the 4-cycle gained almost nothing
+/// over a good atom order (the gap recorded in ROADMAP).
+///
+/// The degree-aware rule fixes exactly that:
+///
+/// 1. if some remaining variable has ≥ 2 bound atoms, eliminate the one with
+///    the most (its candidates are intersections of several index probes —
+///    maximal pruning); ties by smaller candidate estimate, then slot;
+/// 2. otherwise **seed by degree**: eliminate the variable covering the most
+///    atoms untouched by any chosen variable (its *residual* degree), ties
+///    again by estimate then slot.  Deliberately *not* connectivity-greedy:
+///    on C4 this picks the two opposite corners first, after which both
+///    remaining variables have two bound neighbours and every candidate is
+///    intersected from both sides.
+///
+/// The order is a pure function of the query shape and the snapshot
+/// statistics — never of hash-map iteration order.
 pub(crate) fn variable_order(atoms: &[AtomShape]) -> Vec<u32> {
     let all: BTreeSet<u32> = atoms.iter().flat_map(|a| a.free_slots()).collect();
     let mut chosen: Vec<u32> = Vec::with_capacity(all.len());
     let mut chosen_set: BTreeSet<u32> = BTreeSet::new();
     while chosen.len() < all.len() {
-        // A variable is "connected" when it shares an atom with a chosen one.
-        let connected: BTreeSet<u32> = atoms
+        let remaining: Vec<u32> = all
             .iter()
-            .filter(|a| a.free_slots().iter().any(|s| chosen_set.contains(s)))
-            .flat_map(|a| a.free_slots())
             .filter(|s| !chosen_set.contains(s))
+            .copied()
             .collect();
-        let pool: Vec<u32> = if connected.is_empty() {
-            all.iter()
-                .filter(|s| !chosen_set.contains(s))
-                .copied()
-                .collect()
-        } else {
-            connected.into_iter().collect()
+        // Atoms containing `v` that also contain a chosen variable (bound
+        // neighbours), and atoms containing `v` untouched by any chosen
+        // variable (residual degree).
+        let bound_atoms = |v: u32| {
+            atoms
+                .iter()
+                .filter(|a| {
+                    let free = a.free_slots();
+                    free.contains(&v) && free.iter().any(|s| chosen_set.contains(s))
+                })
+                .count()
         };
-        // Estimated candidate count for v: the smallest distinct-value count
-        // over every (atom, position) v occurs at.
-        let best = pool
-            .into_iter()
-            .min_by(|&a, &b| {
-                let (ca, cb) = (candidate_estimate(atoms, a), candidate_estimate(atoms, b));
-                ca.partial_cmp(&cb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            })
-            .expect("pool is non-empty while variables remain");
+        let residual_degree = |v: u32| {
+            atoms
+                .iter()
+                .filter(|a| {
+                    let free = a.free_slots();
+                    free.contains(&v) && !free.iter().any(|s| chosen_set.contains(s))
+                })
+                .count()
+        };
+        let pick = |pool: &[u32], score: &dyn Fn(u32) -> usize| {
+            pool.iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    score(b)
+                        .cmp(&score(a)) // larger score first
+                        .then_with(|| {
+                            candidate_estimate(atoms, a)
+                                .partial_cmp(&candidate_estimate(atoms, b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .then(a.cmp(&b))
+                })
+                .expect("pool is non-empty while variables remain")
+        };
+        let intersecting: Vec<u32> = remaining
+            .iter()
+            .copied()
+            .filter(|&v| bound_atoms(v) >= 2)
+            .collect();
+        let best = if intersecting.is_empty() {
+            pick(&remaining, &residual_degree)
+        } else {
+            pick(&intersecting, &bound_atoms)
+        };
         chosen.push(best);
         chosen_set.insert(best);
     }
@@ -361,6 +407,46 @@ mod tests {
         let as_set: BTreeSet<u32> = order.iter().copied().collect();
         assert_eq!(as_set, [0u32, 1, 2].into_iter().collect());
         assert_eq!(order[0], 1, "slot 1 has the smallest candidate estimate");
+    }
+
+    #[test]
+    fn degree_aware_order_picks_opposite_corners_of_even_cycles() {
+        // C4: 0–1–2–3–0, uniform statistics.  The degree-aware rule seeds
+        // with slot 0, then jumps to the opposite corner (slot 2, the only
+        // remaining variable with residual degree 2) so that both remaining
+        // corners are eliminated with two bound neighbours each — the
+        // configuration where generic join's intersections actually prune.
+        let c4 = vec![
+            free(&[0, 1], stats(40, &[10, 10])),
+            free(&[1, 2], stats(40, &[10, 10])),
+            free(&[2, 3], stats(40, &[10, 10])),
+            free(&[3, 0], stats(40, &[10, 10])),
+        ];
+        let order = variable_order(&c4);
+        assert_eq!(order[..2], [0, 2], "opposite corners first: {order:?}");
+        for late in &order[2..] {
+            let bound: usize = c4
+                .iter()
+                .filter(|a| {
+                    let free = a.free_slots();
+                    free.contains(late) && free.iter().any(|s| order[..2].contains(s))
+                })
+                .count();
+            assert_eq!(bound, 2, "slot {late} eliminates with 2 bound atoms");
+        }
+
+        // C6 also alternates corners before filling in.
+        let c6: Vec<AtomShape> = (0..6u32)
+            .map(|i| free(&[i, (i + 1) % 6], stats(60, &[10, 10])))
+            .collect();
+        let order = variable_order(&c6);
+        let as_set: BTreeSet<u32> = order.iter().copied().collect();
+        assert_eq!(as_set.len(), 6);
+        assert!(
+            !c6.iter()
+                .any(|a| a.free_slots() == order[..2].iter().copied().collect::<BTreeSet<_>>()),
+            "the first two picks never share an atom: {order:?}"
+        );
     }
 
     #[test]

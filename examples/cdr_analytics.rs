@@ -4,11 +4,18 @@
 //! reduction, mirroring the paper's ">90 % of the workload improves by 25x
 //! to 5 orders of magnitude" claim in shape.
 //!
+//! Plans run on the compiled operator pipeline (`bqr_plan::exec`): the
+//! example compiles the first bounded plan explicitly to show the
+//! `Pipeline::describe()` introspection, and executes the workload under
+//! explicit `ExecOptions` (serial here; `ExecOptions::parallel(n)` shards
+//! the data-parallel operators over `n` threads with bit-identical output).
+//!
 //! Run with `cargo run --example cdr_analytics --release`.
 
 use bqr_core::size_bounded::BoundedOutputOracle;
 use bqr_core::topped::ToppedChecker;
 use bqr_data::{FetchStats, IndexedDatabase};
+use bqr_plan::{ExecOptions, Pipeline};
 use bqr_query::eval::eval_cq_counting;
 use bqr_workload::cdr;
 
@@ -35,11 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cached view tuples: {}\n", cache.total_tuples());
     let idb = IndexedDatabase::build(db.clone(), setting.access.clone())?;
 
+    // Serial execution; swap in `ExecOptions::parallel(4)` to shard the
+    // data-parallel operators over 4 threads (same answers, same |D_ξ|).
+    let options = ExecOptions::serial();
     println!(
         "{:<24} {:>8} {:>16} {:>14} {:>10}",
         "query", "bounded?", "bounded-access", "naive-access", "reduction"
     );
     let mut improved = 0usize;
+    let mut shown_pipeline = false;
     let queries = cdr::workload(17, 3);
     for q in &queries {
         let analysis = checker.analyze_cq(&q.query)?;
@@ -47,7 +58,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let naive = eval_cq_counting(&q.query, &db, Some(&cache), &mut naive_stats)?;
         match analysis.plan {
             Some(plan) if analysis.topped => {
-                let out = bqr_plan::execute(&plan, &idb, &cache)?;
+                let pipeline = Pipeline::compile(&plan, &idb, &cache)?;
+                if !shown_pipeline {
+                    // The compiled operator pipeline of the first bounded
+                    // plan, one operator per line (the plan-level analogue
+                    // of the homomorphism engine's `plan_summary()`).
+                    println!(
+                        "compiled pipeline for `{}`:\n{}\n",
+                        q.name,
+                        pipeline.describe()
+                    );
+                    shown_pipeline = true;
+                }
+                let out = pipeline.execute(&idb, &options)?;
                 assert_eq!(out.tuples, naive, "{} must be answered exactly", q.name);
                 let reduction = naive_stats.base_tuples_accessed() as f64
                     / out.stats.base_tuples_accessed().max(1) as f64;

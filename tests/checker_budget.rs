@@ -1,0 +1,102 @@
+//! Pins the checker budget of the decision procedures: `decide`, `topped`,
+//! `enumerate` and the bounded-output analyses construct **at most one
+//! `ContainmentChecker` per top-level call**, sharing its memoised canonical
+//! instances and compiled searches across all phases (candidate filtering,
+//! maximality, final equivalence) instead of rebuilding them per phase.
+//!
+//! The counter is process-global, so these assertions live in their own
+//! integration-test binary: cargo runs test binaries one at a time, and this
+//! file contains a single test, so nothing else constructs checkers while
+//! the deltas are measured.
+
+use bqr_core::bounded_eval::boundedly_evaluable_cq;
+use bqr_core::decide::{decide_acq_by_maximum_plan, decide_vbrp};
+use bqr_core::enumerate::{enumerate_plans, EnumerationOptions};
+use bqr_core::problem::{RewritingSetting, VbrpInstance};
+use bqr_core::topped::ToppedChecker;
+use bqr_plan::PlanLanguage;
+use bqr_query::containment::ContainmentChecker;
+use bqr_query::parser::parse_cq;
+use bqr_query::{Budget, ViewSet};
+
+fn setting(m: usize) -> RewritingSetting {
+    let schema = bqr_data::DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
+    let access = bqr_data::AccessSchema::new(vec![bqr_data::AccessConstraint::new(
+        "rating",
+        &["mid"],
+        &["rank"],
+        1,
+    )
+    .unwrap()]);
+    let mut views = ViewSet::empty();
+    views
+        .add_cq("V", parse_cq("V(m) :- rating(m, 5)").unwrap())
+        .unwrap();
+    RewritingSetting::new(schema, access, views, m)
+}
+
+fn constructed_by(f: impl FnOnce()) -> u64 {
+    let before = ContainmentChecker::constructed_count();
+    f();
+    ContainmentChecker::constructed_count() - before
+}
+
+#[test]
+fn decision_procedures_construct_at_most_one_checker_per_call() {
+    let q = parse_cq("Q(r) :- rating(42, r)").unwrap();
+
+    // The exact search runs one A-equivalence test per candidate plan —
+    // hundreds of containment checks — through exactly one checker.
+    let n = constructed_by(|| {
+        let outcome =
+            decide_vbrp(&VbrpInstance::new(setting(3), q.clone()), PlanLanguage::Cq).unwrap();
+        assert!(outcome.has_rewriting());
+    });
+    assert_eq!(n, 1, "decide_vbrp must share one checker across its phases");
+
+    // AlgACQ has three checker-hungry phases (soundness filtering,
+    // maximality, the final Q ⊑_A ξ test); still one checker.
+    let n = constructed_by(|| {
+        let outcome =
+            decide_acq_by_maximum_plan(&VbrpInstance::new(setting(3), q.clone()), PlanLanguage::Cq)
+                .unwrap();
+        assert!(outcome.has_rewriting());
+    });
+    assert_eq!(n, 1, "AlgACQ must share one checker across its phases");
+
+    // The effective syntax (topped / bounded evaluability) is chase- and
+    // syntax-based: zero checkers.
+    let s = setting(10);
+    let n = constructed_by(|| {
+        let checker = ToppedChecker::new(&s);
+        let analysis = checker.analyze_cq(&q).unwrap();
+        assert!(analysis.topped, "{:?}", analysis.reason);
+    });
+    assert_eq!(n, 0, "the topped checker is purely syntactic");
+    let n = constructed_by(|| {
+        let _ = boundedly_evaluable_cq(&s, &q).unwrap();
+    });
+    assert_eq!(n, 0, "bounded evaluability is purely syntactic");
+
+    // Plan enumeration produces candidates only; the containment work
+    // happens in the caller's shared checker.
+    let small = setting(3);
+    let n = constructed_by(|| {
+        let options = EnumerationOptions {
+            constants: q.constants().into_iter().collect(),
+            language: PlanLanguage::Cq,
+            max_arity: 3,
+        };
+        let plans = enumerate_plans(&small, &options, &Budget::generous()).unwrap();
+        assert!(!plans.is_empty());
+    });
+    assert_eq!(n, 0, "enumeration never constructs checkers");
+
+    // Sanity: the counter itself moves when checkers are constructed.
+    let schema = s.schema.clone();
+    let n = constructed_by(|| {
+        let _ = ContainmentChecker::new(&schema);
+        let _ = ContainmentChecker::new(&schema);
+    });
+    assert_eq!(n, 2);
+}

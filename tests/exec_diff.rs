@@ -1,0 +1,276 @@
+//! Differential tests for the compiled plan-execution pipeline: randomized
+//! plans and instances, executed by the compiled pipeline (serial and
+//! sharded-parallel, i.e. every `ExecOptions` shape) and by the retained
+//! tree-walking interpreter `exec::reference`, asserting **identical answer
+//! tuples and identical `FetchStats`** — the `|D_ξ|` accounting is part of
+//! the bounded-rewriting contract, not a side channel.
+
+use bqr_data::{
+    tuple, AccessConstraint, AccessSchema, Database, DatabaseSchema, IndexedDatabase, Value,
+};
+use bqr_plan::builder::Plan;
+use bqr_plan::exec::{execute_with, reference, ExecOptions};
+use bqr_plan::QueryPlan;
+use bqr_query::parser::parse_cq;
+use bqr_query::{MaterializedViews, ViewSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_ARITY: usize = 6;
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::with_relations(&[("r", &["a", "b"]), ("s", &["b", "c"]), ("t", &["c"])])
+        .unwrap()
+}
+
+fn constraints() -> Vec<AccessConstraint> {
+    vec![
+        AccessConstraint::new("r", &["a"], &["b"], 3).unwrap(),
+        AccessConstraint::new("s", &["b"], &["c"], 4).unwrap(),
+        // Empty X: the fetch retrieves the whole bounded relation.
+        AccessConstraint::new("t", &[], &["c"], 16).unwrap(),
+    ]
+}
+
+/// A random instance over a small value domain, so joins and fetches hit.
+fn random_instance(rng: &mut StdRng) -> (IndexedDatabase, MaterializedViews) {
+    let mut db = Database::empty(schema());
+    for _ in 0..rng.gen_range(10..40usize) {
+        db.insert(
+            "r",
+            tuple![rng.gen_range(0..12i64), rng.gen_range(0..12i64)],
+        )
+        .unwrap();
+    }
+    for _ in 0..rng.gen_range(10..40usize) {
+        db.insert(
+            "s",
+            tuple![rng.gen_range(0..12i64), rng.gen_range(0..12i64)],
+        )
+        .unwrap();
+    }
+    for _ in 0..rng.gen_range(1..8usize) {
+        db.insert("t", tuple![rng.gen_range(0..12i64)]).unwrap();
+    }
+    let mut views = ViewSet::empty();
+    views
+        .add_cq("Vr", parse_cq("Vr(x, y) :- r(x, y)").unwrap())
+        .unwrap();
+    views
+        .add_cq("W", parse_cq("W(x) :- s(x, y)").unwrap())
+        .unwrap();
+    let cache = views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db, AccessSchema::new(constraints())).unwrap();
+    (idb, cache)
+}
+
+fn rand_value(rng: &mut StdRng) -> Value {
+    Value::int(rng.gen_range(0..12i64))
+}
+
+fn leaf(rng: &mut StdRng) -> Plan {
+    match rng.gen_range(0..5u32) {
+        0 => Plan::constant(vec![rand_value(rng)]),
+        1 => Plan::constant(vec![rand_value(rng), rand_value(rng)]),
+        2 => Plan::constant(Vec::<Value>::new()),
+        3 => Plan::view("Vr", 2),
+        _ => Plan::view("W", 1),
+    }
+}
+
+/// Project both sides of a binary set operator to a shared arity.
+fn align(rng: &mut StdRng, left: Plan, right: Plan) -> (Plan, Plan) {
+    let arity = left.arity().min(right.arity());
+    let shrink = |rng: &mut StdRng, p: Plan| {
+        if p.arity() == arity {
+            return p;
+        }
+        let mut cols: Vec<usize> = (0..p.arity()).collect();
+        // Random column choice keeps the generator from always aligning on
+        // prefixes.
+        while cols.len() > arity {
+            let drop = rng.gen_range(0..cols.len());
+            cols.remove(drop);
+        }
+        p.project(cols)
+    };
+    (shrink(rng, left), shrink(rng, right))
+}
+
+fn random_conditions(rng: &mut StdRng, arity: usize) -> Vec<bqr_plan::SelectCondition> {
+    use bqr_plan::SelectCondition;
+    let mut conds = Vec::new();
+    for _ in 0..rng.gen_range(1..3usize) {
+        let c = rng.gen_range(0..arity);
+        conds.push(match rng.gen_range(0..4u32) {
+            0 => SelectCondition::ColEqConst(c, rand_value(rng)),
+            1 => SelectCondition::ColNeConst(c, rand_value(rng)),
+            2 => SelectCondition::ColEqCol(c, rng.gen_range(0..arity)),
+            _ => SelectCondition::ColNeCol(c, rng.gen_range(0..arity)),
+        });
+    }
+    conds
+}
+
+fn gen_plan(rng: &mut StdRng, depth: usize) -> Plan {
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..12u32) {
+        0 | 1 => leaf(rng),
+        2 | 3 => {
+            // Projection (possibly widening by repeating columns, possibly
+            // onto the empty column list).
+            let child = gen_plan(rng, depth - 1);
+            if child.arity() == 0 {
+                return child;
+            }
+            let n = rng.gen_range(0..=child.arity().min(3));
+            let cols: Vec<usize> = (0..n).map(|_| rng.gen_range(0..child.arity())).collect();
+            child.project(cols)
+        }
+        4 => {
+            let child = gen_plan(rng, depth - 1);
+            if child.arity() == 0 {
+                return child;
+            }
+            let conds = random_conditions(rng, child.arity());
+            child.select(conds)
+        }
+        5 => gen_plan(rng, depth - 1).rename(),
+        6 | 7 => {
+            // A fetch through a random constraint, padding the input with
+            // constant columns when it is too narrow for the key.
+            let constraint = constraints()[rng.gen_range(0..3usize)].clone();
+            let key_len = constraint.x().len();
+            let mut child = gen_plan(rng, depth - 1);
+            while child.arity() < key_len {
+                child = child.product(Plan::constant(vec![rand_value(rng)]));
+            }
+            let mut cols: Vec<usize> = (0..child.arity()).collect();
+            while cols.len() > key_len {
+                let drop = rng.gen_range(0..cols.len());
+                cols.remove(drop);
+            }
+            child.fetch(constraint, cols)
+        }
+        8 => {
+            let left = gen_plan(rng, depth - 1);
+            let right = gen_plan(rng, depth - 1);
+            if left.arity() + right.arity() > MAX_ARITY {
+                return left;
+            }
+            left.product(right)
+        }
+        9 => {
+            // The σ-over-× join pattern (compiles to a hash join).
+            let left = gen_plan(rng, depth - 1);
+            let right = gen_plan(rng, depth - 1);
+            if left.arity() == 0 || right.arity() == 0 || left.arity() + right.arity() > MAX_ARITY {
+                return left;
+            }
+            let pairs = vec![(
+                rng.gen_range(0..left.arity()),
+                rng.gen_range(0..right.arity()),
+            )];
+            left.join_eq(right, &pairs)
+        }
+        10 => {
+            let (left, right) = {
+                let l = gen_plan(rng, depth - 1);
+                let r = gen_plan(rng, depth - 1);
+                align(rng, l, r)
+            };
+            left.union(right)
+        }
+        _ => {
+            let (left, right) = {
+                let l = gen_plan(rng, depth - 1);
+                let r = gen_plan(rng, depth - 1);
+                align(rng, l, r)
+            };
+            left.difference(right)
+        }
+    }
+}
+
+fn all_options() -> Vec<ExecOptions> {
+    vec![
+        ExecOptions::serial(),
+        ExecOptions::parallel(2),
+        ExecOptions::parallel(4),
+    ]
+}
+
+fn assert_equivalent(plan: &QueryPlan, idb: &IndexedDatabase, views: &MaterializedViews) {
+    let expected = reference::execute(plan, idb, views).expect("generated plans execute");
+    for options in all_options() {
+        let got = execute_with(plan, idb, views, &options).expect("generated plans compile");
+        assert_eq!(
+            expected.tuples, got.tuples,
+            "answers diverge under {options:?} on\n{plan}"
+        );
+        assert_eq!(
+            expected.stats, got.stats,
+            "FetchStats diverge under {options:?} on\n{plan}"
+        );
+    }
+}
+
+/// ≥ 200 randomized plan/instance pairs, every `ExecOptions`, tuples and
+/// stats equal.
+#[test]
+fn compiled_pipeline_matches_reference_on_random_plans() {
+    let mut rng = StdRng::seed_from_u64(0xB9_5EED);
+    let mut executed = 0usize;
+    let mut with_fetch = 0usize;
+    let mut with_join = 0usize;
+    let mut attempts = 0usize;
+    while executed < 250 {
+        attempts += 1;
+        assert!(attempts < 5_000, "generator degenerated");
+        let (idb, views) = random_instance(&mut rng);
+        let Ok(plan) = gen_plan(&mut rng, 3).build() else {
+            continue;
+        };
+        assert_equivalent(&plan, &idb, &views);
+        executed += 1;
+        if !plan.fetches().is_empty() {
+            with_fetch += 1;
+        }
+        if format!("{plan}").contains('×') {
+            with_join += 1;
+        }
+    }
+    // The generator must actually exercise the interesting operators.
+    assert!(with_fetch >= 30, "only {with_fetch} plans fetched");
+    assert!(with_join >= 30, "only {with_join} plans joined");
+}
+
+/// A deterministic case large enough to cross the parallel threshold, so the
+/// sharded code path itself is exercised (random instances stay below it).
+#[test]
+fn sharded_parallel_path_is_exercised_and_identical() {
+    let schema = DatabaseSchema::with_relations(&[("e", &["x", "y"])]).unwrap();
+    let mut db = Database::empty(schema);
+    for i in 0..6_000i64 {
+        db.insert("e", tuple![i % 600, i]).unwrap();
+    }
+    let mut views = ViewSet::empty();
+    views
+        .add_cq("E", parse_cq("E(x, y) :- e(x, y)").unwrap())
+        .unwrap();
+    let cache = views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db, AccessSchema::empty()).unwrap();
+    let plan = Plan::view("E", 2)
+        .join_eq(Plan::view("E", 2), &[(0, 0)])
+        .select(vec![bqr_plan::SelectCondition::ColNeCol(1, 3)])
+        .project(vec![1, 3])
+        .build()
+        .unwrap();
+    assert!(
+        cache.extent("E").unwrap().len() >= ExecOptions::PARALLEL_MIN_ROWS,
+        "the probe side must cross the parallel threshold"
+    );
+    assert_equivalent(&plan, &idb, &cache);
+}
