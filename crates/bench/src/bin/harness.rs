@@ -11,9 +11,14 @@
 //! The `plan` mode benchmarks the compiled plan-execution pipeline against
 //! the retained tree-walking interpreter (`exec::reference`) on the movies,
 //! CDR and AGM-triangle plan workloads, measures sharded-parallel scaling at
-//! 1/2/4 shards, writes `BENCH_plan.json` (`BENCH_PLAN_JSON` to override),
-//! and **exits non-zero** if the compiled executor is slower than the
-//! reference on the movies workload — CI runs it as a regression gate.
+//! 1/2/4 shards, runs the **prepared** rows (cold compile+exec on a freshly
+//! loaded instance vs warm pipeline-cache-hit execution), writes
+//! `BENCH_plan.json` (`BENCH_PLAN_JSON` to override), and **exits non-zero**
+//! if the compiled executor is slower than the reference on the movies
+//! workload, or if a warm cache-hit execution is not at least 3× faster
+//! than a cold compile+exec there — CI runs it as a regression gate.
+//! `prepared` is an alias for `plan` (the prepared rows are part of the same
+//! report file).
 
 use bqr_bench::{checker_with_annotations, compare, plan_for, prepare};
 use bqr_core::bounded_eval::boundedly_evaluable_cq;
@@ -32,7 +37,7 @@ fn main() {
         "e6" => e6_cdr(),
         "e7" => e7_random(),
         "hom" => hom_engine(),
-        "plan" => plan_executor(),
+        "plan" | "prepared" => plan_executor(),
         "all" => {
             e1_figure1();
             e4_analysis_cost();
@@ -43,7 +48,7 @@ fn main() {
             plan_executor();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|hom|plan|all");
+            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|hom|plan|prepared|all");
             std::process::exit(1);
         }
     }
@@ -80,19 +85,39 @@ fn hom_engine() {
     let path = std::env::var("BENCH_HOM_JSON").unwrap_or_else(|_| "BENCH_hom.json".to_string());
     std::fs::write(&path, json).expect("write BENCH_hom.json");
     println!("wrote {path}");
+
+    // The cold-path pin (ROADMAP "known cost"): a cold single-shot
+    // enumeration pays snapshot interning once; it may not silently grow
+    // past the pinned multiple of the reference engine.
+    let cold = results
+        .iter()
+        .find(|r| r.name == hom_bench::COLD_ENUMERATION_CASE)
+        .expect("the cold-enumeration row exists");
+    if cold.slot_cached_ms > hom_bench::COLD_ENUMERATION_MAX_RATIO * cold.baseline_ms {
+        eprintln!(
+            "REGRESSION: cold single-shot enumeration ({:.2} ms) exceeds {}x the reference engine ({:.2} ms)",
+            cold.slot_cached_ms,
+            hom_bench::COLD_ENUMERATION_MAX_RATIO,
+            cold.baseline_ms
+        );
+        std::process::exit(1);
+    }
 }
 
-/// `plan` — the compiled plan-execution pipeline vs the tree-walking
-/// reference interpreter, plus parallel scaling.  Emits `BENCH_plan.json`
-/// and fails (exit 1) when the compiled executor loses to the reference on
-/// the movies workload.
+/// `plan` / `prepared` — the compiled plan-execution pipeline vs the
+/// tree-walking reference interpreter, parallel scaling, and the prepared
+/// (cold compile+exec vs warm cache-hit) rows.  Emits `BENCH_plan.json` and
+/// fails (exit 1) when the compiled executor loses to the reference on the
+/// movies workload, or when a warm cache-hit execution is not ≥ 3× faster
+/// than a cold compile+exec there.
 fn plan_executor() {
     use bqr_bench::plan_bench;
 
     println!(
-        "\n== plan: compiled pipeline vs exec::reference; parallel scaling at 1/2/4 shards =="
+        "\n== plan: compiled pipeline vs exec::reference; parallel scaling at 1/2/4 shards; \
+         prepared cold vs warm =="
     );
-    let (results, parallel, json) = plan_bench::report();
+    let (results, parallel, prepared, json) = plan_bench::report();
     println!(
         "{:<28} {:>8} {:>14} {:>14} {:>9}",
         "case", "repeats", "reference-ms", "compiled-ms", "speedup"
@@ -117,6 +142,21 @@ fn plan_executor() {
             p.name, p.shards, p.ms, p.scaling
         );
     }
+    println!(
+        "{:<28} {:>6}/{:<6} {:>14} {:>14} {:>9}",
+        "prepared", "cold", "warm", "cold-ms/exec", "warm-ms/exec", "speedup"
+    );
+    for p in &prepared {
+        println!(
+            "{:<28} {:>6}/{:<6} {:>14.3} {:>14.4} {:>8.1}x",
+            p.name,
+            p.cold_rounds,
+            p.warm_repeats,
+            p.cold_ms,
+            p.warm_ms,
+            p.speedup()
+        );
+    }
     let path = std::env::var("BENCH_PLAN_JSON").unwrap_or_else(|_| "BENCH_plan.json".to_string());
     std::fs::write(&path, json).expect("write BENCH_plan.json");
     println!("wrote {path}");
@@ -129,6 +169,19 @@ fn plan_executor() {
         eprintln!(
             "REGRESSION: compiled executor ({:.2} ms) is slower than exec::reference ({:.2} ms) on the movies workload",
             movies.compiled_ms, movies.reference_ms
+        );
+        std::process::exit(1);
+    }
+    let movies_prepared = prepared
+        .iter()
+        .find(|p| p.name.starts_with("movies"))
+        .expect("the prepared movies row exists");
+    if movies_prepared.speedup() < plan_bench::PREPARED_MIN_SPEEDUP {
+        eprintln!(
+            "REGRESSION: warm cache-hit execution ({:.4} ms) is not {}x faster than cold compile+exec ({:.3} ms) on the movies workload",
+            movies_prepared.warm_ms,
+            plan_bench::PREPARED_MIN_SPEEDUP,
+            movies_prepared.cold_ms
         );
         std::process::exit(1);
     }

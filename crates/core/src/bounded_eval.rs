@@ -101,4 +101,32 @@ mod tests {
         assert!(analysis.topped, "{:?}", analysis.reason);
         assert!(analysis.fetch_bound.unwrap() <= 200);
     }
+
+    /// The bounded-evaluability plan serves repeated executions through the
+    /// prepared pipeline cache (`V = ∅`, so only base-relation epochs key
+    /// the entry).
+    #[test]
+    fn bounded_evaluation_serves_through_the_prepared_path() {
+        use bqr_data::{tuple, Database, IndexedDatabase};
+        let setting = setting_with_view();
+        let q = parse_cq("Q(r) :- movie(m, n, 'Universal', '2014'), rating(m, r)").unwrap();
+        let analysis = boundedly_evaluable_cq(&setting, &q).unwrap();
+        let cache = std::sync::Arc::new(bqr_plan::PipelineCache::new(4));
+        let prepared = analysis
+            .prepare_plan_with(std::sync::Arc::clone(&cache))
+            .expect("the analysis carries a plan");
+
+        let mut db = Database::empty(setting.schema.clone());
+        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("rating", tuple![10, 5]).unwrap();
+        let idb = IndexedDatabase::build(db, setting.access.clone()).unwrap();
+        let views = bqr_query::MaterializedViews::empty();
+        for _ in 0..3 {
+            let out = prepared.execute(&idb, &views).unwrap();
+            assert_eq!(out.tuples, vec![tuple![5]]);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2), "{stats:?}");
+    }
 }

@@ -40,6 +40,25 @@ impl DecisionOutcome {
             _ => None,
         }
     }
+
+    /// The witness plan as a [`bqr_plan::PreparedPlan`] on the process-wide
+    /// pipeline cache — the exact procedures decide once, and the rewriting
+    /// they return is then executed many times over a slowly changing
+    /// instance; the prepared handle makes every warm execution skip
+    /// recompilation (and re-validate relation/view epochs for free).
+    pub fn prepare(&self) -> Option<bqr_plan::PreparedPlan> {
+        self.plan().cloned().map(bqr_plan::PreparedPlan::new)
+    }
+
+    /// [`prepare`](DecisionOutcome::prepare) against a caller-owned cache.
+    pub fn prepare_with(
+        &self,
+        cache: std::sync::Arc<bqr_plan::PipelineCache>,
+    ) -> Option<bqr_plan::PreparedPlan> {
+        self.plan()
+            .cloned()
+            .map(|plan| bqr_plan::PreparedPlan::with_cache(plan, cache))
+    }
 }
 
 /// Decide `VBRP(L)` exactly for a query in `∃FO+` (CQ, UCQ or positive FO),
@@ -348,6 +367,39 @@ mod tests {
         let plan = outcome.plan().expect("a rewriting exists");
         assert!(plan.size() <= 3);
         assert_eq!(plan.fetches().len(), 1);
+    }
+
+    /// The witness of the exact search executes through the prepared path:
+    /// warm executions hit the pipeline cache, and a mutated instance
+    /// (fresh epochs) transparently recompiles to the fresh answer.
+    #[test]
+    fn decided_rewriting_serves_through_the_prepared_path() {
+        use bqr_data::{tuple, Database, IndexedDatabase};
+        let setting = RewritingSetting::new(rating_schema(), rating_access(), ViewSet::empty(), 3);
+        let q = parse_cq("Q(r) :- rating(42, r)").unwrap();
+        let outcome = decide_vbrp(&VbrpInstance::new(setting, q), PlanLanguage::Cq).unwrap();
+        let cache = std::sync::Arc::new(bqr_plan::PipelineCache::new(4));
+        let prepared = outcome
+            .prepare_with(std::sync::Arc::clone(&cache))
+            .expect("a rewriting exists");
+        assert!(outcome.prepare().is_some(), "global-cache handle too");
+
+        let mut db = Database::empty(rating_schema());
+        db.insert("rating", tuple![42, 5]).unwrap();
+        let idb = IndexedDatabase::build(db.clone(), rating_access()).unwrap();
+        let views = bqr_query::MaterializedViews::empty();
+        for _ in 0..2 {
+            let out = prepared.execute(&idb, &views).unwrap();
+            assert_eq!(out.tuples, vec![tuple![5]]);
+        }
+        assert_eq!(cache.stats().hits, 1, "the repeat execution was warm");
+
+        db.insert("rating", tuple![43, 4]).unwrap();
+        let idb2 = IndexedDatabase::build(db, rating_access()).unwrap();
+        let out = prepared.execute(&idb2, &views).unwrap();
+        assert_eq!(out.tuples, vec![tuple![5]], "the answer is epoch-correct");
+        assert_eq!(cache.stats().misses, 2, "fresh epochs recompiled");
+        assert!(DecisionOutcome::NoRewriting.prepare().is_none());
     }
 
     /// The same query has no 2-node rewriting (const + fetch gives (mid, rank),

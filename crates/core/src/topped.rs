@@ -67,16 +67,41 @@ impl ToppedAnalysis {
     /// Compile the constructed plan (when one exists) into `bqr-plan`'s
     /// executor pipeline, ready for repeated — optionally sharded-parallel —
     /// execution against `idb` and `views`.  This is the serving path: the
-    /// checker constructs the plan once, the pipeline is compiled once, and
-    /// every query execution runs over interned ids.
+    /// checker constructs the plan once, and the pipeline is obtained through
+    /// the process-wide [`bqr_plan::PipelineCache`] — compiled at most once
+    /// per `(plan, epoch)` pair, shared with every other prepared consumer of
+    /// the same plan, and every query execution runs over interned ids.
+    ///
+    /// The returned pipeline is also *retained* in that cache (bounded by its
+    /// LRU capacity), which is what a serving process wants; a one-shot
+    /// analysis pass that must not retain anything can call
+    /// [`bqr_plan::Pipeline::compile`] on [`ToppedAnalysis::plan`] directly.
     pub fn compile_plan(
         &self,
         idb: &bqr_data::IndexedDatabase,
         views: &bqr_query::MaterializedViews,
-    ) -> Option<bqr_plan::Result<bqr_plan::Pipeline>> {
+    ) -> Option<bqr_plan::Result<std::sync::Arc<bqr_plan::Pipeline>>> {
+        self.prepare_plan()
+            .map(|p| p.pipeline(idb, views, &bqr_plan::ExecOptions::serial()))
+    }
+
+    /// The constructed plan (when one exists) as a [`bqr_plan::PreparedPlan`]
+    /// handle on the process-wide pipeline cache: fingerprinted once here,
+    /// compiled lazily on first execution, re-validated by relation/view
+    /// epoch on every subsequent one.  The handle for repeated serving.
+    pub fn prepare_plan(&self) -> Option<bqr_plan::PreparedPlan> {
+        self.plan.clone().map(bqr_plan::PreparedPlan::new)
+    }
+
+    /// [`prepare_plan`](ToppedAnalysis::prepare_plan) against a caller-owned
+    /// cache (isolated counters / capacity).
+    pub fn prepare_plan_with(
+        &self,
+        cache: std::sync::Arc<bqr_plan::PipelineCache>,
+    ) -> Option<bqr_plan::PreparedPlan> {
         self.plan
-            .as_ref()
-            .map(|plan| bqr_plan::Pipeline::compile(plan, idb, views))
+            .clone()
+            .map(|plan| bqr_plan::PreparedPlan::with_cache(plan, cache))
     }
 }
 
@@ -964,9 +989,20 @@ mod tests {
             let out = pipeline.execute(&idb, &options).unwrap();
             assert_eq!(out, one_shot);
         }
-        // A rejected analysis has no plan to compile.
+        // The prepared handle serves the same answers and observably skips
+        // recompilation on the warm path.
+        let cache_handle = std::sync::Arc::new(bqr_plan::PipelineCache::new(8));
+        let prepared = analysis
+            .prepare_plan_with(std::sync::Arc::clone(&cache_handle))
+            .unwrap();
+        assert_eq!(prepared.execute(&idb, &cache).unwrap(), one_shot);
+        assert_eq!(prepared.execute(&idb, &cache).unwrap(), one_shot);
+        let stats = cache_handle.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "{stats:?}");
+        // A rejected analysis has no plan to compile or prepare.
         let rejected = ToppedAnalysis::rejected("no".into());
         assert!(rejected.compile_plan(&idb, &cache).is_none());
+        assert!(rejected.prepare_plan().is_none());
     }
 
     /// Q0 is NOT topped without the view: person/like cannot be fetched.

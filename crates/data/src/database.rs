@@ -80,6 +80,16 @@ impl Database {
         self.relations.values()
     }
 
+    /// The epoch of every relation instance, in name order — the instance's
+    /// *epoch vector*.  Two databases with equal epoch vectors are guaranteed
+    /// to have identical contents (epochs are globally unique stamps, see
+    /// [`Relation::epoch`]), which is what lets derived artifacts — cached
+    /// indexes, interned snapshots, compiled plan pipelines — be keyed by
+    /// epochs alone and re-validated in `O(#relations)` instead of `O(|D|)`.
+    pub fn epochs(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.relations.values().map(|r| (r.name(), r.epoch()))
+    }
+
     /// The active domain of the instance: every value occurring anywhere in
     /// `D`.  Used by the FO evaluator (safe-range semantics) and by the
     /// reductions' counterexample constructions.
@@ -166,6 +176,22 @@ mod tests {
         ));
         assert!(db.expect_relation("movie").is_ok());
         assert!(db.expect_relation("person").is_err());
+    }
+
+    #[test]
+    fn epoch_vector_tracks_per_relation_mutation() {
+        let mut db = movie_db();
+        let names: Vec<&str> = db.epochs().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["movie", "rating"], "name order");
+        let before: Vec<u64> = db.epochs().map(|(_, e)| e).collect();
+        // Unmutated clones share the whole epoch vector.
+        let clone = db.clone();
+        assert_eq!(before, clone.epochs().map(|(_, e)| e).collect::<Vec<_>>());
+        // A mutation re-stamps exactly the touched relation.
+        db.insert("rating", tuple![3, 4]).unwrap();
+        let after: Vec<u64> = db.epochs().map(|(_, e)| e).collect();
+        assert_eq!(before[0], after[0], "movie untouched");
+        assert!(after[1] > before[1], "rating re-stamped, monotonically");
     }
 
     #[test]

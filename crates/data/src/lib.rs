@@ -51,7 +51,9 @@ pub use index_cache::{IndexCache, InternedIndex, RelationIndex};
 pub use intern::ValueId;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
-pub use snapshot::{shard_ranges, snapshot_of, InternedSnapshot, SnapshotShard};
+pub use snapshot::{
+    live_snapshot_epochs, shard_ranges, snapshot_of, InternedSnapshot, SnapshotShard,
+};
 pub use stats::{FetchStats, RelationStats};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -204,6 +204,25 @@ pub fn snapshot_of(relation: &Relation) -> Arc<InternedSnapshot> {
     built
 }
 
+/// The epochs whose snapshots are currently live (registered and still held
+/// by at least one `Arc`), in ascending order.  Introspection for cache
+/// diagnostics and tests: a *warm* epoch appears here, so a prepared-plan
+/// executor about to re-use a pipeline can tell whether its view snapshots
+/// are still shared or would have to be re-interned (the cold-path cost
+/// tracked in ROADMAP).  Dead `Weak` entries are not reported (nor swept).
+pub fn live_snapshot_epochs() -> Vec<u64> {
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut live: Vec<u64> = registry
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(_, w)| w.strong_count() > 0)
+        .map(|(&epoch, _)| epoch)
+        .collect();
+    live.sort_unstable();
+    live
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +328,23 @@ mod tests {
         assert_eq!(rows, snap.len());
         // More shards than rows: one shard per row.
         assert_eq!(snap.shards(16).len(), 3);
+    }
+
+    #[test]
+    fn live_epochs_track_snapshot_lifetimes() {
+        let r = rating();
+        let epoch = r.epoch();
+        assert!(
+            !live_snapshot_epochs().contains(&epoch),
+            "nothing snapshotted this epoch yet"
+        );
+        let snap = snapshot_of(&r);
+        assert!(live_snapshot_epochs().contains(&epoch), "live while held");
+        drop(snap);
+        assert!(
+            !live_snapshot_epochs().contains(&epoch),
+            "dead once the last Arc is gone"
+        );
     }
 
     #[test]

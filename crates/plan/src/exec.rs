@@ -79,8 +79,9 @@ impl ExecOutput {
     }
 }
 
-/// Options controlling pipeline execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Options controlling pipeline execution.  `Hash` so the options can be
+/// part of a [`crate::prepared::PipelineCache`] key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// How many contiguous row ranges data-parallel operators split their
     /// inputs into.  Meaningful only with `parallel`; clamped to ≥ 1.

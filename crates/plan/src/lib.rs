@@ -14,6 +14,12 @@
 //!   for the σ-over-× pattern, id-native fetches, optional sharded-parallel
 //!   evaluation via [`ExecOptions`]); the original tree-walking interpreter
 //!   is retained as [`exec::reference`] for differential testing;
+//! * [`fingerprint`] — canonical structural [`PlanFingerprint`]s, the plan
+//!   half of the prepared-execution cache key;
+//! * [`prepared`] — the prepared-statement layer: a process-wide
+//!   [`PipelineCache`] keyed by `(fingerprint, options, epoch vector)` and
+//!   the [`PreparedPlan`] handle that re-validates epochs per execution and
+//!   recompiles only on invalidation;
 //! * [`to_query`] — the query `Q_ξ` expressed by a plan (unfolding into the
 //!   calculus), used by the equivalence checks of `bqr-core`;
 //! * [`conform`] — conformance to an access schema: every fetch is justified
@@ -23,13 +29,17 @@ pub mod builder;
 pub mod conform;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod node;
+pub mod prepared;
 pub mod to_query;
 
 pub use conform::{check_conformance, Conformance};
 pub use error::PlanError;
 pub use exec::{execute, execute_with, ExecOptions, ExecOutput, Pipeline};
+pub use fingerprint::{fingerprint as plan_fingerprint, PlanFingerprint};
 pub use node::{PlanLanguage, PlanNode, QueryPlan, SelectCondition};
+pub use prepared::{CacheStats, EpochVector, PipelineCache, PreparedPlan};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, PlanError>;

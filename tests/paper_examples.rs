@@ -237,6 +237,125 @@ fn golden_cdr_workload_answers_and_decisions_are_pinned() {
     assert_eq!(callers, expected_callers);
 }
 
+/// Golden test: the paper's movie example served through the prepared path —
+/// pinned answers on the Fig.-1 instance, a warm cache hit on the repeat
+/// execution, and a cache invalidation after an update that changes the
+/// answer.
+#[test]
+fn golden_movie_answers_through_the_prepared_path() {
+    use bqr_data::{tuple, Database};
+    use bqr_plan::{PipelineCache, PreparedPlan};
+    use std::sync::Arc;
+
+    let n0 = 100;
+    let setting = movies::setting(n0, 11);
+    let plan = figure1_plan(&phi1(n0), &phi2()).unwrap();
+    let cache_handle = Arc::new(PipelineCache::new(8));
+    let prepared = PreparedPlan::with_cache(plan.clone(), Arc::clone(&cache_handle));
+
+    // The hand-built instance of Examples 1.1 / 2.2.
+    let mut db = Database::empty(setting.schema.clone());
+    db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
+    db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
+    db.insert("person", tuple![3, "Cat", "ESA"]).unwrap();
+    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![11, "Ouija", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
+    db.insert("rating", tuple![10, 5]).unwrap();
+    db.insert("rating", tuple![11, 3]).unwrap();
+    db.insert("rating", tuple![12, 5]).unwrap();
+    db.insert("like", tuple![1, 10, "movie"]).unwrap();
+    db.insert("like", tuple![2, 12, "movie"]).unwrap();
+    db.insert("like", tuple![3, 11, "movie"]).unwrap();
+
+    let views = setting.views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db.clone(), setting.access.clone()).unwrap();
+    for _ in 0..2 {
+        let out = prepared.execute(&idb, &views).unwrap();
+        assert_eq!(out.tuples, vec![tuple![10]], "only Lucy qualifies");
+        assert!(out.stats.fetched_tuples <= 2 * n0);
+        assert_eq!(out.stats.scanned_tuples, 0, "bounded plans never scan");
+    }
+    let warm = cache_handle.stats();
+    assert_eq!((warm.misses, warm.hits), (1, 1), "{warm:?}");
+
+    // The update scenario: a new Universal/2014 movie, rated 5 and liked by
+    // a NASA person, lands; extents are refreshed.  The prepared handle must
+    // recompile (epoch invalidation) and serve the new answer — and the
+    // result still matches the naive oracle.
+    db.insert("movie", tuple![13, "Vice", "Universal", "2014"])
+        .unwrap();
+    db.insert("rating", tuple![13, 5]).unwrap();
+    db.insert("like", tuple![1, 13, "movie"]).unwrap();
+    let views = setting.views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db.clone(), setting.access.clone()).unwrap();
+    let out = prepared.execute(&idb, &views).unwrap();
+    assert_eq!(out.tuples, vec![tuple![10], tuple![13]], "Vice joined");
+    assert_eq!(
+        out.tuples,
+        bqr_query::eval::eval_cq(&movies::q0(), &db, None).unwrap()
+    );
+    let updated = cache_handle.stats();
+    assert_eq!(updated.misses, 2, "{updated:?}");
+    assert_eq!(updated.invalidations, 1, "the stale entry was swept");
+    // And the refreshed entry is warm again.
+    assert_eq!(
+        prepared.execute(&idb, &views).unwrap().tuples,
+        vec![tuple![10], tuple![13]]
+    );
+    assert_eq!(cache_handle.stats().hits, 2);
+}
+
+/// Golden test: every topped CDR template of the pinned fixed-scale instance
+/// answers identically through the prepared path and the naive evaluator,
+/// with the repeat executions all served from the pipeline cache.
+#[test]
+fn golden_cdr_workload_through_the_prepared_path() {
+    use bqr_bench::checker_with_annotations;
+    use bqr_plan::{PipelineCache, PreparedPlan};
+    use bqr_query::eval::eval_cq;
+    use bqr_workload::cdr;
+    use std::sync::Arc;
+
+    let scale = cdr::CdrScale {
+        customers: 300,
+        days: 5,
+        ..cdr::CdrScale::default()
+    };
+    let db = cdr::generate(scale);
+    let setting = cdr::setting(&scale, 120);
+    let cache = setting.views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db.clone(), setting.access.clone()).unwrap();
+    let checker = checker_with_annotations(&setting, &cdr::view_bounds());
+    let cache_handle = Arc::new(PipelineCache::new(32));
+
+    let mut topped = 0usize;
+    for q in &cdr::workload(17, 3) {
+        let analysis = checker.analyze_cq(&q.query).unwrap();
+        if !analysis.topped {
+            continue;
+        }
+        topped += 1;
+        let prepared =
+            PreparedPlan::with_cache(analysis.plan.clone().unwrap(), Arc::clone(&cache_handle));
+        let expected = eval_cq(&q.query, &db, Some(&cache)).unwrap();
+        for _ in 0..2 {
+            let out = prepared.execute(&idb, &cache).unwrap();
+            assert_eq!(out.tuples, expected, "{} drifted", q.name);
+        }
+    }
+    assert_eq!(topped, 9, "the pinned workload has 9 topped templates");
+    let stats = cache_handle.stats();
+    assert_eq!(stats.misses, topped as u64, "{stats:?}");
+    assert_eq!(
+        stats.hits, topped as u64,
+        "every repeat was warm: {stats:?}"
+    );
+    assert_eq!(stats.lookups, stats.hits + stats.misses);
+}
+
 /// The exact decision procedure agrees with the effective syntax on the
 /// paper's running example, for a bound large enough for the Fig.-1 plan.
 #[test]
