@@ -143,18 +143,21 @@ fn plan_executor() {
         );
     }
     println!(
-        "{:<28} {:>6}/{:<6} {:>14} {:>14} {:>9}",
+        "{:<28} {:>6}/{:<6} {:>14} {:>14} {:>9}  cache h/m/inval",
         "prepared", "cold", "warm", "cold-ms/exec", "warm-ms/exec", "speedup"
     );
     for p in &prepared {
         println!(
-            "{:<28} {:>6}/{:<6} {:>14.3} {:>14.4} {:>8.1}x",
+            "{:<28} {:>6}/{:<6} {:>14.3} {:>14.4} {:>8.1}x  {}/{}/{}",
             p.name,
             p.cold_rounds,
             p.warm_repeats,
             p.cold_ms,
             p.warm_ms,
-            p.speedup()
+            p.speedup(),
+            p.cache.hits,
+            p.cache.misses,
+            p.cache.invalidations
         );
     }
     let path = std::env::var("BENCH_PLAN_JSON").unwrap_or_else(|_| "BENCH_plan.json".to_string());

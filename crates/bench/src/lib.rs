@@ -808,6 +808,11 @@ pub mod plan_bench {
         /// Milliseconds per *warm* prepared execution: pipeline-cache hit,
         /// run only.
         pub warm_ms: f64,
+        /// The pipeline cache's counters at the end of the run, so bench
+        /// output shows the cache behaviour behind the timings (every cold
+        /// round is a miss, every warm repeat a hit, and each fresh-epoch
+        /// reload invalidates its predecessor's entry).
+        pub cache: bqr_plan::CacheStats,
     }
 
     impl PreparedResult {
@@ -968,6 +973,7 @@ pub mod plan_bench {
             warm_repeats: case.warm_repeats,
             cold_ms: cold_total_ms / case.cold_rounds as f64,
             warm_ms: warm_total_ms / case.warm_repeats as f64,
+            cache: stats,
         }
     }
 
@@ -1044,13 +1050,16 @@ pub mod plan_bench {
         json.push_str("  ],\n  \"prepared\": [\n");
         for (i, p) in prepared.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"cold_rounds\": {}, \"warm_repeats\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.4}, \"speedup\": {:.1}}}{}\n",
+                "    {{\"name\": \"{}\", \"cold_rounds\": {}, \"warm_repeats\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.4}, \"speedup\": {:.1}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}}}}}{}\n",
                 p.name,
                 p.cold_rounds,
                 p.warm_repeats,
                 p.cold_ms,
                 p.warm_ms,
                 p.speedup(),
+                p.cache.hits,
+                p.cache.misses,
+                p.cache.invalidations,
                 if i + 1 < prepared.len() { "," } else { "" }
             ));
         }

@@ -114,6 +114,7 @@ mod tests {
         let cache = std::sync::Arc::new(bqr_plan::PipelineCache::new(4));
         let prepared = analysis
             .prepare_plan_with(std::sync::Arc::clone(&cache))
+            .unwrap()
             .expect("the analysis carries a plan");
 
         let mut db = Database::empty(setting.schema.clone());

@@ -46,18 +46,28 @@ impl DecisionOutcome {
     /// they return is then executed many times over a slowly changing
     /// instance; the prepared handle makes every warm execution skip
     /// recompilation (and re-validate relation/view epochs for free).
-    pub fn prepare(&self) -> Option<bqr_plan::PreparedPlan> {
-        self.plan().cloned().map(bqr_plan::PreparedPlan::new)
+    ///
+    /// `Ok(Some(_))` for a decided rewriting, `Ok(None)` for a decided
+    /// *no*-rewriting, and `Err(CoreError::Undecided)` when the procedure
+    /// gave up ([`DecisionOutcome::Unknown`]) — an undecided outcome must
+    /// never be silently served as "no rewriting".
+    pub fn prepare(&self) -> crate::Result<Option<bqr_plan::PreparedPlan>> {
+        self.prepare_with(std::sync::Arc::clone(bqr_plan::PipelineCache::global()))
     }
 
     /// [`prepare`](DecisionOutcome::prepare) against a caller-owned cache.
     pub fn prepare_with(
         &self,
         cache: std::sync::Arc<bqr_plan::PipelineCache>,
-    ) -> Option<bqr_plan::PreparedPlan> {
-        self.plan()
-            .cloned()
-            .map(|plan| bqr_plan::PreparedPlan::with_cache(plan, cache))
+    ) -> crate::Result<Option<bqr_plan::PreparedPlan>> {
+        match self {
+            DecisionOutcome::Rewriting(plan) => Ok(Some(bqr_plan::PreparedPlan::with_cache(
+                plan.clone(),
+                cache,
+            ))),
+            DecisionOutcome::NoRewriting => Ok(None),
+            DecisionOutcome::Unknown(why) => Err(crate::CoreError::Undecided(why.clone())),
+        }
     }
 }
 
@@ -202,7 +212,7 @@ fn plan_as_unfolded_ucq(
         Ok(None) => return Ok(None),
         Err(bqr_plan::PlanError::Query(QueryError::UnsupportedFragment(_)))
         | Err(bqr_plan::PlanError::Query(QueryError::BudgetExceeded(_))) => return Ok(None),
-        Err(e) => return Err(e),
+        Err(e) => return Err(e.into()),
     };
     let mut disjuncts: Vec<ConjunctiveQuery> = Vec::with_capacity(ucq.len());
     for d in ucq.disjuncts() {
@@ -381,8 +391,12 @@ mod tests {
         let cache = std::sync::Arc::new(bqr_plan::PipelineCache::new(4));
         let prepared = outcome
             .prepare_with(std::sync::Arc::clone(&cache))
+            .unwrap()
             .expect("a rewriting exists");
-        assert!(outcome.prepare().is_some(), "global-cache handle too");
+        assert!(
+            outcome.prepare().unwrap().is_some(),
+            "global-cache handle too"
+        );
 
         let mut db = Database::empty(rating_schema());
         db.insert("rating", tuple![42, 5]).unwrap();
@@ -399,7 +413,11 @@ mod tests {
         let out = prepared.execute(&idb2, &views).unwrap();
         assert_eq!(out.tuples, vec![tuple![5]], "the answer is epoch-correct");
         assert_eq!(cache.stats().misses, 2, "fresh epochs recompiled");
-        assert!(DecisionOutcome::NoRewriting.prepare().is_none());
+        assert!(DecisionOutcome::NoRewriting.prepare().unwrap().is_none());
+        assert!(matches!(
+            DecisionOutcome::Unknown("budget".into()).prepare(),
+            Err(crate::CoreError::Undecided(_))
+        ));
     }
 
     /// The same query has no 2-node rewriting (const + fetch gives (mid, rank),

@@ -24,16 +24,19 @@ pub mod bounded_eval;
 pub mod cross;
 pub mod decide;
 pub mod enumerate;
+pub mod error;
 pub mod fd;
 pub mod problem;
 pub mod size_bounded;
 pub mod topped;
 
 pub use decide::{decide_vbrp, DecisionOutcome};
+pub use error::CoreError;
 pub use problem::{Query, RewritingSetting, VbrpInstance};
 pub use size_bounded::BoundedOutputOracle;
 pub use topped::{ToppedAnalysis, ToppedChecker};
 
-/// Convenience result alias (re-using the plan-layer error, which already
-/// wraps the query- and data-layer errors).
-pub type Result<T> = std::result::Result<T, bqr_plan::PlanError>;
+/// Convenience result alias.  [`CoreError`] wraps the plan-layer error
+/// (which itself wraps the query- and data-layer errors) and adds the
+/// decision-layer outcome "could not decide".
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -76,21 +76,36 @@ impl ToppedAnalysis {
     /// LRU capacity), which is what a serving process wants; a one-shot
     /// analysis pass that must not retain anything can call
     /// [`bqr_plan::Pipeline::compile`] on [`ToppedAnalysis::plan`] directly.
+    ///
+    /// `Ok(None)` when the checker constructed no plan (the query was
+    /// rejected — see [`ToppedAnalysis::reason`]); a compile failure is a
+    /// genuine `Err`, never folded into `None`.
     pub fn compile_plan(
         &self,
         idb: &bqr_data::IndexedDatabase,
         views: &bqr_query::MaterializedViews,
-    ) -> Option<bqr_plan::Result<std::sync::Arc<bqr_plan::Pipeline>>> {
-        self.prepare_plan()
-            .map(|p| p.pipeline(idb, views, &bqr_plan::ExecOptions::serial()))
+    ) -> crate::Result<Option<std::sync::Arc<bqr_plan::Pipeline>>> {
+        match self.prepare_plan()? {
+            Some(p) => Ok(Some(p.pipeline(
+                idb,
+                views,
+                &bqr_plan::ExecOptions::serial(),
+            )?)),
+            None => Ok(None),
+        }
     }
 
     /// The constructed plan (when one exists) as a [`bqr_plan::PreparedPlan`]
     /// handle on the process-wide pipeline cache: fingerprinted once here,
     /// compiled lazily on first execution, re-validated by relation/view
     /// epoch on every subsequent one.  The handle for repeated serving.
-    pub fn prepare_plan(&self) -> Option<bqr_plan::PreparedPlan> {
-        self.plan.clone().map(bqr_plan::PreparedPlan::new)
+    ///
+    /// `Ok(None)` when the checker constructed no plan; errors from the
+    /// serving layer propagate instead of degrading into `None` (the
+    /// historical footgun — callers could not tell "not topped" from "the
+    /// serving layer failed").
+    pub fn prepare_plan(&self) -> crate::Result<Option<bqr_plan::PreparedPlan>> {
+        self.prepare_plan_with(std::sync::Arc::clone(bqr_plan::PipelineCache::global()))
     }
 
     /// [`prepare_plan`](ToppedAnalysis::prepare_plan) against a caller-owned
@@ -98,10 +113,11 @@ impl ToppedAnalysis {
     pub fn prepare_plan_with(
         &self,
         cache: std::sync::Arc<bqr_plan::PipelineCache>,
-    ) -> Option<bqr_plan::PreparedPlan> {
-        self.plan
+    ) -> crate::Result<Option<bqr_plan::PreparedPlan>> {
+        Ok(self
+            .plan
             .clone()
-            .map(|plan| bqr_plan::PreparedPlan::with_cache(plan, cache))
+            .map(|plan| bqr_plan::PreparedPlan::with_cache(plan, cache)))
     }
 }
 
@@ -994,15 +1010,17 @@ mod tests {
         let cache_handle = std::sync::Arc::new(bqr_plan::PipelineCache::new(8));
         let prepared = analysis
             .prepare_plan_with(std::sync::Arc::clone(&cache_handle))
+            .unwrap()
             .unwrap();
         assert_eq!(prepared.execute(&idb, &cache).unwrap(), one_shot);
         assert_eq!(prepared.execute(&idb, &cache).unwrap(), one_shot);
         let stats = cache_handle.stats();
         assert_eq!((stats.misses, stats.hits), (1, 1), "{stats:?}");
-        // A rejected analysis has no plan to compile or prepare.
+        // A rejected analysis has no plan to compile or prepare — reported as
+        // `Ok(None)`, distinct from a serving-layer `Err`.
         let rejected = ToppedAnalysis::rejected("no".into());
-        assert!(rejected.compile_plan(&idb, &cache).is_none());
-        assert!(rejected.prepare_plan().is_none());
+        assert!(rejected.compile_plan(&idb, &cache).unwrap().is_none());
+        assert!(rejected.prepare_plan().unwrap().is_none());
     }
 
     /// Q0 is NOT topped without the view: person/like cannot be fetched.

@@ -1,0 +1,139 @@
+//! The result of [`Engine::analyze`](crate::Engine::analyze).
+
+use crate::error::{Error, Result};
+use crate::session::DataVersion;
+use bqr_core::{Query, ToppedAnalysis};
+use bqr_plan::{ExecOptions, ExecOutput, PipelineCache, PreparedPlan, QueryPlan};
+use std::sync::Arc;
+
+/// The boundedness analysis of one query, pinned to the data version that
+/// was current when [`Engine::analyze`](crate::Engine::analyze) ran.
+///
+/// Exposes the decision ([`bounded`](Analysis::bounded) plus
+/// [`reason`](Analysis::reason) on rejection), the constructed plan and its
+/// static measures ([`plan_size`](Analysis::plan_size),
+/// [`fetch_bound`](Analysis::fetch_bound) — the paper's `size(Q_ε, Q)` and
+/// `|D_ξ|` bound), and two dynamic views of the plan against the pinned
+/// data: [`explain`](Analysis::explain) (the compiled operator pipeline,
+/// one operator per line) and [`execute`](Analysis::execute).
+#[derive(Debug)]
+pub struct Analysis {
+    query: Query,
+    inner: ToppedAnalysis,
+    version: Arc<DataVersion>,
+    cache: Arc<PipelineCache>,
+    options: ExecOptions,
+}
+
+impl Analysis {
+    pub(crate) fn new(
+        query: Query,
+        inner: ToppedAnalysis,
+        version: Arc<DataVersion>,
+        cache: Arc<PipelineCache>,
+        options: ExecOptions,
+    ) -> Analysis {
+        Analysis {
+            query,
+            inner,
+            version,
+            cache,
+            options,
+        }
+    }
+
+    /// The analysed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Is the query topped by the engine's `(R, V, A, M)` — i.e. does it
+    /// have an `M`-bounded rewriting this engine can construct and serve?
+    pub fn bounded(&self) -> bool {
+        self.inner.topped
+    }
+
+    /// The constructed bounded plan.  Present whenever the constructive
+    /// checker succeeded — even when the plan exceeds `M`
+    /// ([`bounded`](Analysis::bounded) is then `false`), so callers can see
+    /// how far over budget the query is.
+    pub fn plan(&self) -> Option<&QueryPlan> {
+        self.inner.plan.as_ref()
+    }
+
+    /// The size of the constructed plan (the paper's `size(Q_ε, Q)`).
+    pub fn plan_size(&self) -> Option<usize> {
+        self.inner.plan_size
+    }
+
+    /// Worst-case bound on the base tuples the plan fetches (`|D_ξ|`).
+    pub fn fetch_bound(&self) -> Option<usize> {
+        self.inner.fetch_bound
+    }
+
+    /// Why the query was rejected (or why the plan exceeds `M`), when it
+    /// was.
+    pub fn reason(&self) -> Option<&str> {
+        self.inner.reason.as_deref()
+    }
+
+    /// The underlying checker output.
+    pub fn topped_analysis(&self) -> &ToppedAnalysis {
+        &self.inner
+    }
+
+    /// The constructed plan when the query is bounded, or the typed
+    /// [`Error::NoRewriting`] rejection.  The single gate every serving
+    /// path goes through ([`execute`](Analysis::execute),
+    /// [`explain`](Analysis::explain),
+    /// [`Engine::prepare`](crate::Engine::prepare),
+    /// [`Session::query`](crate::Session::query)): a plan that exists but
+    /// exceeds `M` is *not* served — inspect it via
+    /// [`plan`](Analysis::plan).
+    pub fn bounded_plan(&self) -> Result<&QueryPlan> {
+        match (self.bounded(), self.plan()) {
+            (true, Some(plan)) => Ok(plan),
+            _ => Err(Error::NoRewriting {
+                query: self.query.to_string(),
+                reason: self.reason().map(str::to_string),
+            }),
+        }
+    }
+
+    /// The compiled operator pipeline of the plan over the pinned data
+    /// version, one operator per line (built on
+    /// [`bqr_plan::Pipeline::describe`]).  Compilation goes through the
+    /// engine's pipeline cache, so explaining a statement the engine already
+    /// serves is free — and executing an explained plan is warm.
+    pub fn explain(&self) -> Result<String> {
+        let prepared = self.prepared_plan()?;
+        let pipeline = prepared
+            .pipeline(self.version.idb(), self.version.views(), &self.options)
+            .map_err(|e| Error::execution(&self.query.to_string(), e))?;
+        Ok(pipeline.describe())
+    }
+
+    /// Execute the constructed plan against the pinned data version (under
+    /// the engine's default options).  One-shot ad-hoc serving; register the
+    /// query with [`Engine::prepare`](crate::Engine::prepare) for repeated
+    /// serving by name.
+    pub fn execute(&self) -> Result<ExecOutput> {
+        self.execute_with(&self.options.clone())
+    }
+
+    /// [`execute`](Analysis::execute) under explicit options.
+    pub fn execute_with(&self, options: &ExecOptions) -> Result<ExecOutput> {
+        let prepared = self.prepared_plan()?;
+        prepared
+            .execute_with(self.version.idb(), self.version.views(), options)
+            .map_err(|e| Error::execution(&self.query.to_string(), e))
+    }
+
+    /// The bounded plan as a prepared handle on the engine's cache.
+    fn prepared_plan(&self) -> Result<PreparedPlan> {
+        Ok(PreparedPlan::with_cache(
+            self.bounded_plan()?.clone(),
+            Arc::clone(&self.cache),
+        ))
+    }
+}

@@ -1,0 +1,465 @@
+//! The [`Engine`]: configuration, data, and the request lifecycle.
+
+use crate::analysis::Analysis;
+use crate::error::{Error, Result};
+use crate::session::{DataVersion, PreparedStatement, Session};
+use bqr_core::{
+    decide_vbrp, BoundedOutputOracle, DecisionOutcome, Query, RewritingSetting, ToppedChecker,
+    VbrpInstance,
+};
+use bqr_data::{AccessSchema, Database, DatabaseSchema};
+use bqr_plan::{CacheStats, ExecOptions, PipelineCache, PlanLanguage, PreparedPlan};
+use bqr_query::parser::parse_ucq;
+use bqr_query::{Budget, ConjunctiveQuery, FoQuery, PlannerConfig, UnionQuery, ViewSet};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// Anything [`Engine::analyze`] / [`Engine::prepare`] accept as a query: the
+/// AST types of the stack ([`ConjunctiveQuery`], [`UnionQuery`], [`FoQuery`],
+/// [`Query`]) or a string in the datalog-style syntax of
+/// [`bqr_query::parser`] (several `;`/newline-separated rules parse as a
+/// union).
+pub trait IntoQuery {
+    /// Convert into the paper's query sum type.
+    fn into_query(self) -> Result<Query>;
+}
+
+impl IntoQuery for Query {
+    fn into_query(self) -> Result<Query> {
+        Ok(self)
+    }
+}
+
+impl IntoQuery for ConjunctiveQuery {
+    fn into_query(self) -> Result<Query> {
+        Ok(Query::Cq(self))
+    }
+}
+
+impl IntoQuery for UnionQuery {
+    fn into_query(self) -> Result<Query> {
+        // A one-disjunct union is just its CQ; classifying it as such keeps
+        // the analyses on the cheaper CQ paths.
+        if self.len() == 1 {
+            Ok(Query::Cq(self.disjuncts()[0].clone()))
+        } else {
+            Ok(Query::Ucq(self))
+        }
+    }
+}
+
+impl IntoQuery for FoQuery {
+    fn into_query(self) -> Result<Query> {
+        Ok(Query::Fo(self))
+    }
+}
+
+impl IntoQuery for &str {
+    fn into_query(self) -> Result<Query> {
+        parse_ucq(self)
+            .map_err(|e| Error::parse(self, e))?
+            .into_query()
+    }
+}
+
+impl IntoQuery for String {
+    fn into_query(self) -> Result<Query> {
+        self.as_str().into_query()
+    }
+}
+
+impl<T: IntoQuery + Clone> IntoQuery for &T {
+    fn into_query(self) -> Result<Query> {
+        self.clone().into_query()
+    }
+}
+
+/// Builder for an [`Engine`]; start from [`Engine::builder`].
+///
+/// The rewriting parameters `(R, V, A, M)` plus the analysis budget and the
+/// join-planner configuration form the paper's [`RewritingSetting`]; on top
+/// of those the builder configures the *serving* side: default
+/// [`ExecOptions`], the pipeline-cache capacity, and per-view output-bound
+/// annotations for the topped checker's oracle.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    schema: DatabaseSchema,
+    access: AccessSchema,
+    views: ViewSet,
+    bound_m: usize,
+    budget: Budget,
+    planner: PlannerConfig,
+    options: ExecOptions,
+    cache_capacity: usize,
+    view_bounds: Vec<(String, usize)>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            schema: DatabaseSchema::default(),
+            access: AccessSchema::empty(),
+            views: ViewSet::empty(),
+            bound_m: 64,
+            budget: Budget::generous(),
+            planner: PlannerConfig::default(),
+            options: ExecOptions::serial(),
+            cache_capacity: bqr_plan::prepared::DEFAULT_CACHE_CAPACITY,
+            view_bounds: Vec::new(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Replace the database schema `R`.
+    pub fn schema(mut self, schema: DatabaseSchema) -> Self {
+        self.schema = schema;
+        self
+    }
+
+    /// Replace the access schema `A`.
+    pub fn access(mut self, access: AccessSchema) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Replace the view set `V`.
+    pub fn views(mut self, views: ViewSet) -> Self {
+        self.views = views;
+        self
+    }
+
+    /// Replace the plan-size bound `M`.
+    pub fn bound(mut self, bound_m: usize) -> Self {
+        self.bound_m = bound_m;
+        self
+    }
+
+    /// Replace the budget for the worst-case-exponential analyses.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the join-planner configuration used by every homomorphism
+    /// search (containment, `A`-equivalence, naive evaluation).
+    pub fn planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Replace the default [`ExecOptions`] every execution runs under
+    /// (override per call with the `*_with` methods).
+    pub fn exec_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replace the capacity of the engine's [`PipelineCache`].
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Declare `|V(D)| ≤ bound` for a view, feeding the topped checker's
+    /// bounded-output oracle (the Example 3.3 situation: a view that is not
+    /// *provably* bounded under `A` but is known bounded by the application).
+    pub fn annotate_view_bound(mut self, view: impl Into<String>, bound: usize) -> Self {
+        self.view_bounds.push((view.into(), bound));
+        self
+    }
+
+    /// Adopt all four rewriting parameters (and budget / planner) from an
+    /// existing [`RewritingSetting`].
+    pub fn setting(mut self, setting: RewritingSetting) -> Self {
+        self.schema = setting.schema;
+        self.access = setting.access;
+        self.views = setting.views;
+        self.bound_m = setting.bound_m;
+        self.budget = setting.budget;
+        self.planner = setting.planner;
+        self
+    }
+
+    /// Validate the configuration and build the engine (with an empty
+    /// instance attached; see [`Engine::attach`]).
+    pub fn build(self) -> Result<Engine> {
+        let setting = RewritingSetting {
+            schema: self.schema,
+            access: self.access,
+            views: self.views,
+            bound_m: self.bound_m,
+            budget: self.budget,
+            planner: self.planner,
+        };
+        setting
+            .validate()
+            .map_err(|e| Error::analysis("<engine configuration>", e))?;
+        let empty = Database::empty(setting.schema.clone());
+        let version = DataVersion::build(empty, &setting)?;
+        Ok(Engine {
+            setting,
+            options: self.options,
+            view_bounds: self.view_bounds,
+            cache: Arc::new(PipelineCache::new(self.cache_capacity)),
+            data: RwLock::new(Arc::new(version)),
+            writers: std::sync::Mutex::new(()),
+            statements: RwLock::new(BTreeMap::new()),
+        })
+    }
+}
+
+/// The unified serving facade: one object owning the rewriting setting
+/// `(R, V, A, M)`, the data, the pipeline cache, and the named prepared
+/// statements — the full request lifecycle of the paper behind three calls:
+///
+/// * [`analyze`](Engine::analyze) — is this query boundedly rewritable here,
+///   and with what plan?
+/// * [`prepare`](Engine::prepare) — register the rewriting as a named
+///   statement served through the epoch-validated [`PipelineCache`];
+/// * [`session`](Engine::session) — an epoch-pinned snapshot to execute
+///   against, consistent across calls even under concurrent
+///   [`mutate`](Engine::mutate)s.
+///
+/// The engine is `Sync`: share it behind an `Arc` (or plain reference with
+/// scoped threads) between any number of serving threads and mutators.
+pub struct Engine {
+    setting: RewritingSetting,
+    options: ExecOptions,
+    view_bounds: Vec<(String, usize)>,
+    cache: Arc<PipelineCache>,
+    data: RwLock<Arc<DataVersion>>,
+    /// Serialises writers ([`Engine::attach`] / [`Engine::mutate`]) against
+    /// each other *without* holding the `data` lock: the expensive version
+    /// rebuild happens under this mutex only, and the `data` write lock is
+    /// taken just for the `Arc` swap — readers never wait behind a rebuild.
+    writers: std::sync::Mutex<()>,
+    statements: RwLock<BTreeMap<String, PreparedStatement>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("bound_m", &self.setting.bound_m)
+            .field("views", &self.setting.views.len())
+            .field("statements", &self.statement_names())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine adopting every parameter of a [`RewritingSetting`], with
+    /// default serving options.
+    pub fn for_setting(setting: RewritingSetting) -> Result<Engine> {
+        EngineBuilder::default().setting(setting).build()
+    }
+
+    /// The rewriting setting `(R, V, A, M)` plus budget and planner.
+    pub fn setting(&self) -> &RewritingSetting {
+        &self.setting
+    }
+
+    /// The default execution options.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.options
+    }
+
+    /// The engine's pipeline cache.
+    pub fn cache(&self) -> &Arc<PipelineCache> {
+        &self.cache
+    }
+
+    /// A point-in-time snapshot of the pipeline cache's counters
+    /// (hits / misses / lookups / invalidations / evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Data lifecycle.
+
+    /// Attach a database instance, replacing the current one.  Views are
+    /// re-materialised and access indexes rebuilt; sessions pinned to the
+    /// previous version keep reading it unchanged.
+    pub fn attach(&self, db: Database) -> Result<()> {
+        if db.schema() != &self.setting.schema {
+            return Err(Error::SchemaMismatch(format!(
+                "expected the engine schema ({} relations)",
+                self.setting.schema.relations().count()
+            )));
+        }
+        let _serialised = self.writers.lock().unwrap();
+        let version = Arc::new(DataVersion::build(db, &self.setting)?);
+        *self.data.write().unwrap() = version;
+        Ok(())
+    }
+
+    /// Mutate the current instance through a closure and publish the result
+    /// as a fresh version: touched relations get fresh epochs, views are
+    /// re-materialised, indexes rebuilt, and stale pipeline-cache entries
+    /// are invalidated on next use.
+    ///
+    /// The publish is **all-or-nothing**: when the closure fails, nothing is
+    /// published and the error is returned — a half-applied mutation can
+    /// never become a live version.  Mutations are serialised against each
+    /// other, but the rebuild runs outside the read path's lock: concurrent
+    /// reads (sessions, analyses) proceed against the previous version
+    /// throughout, and closures may freely call the engine's read methods.
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> bqr_data::Result<R>) -> Result<R> {
+        let _serialised = self.writers.lock().unwrap();
+        let mut db = self.data.read().unwrap().database().clone();
+        let out = f(&mut db).map_err(Error::Data)?;
+        let version = Arc::new(DataVersion::build(db, &self.setting)?);
+        *self.data.write().unwrap() = version;
+        Ok(out)
+    }
+
+    /// A clone of the currently attached instance.
+    pub fn database(&self) -> Database {
+        self.data.read().unwrap().database().clone()
+    }
+
+    /// An epoch-pinned session over the current version: every read through
+    /// it — prepared statements, ad-hoc queries, naive evaluation — sees the
+    /// same snapshot, no matter how many [`mutate`](Engine::mutate)s land
+    /// concurrently.  Sessions are cheap (one `Arc` clone).
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self, Arc::clone(&self.data.read().unwrap()))
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis.
+
+    /// The topped checker for this engine's setting, with the configured
+    /// view-bound annotations.
+    fn checker(&self) -> ToppedChecker<'_> {
+        let mut oracle = BoundedOutputOracle::new(
+            self.setting.schema.clone(),
+            self.setting.access.clone(),
+            self.setting.budget,
+        );
+        for (view, bound) in &self.view_bounds {
+            oracle.annotate_view(view, *bound);
+        }
+        ToppedChecker::with_oracle(&self.setting, oracle)
+    }
+
+    /// Analyse a query: run the PTIME effective-syntax checker and return an
+    /// [`Analysis`] exposing the boundedness decision, the constructed plan,
+    /// and [`explain`](Analysis::explain) / [`execute`](Analysis::execute)
+    /// against the data version current at this call.
+    pub fn analyze<Q: IntoQuery>(&self, query: Q) -> Result<Analysis> {
+        let query = query.into_query()?;
+        let checker = self.checker();
+        let topped = match &query {
+            Query::Cq(cq) => checker.analyze_cq(cq),
+            other => {
+                let fo = other
+                    .to_fo()
+                    .map_err(|e| Error::analysis(other, bqr_core::CoreError::from(e)))?;
+                checker.analyze(&fo)
+            }
+        }
+        .map_err(|e| Error::analysis(&query, e))?;
+        Ok(Analysis::new(
+            query,
+            topped,
+            Arc::clone(&self.data.read().unwrap()),
+            Arc::clone(&self.cache),
+            self.options,
+        ))
+    }
+
+    /// Run the exact (worst-case exponential, budgeted) decision procedure
+    /// for `VBRP` on a query, looking for a plan in `target`.  The PTIME
+    /// check behind [`analyze`](Engine::analyze) is sound but incomplete;
+    /// this is the complete-but-expensive counterpart for small instances.
+    ///
+    /// To serve the witness through *this* engine's cache (so it shows up in
+    /// [`cache_stats`](Engine::cache_stats) and respects the configured
+    /// capacity), hand it to
+    /// `outcome.prepare_with(Arc::clone(engine.cache()))` — the outcome's
+    /// bare `prepare()` registers on the process-global cache instead.
+    pub fn decide<Q: IntoQuery>(&self, query: Q, target: PlanLanguage) -> Result<DecisionOutcome> {
+        let query = query.into_query()?;
+        let display = query.to_string();
+        let instance = VbrpInstance::new(self.setting.clone(), query);
+        decide_vbrp(&instance, target).map_err(|e| Error::analysis(display, e))
+    }
+
+    // ------------------------------------------------------------------
+    // Prepared statements.
+
+    /// Analyse a query and register its bounded plan as a named prepared
+    /// statement on the engine's pipeline cache.  Fails with
+    /// [`Error::NoRewriting`] when the query is not topped by the setting
+    /// (use [`analyze`](Engine::analyze) first to inspect why).
+    ///
+    /// Re-preparing an existing name replaces the statement; sessions always
+    /// resolve names at execution time.  When an [`Analysis`] is already in
+    /// hand, [`prepare_from`](Engine::prepare_from) registers it without
+    /// re-running the checker.
+    pub fn prepare<Q: IntoQuery>(&self, name: &str, query: Q) -> Result<PreparedStatement> {
+        let analysis = self.analyze(query)?;
+        self.prepare_from(name, &analysis)
+    }
+
+    /// Register an already-analysed query as a named prepared statement —
+    /// the analyse-once half of the `analyze` → `prepare` flow (no second
+    /// checker run).
+    pub fn prepare_from(&self, name: &str, analysis: &Analysis) -> Result<PreparedStatement> {
+        let plan = analysis.bounded_plan()?.clone();
+        let statement = PreparedStatement::new(
+            name,
+            analysis.query().clone(),
+            PreparedPlan::with_cache(plan, Arc::clone(&self.cache)),
+        );
+        self.statements
+            .write()
+            .unwrap()
+            .insert(name.to_string(), statement.clone());
+        Ok(statement)
+    }
+
+    /// The prepared statement registered under `name`.
+    pub fn statement(&self, name: &str) -> Result<PreparedStatement> {
+        self.statements
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownStatement(name.to_string()))
+    }
+
+    /// The names of every registered prepared statement, sorted.
+    pub fn statement_names(&self) -> Vec<String> {
+        self.statements.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Remove a prepared statement; returns whether it existed.  (Its cached
+    /// pipelines age out of the LRU cache naturally.)
+    pub fn forget(&self, name: &str) -> bool {
+        self.statements.write().unwrap().remove(name).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // One-shot conveniences (each opens a fresh single-use session).
+
+    /// Execute a named prepared statement against the current data version.
+    pub fn execute(&self, name: &str) -> Result<bqr_plan::ExecOutput> {
+        self.session().execute(name)
+    }
+
+    /// Naively evaluate a query against the current data version (the
+    /// "commercial engine" baseline: scans base relations, reads view
+    /// extents) — the oracle bounded plans are compared against.
+    pub fn evaluate<Q: IntoQuery>(&self, query: Q) -> Result<crate::session::EvalOutput> {
+        self.session().evaluate(query)
+    }
+}

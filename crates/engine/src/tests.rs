@@ -1,0 +1,334 @@
+//! Unit tests for the facade: lifecycle, sessions, statements, errors.
+//!
+//! The fixtures are the canonical movie setting of Example 1.1, taken from
+//! `bqr_workload::movies` so they cannot drift from what the integration
+//! tests pin.
+
+use crate::{Engine, Error, IntoQuery};
+use bqr_data::{tuple, AccessConstraint, AccessSchema, Database, DatabaseSchema};
+use bqr_plan::ExecOptions;
+use bqr_query::parser::parse_cq;
+use bqr_workload::movies;
+
+fn movie_engine() -> Engine {
+    Engine::builder()
+        .setting(movies::setting(100, 40))
+        .cache_capacity(16)
+        .build()
+        .unwrap()
+}
+
+fn movie_instance() -> Database {
+    let mut db = Database::empty(movies::schema());
+    db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
+    db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
+    db.insert("person", tuple![3, "Cat", "ESA"]).unwrap();
+    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![11, "Ouija", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
+    db.insert("rating", tuple![10, 5]).unwrap();
+    db.insert("rating", tuple![11, 3]).unwrap();
+    db.insert("rating", tuple![12, 5]).unwrap();
+    db.insert("like", tuple![1, 10, "movie"]).unwrap();
+    db.insert("like", tuple![2, 12, "movie"]).unwrap();
+    db.insert("like", tuple![3, 11, "movie"]).unwrap();
+    db
+}
+
+const Q_XI: &str = "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)";
+const Q0: &str = "Q(mid) :- person(xp, xn, 'NASA'), movie(mid, ym, 'Universal', '2014'), \
+                  like(xp, mid, 'movie'), rating(mid, 5)";
+
+#[test]
+fn analyze_accepts_strings_asts_and_unions() {
+    let engine = movie_engine();
+    let from_str = engine.analyze(Q_XI).unwrap();
+    assert!(from_str.bounded(), "{:?}", from_str.reason());
+    assert!(from_str.plan_size().unwrap() <= 40);
+    assert!(from_str.fetch_bound().unwrap() <= 200);
+
+    let cq = parse_cq(Q_XI).unwrap();
+    let from_cq = engine.analyze(cq.clone()).unwrap();
+    assert_eq!(from_cq.plan_size(), from_str.plan_size());
+    // A reference is as good as an owned AST.
+    assert!(engine.analyze(&cq).unwrap().bounded());
+    // An FO query takes the FO path of the checker.
+    let fo = bqr_query::FoQuery::from_cq(&cq);
+    assert!(engine.analyze(fo).unwrap().bounded());
+    // A two-rule string parses as a union.
+    let union = "Q(m) :- movie(m, n, 'Universal', '2014'); Q(m) :- movie(m, n, 'WB', '2013')";
+    let analysis = engine.analyze(union).unwrap();
+    assert!(matches!(analysis.query(), bqr_core::Query::Ucq(_)));
+
+    // Q0 itself is not topped (person/like cannot be fetched); that is a
+    // *decision*, not an error.
+    let q0 = engine.analyze(Q0).unwrap();
+    assert!(!q0.bounded());
+    assert!(q0.reason().is_some());
+}
+
+#[test]
+fn parse_errors_carry_the_input() {
+    let engine = movie_engine();
+    let err = engine.analyze("Q(x :- oops").unwrap_err();
+    match err {
+        Error::Parse { input, .. } => assert!(input.contains("oops")),
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn prepare_execute_and_cache_stats() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    let statement = engine.prepare("fig1", Q_XI).unwrap();
+    assert_eq!(statement.name(), "fig1");
+    assert_eq!(engine.statement_names(), vec!["fig1".to_string()]);
+    assert_eq!(
+        statement.fingerprint(),
+        engine.statement("fig1").unwrap().fingerprint()
+    );
+
+    let session = engine.session();
+    let first = session.execute("fig1").unwrap();
+    assert_eq!(first.tuples, vec![tuple![10]], "only Lucy qualifies");
+    assert_eq!(first.stats.scanned_tuples, 0, "bounded plans never scan");
+    let second = session.execute("fig1").unwrap();
+    assert_eq!(second, first);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1), "{stats:?}");
+    assert_eq!(stats.lookups, stats.hits + stats.misses);
+
+    // The facade answer equals the naive baseline, with strictly less data
+    // accessed.
+    let naive = engine.evaluate(Q0).unwrap();
+    assert_eq!(naive.tuples, first.tuples);
+    assert!(
+        first.stats.base_tuples_accessed() < naive.stats.base_tuples_accessed(),
+        "{} vs {}",
+        first.stats.base_tuples_accessed(),
+        naive.stats.base_tuples_accessed()
+    );
+
+    // Explain goes through the same cache, one operator per line.
+    let plan = engine.analyze(Q_XI).unwrap();
+    let explanation = plan.explain().unwrap();
+    assert!(explanation.contains("fetch["), "{explanation}");
+
+    // Ad-hoc execution without registering a name.
+    assert_eq!(session.query(Q_XI).unwrap().tuples, vec![tuple![10]]);
+    assert_eq!(plan.execute().unwrap().tuples, vec![tuple![10]]);
+
+    assert!(engine.forget("fig1"));
+    assert!(!engine.forget("fig1"));
+    assert!(matches!(
+        session.execute("fig1"),
+        Err(Error::UnknownStatement(_))
+    ));
+}
+
+#[test]
+fn preparing_an_unbounded_query_is_a_typed_error() {
+    let engine = movie_engine();
+    let err = engine.prepare("q0", Q0).unwrap_err();
+    match err {
+        Error::NoRewriting { query, reason } => {
+            assert!(query.contains("person"));
+            assert!(reason.is_some());
+        }
+        other => panic!("expected NoRewriting, got {other:?}"),
+    }
+    assert!(engine.statement_names().is_empty());
+}
+
+#[test]
+fn sessions_pin_the_data_version_across_mutations() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    engine.prepare("fig1", Q_XI).unwrap();
+
+    let pinned = engine.session();
+    let before_epochs = pinned.epochs();
+    let before = pinned.execute("fig1").unwrap();
+    assert_eq!(before.tuples, vec![tuple![10]]);
+
+    // A mutation lands: a new qualifying movie.
+    engine
+        .mutate(|db| {
+            db.insert("movie", tuple![13, "Vice", "Universal", "2014"])?;
+            db.insert("rating", tuple![13, 5])?;
+            db.insert("like", tuple![1, 13, "movie"])
+        })
+        .unwrap();
+
+    // The pinned session still reads the old version, bit-identically.
+    assert_eq!(pinned.execute("fig1").unwrap(), before);
+    assert_eq!(pinned.epochs(), before_epochs, "the pin is observable");
+
+    // A fresh session sees the new version (fresh epochs, fresh answer).
+    let fresh = engine.session();
+    assert_ne!(fresh.epochs(), before_epochs);
+    assert_eq!(
+        fresh.execute("fig1").unwrap().tuples,
+        vec![tuple![10], tuple![13]]
+    );
+    // And the pinned session *still* reads the old one.
+    assert_eq!(pinned.execute("fig1").unwrap(), before);
+}
+
+#[test]
+fn failed_mutations_are_never_published() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    let before = engine.database();
+    // The second insert fails (unknown relation): the first insert must not
+    // become a live version — all-or-nothing.
+    let err = engine
+        .mutate(|db| {
+            db.insert("rating", tuple![99, 1])?;
+            db.insert("no_such_relation", tuple![0])
+        })
+        .unwrap_err();
+    assert!(matches!(err, Error::Data(_)));
+    assert_eq!(engine.database(), before, "no partial commit");
+}
+
+#[test]
+fn mutate_closures_may_read_the_engine() {
+    // The rebuild runs outside the data lock, so a closure that calls the
+    // engine's read methods must not deadlock.
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    let sizes = engine
+        .mutate(|db| {
+            let concurrent_read = engine.database().size();
+            db.insert("rating", tuple![99, 1])?;
+            Ok((concurrent_read, db.size()))
+        })
+        .unwrap();
+    assert_eq!(sizes.0 + 1, sizes.1);
+}
+
+#[test]
+fn over_budget_plans_are_constructed_but_not_served() {
+    // With M = 3 the Qξ plan still gets constructed (so callers can inspect
+    // how far over budget it is) but no serving path will run it.
+    let engine = Engine::builder()
+        .setting(movies::setting(100, 3))
+        .build()
+        .unwrap();
+    engine.attach(movie_instance()).unwrap();
+    let analysis = engine.analyze(Q_XI).unwrap();
+    assert!(!analysis.bounded());
+    assert!(analysis.plan().is_some(), "inspectable");
+    assert!(analysis.plan_size().unwrap() > 3);
+    for err in [
+        analysis.bounded_plan().map(|_| ()).unwrap_err(),
+        analysis.execute().map(|_| ()).unwrap_err(),
+        analysis.explain().map(|_| ()).unwrap_err(),
+        engine.prepare("x", Q_XI).map(|_| ()).unwrap_err(),
+        engine.session().query(Q_XI).map(|_| ()).unwrap_err(),
+    ] {
+        assert!(matches!(err, Error::NoRewriting { .. }), "{err:?}");
+    }
+}
+
+#[test]
+fn prepare_from_reuses_an_analysis() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    let analysis = engine.analyze(Q_XI).unwrap();
+    let statement = engine.prepare_from("fig1", &analysis).unwrap();
+    assert_eq!(statement.name(), "fig1");
+    assert_eq!(
+        engine.session().execute("fig1").unwrap().tuples,
+        vec![tuple![10]]
+    );
+}
+
+#[test]
+fn attach_rejects_foreign_schemas() {
+    let engine = movie_engine();
+    let foreign = Database::empty(DatabaseSchema::with_relations(&[("other", &["a"])]).unwrap());
+    assert!(matches!(
+        engine.attach(foreign),
+        Err(Error::SchemaMismatch(_))
+    ));
+}
+
+#[test]
+fn exec_options_thread_through() {
+    let engine = Engine::builder()
+        .setting(movies::setting(100, 40))
+        .exec_options(ExecOptions::parallel(2))
+        .build()
+        .unwrap();
+    engine.attach(movie_instance()).unwrap();
+    engine.prepare("fig1", Q_XI).unwrap();
+    let session = engine.session();
+    let parallel = session.execute("fig1").unwrap();
+    let serial = session
+        .execute_with("fig1", &ExecOptions::serial())
+        .unwrap();
+    assert_eq!(parallel, serial, "options never change the output");
+    let stmt = engine.statement("fig1").unwrap();
+    assert_eq!(session.execute_statement(&stmt).unwrap(), parallel);
+}
+
+#[test]
+fn decide_runs_the_exact_procedure() {
+    let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
+    let engine = Engine::builder()
+        .schema(schema)
+        .access(AccessSchema::new(vec![AccessConstraint::new(
+            "rating",
+            &["mid"],
+            &["rank"],
+            1,
+        )
+        .unwrap()]))
+        .bound(3)
+        .build()
+        .unwrap();
+    let outcome = engine
+        .decide("Q(r) :- rating(42, r)", bqr_plan::PlanLanguage::Cq)
+        .unwrap();
+    assert!(outcome.has_rewriting());
+    // The witness serves through the typed prepare path (no more silent
+    // None), wired to *this* engine's cache so the compilation shows up in
+    // its counters.
+    let prepared = outcome
+        .prepare_with(std::sync::Arc::clone(engine.cache()))
+        .unwrap()
+        .expect("a rewriting exists");
+    let mut db = Database::empty(engine.setting().schema.clone());
+    db.insert("rating", tuple![42, 5]).unwrap();
+    engine.attach(db).unwrap();
+    let session = engine.session();
+    let out = session
+        .execute_statement(&crate::PreparedStatement::new(
+            "rank_of_42",
+            bqr_core::Query::Cq(parse_cq("Q(r) :- rating(42, r)").unwrap()),
+            prepared,
+        ))
+        .unwrap();
+    assert_eq!(out.tuples, vec![tuple![5]]);
+    assert_eq!(engine.cache_stats().misses, 1, "compiled on this cache");
+}
+
+#[test]
+fn into_query_simplifies_single_disjunct_unions() {
+    let q = "Q(r) :- rating(42, r)".into_query().unwrap();
+    assert!(matches!(q, bqr_core::Query::Cq(_)));
+    let owned = String::from("Q(r) :- rating(42, r)");
+    assert!(matches!(
+        (&owned).into_query().unwrap(),
+        bqr_core::Query::Cq(_)
+    ));
+    assert!(matches!(
+        owned.into_query().unwrap(),
+        bqr_core::Query::Cq(_)
+    ));
+}

@@ -1,50 +1,42 @@
-//! The CDR analytics workload (experiment E6): ten query templates over a
-//! synthetic call-detail-record dataset; nine have bounded rewritings using
-//! the cached views, and the example reports the per-query data-access
-//! reduction, mirroring the paper's ">90 % of the workload improves by 25x
-//! to 5 orders of magnitude" claim in shape.
+//! The CDR analytics workload (experiment E6) through the [`bqr::Engine`]
+//! facade: ten query templates over a synthetic call-detail-record dataset;
+//! nine have bounded rewritings using the cached views, and the example
+//! reports the per-query data-access reduction, mirroring the paper's
+//! ">90 % of the workload improves by 25x to 5 orders of magnitude" claim in
+//! shape.
 //!
-//! Plans run on the compiled operator pipeline (`bqr_plan::exec`): the
-//! example compiles the first bounded plan explicitly to show the
-//! `Pipeline::describe()` introspection, and executes the workload under
-//! explicit `ExecOptions` (serial here; `ExecOptions::parallel(n)` shards
-//! the data-parallel operators over `n` threads with bit-identical output).
+//! Each bounded template is analysed once and registered as a **named
+//! prepared statement** via `prepare_from`; repeated executions are warm
+//! pipeline-cache hits, and the engine's `CacheStats` at the end show it
+//! (one warm re-execution per bounded template, plus one extra hit on the
+//! first template whose pipeline `explain()` already compiled; zero
+//! invalidations — the instance never mutates here).
 //!
 //! Run with `cargo run --example cdr_analytics --release`.
 
-use bqr_core::size_bounded::BoundedOutputOracle;
-use bqr_core::topped::ToppedChecker;
-use bqr_data::{FetchStats, IndexedDatabase};
-use bqr_plan::{ExecOptions, Pipeline};
-use bqr_query::eval::eval_cq_counting;
-use bqr_workload::cdr;
+use bqr::workload::cdr;
+use bqr::Engine;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> bqr::Result<()> {
     let scale = cdr::CdrScale {
         customers: 5_000,
         days: 14,
         ..cdr::CdrScale::default()
     };
-    let setting = cdr::setting(&scale, 120);
-    let mut oracle = BoundedOutputOracle::new(
-        setting.schema.clone(),
-        setting.access.clone(),
-        setting.budget,
-    );
+    // The engine adopts the CDR setting; the `view_bounds` annotations
+    // declare |V(D)| bounds the checker cannot derive from A alone
+    // (the Example 3.3 situation).
+    let mut builder = Engine::builder().setting(cdr::setting(&scale, 120));
     for (name, bound) in cdr::view_bounds() {
-        oracle.annotate_view(name, bound);
+        builder = builder.annotate_view_bound(name, bound);
     }
-    let checker = ToppedChecker::with_oracle(&setting, oracle);
+    let engine = builder.build()?;
 
     let db = cdr::generate(scale);
     println!("CDR instance: {} tuples", db.size());
-    let cache = setting.views.materialize(&db)?;
-    println!("cached view tuples: {}\n", cache.total_tuples());
-    let idb = IndexedDatabase::build(db.clone(), setting.access.clone())?;
+    engine.attach(db)?;
+    let session = engine.session();
 
-    // Serial execution; swap in `ExecOptions::parallel(4)` to shard the
-    // data-parallel operators over 4 threads (same answers, same |D_ξ|).
-    let options = ExecOptions::serial();
     println!(
         "{:<24} {:>8} {:>16} {:>14} {:>10}",
         "query", "bounded?", "bounded-access", "naive-access", "reduction"
@@ -53,53 +45,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut shown_pipeline = false;
     let queries = cdr::workload(17, 3);
     for q in &queries {
-        let analysis = checker.analyze_cq(&q.query)?;
-        let mut naive_stats = FetchStats::new();
-        let naive = eval_cq_counting(&q.query, &db, Some(&cache), &mut naive_stats)?;
-        match analysis.plan {
-            Some(plan) if analysis.topped => {
-                let pipeline = Pipeline::compile(&plan, &idb, &cache)?;
-                if !shown_pipeline {
-                    // The compiled operator pipeline of the first bounded
-                    // plan, one operator per line (the plan-level analogue
-                    // of the homomorphism engine's `plan_summary()`).
-                    println!(
-                        "compiled pipeline for `{}`:\n{}\n",
-                        q.name,
-                        pipeline.describe()
-                    );
-                    shown_pipeline = true;
-                }
-                let out = pipeline.execute(&idb, &options)?;
-                assert_eq!(out.tuples, naive, "{} must be answered exactly", q.name);
-                let reduction = naive_stats.base_tuples_accessed() as f64
-                    / out.stats.base_tuples_accessed().max(1) as f64;
-                improved += 1;
+        let analysis = engine.analyze(&q.query)?;
+        let naive = session.evaluate(&q.query)?;
+        if analysis.bounded() {
+            // The analysis is already in hand: register it without a second
+            // checker run.
+            engine.prepare_from(q.name, &analysis)?;
+            if !shown_pipeline {
+                // The compiled operator pipeline of the first bounded plan,
+                // one operator per line.
                 println!(
-                    "{:<24} {:>8} {:>16} {:>14} {:>9.0}x",
+                    "compiled pipeline for `{}`:\n{}\n",
                     q.name,
-                    "yes",
-                    out.stats.base_tuples_accessed(),
-                    naive_stats.base_tuples_accessed(),
-                    reduction
+                    analysis.explain()?
                 );
+                shown_pipeline = true;
             }
-            _ => {
-                println!(
-                    "{:<24} {:>8} {:>16} {:>14} {:>10}",
-                    q.name,
-                    "no",
-                    "-",
-                    naive_stats.base_tuples_accessed(),
-                    "-"
-                );
-            }
+            let out = session.execute(q.name)?;
+            assert_eq!(
+                out.tuples, naive.tuples,
+                "{} must be answered exactly",
+                q.name
+            );
+            // A second execution: served warm from the pipeline cache.
+            let again = session.execute(q.name)?;
+            assert_eq!(again, out);
+            let reduction = naive.stats.base_tuples_accessed() as f64
+                / out.stats.base_tuples_accessed().max(1) as f64;
+            improved += 1;
+            println!(
+                "{:<24} {:>8} {:>16} {:>14} {:>9.0}x",
+                q.name,
+                "yes",
+                out.stats.base_tuples_accessed(),
+                naive.stats.base_tuples_accessed(),
+                reduction
+            );
+        } else {
+            println!(
+                "{:<24} {:>8} {:>16} {:>14} {:>10}",
+                q.name,
+                "no",
+                "-",
+                naive.stats.base_tuples_accessed(),
+                "-"
+            );
         }
     }
     println!(
         "\n{improved}/{} queries of the workload have a bounded rewriting ({}%).",
         queries.len(),
         100 * improved / queries.len()
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "pipeline cache: {} lookups, {} hits, {} misses, {} invalidations",
+        stats.lookups, stats.hits, stats.misses, stats.invalidations
     );
     Ok(())
 }

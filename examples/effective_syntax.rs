@@ -2,6 +2,10 @@
 //! with negation, size-bounded views, and the difference between the PTIME
 //! syntactic check and the exact (exponential) decision procedure.
 //!
+//! This example deliberately stays on the **low-level API** — hand-threading
+//! `RewritingSetting` → `ToppedChecker` / `decide_vbrp` — to show what the
+//! `bqr::Engine` facade (see the other examples) composes under the hood.
+//!
 //! Run with `cargo run --example effective_syntax --release`.
 
 use bqr_core::decide::{decide_vbrp, DecisionOutcome};

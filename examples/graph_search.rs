@@ -1,67 +1,75 @@
 //! The Facebook Graph-Search example from the paper's introduction
-//! (experiment E5): as the social graph grows, the bounded plan keeps
-//! touching a constant number of tuples while the naive evaluation scans
-//! more and more of the database.
+//! (experiment E5), through the [`bqr::Engine`] facade: as the social graph
+//! grows, the bounded plan keeps touching a constant number of tuples while
+//! the naive evaluation scans more and more of the database.
+//!
+//! The prepared statement is registered **once**; each scale step attaches a
+//! fresh instance (fresh relation epochs), so each step's first execution is
+//! a pipeline-cache miss that invalidates the previous scale's entry — the
+//! engine's `CacheStats` at the end show exactly one miss per scale.
 //!
 //! Run with `cargo run --example graph_search --release`.
 
-use bqr_core::topped::ToppedChecker;
-use bqr_data::{FetchStats, IndexedDatabase};
-use bqr_query::eval::eval_cq_counting;
-use bqr_workload::social;
+use bqr::workload::social;
+use bqr::Engine;
 use std::time::Instant;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> bqr::Result<()> {
     let max_friends = 50;
-    let setting = social::setting(max_friends, 200);
-    let checker = ToppedChecker::new(&setting);
+    let engine = Engine::builder()
+        .setting(social::setting(max_friends, 200))
+        .build()?;
     let query = social::graph_search_query(0, 15);
     println!("Query: {query}\n");
 
-    let analysis = checker.analyze_cq(&query)?;
-    assert!(analysis.topped, "{:?}", analysis.reason);
-    let plan = analysis.plan.expect("the graph-search query is topped");
+    let analysis = engine.analyze(&query)?;
+    assert!(analysis.bounded(), "{:?}", analysis.reason());
     println!(
         "Bounded plan: {} nodes, worst-case fetch bound {} tuples\n",
-        plan.size(),
-        analysis.fetch_bound.unwrap()
+        analysis.plan_size().unwrap(),
+        analysis.fetch_bound().unwrap()
     );
+    engine.prepare("graph_search", &query)?;
 
     println!(
         "{:>10} {:>10} | {:>14} {:>12} | {:>14} {:>12}",
         "persons", "|D|", "bounded-access", "bounded-ms", "naive-access", "naive-ms"
     );
     for persons in [1_000usize, 4_000, 16_000] {
-        let db = social::generate(social::SocialScale {
+        engine.attach(social::generate(social::SocialScale {
             persons,
             restaurants: 500,
             max_friends,
             days: 31,
             seed: 17,
-        });
-        let cache = setting.views.materialize(&db)?;
-        let idb = IndexedDatabase::build(db.clone(), setting.access.clone())?;
+        }))?;
+        let session = engine.session();
+        let size = session.database().size();
 
         let t = Instant::now();
-        let bounded = bqr_plan::execute(&plan, &idb, &cache)?;
+        let bounded = session.execute("graph_search")?;
         let bounded_ms = t.elapsed().as_secs_f64() * 1_000.0;
 
         let t = Instant::now();
-        let mut naive_stats = FetchStats::new();
-        let naive = eval_cq_counting(&query, &db, None, &mut naive_stats)?;
+        let naive = session.evaluate(&query)?;
         let naive_ms = t.elapsed().as_secs_f64() * 1_000.0;
 
-        assert_eq!(bounded.tuples, naive);
+        assert_eq!(bounded.tuples, naive.tuples);
         println!(
             "{:>10} {:>10} | {:>14} {:>12.3} | {:>14} {:>12.3}",
             persons,
-            db.size(),
+            size,
             bounded.stats.base_tuples_accessed(),
             bounded_ms,
-            naive_stats.base_tuples_accessed(),
+            naive.stats.base_tuples_accessed(),
             naive_ms
         );
     }
     println!("\nThe bounded column stays flat while |D| grows — scale independence.");
+    let stats = engine.cache_stats();
+    println!(
+        "pipeline cache: {} misses (one per attached scale), {} invalidations",
+        stats.misses, stats.invalidations
+    );
     Ok(())
 }

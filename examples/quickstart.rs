@@ -1,27 +1,30 @@
-//! Quickstart: the running example of the paper (Example 1.1 / Fig. 1).
+//! Quickstart: the running example of the paper (Example 1.1 / Fig. 1),
+//! through the [`bqr::Engine`] facade.
 //!
-//! Builds the movie schema `R_0`, the access schema `A_0`, the view `V_1`,
-//! generates an instance satisfying `A_0`, checks that `Q_0`'s rewriting is
-//! topped, and executes the generated bounded plan, comparing both answers
-//! and the amount of data accessed against naive evaluation.
+//! Builds an engine over the movie setting (schema `R_0`, access schema
+//! `A_0`, view `V_1`, bound `M = 40`), attaches a generated instance,
+//! analyses `Q_0` and its rewriting `Q_ξ`, registers the rewriting as a
+//! named prepared statement, and serves it over an epoch-pinned session —
+//! comparing both answers and the amount of data accessed against naive
+//! evaluation.
 //!
 //! Run with `cargo run --example quickstart --release`.
 
-use bqr_core::topped::ToppedChecker;
-use bqr_data::{FetchStats, IndexedDatabase};
-use bqr_query::eval::eval_cq_counting;
-use bqr_workload::movies;
+use bqr::workload::movies;
+use bqr::Engine;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The setting: schema R0, access schema A0 (N0 = 100), view V1, M = 40.
+fn main() -> bqr::Result<()> {
+    // 1. The engine: schema R0, access schema A0 (N0 = 100), view V1, M = 40.
     let n0 = 100;
-    let setting = movies::setting(n0, 40);
-    setting.validate()?;
-    println!("Schema:\n{}\n", setting.schema);
-    println!("Access schema A0: {}", setting.access);
-    println!("Views:\n{}", setting.views);
+    let engine = Engine::builder()
+        .setting(movies::setting(n0, 40))
+        .cache_capacity(16)
+        .build()?;
+    println!("Schema:\n{}\n", engine.setting().schema);
+    println!("Access schema A0: {}", engine.setting().access);
+    println!("Views:\n{}", engine.setting().views);
 
-    // 2. A dataset that satisfies A0.
+    // 2. Attach a dataset that satisfies A0.
     let db = movies::generate(movies::MovieScale {
         persons: 20_000,
         movies: 2_000,
@@ -29,31 +32,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 1,
     });
     println!("|D| = {} tuples", db.size());
-    assert!(setting.access.satisfied_by(&db)?);
+    assert!(engine
+        .setting()
+        .access
+        .satisfied_by(&db)
+        .map_err(bqr::Error::Data)?);
+    engine.attach(db)?;
 
     // 3. Q0 itself is not boundedly rewritable without the view; the
     //    rewriting Qξ over V1 is topped by (R0, {V1}, A0, 40).
-    let checker = ToppedChecker::new(&setting);
     let q0 = movies::q0();
     let q_xi = movies::q_xi();
     println!("\nQ0  = {q0}");
     println!("Qξ  = {q_xi}");
-    let direct = checker.analyze_cq(&q0)?;
-    println!("Q0 topped without using V1? {}", direct.topped);
-    let analysis = checker.analyze_cq(&q_xi)?;
+    let direct = engine.analyze(&q0)?;
+    println!("Q0 bounded without using V1? {}", direct.bounded());
+    let analysis = engine.analyze(&q_xi)?;
     println!(
-        "Qξ topped? {} (plan size {}, fetch bound {} tuples)",
-        analysis.topped,
-        analysis.plan_size.unwrap(),
-        analysis.fetch_bound.unwrap()
+        "Qξ bounded? {} (plan size {}, fetch bound {} tuples)",
+        analysis.bounded(),
+        analysis.plan_size().unwrap(),
+        analysis.fetch_bound().unwrap()
     );
-    let plan = analysis.plan.expect("Qξ is topped");
-    println!("\nGenerated bounded plan:\n{plan}");
+    println!(
+        "\nGenerated bounded plan:\n{}",
+        analysis.plan().expect("Qξ is topped")
+    );
+    println!("Compiled pipeline:\n{}", analysis.explain()?);
 
-    // 4. Execute the bounded plan: cached views + index fetches only.
-    let cache = setting.views.materialize(&db)?;
-    let idb = IndexedDatabase::build(db.clone(), setting.access.clone())?;
-    let bounded = bqr_plan::execute(&plan, &idb, &cache)?;
+    // 4. Serve it: a named prepared statement over an epoch-pinned session.
+    //    Cached views + index fetches only — the plan never scans.
+    engine.prepare("fig1", &q_xi)?;
+    let session = engine.session();
+    let bounded = session.execute("fig1")?;
     println!(
         "Bounded plan: {} answers, {}",
         bounded.tuples.len(),
@@ -61,16 +72,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Naive evaluation of Q0 scans the base relations.
-    let mut naive_stats = FetchStats::new();
-    let naive = eval_cq_counting(&q0, &db, None, &mut naive_stats)?;
-    println!("Naive eval:   {} answers, {}", naive.len(), naive_stats);
+    let naive = session.evaluate(&q0)?;
+    println!(
+        "Naive eval:   {} answers, {}",
+        naive.tuples.len(),
+        naive.stats
+    );
 
-    assert_eq!(bounded.tuples, naive, "the rewriting is exact");
+    assert_eq!(bounded.tuples, naive.tuples, "the rewriting is exact");
     println!(
         "\nBase tuples accessed: bounded plan {} vs naive {}  ({}x less)",
         bounded.stats.base_tuples_accessed(),
-        naive_stats.base_tuples_accessed(),
-        naive_stats.base_tuples_accessed() / bounded.stats.base_tuples_accessed().max(1)
+        naive.stats.base_tuples_accessed(),
+        naive.stats.base_tuples_accessed() / bounded.stats.base_tuples_accessed().max(1)
     );
+    println!("Pipeline cache: {:?}", engine.cache_stats());
     Ok(())
 }

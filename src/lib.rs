@@ -1,20 +1,125 @@
 //! Umbrella crate for the reproduction of *Bounded Query Rewriting Using
 //! Views* (Cao, Fan, Geerts, Lu; PODS'16).
 //!
-//! The implementation lives in the workspace crates; this package re-exports
-//! them for convenience and anchors the workspace-level integration tests and
-//! examples:
+//! The front door is the [`Engine`] facade: one object that owns the
+//! rewriting setting `(R, V, A, M)`, the data, and the full request
+//! lifecycle — analyse a query's boundedness, register its rewriting as a
+//! named prepared statement, and serve it over epoch-pinned sessions while
+//! the instance mutates underneath.  Everything returns the single
+//! [`Error`] type.
 //!
-//! * [`bqr_data`] — values, tuples, relations, access schemas, indices;
-//! * [`bqr_query`] — CQ/UCQ/FO ASTs, homomorphisms, containment, chase;
-//! * [`bqr_plan`] — bounded query plans and their executor;
-//! * [`bqr_core`] — the topped-query checker and exact decision procedures;
-//! * [`bqr_workload`] — synthetic workloads (movies, social, CDR, random);
-//! * [`bqr_bench`] — the experiment harness.
+//! # Analyse, prepare, serve
+//!
+//! ```
+//! use bqr::{tuple, Engine};
+//! use bqr::data::{AccessConstraint, AccessSchema, Database, DatabaseSchema};
+//!
+//! # fn main() -> bqr::Result<()> {
+//! // The setting: schema R, access schema A (rating has a key on mid),
+//! // no views, plan-size bound M = 8.
+//! let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])])
+//!     .map_err(bqr::Error::Data)?;
+//! let engine = Engine::builder()
+//!     .schema(schema.clone())
+//!     .access(AccessSchema::new(vec![
+//!         AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap(),
+//!     ]))
+//!     .bound(8)
+//!     .build()?;
+//!
+//! // Attach data.
+//! let mut db = Database::empty(schema);
+//! db.insert("rating", tuple![42, 5]).map_err(bqr::Error::Data)?;
+//! db.insert("rating", tuple![7, 3]).map_err(bqr::Error::Data)?;
+//! engine.attach(db)?;
+//!
+//! // Analyse: the point lookup is boundedly rewritable (one fetch).
+//! let analysis = engine.analyze("Q(r) :- rating(42, r)")?;
+//! assert!(analysis.bounded());
+//! assert!(analysis.explain()?.contains("fetch["));
+//!
+//! // Prepare + serve.  `explain` already compiled the pipeline into the
+//! // engine's cache, so both executions are warm cache hits.
+//! engine.prepare("rank_of_42", "Q(r) :- rating(42, r)")?;
+//! let session = engine.session();
+//! assert_eq!(session.execute("rank_of_42")?.tuples, vec![tuple![5]]);
+//! assert_eq!(session.execute("rank_of_42")?.tuples, vec![tuple![5]]);
+//! let stats = engine.cache_stats();
+//! assert_eq!((stats.misses, stats.hits), (1, 2));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Epoch-pinned sessions
+//!
+//! A [`Session`] pins the data version current at [`Engine::session`]; its
+//! reads are snapshot-consistent no matter what mutations land concurrently:
+//!
+//! ```
+//! use bqr::{tuple, Engine};
+//! use bqr::data::{AccessConstraint, AccessSchema, Database, DatabaseSchema};
+//!
+//! # fn main() -> bqr::Result<()> {
+//! # let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])])
+//! #     .map_err(bqr::Error::Data)?;
+//! # let engine = Engine::builder()
+//! #     .schema(schema.clone())
+//! #     .access(AccessSchema::new(vec![
+//! #         AccessConstraint::new("rating", &["mid"], &["rank"], 2).unwrap(),
+//! #     ]))
+//! #     .bound(8)
+//! #     .build()?;
+//! # let mut db = Database::empty(schema);
+//! # db.insert("rating", tuple![42, 5]).map_err(bqr::Error::Data)?;
+//! # engine.attach(db)?;
+//! engine.prepare("ranks", "Q(r) :- rating(42, r)")?;
+//! let pinned = engine.session();
+//! assert_eq!(pinned.execute("ranks")?.tuples, vec![tuple![5]]);
+//!
+//! // A write bumps the relation's epoch and publishes a new version...
+//! engine.mutate(|db| db.insert("rating", tuple![42, 4]))?;
+//!
+//! // ...the pinned session still reads its snapshot; a fresh one sees the
+//! // write (served through a recompile — never a stale cache entry).
+//! assert_eq!(pinned.execute("ranks")?.tuples, vec![tuple![5]]);
+//! assert_eq!(
+//!     engine.session().execute("ranks")?.tuples,
+//!     vec![tuple![4], tuple![5]],
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # The layers underneath
+//!
+//! The facade is a thin, allocation-conscious composition of the workspace
+//! crates, all re-exported here for direct use (the `effective_syntax`
+//! example walks the low-level API):
+//!
+//! * [`bqr_data`] (as [`data`]) — values, tuples, relations, access schemas,
+//!   epoch-stamped instances, interned snapshots, indices;
+//! * [`bqr_query`] (as [`query`]) — CQ/UCQ/FO ASTs, homomorphisms,
+//!   containment, `A`-equivalence, the chase, the cost-based join planner;
+//! * [`bqr_plan`] (as [`plan`]) — bounded query plans, the compiled operator
+//!   [`Pipeline`](plan::Pipeline), conformance, plan fingerprints and the
+//!   `(plan, options, epochs)`-keyed [`PipelineCache`](plan::PipelineCache);
+//! * [`bqr_core`] (as [`core`]) — the topped-query checker (effective
+//!   syntax) and the exact decision procedures for `VBRP`;
+//! * [`bqr_engine`] (as [`engine`]) — the [`Engine`] facade itself;
+//! * [`bqr_workload`] (as [`workload`]) — synthetic workloads (movies,
+//!   social, CDR, random);
+//! * [`bqr_bench`] (as [`bench`]) — the experiment harness.
 
 pub use bqr_bench as bench;
 pub use bqr_core as core;
 pub use bqr_data as data;
+pub use bqr_engine as engine;
 pub use bqr_plan as plan;
 pub use bqr_query as query;
 pub use bqr_workload as workload;
+
+pub use bqr_data::tuple;
+pub use bqr_engine::{
+    Analysis, Engine, EngineBuilder, Error, EvalOutput, IntoQuery, PreparedStatement, Result,
+    Session,
+};

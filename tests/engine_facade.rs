@@ -1,0 +1,290 @@
+//! Differential and concurrency tests for the `bqr::Engine` facade.
+//!
+//! * `engine_agrees_with_the_low_level_stack_on_randomized_settings` holds
+//!   the facade **bit-identical** (answer tuples *and* `FetchStats`) to the
+//!   hand-threaded low-level stack (`RewritingSetting` → `ToppedChecker` →
+//!   `execute_with`) on ≥ 100 randomized settings — random chain queries,
+//!   view atoms, constants, instances, serial and sharded-parallel options,
+//!   and a post-mutation re-comparison.
+//! * `pinned_sessions_never_observe_concurrent_mutations` races writer and
+//!   reader threads and asserts that a pinned session's reads are
+//!   bit-for-bit stable across a mutation storm.
+
+use bqr::core::{RewritingSetting, ToppedChecker};
+use bqr::data::{tuple, AccessConstraint, AccessSchema, Database, DatabaseSchema, IndexedDatabase};
+use bqr::plan::ExecOptions;
+use bqr::query::parser::parse_cq;
+use bqr::query::{ConjunctiveQuery, ViewSet};
+use bqr::{Engine, Error};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RELATIONS: [&str; 3] = ["e0", "e1", "e2"];
+const VIEW_BOUND: usize = 64;
+
+fn chain_schema() -> DatabaseSchema {
+    DatabaseSchema::with_relations(&[
+        ("e0", &["a", "b"]),
+        ("e1", &["a", "b"]),
+        ("e2", &["a", "b"]),
+    ])
+    .unwrap()
+}
+
+fn chain_access(rng: &mut StdRng) -> AccessSchema {
+    AccessSchema::new(
+        RELATIONS
+            .iter()
+            .map(|r| AccessConstraint::new(*r, &["a"], &["b"], rng.gen_range(2..6usize)).unwrap())
+            .collect(),
+    )
+}
+
+fn chain_views() -> ViewSet {
+    let mut views = ViewSet::empty();
+    views
+        .add_cq("V", parse_cq("V(x, y) :- e0(x, y)").unwrap())
+        .unwrap();
+    views
+}
+
+fn random_instance(rng: &mut StdRng, domain: i64) -> Database {
+    let mut db = Database::empty(chain_schema());
+    for r in RELATIONS {
+        for _ in 0..rng.gen_range(8..30usize) {
+            db.insert(
+                r,
+                tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)],
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+/// A random topped chain query: starts from a constant, each step either
+/// fetches a base relation through its `a → b` constraint or joins the
+/// cached view `V` (whose output bound is annotated), optionally ending in a
+/// constant filter; the head projects the frontier (and sometimes an
+/// intermediate) variable.
+fn random_chain_query(rng: &mut StdRng, domain: i64) -> ConjunctiveQuery {
+    let len = rng.gen_range(1..4usize);
+    let start = rng.gen_range(0..domain);
+    let mut atoms = Vec::new();
+    for step in 0..len {
+        let src = if step == 0 {
+            start.to_string()
+        } else {
+            format!("x{step}")
+        };
+        let dst = format!("x{}", step + 1);
+        if rng.gen_bool(0.25) {
+            atoms.push(format!("V({src}, {dst})"));
+        } else {
+            let rel = RELATIONS[rng.gen_range(0..RELATIONS.len())];
+            atoms.push(format!("{rel}({src}, {dst})"));
+        }
+    }
+    let head = if len >= 2 && rng.gen_bool(0.3) {
+        format!("Q(x1, x{len})")
+    } else {
+        format!("Q(x{len})")
+    };
+    parse_cq(&format!("{head} :- {}", atoms.join(", "))).unwrap()
+}
+
+#[test]
+fn engine_agrees_with_the_low_level_stack_on_randomized_settings() {
+    let mut rng = StdRng::seed_from_u64(0xb9_e2_26);
+    let mut settings = 0usize;
+    let mut executed = 0usize;
+    while settings < 110 {
+        settings += 1;
+        let domain = rng.gen_range(4..10i64);
+        let access = chain_access(&mut rng);
+        let db = random_instance(&mut rng, domain);
+
+        // The hand-threaded low-level stack.
+        let setting = RewritingSetting::new(chain_schema(), access.clone(), chain_views(), 64);
+        let mut oracle = bqr::core::BoundedOutputOracle::new(
+            setting.schema.clone(),
+            setting.access.clone(),
+            setting.budget,
+        );
+        oracle.annotate_view("V", VIEW_BOUND);
+        let checker = ToppedChecker::with_oracle(&setting, oracle);
+
+        // The facade, configured identically.
+        let engine = Engine::builder()
+            .setting(setting.clone())
+            .annotate_view_bound("V", VIEW_BOUND)
+            .cache_capacity(8)
+            .build()
+            .unwrap();
+        engine.attach(db.clone()).unwrap();
+
+        let query = random_chain_query(&mut rng, domain);
+        let low = checker.analyze_cq(&query).unwrap();
+        let high = engine.analyze(&query).unwrap();
+        assert_eq!(
+            low.topped,
+            high.bounded(),
+            "decisions diverged on {query} ({:?} vs {:?})",
+            low.reason,
+            high.reason()
+        );
+        assert_eq!(low.plan_size, high.plan_size(), "plan size on {query}");
+        assert_eq!(low.fetch_bound, high.fetch_bound(), "|Dξ| bound on {query}");
+        if !low.topped {
+            assert!(matches!(
+                engine.prepare("q", &query),
+                Err(Error::NoRewriting { .. })
+            ));
+            continue;
+        }
+
+        // Low level: materialise, index, execute the constructed plan.
+        let views = setting.views.materialize(&db).unwrap();
+        let idb = IndexedDatabase::build(db.clone(), access.clone()).unwrap();
+        let plan = low.plan.clone().unwrap();
+
+        engine.prepare("q", &query).unwrap();
+        let session = engine.session();
+        for options in [ExecOptions::serial(), ExecOptions::parallel(3)] {
+            let expected = bqr::plan::execute_with(&plan, &idb, &views, &options).unwrap();
+            let got = session.execute_with("q", &options).unwrap();
+            assert_eq!(got, expected, "answers/stats diverged on {query}");
+            executed += 1;
+        }
+        // Ad-hoc (unnamed) execution takes the same path.
+        assert_eq!(
+            session.query(&query).unwrap().tuples,
+            bqr::plan::execute_with(&plan, &idb, &views, &ExecOptions::serial())
+                .unwrap()
+                .tuples
+        );
+
+        // A mutation: both stacks rebuilt, answers must still be identical
+        // (the facade's rebuild is a cache invalidation, never a stale hit).
+        if settings.is_multiple_of(3) {
+            let rel = RELATIONS[rng.gen_range(0..RELATIONS.len())];
+            let t = tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)];
+            engine.mutate(|db| db.insert(rel, t.clone())).unwrap();
+            let db2 = engine.database();
+            let views2 = setting.views.materialize(&db2).unwrap();
+            let idb2 = IndexedDatabase::build(db2, access).unwrap();
+            let expected =
+                bqr::plan::execute_with(&plan, &idb2, &views2, &ExecOptions::serial()).unwrap();
+            let fresh = engine.session();
+            assert_eq!(
+                fresh.execute("q").unwrap(),
+                expected,
+                "post-mutation divergence on {query}"
+            );
+            // The pre-mutation session still serves the pre-mutation answer.
+            let old = bqr::plan::execute_with(&plan, &idb, &views, &ExecOptions::serial()).unwrap();
+            assert_eq!(session.execute("q").unwrap(), old);
+            executed += 2;
+        }
+
+        let stats = engine.cache_stats();
+        assert_eq!(stats.lookups, stats.hits + stats.misses, "{stats:?}");
+    }
+    assert!(settings >= 100, "at least 100 randomized settings");
+    assert!(executed >= 120, "a healthy share had executable rewritings");
+}
+
+/// A pinned session must never observe a concurrent mutation mid-session:
+/// readers pin a version, execute the statement repeatedly while a writer
+/// storms mutations, and every repeat must be bit-identical to the first
+/// (tuples and stats), with the pinned epoch vector never moving.
+#[test]
+fn pinned_sessions_never_observe_concurrent_mutations() {
+    let schema = DatabaseSchema::with_relations(&[("r", &["a", "b"])]).unwrap();
+    let engine = Engine::builder()
+        .schema(schema.clone())
+        .access(AccessSchema::new(vec![AccessConstraint::new(
+            "r",
+            &["a"],
+            &["b"],
+            64,
+        )
+        .unwrap()]))
+        .bound(8)
+        .cache_capacity(16)
+        .build()
+        .unwrap();
+    let mut db = Database::empty(schema);
+    db.insert("r", tuple![1, 0]).unwrap();
+    engine.attach(db).unwrap();
+    engine.prepare("fan_out", "Q(y) :- r(1, y)").unwrap();
+
+    const WRITES: i64 = 40;
+    const READERS: usize = 3;
+    let barrier = std::sync::Barrier::new(READERS + 1);
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let barrier = &barrier;
+        scope.spawn(move || {
+            barrier.wait();
+            for k in 1..=WRITES {
+                engine.mutate(|db| db.insert("r", tuple![1, k])).unwrap();
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..READERS {
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..30 {
+                    let session = engine.session();
+                    let pinned_epochs = session.epochs();
+                    let first = session.execute("fan_out").unwrap();
+                    // The pinned answer is internally consistent: exactly the
+                    // r(1, ·) tuples of the pinned snapshot.
+                    let expected: Vec<_> = session
+                        .database()
+                        .relation("r")
+                        .unwrap()
+                        .iter()
+                        .filter(|t| t[0] == bqr::data::Value::int(1))
+                        .map(|t| tuple![t[1].clone()])
+                        .collect();
+                    assert_eq!(first.tuples.len(), expected.len());
+                    for repeat in 0..5 {
+                        let again = session.execute("fan_out").unwrap();
+                        assert_eq!(
+                            again, first,
+                            "repeat {repeat} observed a concurrent mutation"
+                        );
+                        assert_eq!(session.epochs(), pinned_epochs, "the pin moved");
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiesced: a fresh session sees every write, and the cache counters
+    // reconcile exactly despite the storm.
+    let final_out = engine.session().execute("fan_out").unwrap();
+    assert_eq!(final_out.tuples.len(), 1 + WRITES as usize);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses, "{stats:?}");
+
+    // Deterministic invalidation epilogue (thread interleaving above is
+    // best-effort): pin a session, mutate, and serve the new version — the
+    // fresh-epoch insert must sweep exactly the superseded entry while the
+    // pinned session keeps its answer.
+    let pinned = engine.session();
+    let before = pinned.execute("fan_out").unwrap();
+    engine
+        .mutate(|db| db.insert("r", tuple![1, WRITES + 1]))
+        .unwrap();
+    let invalidations_before = engine.cache_stats().invalidations;
+    let after = engine.session().execute("fan_out").unwrap();
+    assert_eq!(after.tuples.len(), before.tuples.len() + 1);
+    assert!(
+        engine.cache_stats().invalidations > invalidations_before,
+        "the superseded entry was swept"
+    );
+    assert_eq!(pinned.execute("fan_out").unwrap(), before, "still pinned");
+}

@@ -356,6 +356,148 @@ fn golden_cdr_workload_through_the_prepared_path() {
     assert_eq!(stats.lookups, stats.hits + stats.misses);
 }
 
+/// The paper's movie example (Fig. 1 / Examples 1.1, 2.2, 2.3) served
+/// through the `bqr::Engine` facade **alone** — no crate-internal types:
+/// pinned answers on the hand-built instance, a warm cache hit on the
+/// repeat execution, and a cache invalidation after an update that changes
+/// the answer; the pinned session keeps the pre-update answer throughout.
+#[test]
+fn golden_movie_answers_through_the_engine_facade() {
+    use bqr_data::{tuple, Database};
+
+    let n0 = 100;
+    let engine = bqr_engine::Engine::builder()
+        .setting(movies::setting(n0, 40))
+        .cache_capacity(8)
+        .build()
+        .unwrap();
+
+    // The hand-built instance of Examples 1.1 / 2.2.
+    let mut db = Database::empty(movies::schema());
+    db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
+    db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
+    db.insert("person", tuple![3, "Cat", "ESA"]).unwrap();
+    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![11, "Ouija", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
+    db.insert("rating", tuple![10, 5]).unwrap();
+    db.insert("rating", tuple![11, 3]).unwrap();
+    db.insert("rating", tuple![12, 5]).unwrap();
+    db.insert("like", tuple![1, 10, "movie"]).unwrap();
+    db.insert("like", tuple![2, 12, "movie"]).unwrap();
+    db.insert("like", tuple![3, 11, "movie"]).unwrap();
+    engine.attach(db).unwrap();
+
+    // Q0 is not boundedly rewritable without the view; Qξ over V1 is.
+    assert!(!engine.analyze(movies::q0()).unwrap().bounded());
+    let analysis = engine.analyze(movies::q_xi()).unwrap();
+    assert!(analysis.bounded(), "{:?}", analysis.reason());
+    assert!(analysis.fetch_bound().unwrap() <= 2 * n0, "|Dξ| ≤ 2·N0");
+    assert!(analysis.explain().unwrap().contains("fetch["));
+
+    engine.prepare("fig1", movies::q_xi()).unwrap();
+    let session = engine.session();
+    for _ in 0..2 {
+        let out = session.execute("fig1").unwrap();
+        assert_eq!(out.tuples, vec![tuple![10]], "only Lucy qualifies");
+        assert!(out.stats.fetched_tuples <= 2 * n0);
+        assert_eq!(out.stats.scanned_tuples, 0, "bounded plans never scan");
+    }
+    // The explain above compiled the pipeline, so both executions were warm.
+    let warm = engine.cache_stats();
+    assert_eq!((warm.misses, warm.hits), (1, 2), "{warm:?}");
+    // The facade answer equals the naive baseline on the original query.
+    assert_eq!(
+        session.evaluate(movies::q0()).unwrap().tuples,
+        vec![tuple![10]]
+    );
+
+    // The update scenario: a new Universal/2014 movie, rated 5 and liked by
+    // a NASA person, lands through `mutate` — views re-materialise, epochs
+    // move, and a fresh session serves the new answer through a recompile.
+    engine
+        .mutate(|db| {
+            db.insert("movie", tuple![13, "Vice", "Universal", "2014"])?;
+            db.insert("rating", tuple![13, 5])?;
+            db.insert("like", tuple![1, 13, "movie"])
+        })
+        .unwrap();
+    let fresh = engine.session();
+    let out = fresh.execute("fig1").unwrap();
+    assert_eq!(out.tuples, vec![tuple![10], tuple![13]], "Vice joined");
+    assert_eq!(out.tuples, fresh.evaluate(movies::q0()).unwrap().tuples);
+    let updated = engine.cache_stats();
+    assert_eq!(updated.misses, 2, "{updated:?}");
+    assert_eq!(updated.invalidations, 1, "the stale entry was swept");
+    // The pre-update session still serves the pre-update answer.
+    assert_eq!(session.execute("fig1").unwrap().tuples, vec![tuple![10]]);
+    // And the refreshed entry is warm again.
+    assert_eq!(
+        fresh.execute("fig1").unwrap().tuples,
+        vec![tuple![10], tuple![13]]
+    );
+}
+
+/// Every topped CDR template of the pinned fixed-scale instance served
+/// through the facade alone: 9 of 10 prepare successfully (by name), each
+/// answers identically to the naive baseline, repeat executions are all
+/// warm, and the non-topped template fails `prepare` with the typed
+/// `NoRewriting` error.
+#[test]
+fn golden_cdr_workload_through_the_engine_facade() {
+    use bqr_workload::cdr;
+
+    let scale = cdr::CdrScale {
+        customers: 300,
+        days: 5,
+        ..cdr::CdrScale::default()
+    };
+    let mut builder = bqr_engine::Engine::builder()
+        .setting(cdr::setting(&scale, 120))
+        .cache_capacity(32);
+    for (name, bound) in cdr::view_bounds() {
+        builder = builder.annotate_view_bound(name, bound);
+    }
+    let engine = builder.build().unwrap();
+    engine.attach(cdr::generate(scale)).unwrap();
+    let session = engine.session();
+
+    let mut topped = 0usize;
+    for q in &cdr::workload(17, 3) {
+        match engine.prepare(q.name, &q.query) {
+            Ok(statement) => {
+                topped += 1;
+                assert_eq!(statement.name(), q.name);
+                let expected = session.evaluate(&q.query).unwrap();
+                for _ in 0..2 {
+                    let out = session.execute(q.name).unwrap();
+                    assert_eq!(out.tuples, expected.tuples, "{} drifted", q.name);
+                }
+            }
+            Err(bqr_engine::Error::NoRewriting { query, .. }) => {
+                assert_eq!(
+                    q.name, "who_called_me",
+                    "only the pinned non-topped template"
+                );
+                assert!(query.contains("calls"));
+            }
+            Err(other) => panic!("{}: unexpected error {other}", q.name),
+        }
+    }
+    assert_eq!(topped, 9, "the pinned workload has 9 topped templates");
+    assert_eq!(engine.statement_names().len(), 9);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, topped as u64, "{stats:?}");
+    assert_eq!(
+        stats.hits, topped as u64,
+        "every repeat was warm: {stats:?}"
+    );
+    assert_eq!(stats.lookups, stats.hits + stats.misses);
+    assert_eq!(stats.invalidations, 0, "the instance never mutated");
+}
+
 /// The exact decision procedure agrees with the effective syntax on the
 /// paper's running example, for a bound large enough for the Fig.-1 plan.
 #[test]
