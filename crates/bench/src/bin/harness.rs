@@ -105,19 +105,21 @@ fn hom_engine() {
 }
 
 /// `plan` / `prepared` — the compiled plan-execution pipeline vs the
-/// tree-walking reference interpreter, parallel scaling, and the prepared
-/// (cold compile+exec vs warm cache-hit) rows.  Emits `BENCH_plan.json` and
-/// fails (exit 1) when the compiled executor loses to the reference on the
-/// movies workload, or when a warm cache-hit execution is not ≥ 3× faster
-/// than a cold compile+exec there.
+/// tree-walking reference interpreter, parallel scaling, the prepared
+/// (cold compile+exec vs warm cache-hit) rows, and the runtime-guard
+/// overhead comparison.  Emits `BENCH_plan.json` and fails (exit 1) when
+/// the compiled executor loses to the reference on the movies workload,
+/// when a warm cache-hit execution is not ≥ 3× faster than a cold
+/// compile+exec there, or when guarded execution exceeds the unguarded
+/// baseline by more than 5%.
 fn plan_executor() {
     use bqr_bench::plan_bench;
 
     println!(
         "\n== plan: compiled pipeline vs exec::reference; parallel scaling at 1/2/4 shards; \
-         prepared cold vs warm =="
+         prepared cold vs warm; guard overhead =="
     );
-    let (results, parallel, prepared, json) = plan_bench::report();
+    let (results, parallel, prepared, guard, guard_stats, json) = plan_bench::report();
     println!(
         "{:<28} {:>8} {:>14} {:>14} {:>9}",
         "case", "repeats", "reference-ms", "compiled-ms", "speedup"
@@ -160,6 +162,28 @@ fn plan_executor() {
             p.cache.invalidations
         );
     }
+    println!(
+        "{:<28} {:>8} {:>14} {:>14} {:>9}",
+        "guard overhead", "repeats", "disabled-ms", "enabled-ms", "ratio"
+    );
+    println!(
+        "{:<28} {:>8} {:>14.2} {:>14.2} {:>8.3}x",
+        guard.name,
+        guard.repeats,
+        guard.disabled_ms,
+        guard.enabled_ms,
+        guard.ratio()
+    );
+    println!(
+        "guard stats exercise: cancellations {}  deadline {}  memory {}  fetch {}  panics {}  fallbacks {}",
+        guard_stats.cancellations,
+        guard_stats.deadline_trips,
+        guard_stats.memory_trips,
+        guard_stats.fetch_trips,
+        guard_stats.panics_contained,
+        guard_stats.serial_fallbacks
+    );
+
     let path = std::env::var("BENCH_PLAN_JSON").unwrap_or_else(|_| "BENCH_plan.json".to_string());
     std::fs::write(&path, json).expect("write BENCH_plan.json");
     println!("wrote {path}");
@@ -185,6 +209,15 @@ fn plan_executor() {
             movies_prepared.warm_ms,
             plan_bench::PREPARED_MIN_SPEEDUP,
             movies_prepared.cold_ms
+        );
+        std::process::exit(1);
+    }
+    if guard.ratio() > plan_bench::GUARD_MAX_OVERHEAD {
+        eprintln!(
+            "REGRESSION: guarded execution ({:.2} ms) exceeds the unguarded baseline ({:.2} ms) by more than {:.0}% on the movies workload",
+            guard.enabled_ms,
+            guard.disabled_ms,
+            (plan_bench::GUARD_MAX_OVERHEAD - 1.0) * 100.0
         );
         std::process::exit(1);
     }

@@ -655,11 +655,9 @@ pub mod plan_bench {
         }
     }
 
-    /// The plan-execution cases.
-    pub fn cases() -> Vec<PlanCase> {
-        let mut out = Vec::new();
-        // Movies: the Fig.-1-shaped rewriting generated by the topped
-        // checker, over an 8k-person instance.
+    /// Movies: the Fig.-1-shaped rewriting generated by the topped checker,
+    /// over an 8k-person instance.
+    fn movies_case() -> PlanCase {
         let setting = movies::setting(100, 40);
         let checker = checker_with_annotations(&setting, &[]);
         let analysis = plan_for(&checker, &movies::q_xi());
@@ -670,13 +668,19 @@ pub mod plan_bench {
             seed: 1,
         });
         let (idb, cache) = prepare(&setting, db);
-        out.push(PlanCase {
+        PlanCase {
             name: "movies_qxi_8k",
             plan: analysis.plan.expect("movies rewriting is topped"),
             idb,
             views: cache,
             repeats: 100,
-        });
+        }
+    }
+
+    /// The plan-execution cases.
+    pub fn cases() -> Vec<PlanCase> {
+        let mut out = Vec::new();
+        out.push(movies_case());
         // CDR: the heaviest topped template of the analytics workload over
         // a 10k-customer instance (the workload's cheap point lookups
         // execute in microseconds either way; the heavy template is where
@@ -777,6 +781,114 @@ pub mod plan_bench {
             ms,
             scaling: crate::guarded_ratio(serial_ms, ms),
         }
+    }
+
+    /// The guard-overhead comparison on the movies workload: the same
+    /// compiled pipeline executed with runtime limits disabled vs enforced
+    /// (ample enough never to trip), so the ratio isolates the cost of the
+    /// guard checkpoints themselves.
+    #[derive(Debug, Clone)]
+    pub struct GuardOverhead {
+        pub name: &'static str,
+        pub repeats: usize,
+        /// ms per batch with [`bqr_plan::GuardLimits::none`] (the default).
+        pub disabled_ms: f64,
+        /// ms per batch with a deadline, row budget and fetch cap enforced.
+        pub enabled_ms: f64,
+    }
+
+    impl GuardOverhead {
+        /// enabled / disabled — how much the guardrails cost.
+        pub fn ratio(&self) -> f64 {
+            crate::guarded_ratio(self.enabled_ms, self.disabled_ms)
+        }
+    }
+
+    /// The threshold the harness enforces: guarded execution of the movies
+    /// workload must stay within 5% of unguarded execution.
+    pub const GUARD_MAX_OVERHEAD: f64 = 1.05;
+
+    /// Measure [`GuardOverhead`] on `movies_qxi_8k`.  Both configurations
+    /// are run in alternating rounds and the best batch per configuration is
+    /// kept, so scheduler noise cannot charge one side only.
+    pub fn run_guard_overhead() -> GuardOverhead {
+        let case = movies_case();
+        let pipeline = Pipeline::compile(&case.plan, &case.idb, &case.views).unwrap();
+        let disabled = ExecOptions::serial();
+        let enabled = ExecOptions::serial()
+            .with_deadline_ms(3_600_000)
+            .with_row_budget(usize::MAX / 2)
+            .with_fetch_budget(usize::MAX / 2);
+        let expected = pipeline.execute(&case.idb, &disabled).unwrap();
+        assert_eq!(
+            pipeline.execute(&case.idb, &enabled).unwrap(),
+            expected,
+            "guards must never change the answer"
+        );
+        let mut best = [f64::INFINITY; 2];
+        for _round in 0..3 {
+            for (slot, options) in [(0usize, &disabled), (1, &enabled)] {
+                let t = Instant::now();
+                for _ in 0..case.repeats {
+                    let out = pipeline.execute(&case.idb, options).unwrap();
+                    assert_eq!(out.tuples.len(), expected.tuples.len());
+                }
+                let ms = t.elapsed().as_secs_f64() * 1_000.0;
+                if ms < best[slot] {
+                    best[slot] = ms;
+                }
+            }
+        }
+        GuardOverhead {
+            name: case.name,
+            repeats: case.repeats,
+            disabled_ms: best[0],
+            enabled_ms: best[1],
+        }
+    }
+
+    /// Deterministically trip each guard class once through the
+    /// [`bqr_engine::Engine`] facade and snapshot the per-engine counters —
+    /// the committed report pins the counter wiring, not a timing.
+    pub fn guard_stats_exercise() -> bqr_plan::GuardStats {
+        use bqr_plan::{CancellationToken, ExecError};
+
+        let engine = bqr_engine::Engine::builder()
+            .setting(movies::setting(100, 40))
+            .build()
+            .expect("movies engine builds");
+        let db = movies::generate(movies::MovieScale {
+            persons: 100,
+            movies: 50,
+            n0: 100,
+            seed: 3,
+        });
+        engine.attach(db).expect("attach");
+        engine.prepare("fig1", movies::q_xi()).expect("prepare");
+        let session = engine.session();
+
+        let expect_trip = |options: &ExecOptions, want: fn(&ExecError) -> bool| {
+            let err = session.execute_with("fig1", options).unwrap_err();
+            assert!(err.exec_error().is_some_and(want), "{err:?}");
+        };
+        expect_trip(&ExecOptions::serial().with_deadline_ms(0), |e| {
+            matches!(e, ExecError::DeadlineExceeded { .. })
+        });
+        expect_trip(&ExecOptions::serial().with_row_budget(0), |e| {
+            matches!(e, ExecError::MemoryBudgetExceeded { .. })
+        });
+        expect_trip(&ExecOptions::serial().with_fetch_budget(0), |e| {
+            matches!(e, ExecError::FetchBudgetExceeded { .. })
+        });
+        let token = CancellationToken::new();
+        token.cancel();
+        let err = session
+            .execute_with_token("fig1", &ExecOptions::serial(), token)
+            .unwrap_err();
+        assert!(err.exec_error() == Some(&ExecError::Cancelled), "{err:?}");
+        // And one clean execution: trips never wedge the statement.
+        session.execute("fig1").expect("statement still serves");
+        engine.guard_stats()
     }
 
     /// One prepared-execution case: a plan plus a `rebuild` closure that
@@ -978,12 +1090,16 @@ pub mod plan_bench {
     }
 
     /// Run every case (serial comparison, 1/2/4-shard parallel rows on the
-    /// largest workload, and the prepared cold-vs-warm rows) and render the
+    /// largest workload, the prepared cold-vs-warm rows, and the
+    /// guard-overhead comparison plus counter exercise) and render the
     /// machine-readable report committed as `BENCH_plan.json`.
+    #[allow(clippy::type_complexity)]
     pub fn report() -> (
         Vec<PlanCaseResult>,
         Vec<ParallelResult>,
         Vec<PreparedResult>,
+        GuardOverhead,
+        bqr_plan::GuardStats,
         String,
     ) {
         let cases = cases();
@@ -1063,8 +1179,24 @@ pub mod plan_bench {
                 if i + 1 < prepared.len() { "," } else { "" }
             ));
         }
-        json.push_str("  ]\n}\n");
-        (results, parallel, prepared, json)
+        let overhead = run_guard_overhead();
+        let guard_stats = guard_stats_exercise();
+        json.push_str(&format!(
+            "  ],\n  \"guard\": {{\n    \"overhead\": {{\"name\": \"{}\", \"repeats\": {}, \"disabled_ms\": {:.3}, \"enabled_ms\": {:.3}, \"ratio\": {:.3}, \"max_ratio\": {:.2}}},\n    \"stats_exercise\": {{\"cancellations\": {}, \"deadline_trips\": {}, \"memory_trips\": {}, \"fetch_trips\": {}, \"panics_contained\": {}, \"serial_fallbacks\": {}}}\n  }}\n}}\n",
+            overhead.name,
+            overhead.repeats,
+            overhead.disabled_ms,
+            overhead.enabled_ms,
+            overhead.ratio(),
+            GUARD_MAX_OVERHEAD,
+            guard_stats.cancellations,
+            guard_stats.deadline_trips,
+            guard_stats.memory_trips,
+            guard_stats.fetch_trips,
+            guard_stats.panics_contained,
+            guard_stats.serial_fallbacks,
+        ));
+        (results, parallel, prepared, overhead, guard_stats, json)
     }
 }
 

@@ -27,6 +27,9 @@ pub enum DataError {
     /// A fetch was issued against a constraint that the indexed database does
     /// not maintain an index for.
     NoIndexForConstraint(String),
+    /// A fault injected at a named failpoint site (see [`crate::faults`];
+    /// only ever produced by test builds with the `failpoints` feature).
+    FaultInjected(String),
 }
 
 impl fmt::Display for DataError {
@@ -60,6 +63,9 @@ impl fmt::Display for DataError {
             DataError::InvalidConstraint(msg) => write!(f, "invalid access constraint: {msg}"),
             DataError::NoIndexForConstraint(c) => {
                 write!(f, "no index is maintained for access constraint {c}")
+            }
+            DataError::FaultInjected(site) => {
+                write!(f, "injected fault at failpoint `{site}`")
             }
         }
     }
@@ -102,6 +108,10 @@ mod tests {
             (
                 DataError::NoIndexForConstraint("r(X->Y,2)".into()),
                 "r(X->Y,2)",
+            ),
+            (
+                DataError::FaultInjected("data.index.build".into()),
+                "data.index.build",
             ),
         ];
         for (err, needle) in cases {

@@ -177,6 +177,7 @@ impl IndexedDatabase {
     /// [`AccessSchema::satisfied_by`] first (the decision procedures only
     /// promise bounded fetches on satisfying instances).
     pub fn build(db: Database, access: AccessSchema) -> Result<Self> {
+        crate::faults::check(crate::faults::sites::INDEX_BUILD)?;
         access.validate(db.schema())?;
         let indexes = access
             .constraints()

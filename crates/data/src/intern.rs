@@ -68,16 +68,28 @@ fn pool() -> &'static ValuePool {
 }
 
 impl ValuePool {
+    // The pool maps are only ever mutated append-style with both write locks
+    // held, so a panicking holder cannot leave them torn: poisoned locks are
+    // recovered rather than propagated.
     fn intern(&self, value: &Value) -> ValueId {
-        if let Some(&id) = self.by_value.read().unwrap().get(value) {
+        use std::sync::PoisonError;
+        if let Some(&id) = self
+            .by_value
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(value)
+        {
             return ValueId(id);
         }
-        let mut by_value = self.by_value.write().unwrap();
+        let mut by_value = self
+            .by_value
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         // Re-check under the write lock: another thread may have won the race.
         if let Some(&id) = by_value.get(value) {
             return ValueId(id);
         }
-        let mut values = self.values.write().unwrap();
+        let mut values = self.values.write().unwrap_or_else(PoisonError::into_inner);
         let id = u32::try_from(values.len()).expect("value pool overflow");
         values.push(value.clone());
         by_value.insert(value.clone(), id);
@@ -87,14 +99,17 @@ impl ValuePool {
     fn lookup(&self, value: &Value) -> Option<ValueId> {
         self.by_value
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(value)
             .copied()
             .map(ValueId)
     }
 
     fn resolve(&self, id: ValueId) -> Value {
-        self.values.read().unwrap()[id.0 as usize].clone()
+        self.values
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[id.0 as usize]
+            .clone()
     }
 }
 

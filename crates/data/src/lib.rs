@@ -25,7 +25,10 @@
 //! * [`FetchStats`] — I/O accounting: how many base tuples a plan fetched
 //!   (`|D_ξ|` in the paper) versus how many a full scan would touch — and
 //!   [`RelationStats`], the per-snapshot cardinality statistics consumed by
-//!   the cost-based join planner in `bqr-query`.
+//!   the cost-based join planner in `bqr-query`;
+//! * [`faults`] — a registry-activated failpoint facility (compiled to
+//!   no-ops unless the `failpoints` cargo feature is on) whose injection
+//!   sites thread through the whole serving stack for chaos testing.
 //!
 //! The crate is deliberately free of query-language concepts; those live in
 //! `bqr-query` and `bqr-plan`.
@@ -33,6 +36,7 @@
 pub mod access;
 pub mod database;
 pub mod error;
+pub mod faults;
 pub mod index;
 pub mod index_cache;
 pub mod intern;

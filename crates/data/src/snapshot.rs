@@ -186,14 +186,21 @@ pub fn snapshot_of(relation: &Relation) -> Arc<InternedSnapshot> {
     let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(live) = registry
         .lock()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .get(&relation.epoch())
         .and_then(Weak::upgrade)
     {
         return live;
     }
+    // Interning is infallible, so this failpoint is panic-only: an injected
+    // `Error` kind also surfaces as a panic here, outside the registry lock.
+    if let Err(e) = crate::faults::check(crate::faults::sites::SNAPSHOT_INTERN) {
+        panic!("{e}");
+    }
     let built = Arc::new(InternedSnapshot::build(relation));
-    let mut map = registry.lock().unwrap();
+    let mut map = registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(live) = map.get(&relation.epoch()).and_then(Weak::upgrade) {
         return live;
     }
@@ -214,7 +221,7 @@ pub fn live_snapshot_epochs() -> Vec<u64> {
     let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
     let mut live: Vec<u64> = registry
         .lock()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .filter(|(_, w)| w.strong_count() > 0)
         .map(|(&epoch, _)| epoch)

@@ -3,7 +3,10 @@
 use crate::error::{Error, Result};
 use crate::session::DataVersion;
 use bqr_core::{Query, ToppedAnalysis};
-use bqr_plan::{ExecOptions, ExecOutput, PipelineCache, PreparedPlan, QueryPlan};
+use bqr_plan::{
+    CancellationToken, ExecOptions, ExecOutput, Guard, GuardMetrics, PipelineCache, PreparedPlan,
+    QueryPlan,
+};
 use std::sync::Arc;
 
 /// The boundedness analysis of one query, pinned to the data version that
@@ -23,6 +26,7 @@ pub struct Analysis {
     version: Arc<DataVersion>,
     cache: Arc<PipelineCache>,
     options: ExecOptions,
+    guard_metrics: Arc<GuardMetrics>,
 }
 
 impl Analysis {
@@ -32,6 +36,7 @@ impl Analysis {
         version: Arc<DataVersion>,
         cache: Arc<PipelineCache>,
         options: ExecOptions,
+        guard_metrics: Arc<GuardMetrics>,
     ) -> Analysis {
         Analysis {
             query,
@@ -39,6 +44,7 @@ impl Analysis {
             version,
             cache,
             options,
+            guard_metrics,
         }
     }
 
@@ -121,11 +127,26 @@ impl Analysis {
         self.execute_with(&self.options.clone())
     }
 
-    /// [`execute`](Analysis::execute) under explicit options.
+    /// [`execute`](Analysis::execute) under explicit options.  Guardrail
+    /// limits on the options are enforced, with trips recorded in the
+    /// engine's [`guard_stats`](crate::Engine::guard_stats).
     pub fn execute_with(&self, options: &ExecOptions) -> Result<ExecOutput> {
+        self.execute_with_token(options, CancellationToken::new())
+    }
+
+    /// [`execute_with`](Analysis::execute_with) honouring a caller-held
+    /// [`CancellationToken`]: trip it from any thread and the execution
+    /// returns [`bqr_plan::ExecError::Cancelled`] at its next checkpoint.
+    pub fn execute_with_token(
+        &self,
+        options: &ExecOptions,
+        token: CancellationToken,
+    ) -> Result<ExecOutput> {
         let prepared = self.prepared_plan()?;
+        let guard =
+            Guard::with_token(&options.limits, token).with_metrics(Arc::clone(&self.guard_metrics));
         prepared
-            .execute_with(self.version.idb(), self.version.views(), options)
+            .execute_guarded(self.version.idb(), self.version.views(), options, &guard)
             .map_err(|e| Error::execution(&self.query.to_string(), e))
     }
 

@@ -8,11 +8,15 @@ use bqr_core::{
     VbrpInstance,
 };
 use bqr_data::{AccessSchema, Database, DatabaseSchema};
-use bqr_plan::{CacheStats, ExecOptions, PipelineCache, PlanLanguage, PreparedPlan};
+use bqr_plan::{
+    panic_message, CacheStats, ExecOptions, GuardLimits, GuardMetrics, GuardStats, PipelineCache,
+    PlanLanguage, PreparedPlan,
+};
 use bqr_query::parser::parse_ucq;
 use bqr_query::{Budget, ConjunctiveQuery, FoQuery, PlannerConfig, UnionQuery, ViewSet};
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Anything [`Engine::analyze`] / [`Engine::prepare`] accept as a query: the
 /// AST types of the stack ([`ConjunctiveQuery`], [`UnionQuery`], [`FoQuery`],
@@ -155,6 +159,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Set the default runtime [`GuardLimits`] (deadline, intermediate-row
+    /// budget, fetch cap) on the engine's default [`ExecOptions`] —
+    /// shorthand for `exec_options(options.with_…)`; override per call with
+    /// the `*_with` methods.
+    pub fn guard_limits(mut self, limits: GuardLimits) -> Self {
+        self.options.limits = limits;
+        self
+    }
+
     /// Replace the capacity of the engine's [`PipelineCache`].
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
@@ -202,6 +215,7 @@ impl EngineBuilder {
             options: self.options,
             view_bounds: self.view_bounds,
             cache: Arc::new(PipelineCache::new(self.cache_capacity)),
+            guard_metrics: Arc::new(GuardMetrics::new()),
             data: RwLock::new(Arc::new(version)),
             writers: std::sync::Mutex::new(()),
             statements: RwLock::new(BTreeMap::new()),
@@ -228,6 +242,9 @@ pub struct Engine {
     options: ExecOptions,
     view_bounds: Vec<(String, usize)>,
     cache: Arc<PipelineCache>,
+    /// Engine-lifetime guardrail counters, shared into every guarded
+    /// execution; snapshot with [`Engine::guard_stats`].
+    guard_metrics: Arc<GuardMetrics>,
     data: RwLock<Arc<DataVersion>>,
     /// Serialises writers ([`Engine::attach`] / [`Engine::mutate`]) against
     /// each other *without* holding the `data` lock: the expensive version
@@ -281,6 +298,18 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// A point-in-time snapshot of the engine-lifetime guardrail counters:
+    /// cancellations, deadline / budget trips, contained panics and serial
+    /// fallbacks — [`cache_stats`](Engine::cache_stats)' runtime-governance
+    /// sibling.
+    pub fn guard_stats(&self) -> GuardStats {
+        self.guard_metrics.stats()
+    }
+
+    pub(crate) fn guard_metrics(&self) -> &Arc<GuardMetrics> {
+        &self.guard_metrics
+    }
+
     // ------------------------------------------------------------------
     // Data lifecycle.
 
@@ -294,9 +323,9 @@ impl Engine {
                 self.setting.schema.relations().count()
             )));
         }
-        let _serialised = self.writers.lock().unwrap();
+        let _serialised = self.writers.lock().unwrap_or_else(PoisonError::into_inner);
         let version = Arc::new(DataVersion::build(db, &self.setting)?);
-        *self.data.write().unwrap() = version;
+        *self.data.write().unwrap_or_else(PoisonError::into_inner) = version;
         Ok(())
     }
 
@@ -305,24 +334,46 @@ impl Engine {
     /// re-materialised, indexes rebuilt, and stale pipeline-cache entries
     /// are invalidated on next use.
     ///
-    /// The publish is **all-or-nothing**: when the closure fails, nothing is
-    /// published and the error is returned — a half-applied mutation can
-    /// never become a live version.  Mutations are serialised against each
-    /// other, but the rebuild runs outside the read path's lock: concurrent
-    /// reads (sessions, analyses) proceed against the previous version
-    /// throughout, and closures may freely call the engine's read methods.
+    /// The publish is **all-or-nothing**: when the closure fails — or
+    /// *panics*; the panic is contained and surfaces as
+    /// [`Error::MutationPanicked`] — nothing is published and the error is
+    /// returned: a half-applied mutation can never become a live version,
+    /// and a panicking closure can never wedge the writers lock (poisoned
+    /// locks are recovered throughout the engine).  Mutations are serialised
+    /// against each other, but the rebuild runs outside the read path's
+    /// lock: concurrent reads (sessions, analyses) proceed against the
+    /// previous version throughout, and closures may freely call the
+    /// engine's read methods.
     pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> bqr_data::Result<R>) -> Result<R> {
-        let _serialised = self.writers.lock().unwrap();
-        let mut db = self.data.read().unwrap().database().clone();
-        let out = f(&mut db).map_err(Error::Data)?;
+        let _serialised = self.writers.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut db = self
+            .data
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .database()
+            .clone();
+        // Contain closure panics: `db` is a scratch clone, so abandoning it
+        // mid-mutation is safe, and nothing has been published yet.
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            bqr_data::faults::check(bqr_data::faults::sites::MUTATE_CLOSURE)?;
+            f(&mut db)
+        }))
+        .map_err(|payload| Error::MutationPanicked {
+            message: panic_message(payload.as_ref()),
+        })?
+        .map_err(Error::Data)?;
         let version = Arc::new(DataVersion::build(db, &self.setting)?);
-        *self.data.write().unwrap() = version;
+        *self.data.write().unwrap_or_else(PoisonError::into_inner) = version;
         Ok(out)
     }
 
     /// A clone of the currently attached instance.
     pub fn database(&self) -> Database {
-        self.data.read().unwrap().database().clone()
+        self.data
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .database()
+            .clone()
     }
 
     /// An epoch-pinned session over the current version: every read through
@@ -330,7 +381,10 @@ impl Engine {
     /// same snapshot, no matter how many [`mutate`](Engine::mutate)s land
     /// concurrently.  Sessions are cheap (one `Arc` clone).
     pub fn session(&self) -> Session<'_> {
-        Session::new(self, Arc::clone(&self.data.read().unwrap()))
+        Session::new(
+            self,
+            Arc::clone(&self.data.read().unwrap_or_else(PoisonError::into_inner)),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -370,9 +424,10 @@ impl Engine {
         Ok(Analysis::new(
             query,
             topped,
-            Arc::clone(&self.data.read().unwrap()),
+            Arc::clone(&self.data.read().unwrap_or_else(PoisonError::into_inner)),
             Arc::clone(&self.cache),
             self.options,
+            Arc::clone(&self.guard_metrics),
         ))
     }
 
@@ -386,11 +441,24 @@ impl Engine {
     /// capacity), hand it to
     /// `outcome.prepare_with(Arc::clone(engine.cache()))` — the outcome's
     /// bare `prepare()` registers on the process-global cache instead.
+    ///
+    /// An exhausted analysis [`Budget`](bqr_query::Budget) (or an input
+    /// outside the decidable fragment) surfaces as [`Error::Analysis`]
+    /// naming the query — the facade refuses rather than answer "unknown";
+    /// callers who want to inspect the undecided outcome itself can run
+    /// [`bqr_core::decide::decide_vbrp`] directly.
     pub fn decide<Q: IntoQuery>(&self, query: Q, target: PlanLanguage) -> Result<DecisionOutcome> {
         let query = query.into_query()?;
         let display = query.to_string();
         let instance = VbrpInstance::new(self.setting.clone(), query);
-        decide_vbrp(&instance, target).map_err(|e| Error::analysis(display, e))
+        match decide_vbrp(&instance, target) {
+            Ok(DecisionOutcome::Unknown(why)) => Err(Error::analysis(
+                display,
+                bqr_core::CoreError::Undecided(why),
+            )),
+            Ok(outcome) => Ok(outcome),
+            Err(e) => Err(Error::analysis(display, e)),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -422,7 +490,7 @@ impl Engine {
         );
         self.statements
             .write()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), statement.clone());
         Ok(statement)
     }
@@ -431,7 +499,7 @@ impl Engine {
     pub fn statement(&self, name: &str) -> Result<PreparedStatement> {
         self.statements
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
             .ok_or_else(|| Error::UnknownStatement(name.to_string()))
@@ -439,13 +507,22 @@ impl Engine {
 
     /// The names of every registered prepared statement, sorted.
     pub fn statement_names(&self) -> Vec<String> {
-        self.statements.read().unwrap().keys().cloned().collect()
+        self.statements
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Remove a prepared statement; returns whether it existed.  (Its cached
     /// pipelines age out of the LRU cache naturally.)
     pub fn forget(&self, name: &str) -> bool {
-        self.statements.write().unwrap().remove(name).is_some()
+        self.statements
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name)
+            .is_some()
     }
 
     // ------------------------------------------------------------------

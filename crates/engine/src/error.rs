@@ -61,6 +61,13 @@ pub enum Error {
     UnknownStatement(String),
     /// An attached database's schema differs from the engine's schema.
     SchemaMismatch(String),
+    /// A [`crate::Engine::mutate`] closure panicked.  The panic was contained
+    /// — nothing was published, the engine keeps serving the previous
+    /// version, and the next mutate proceeds normally.
+    MutationPanicked {
+        /// The panic message, best-effort.
+        message: String,
+    },
 }
 
 impl Error {
@@ -85,6 +92,21 @@ impl Error {
         Error::Execution {
             statement: statement.to_string(),
             source,
+        }
+    }
+
+    /// The runtime-guardrail failure behind this error, when one fired
+    /// (deadline, cancellation, budget, contained worker panic) — `None` for
+    /// every other failure mode.  Lets callers match "the query was stopped
+    /// by a guardrail" without unwrapping the layered error structure.
+    pub fn exec_error(&self) -> Option<&bqr_plan::ExecError> {
+        match self {
+            Error::Plan(PlanError::Exec(e))
+            | Error::Execution {
+                source: PlanError::Exec(e),
+                ..
+            } => Some(e),
+            _ => None,
         }
     }
 }
@@ -120,6 +142,12 @@ impl fmt::Display for Error {
                     "attached database does not match the engine schema: {what}"
                 )
             }
+            Error::MutationPanicked { message } => {
+                write!(
+                    f,
+                    "a mutate closure panicked (nothing was published): {message}"
+                )
+            }
         }
     }
 }
@@ -131,9 +159,10 @@ impl StdError for Error {
             Error::Query(e) | Error::Parse { source: e, .. } => Some(e),
             Error::Plan(e) | Error::Execution { source: e, .. } => Some(e),
             Error::Analysis { source, .. } => Some(source),
-            Error::NoRewriting { .. } | Error::UnknownStatement(_) | Error::SchemaMismatch(_) => {
-                None
-            }
+            Error::NoRewriting { .. }
+            | Error::UnknownStatement(_)
+            | Error::SchemaMismatch(_)
+            | Error::MutationPanicked { .. } => None,
         }
     }
 }
@@ -200,6 +229,29 @@ mod tests {
         assert!(Error::SchemaMismatch("extra relation".into())
             .to_string()
             .contains("extra"));
+
+        let e = Error::MutationPanicked {
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("nothing was published"));
+    }
+
+    #[test]
+    fn exec_errors_are_reachable_through_the_accessor() {
+        use bqr_plan::ExecError;
+        let e = Error::execution(
+            "top5",
+            PlanError::Exec(ExecError::DeadlineExceeded { deadline_ms: 50 }),
+        );
+        assert_eq!(
+            e.exec_error(),
+            Some(&ExecError::DeadlineExceeded { deadline_ms: 50 })
+        );
+        assert!(e.to_string().contains("top5"), "{e}");
+        assert!(e.to_string().contains("50 ms"), "{e}");
+        let e = Error::execution("top5", PlanError::UnknownView("V".into()));
+        assert!(e.exec_error().is_none());
     }
 
     #[test]

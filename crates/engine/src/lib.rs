@@ -23,6 +23,16 @@
 //! * [`Error`] — the one error type, wrapping every layer's error with the
 //!   query / statement the request was about.
 //!
+//! On top of the static contract, executions run under **runtime
+//! guardrails** ([`bqr_plan::guard`]): per-request deadlines, cancellation
+//! tokens, intermediate-row budgets and fetch caps set on
+//! [`bqr_plan::ExecOptions`] (or engine-wide via
+//! [`EngineBuilder::guard_limits`]), with trips surfacing as typed
+//! [`Error::Execution`] values and counted in [`Engine::guard_stats`].
+//! Mutate-closure panics are contained ([`Error::MutationPanicked`]) and
+//! every engine lock recovers from poisoning, so a panicking request can
+//! never wedge the engine.
+//!
 //! ```
 //! use bqr_engine::Engine;
 //! use bqr_data::{tuple, AccessConstraint, AccessSchema, Database, DatabaseSchema};
@@ -51,6 +61,11 @@
 //! # Ok(())
 //! # }
 //! ```
+
+// The serving path must degrade with typed errors, never unwind: unwrap is
+// flagged crate-wide (tests opt back in locally).
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod analysis;
 mod engine;

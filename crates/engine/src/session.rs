@@ -4,7 +4,7 @@ use crate::engine::{Engine, IntoQuery};
 use crate::error::{Error, Result};
 use bqr_core::{Query, RewritingSetting};
 use bqr_data::{Database, FetchStats, IndexedDatabase, Tuple};
-use bqr_plan::{ExecOptions, ExecOutput, PreparedPlan};
+use bqr_plan::{CancellationToken, ExecOptions, ExecOutput, Guard, PreparedPlan};
 use bqr_query::eval::{eval_fo_counting, Evaluator};
 use bqr_query::MaterializedViews;
 use std::sync::Arc;
@@ -163,6 +163,21 @@ impl<'e> Session<'e> {
         self.execute_statement_with(statement, &self.engine.exec_options())
     }
 
+    /// [`execute`](Session::execute) honouring a caller-held
+    /// [`CancellationToken`]: trip it from any thread and the execution
+    /// stops at its next checkpoint with
+    /// [`bqr_plan::ExecError::Cancelled`] wrapped in
+    /// [`Error::Execution`](crate::Error::Execution).
+    pub fn execute_with_token(
+        &self,
+        name: &str,
+        options: &ExecOptions,
+        token: CancellationToken,
+    ) -> Result<ExecOutput> {
+        let statement = self.engine.statement(name)?;
+        self.execute_statement_guarded(&statement, options, token)
+    }
+
     /// [`execute_statement`](Session::execute_statement) under explicit
     /// options.
     pub fn execute_statement_with(
@@ -170,9 +185,24 @@ impl<'e> Session<'e> {
         statement: &PreparedStatement,
         options: &ExecOptions,
     ) -> Result<ExecOutput> {
+        self.execute_statement_guarded(statement, options, CancellationToken::new())
+    }
+
+    /// The fully general execution path: explicit options plus a caller-held
+    /// cancellation token, with guardrail limits from `options.limits`
+    /// enforced and trips recorded in the engine's
+    /// [`guard_stats`](Engine::guard_stats).
+    pub fn execute_statement_guarded(
+        &self,
+        statement: &PreparedStatement,
+        options: &ExecOptions,
+        token: CancellationToken,
+    ) -> Result<ExecOutput> {
+        let guard = Guard::with_token(&options.limits, token)
+            .with_metrics(std::sync::Arc::clone(self.engine.guard_metrics()));
         statement
             .prepared()
-            .execute_with(self.version.idb(), self.version.views(), options)
+            .execute_guarded(self.version.idb(), self.version.views(), options, &guard)
             .map_err(|e| Error::execution(statement.name(), e))
     }
 
@@ -183,12 +213,11 @@ impl<'e> Session<'e> {
         let analysis = self.engine.analyze(query)?;
         let plan = analysis.bounded_plan()?.clone();
         let prepared = PreparedPlan::with_cache(plan, Arc::clone(self.engine.cache()));
+        let options = self.engine.exec_options();
+        let guard =
+            Guard::new(&options.limits).with_metrics(Arc::clone(self.engine.guard_metrics()));
         prepared
-            .execute_with(
-                self.version.idb(),
-                self.version.views(),
-                &self.engine.exec_options(),
-            )
+            .execute_guarded(self.version.idb(), self.version.views(), &options, &guard)
             .map_err(|e| Error::execution(&analysis.query().to_string(), e))
     }
 

@@ -196,6 +196,45 @@ fn failed_mutations_are_never_published() {
 }
 
 #[test]
+fn panicking_mutations_are_contained_and_never_published() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    engine.prepare("fig1", Q_XI).unwrap();
+    let before = engine.database();
+    let golden = engine.session().execute("fig1").unwrap();
+
+    // A closure that panics mid-mutation must surface as a typed error —
+    // not poison the writers lock, not publish the partial insert, and not
+    // take the process down.
+    let err = engine
+        .mutate(|db| {
+            db.insert("rating", tuple![99, 1])?;
+            panic!("boom in user code");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+        .unwrap_err();
+    match err {
+        Error::MutationPanicked { message } => assert!(message.contains("boom"), "{message}"),
+        other => panic!("expected MutationPanicked, got {other:?}"),
+    }
+    assert_eq!(engine.database(), before, "no partial commit");
+
+    // The engine stays fully serviceable: reads are bit-identical and the
+    // *next* mutate goes through (the writers mutex recovered).
+    assert_eq!(engine.session().execute("fig1").unwrap(), golden);
+    engine
+        .mutate(|db| db.insert("rating", tuple![99, 1]))
+        .unwrap();
+    assert_eq!(engine.database().size(), before.size() + 1);
+    let stats = engine.guard_stats();
+    assert_eq!(
+        stats.panics_contained, 0,
+        "mutate panics are not exec trips"
+    );
+}
+
+#[test]
 fn mutate_closures_may_read_the_engine() {
     // The rebuild runs outside the data lock, so a closure that calls the
     // engine's read methods must not deadlock.

@@ -23,7 +23,61 @@ pub enum PlanError {
     /// A fetch refers to a constraint that is not part of the access schema
     /// the plan is being executed / checked against.
     ConstraintNotInSchema(String),
+    /// A runtime guardrail fired during execution (see [`ExecError`]).
+    Exec(ExecError),
 }
+
+/// Runtime guardrail failures raised by the executor: the query was valid
+/// and the plan sound, but execution was stopped by a dynamic limit
+/// (see [`crate::guard`]) or a contained worker panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The execution's cancellation token was tripped (externally, or
+    /// internally because a sibling shard failed).
+    Cancelled,
+    /// The wall-clock deadline elapsed mid-execution.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The intermediate-row (memory) budget was exhausted.
+    MemoryBudgetExceeded {
+        /// The configured budget, in rows.
+        budget_rows: usize,
+    },
+    /// The runtime fetched-tuple cap was exhausted.
+    FetchBudgetExceeded {
+        /// The configured cap, in base tuples.
+        budget_tuples: usize,
+    },
+    /// A shard worker panicked; the panic was contained (siblings cancelled,
+    /// process intact) and its message captured here.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Cancelled => write!(f, "execution was cancelled"),
+            ExecError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "execution exceeded its {deadline_ms} ms deadline")
+            }
+            ExecError::MemoryBudgetExceeded { budget_rows } => write!(
+                f,
+                "execution exceeded its intermediate-row budget of {budget_rows} rows"
+            ),
+            ExecError::FetchBudgetExceeded { budget_tuples } => write!(
+                f,
+                "execution exceeded its runtime fetch cap of {budget_tuples} tuples"
+            ),
+            ExecError::WorkerPanic(msg) => {
+                write!(f, "a shard worker panicked (contained): {msg}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
 
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -45,6 +99,7 @@ impl fmt::Display for PlanError {
             PlanError::ConstraintNotInSchema(c) => {
                 write!(f, "fetch constraint {c} is not part of the access schema")
             }
+            PlanError::Exec(e) => write!(f, "{e}"),
         }
     }
 }
@@ -54,8 +109,15 @@ impl Error for PlanError {
         match self {
             PlanError::Data(e) => Some(e),
             PlanError::Query(e) => Some(e),
+            PlanError::Exec(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ExecError> for PlanError {
+    fn from(e: ExecError) -> Self {
+        PlanError::Exec(e)
     }
 }
 
@@ -100,5 +162,31 @@ mod tests {
         assert!(PlanError::ConstraintNotInSchema("c".into())
             .to_string()
             .contains('c'));
+    }
+
+    #[test]
+    fn exec_errors_display_their_limits_and_source_through_plan_error() {
+        let cases: Vec<(ExecError, &str)> = vec![
+            (ExecError::Cancelled, "cancelled"),
+            (ExecError::DeadlineExceeded { deadline_ms: 50 }, "50 ms"),
+            (
+                ExecError::MemoryBudgetExceeded { budget_rows: 1024 },
+                "1024 rows",
+            ),
+            (
+                ExecError::FetchBudgetExceeded { budget_tuples: 99 },
+                "99 tuples",
+            ),
+            (ExecError::WorkerPanic("boom".into()), "boom"),
+        ];
+        for (e, needle) in cases {
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
+            let wrapped: PlanError = e.clone().into();
+            assert!(wrapped.to_string().contains(needle));
+            assert!(Error::source(&wrapped).is_some());
+        }
     }
 }

@@ -51,7 +51,8 @@
 //! is retained verbatim as [`reference`]: it is the oracle for the
 //! differential tests and the baseline of the plan benchmarks.
 
-use crate::error::PlanError;
+use crate::error::{ExecError, PlanError};
+use crate::guard::{panic_message, Guard, GuardLimits};
 use crate::node::{PlanNode, QueryPlan, SelectCondition};
 use crate::Result;
 use bqr_data::{
@@ -61,7 +62,9 @@ use bqr_query::MaterializedViews;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The result of executing a plan: the answer relation and the I/O counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,7 +83,8 @@ impl ExecOutput {
 }
 
 /// Options controlling pipeline execution.  `Hash` so the options can be
-/// part of a [`crate::prepared::PipelineCache`] key.
+/// part of a [`crate::prepared::PipelineCache`] key (which strips the
+/// runtime-only [`GuardLimits`] via [`ExecOptions::cache_key`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// How many contiguous row ranges data-parallel operators split their
@@ -90,6 +94,9 @@ pub struct ExecOptions {
     /// below [`ExecOptions::PARALLEL_MIN_ROWS`] rows stay serial — thread
     /// startup would dominate.  Output is bit-identical to serial execution.
     pub parallel: bool,
+    /// Runtime guardrails (deadline, intermediate-row budget, fetch cap).
+    /// All disabled by default; see [`crate::guard`] for semantics.
+    pub limits: GuardLimits,
 }
 
 impl Default for ExecOptions {
@@ -97,6 +104,7 @@ impl Default for ExecOptions {
         ExecOptions {
             shards: 1,
             parallel: false,
+            limits: GuardLimits::none(),
         }
     }
 }
@@ -116,6 +124,42 @@ impl ExecOptions {
         ExecOptions {
             shards: shards.max(1),
             parallel: true,
+            limits: GuardLimits::none(),
+        }
+    }
+
+    /// Set a wall-clock deadline (counted from when execution starts).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.limits.deadline_ms = Some(deadline.as_millis().try_into().unwrap_or(u64::MAX));
+        self
+    }
+
+    /// [`ExecOptions::with_deadline`], in milliseconds.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.limits.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Cap total intermediate rows materialised across all operators.
+    pub fn with_row_budget(mut self, max_intermediate_rows: usize) -> Self {
+        self.limits.max_intermediate_rows = Some(max_intermediate_rows);
+        self
+    }
+
+    /// Cap base tuples fetched at runtime (a dynamic re-check of the
+    /// paper's static `|D_ξ| <= M` bound).
+    pub fn with_fetch_budget(mut self, max_fetched_tuples: usize) -> Self {
+        self.limits.max_fetched_tuples = Some(max_fetched_tuples);
+        self
+    }
+
+    /// These options with limits stripped: [`GuardLimits`] are runtime-only,
+    /// so the pipeline cache keys on this normal form — two executions of
+    /// the same plan under different deadlines share one compiled pipeline.
+    pub fn cache_key(&self) -> ExecOptions {
+        ExecOptions {
+            limits: GuardLimits::none(),
+            ..*self
         }
     }
 }
@@ -337,7 +381,35 @@ impl Pipeline {
 
     /// Evaluate the pipeline.  `idb` must be the database the pipeline was
     /// compiled against (fetches are resolved by constraint position).
+    /// Guardrails come from `options.limits`; to share a cancellation token
+    /// or engine metrics, use [`Pipeline::execute_guarded`].
     pub fn execute(&self, idb: &IndexedDatabase, options: &ExecOptions) -> Result<ExecOutput> {
+        self.execute_guarded(idb, options, &Guard::new(&options.limits))
+    }
+
+    /// [`Pipeline::execute`] under an externally constructed [`Guard`]
+    /// (caller-held cancellation token, engine-lifetime metrics).  Guardrail
+    /// trips surface as [`PlanError::Exec`] and are recorded in the guard's
+    /// metrics exactly once per execution.
+    pub fn execute_guarded(
+        &self,
+        idb: &IndexedDatabase,
+        options: &ExecOptions,
+        guard: &Guard,
+    ) -> Result<ExecOutput> {
+        let result = self.run(idb, options, guard);
+        if let Err(PlanError::Exec(e)) = &result {
+            guard.record_trip(e);
+        }
+        result
+    }
+
+    fn run(
+        &self,
+        idb: &IndexedDatabase,
+        options: &ExecOptions,
+        guard: &Guard,
+    ) -> Result<ExecOutput> {
         let mut stats = FetchStats::new();
         // Each operator's inputs are dropped after their final consumer so
         // peak memory follows the live path, not the sum of every
@@ -345,14 +417,19 @@ impl Pipeline {
         let last_use = self.last_use();
         let mut tables: Vec<IdTable> = Vec::with_capacity(self.ops.len());
         for (op_idx, op) in self.ops.iter().enumerate() {
+            guard.check()?;
             let table = match op {
-                Op::Const { ids, arity } => IdTable {
-                    arity: *arity,
-                    rows: 1,
-                    data: ids.clone(),
-                },
+                Op::Const { ids, arity } => {
+                    guard.charge_rows(1)?;
+                    IdTable {
+                        arity: *arity,
+                        rows: 1,
+                        data: ids.clone(),
+                    }
+                }
                 Op::ViewScan { snapshot, .. } => {
                     stats.record_view_read(snapshot.len());
+                    guard.charge_rows(snapshot.len())?;
                     IdTable {
                         arity: snapshot.arity(),
                         rows: snapshot.len(),
@@ -361,7 +438,7 @@ impl Pipeline {
                 }
                 Op::ViewFilter {
                     snapshot, conds, ..
-                } => eval_view_filter(snapshot, conds, &mut stats, options),
+                } => eval_view_filter(snapshot, conds, &mut stats, options, guard)?,
                 Op::Fetch {
                     input,
                     constraint_idx,
@@ -378,21 +455,31 @@ impl Pipeline {
                     *bound,
                     &mut stats,
                     options,
+                    guard,
                 )?,
-                Op::Project { input, cols } => eval_project(&tables[*input], cols, options),
-                Op::Select { input, conds } => eval_select(&tables[*input], conds, options),
+                Op::Project { input, cols } => eval_project(&tables[*input], cols, options, guard)?,
+                Op::Select { input, conds } => eval_select(&tables[*input], conds, options, guard)?,
                 Op::HashJoin {
                     left,
                     right,
                     pairs,
                     residual,
-                } => eval_hash_join(&tables[*left], &tables[*right], pairs, residual, options),
+                } => eval_hash_join(
+                    &tables[*left],
+                    &tables[*right],
+                    pairs,
+                    residual,
+                    options,
+                    guard,
+                )?,
                 Op::Product { left, right } => {
-                    eval_product(&tables[*left], &tables[*right], options)
+                    eval_product(&tables[*left], &tables[*right], options, guard)?
                 }
-                Op::Union { left, right } => eval_union(&tables[*left], &tables[*right]),
-                Op::Difference { left, right } => eval_difference(&tables[*left], &tables[*right]),
-                Op::Dedup { input } => dedup_table(&tables[*input]),
+                Op::Union { left, right } => eval_union(&tables[*left], &tables[*right], guard)?,
+                Op::Difference { left, right } => {
+                    eval_difference(&tables[*left], &tables[*right], guard)?
+                }
+                Op::Dedup { input } => dedup_table(&tables[*input], guard)?,
             };
             tables.push(table);
             for (input, &last) in last_use.iter().enumerate() {
@@ -402,7 +489,7 @@ impl Pipeline {
             }
         }
         Ok(ExecOutput {
-            tuples: materialize(&tables[self.root]),
+            tuples: materialize(&tables[self.root], guard)?,
             stats,
         })
     }
@@ -643,28 +730,110 @@ impl IdTable {
 /// the operator is output-heavy like a fanning-out join) is large enough to
 /// amortise thread startup.  Results come back in shard order, so merges
 /// are deterministic.
-fn run_sharded<T, F>(rows: usize, work_hint: usize, options: &ExecOptions, work: F) -> Vec<T>
+///
+/// Failure semantics:
+///
+/// * a shard returning `Err` (a tripped guardrail, usually) aborts the
+///   `guard` so sibling shards stop at their next checkpoint; the merged
+///   result is the first non-[`ExecError::Cancelled`] error in shard order
+///   (so the root cause wins over the sibling-abort echoes);
+/// * a *panicking* shard is contained with `catch_unwind`: siblings are
+///   aborted the same way and the panic surfaces as
+///   [`ExecError::WorkerPanic`] instead of poisoning the process;
+/// * if a worker thread cannot be spawned, its shard runs inline on the
+///   coordinating thread (noted in the guard metrics as a serial fallback)
+///   rather than failing the query.
+fn run_sharded<T, F>(
+    rows: usize,
+    work_hint: usize,
+    options: &ExecOptions,
+    guard: &Guard,
+    work: F,
+) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(Range<usize>) -> T + Sync,
+    F: Fn(Range<usize>) -> Result<T> + Sync,
 {
     let parallel =
         options.parallel && options.shards > 1 && work_hint >= ExecOptions::PARALLEL_MIN_ROWS;
     if !parallel {
-        return vec![work(0..rows)];
+        return Ok(vec![work(0..rows)?]);
     }
     let ranges = shard_ranges(rows, options.shards);
-    std::thread::scope(|scope| {
-        let work = &work;
-        let handles: Vec<_> = ranges
+    // One panic-contained, sibling-aborting wrapper shared by the spawned
+    // and inline (spawn-failure fallback) paths.
+    let run = |range: Range<usize>| -> Result<T> {
+        match catch_unwind(AssertUnwindSafe(|| work(range))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => {
+                guard.abort();
+                Err(e)
+            }
+            Err(payload) => {
+                guard.abort();
+                guard.note_panic_contained();
+                Err(PlanError::Exec(ExecError::WorkerPanic(panic_message(
+                    payload.as_ref(),
+                ))))
+            }
+        }
+    };
+    let shard_results: Vec<Result<T>> = std::thread::scope(|scope| {
+        let run = &run;
+        let mut results: Vec<Option<Result<T>>> = Vec::new();
+        results.resize_with(ranges.len(), || None);
+        let mut handles = Vec::new();
+        for (shard, &(s, e)) in ranges.iter().enumerate() {
+            let spawned = if bqr_data::faults::check(bqr_data::faults::sites::THREAD_SPAWN).is_ok()
+            {
+                std::thread::Builder::new()
+                    .name(format!("bqr-shard-{shard}"))
+                    .spawn_scoped(scope, move || run(s..e))
+                    .ok()
+            } else {
+                None
+            };
+            match spawned {
+                Some(handle) => handles.push((shard, handle)),
+                None => {
+                    // Degrade, don't fail: the shard runs inline here.
+                    guard.note_serial_fallback();
+                    results[shard] = Some(run(s..e));
+                }
+            }
+        }
+        for (shard, handle) in handles {
+            // `run` contains panics, so join can only fail if the unwind
+            // machinery itself is unavailable; treat that as a panic too.
+            results[shard] = Some(handle.join().unwrap_or_else(|payload| {
+                guard.abort();
+                Err(PlanError::Exec(ExecError::WorkerPanic(panic_message(
+                    payload.as_ref(),
+                ))))
+            }));
+        }
+        results
             .into_iter()
-            .map(|(s, e)| scope.spawn(move || work(s..e)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|r| r.expect("every shard was either spawned or run inline"))
             .collect()
-    })
+    });
+    let mut out = Vec::with_capacity(shard_results.len());
+    let mut first_cancelled: Option<PlanError> = None;
+    for result in shard_results {
+        match result {
+            Ok(v) => out.push(v),
+            // Sibling-abort echoes read as Cancelled; keep looking for the
+            // root cause and only report Cancelled when nothing else failed.
+            Err(PlanError::Exec(ExecError::Cancelled)) => {
+                first_cancelled.get_or_insert(PlanError::Exec(ExecError::Cancelled));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    match first_cancelled {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -677,6 +846,7 @@ fn eval_fetch(
     bound: usize,
     stats: &mut FetchStats,
     options: &ExecOptions,
+    guard: &Guard,
 ) -> Result<IdTable> {
     // Resolve the index up front: a missing constraint errors before any
     // probing (and before any threads spawn).
@@ -688,6 +858,7 @@ fn eval_fetch(
     let mut seen: HashSet<Vec<ValueId>> = HashSet::new();
     let mut keys: Vec<Vec<ValueId>> = Vec::new();
     for i in 0..input.rows {
+        guard.checkpoint(i)?;
         let row = input.row(i);
         let key: Vec<ValueId> = key_cols.iter().map(|&c| row[c]).collect();
         if seen.insert(key.clone()) {
@@ -698,10 +869,11 @@ fn eval_fetch(
     // constraint's bound N tuples, so an output-heavy fetch parallelizes
     // like an output-heavy join.
     let work_hint = keys.len().saturating_mul(bound.max(1));
-    let shard_results = run_sharded(keys.len(), work_hint, options, |range| {
+    let shard_results = run_sharded(keys.len(), work_hint, options, guard, |range| {
         let mut data = Vec::new();
         let mut local = FetchStats::new();
-        for key in &keys[range] {
+        for (i, key) in keys[range].iter().enumerate() {
+            guard.checkpoint(i)?;
             // The id-native fetch path records each probe's |D_ξ| into the
             // shard-local counters; compile already resolved the constraint,
             // so the lookup cannot fail here.
@@ -710,8 +882,12 @@ fn eval_fetch(
                 .expect("fetch constraint was resolved at compile time");
             data.extend_from_slice(rows);
         }
-        (data, local)
-    });
+        // The runtime re-check of the paper's bound: charged per shard on
+        // the tuples this shard actually pulled out of base data.
+        guard.charge_fetched(local.fetched_tuples)?;
+        guard.charge_rows(data.len() / arity.max(1))?;
+        Ok((data, local))
+    })?;
     let mut data = Vec::new();
     for (shard_data, shard_stats) in shard_results {
         data.extend(shard_data);
@@ -720,51 +896,67 @@ fn eval_fetch(
     Ok(IdTable::from_data(arity, 0, data))
 }
 
-fn eval_project(input: &IdTable, cols: &[usize], options: &ExecOptions) -> IdTable {
+fn eval_project(
+    input: &IdTable,
+    cols: &[usize],
+    options: &ExecOptions,
+    guard: &Guard,
+) -> Result<IdTable> {
     let arity = cols.len();
     if arity == 0 {
-        return IdTable {
+        guard.charge_rows(input.rows)?;
+        return Ok(IdTable {
             arity: 0,
             rows: input.rows,
             data: Vec::new(),
-        };
+        });
     }
-    let shard_results = run_sharded(input.rows, input.rows, options, |range| {
+    let shard_results = run_sharded(input.rows, input.rows, options, guard, |range| {
+        guard.charge_rows(range.len())?;
         let mut data = Vec::with_capacity(range.len() * arity);
         for i in range {
+            guard.checkpoint(i)?;
             let row = input.row(i);
             data.extend(cols.iter().map(|&c| row[c]));
         }
-        data
-    });
+        Ok(data)
+    })?;
     let mut data = Vec::new();
     for shard in shard_results {
         data.extend(shard);
     }
-    IdTable::from_data(arity, 0, data)
+    Ok(IdTable::from_data(arity, 0, data))
 }
 
-fn eval_select(input: &IdTable, conds: &[IdCond], options: &ExecOptions) -> IdTable {
+fn eval_select(
+    input: &IdTable,
+    conds: &[IdCond],
+    options: &ExecOptions,
+    guard: &Guard,
+) -> Result<IdTable> {
     if input.arity == 0 {
         // Conditions reference columns, so a nullary select has none and
         // passes everything through.
-        return input.clone();
+        guard.charge_rows(input.rows)?;
+        return Ok(input.clone());
     }
-    let shard_results = run_sharded(input.rows, input.rows, options, |range| {
+    let shard_results = run_sharded(input.rows, input.rows, options, guard, |range| {
         let mut data = Vec::new();
         for i in range {
+            guard.checkpoint(i)?;
             let row = input.row(i);
             if conds.iter().all(|c| c.holds(row)) {
                 data.extend_from_slice(row);
             }
         }
-        data
-    });
+        guard.charge_rows(data.len() / input.arity)?;
+        Ok(data)
+    })?;
     let mut data = Vec::new();
     for shard in shard_results {
         data.extend(shard);
     }
-    IdTable::from_data(input.arity, 0, data)
+    Ok(IdTable::from_data(input.arity, 0, data))
 }
 
 /// Fused σ-over-view: filter the snapshot's rows directly — the same
@@ -778,32 +970,36 @@ fn eval_view_filter(
     conds: &[IdCond],
     stats: &mut FetchStats,
     options: &ExecOptions,
-) -> IdTable {
+    guard: &Guard,
+) -> Result<IdTable> {
     stats.record_view_read(snapshot.len());
     if snapshot.arity() == 0 {
         // Conditions reference columns, so a nullary filter has none and
         // passes the (at most one-row) extent through.
-        return IdTable {
+        guard.charge_rows(snapshot.len())?;
+        return Ok(IdTable {
             arity: 0,
             rows: snapshot.len(),
             data: Vec::new(),
-        };
+        });
     }
-    let shard_results = run_sharded(snapshot.len(), snapshot.len(), options, |range| {
+    let shard_results = run_sharded(snapshot.len(), snapshot.len(), options, guard, |range| {
         let mut data = Vec::new();
         for i in range {
+            guard.checkpoint(i)?;
             let row = snapshot.row(i as u32);
             if conds.iter().all(|c| c.holds(row)) {
                 data.extend_from_slice(row);
             }
         }
-        data
-    });
+        guard.charge_rows(data.len() / snapshot.arity())?;
+        Ok(data)
+    })?;
     let mut data = Vec::new();
     for shard in shard_results {
         data.extend(shard);
     }
-    IdTable::from_data(snapshot.arity(), 0, data)
+    Ok(IdTable::from_data(snapshot.arity(), 0, data))
 }
 
 fn eval_hash_join(
@@ -812,10 +1008,11 @@ fn eval_hash_join(
     pairs: &[(usize, usize)],
     residual: &[IdCond],
     options: &ExecOptions,
-) -> IdTable {
+    guard: &Guard,
+) -> Result<IdTable> {
     let out_arity = left.arity + right.arity;
     if left.rows == 0 || right.rows == 0 {
-        return IdTable::empty(out_arity);
+        return Ok(IdTable::empty(out_arity));
     }
     // Cost model: build on the smaller input, probe the larger — with exact
     // cardinalities in hand the textbook rule is exact, not an estimate.
@@ -827,6 +1024,7 @@ fn eval_hash_join(
     };
     let mut table: HashMap<Vec<ValueId>, Vec<u32>> = HashMap::new();
     for i in 0..build.rows {
+        guard.checkpoint(i)?;
         let row = build.row(i);
         let key: Vec<ValueId> = pairs
             .iter()
@@ -838,10 +1036,11 @@ fn eval_hash_join(
     // output rows a fanning-out build side produces.
     let avg_group = (build.rows / table.len().max(1)).max(1);
     let work_hint = probe.rows.saturating_mul(avg_group);
-    let shard_results = run_sharded(probe.rows, work_hint, options, |range| {
+    let shard_results = run_sharded(probe.rows, work_hint, options, guard, |range| {
         let mut data = Vec::new();
         let mut key: Vec<ValueId> = Vec::with_capacity(pairs.len());
         for i in range {
+            guard.checkpoint(i)?;
             let probe_row = probe.row(i);
             key.clear();
             key.extend(
@@ -866,106 +1065,133 @@ fn eval_hash_join(
                 }
             }
         }
-        data
-    });
+        guard.charge_rows(data.len() / out_arity)?;
+        Ok(data)
+    })?;
     let mut data = Vec::new();
     for shard in shard_results {
         data.extend(shard);
     }
-    IdTable::from_data(out_arity, 0, data)
+    Ok(IdTable::from_data(out_arity, 0, data))
 }
 
-fn eval_product(left: &IdTable, right: &IdTable, options: &ExecOptions) -> IdTable {
+fn eval_product(
+    left: &IdTable,
+    right: &IdTable,
+    options: &ExecOptions,
+    guard: &Guard,
+) -> Result<IdTable> {
     let out_arity = left.arity + right.arity;
-    let out_rows = left.rows * right.rows;
+    let out_rows = left.rows.saturating_mul(right.rows);
+    // Pre-charge the whole output *before* allocating: an adversarial
+    // product's row count is known exactly here, and the memory budget must
+    // trip before the allocation it is guarding against.
+    guard.charge_rows(out_rows)?;
     if out_arity == 0 {
-        return IdTable {
+        return Ok(IdTable {
             arity: 0,
             rows: out_rows,
             data: Vec::new(),
-        };
+        });
     }
-    let shard_results = run_sharded(left.rows, out_rows, options, |range| {
-        let mut data = Vec::with_capacity(range.len() * right.rows * out_arity);
+    let shard_results = run_sharded(left.rows, out_rows, options, guard, |range| {
+        // Cap the pre-allocation: an astronomically large product under a
+        // deadline (but no row budget) must not OOM on `with_capacity`
+        // before the first checkpoint fires.
+        const PREALLOC_CAP: usize = 1 << 22;
+        let exact = range
+            .len()
+            .saturating_mul(right.rows)
+            .saturating_mul(out_arity);
+        let mut data = Vec::with_capacity(exact.min(PREALLOC_CAP));
+        let mut emitted = 0usize;
         for i in range {
             let l_row = left.row(i);
             for j in 0..right.rows {
+                guard.checkpoint(emitted)?;
+                emitted += 1;
                 data.extend_from_slice(l_row);
                 data.extend_from_slice(right.row(j));
             }
         }
-        data
-    });
+        Ok(data)
+    })?;
     let mut data = Vec::new();
     for shard in shard_results {
         data.extend(shard);
     }
-    IdTable::from_data(out_arity, out_rows, data)
+    Ok(IdTable::from_data(out_arity, out_rows, data))
 }
 
-fn eval_union(left: &IdTable, right: &IdTable) -> IdTable {
+fn eval_union(left: &IdTable, right: &IdTable, guard: &Guard) -> Result<IdTable> {
+    guard.check()?;
+    guard.charge_rows(left.rows + right.rows)?;
     let mut data = left.data.clone();
     data.extend_from_slice(&right.data);
-    IdTable::from_data(left.arity, left.rows + right.rows, data)
+    Ok(IdTable::from_data(left.arity, left.rows + right.rows, data))
 }
 
-fn eval_difference(left: &IdTable, right: &IdTable) -> IdTable {
+fn eval_difference(left: &IdTable, right: &IdTable, guard: &Guard) -> Result<IdTable> {
     if left.arity == 0 {
-        return IdTable {
+        return Ok(IdTable {
             arity: 0,
             rows: if right.rows > 0 { 0 } else { left.rows },
             data: Vec::new(),
-        };
+        });
     }
     let exclude: HashSet<&[ValueId]> = (0..right.rows).map(|i| right.row(i)).collect();
     let mut data = Vec::new();
     for i in 0..left.rows {
+        guard.checkpoint(i)?;
         let row = left.row(i);
         if !exclude.contains(row) {
             data.extend_from_slice(row);
         }
     }
-    IdTable::from_data(left.arity, 0, data)
+    guard.charge_rows(data.len() / left.arity)?;
+    Ok(IdTable::from_data(left.arity, 0, data))
 }
 
 /// Sort + dedup a table's rows (lexicographic on ids).  Intermediate order
 /// is only an engine-internal detail — the root materialisation re-sorts by
 /// `Value` — but it is deterministic, which keeps sharded runs bit-identical.
-fn dedup_table(input: &IdTable) -> IdTable {
+fn dedup_table(input: &IdTable, guard: &Guard) -> Result<IdTable> {
+    guard.check()?;
     if input.arity == 0 {
-        return IdTable {
+        return Ok(IdTable {
             arity: 0,
             rows: input.rows.min(1),
             data: Vec::new(),
-        };
+        });
     }
     let mut rows: Vec<&[ValueId]> = (0..input.rows).map(|i| input.row(i)).collect();
     rows.sort_unstable();
     rows.dedup();
+    guard.charge_rows(rows.len())?;
     let mut data = Vec::with_capacity(rows.len() * input.arity);
     for row in &rows {
         data.extend_from_slice(row);
     }
-    IdTable::from_data(input.arity, 0, data)
+    Ok(IdTable::from_data(input.arity, 0, data))
 }
 
 /// Resolve the root table back to sorted, duplicate-free `Tuple`s — the only
 /// point where the executor touches `Value`s.
-fn materialize(root: &IdTable) -> Vec<Tuple> {
+fn materialize(root: &IdTable, guard: &Guard) -> Result<Vec<Tuple>> {
     let mut memo: HashMap<ValueId, Value> = HashMap::new();
-    let mut tuples: Vec<Tuple> = (0..root.rows)
-        .map(|i| {
-            Tuple::new(
-                root.row(i)
-                    .iter()
-                    .map(|id| memo.entry(*id).or_insert_with(|| id.value()).clone())
-                    .collect(),
-            )
-        })
-        .collect();
+    let mut tuples: Vec<Tuple> = Vec::with_capacity(root.rows);
+    for i in 0..root.rows {
+        guard.checkpoint(i)?;
+        tuples.push(Tuple::new(
+            root.row(i)
+                .iter()
+                .map(|id| memo.entry(*id).or_insert_with(|| id.value()).clone())
+                .collect(),
+        ));
+    }
     tuples.sort_unstable();
     tuples.dedup();
-    tuples
+    Ok(tuples)
 }
 
 /// The original tree-walking interpreter: `BTreeSet<Tuple>` at every node,

@@ -23,21 +23,32 @@
 //! * [`to_query`] — the query `Q_ξ` expressed by a plan (unfolding into the
 //!   calculus), used by the equivalence checks of `bqr-core`;
 //! * [`conform`] — conformance to an access schema: every fetch is justified
-//!   by a constraint and driven by a bounded input (Lemma 3.8).
+//!   by a constraint and driven by a bounded input (Lemma 3.8);
+//! * [`guard`] — runtime guardrails: cooperative deadlines, cancellation
+//!   tokens, intermediate-row (memory) budgets and fetched-tuple caps
+//!   checked inside the hot operator loops, surfacing as typed
+//!   [`ExecError`]s, with panic containment across shard workers.
+
+// The serving path must degrade with typed errors, never unwind: unwrap is
+// flagged crate-wide (tests opt back in locally).
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod builder;
 pub mod conform;
 pub mod error;
 pub mod exec;
 pub mod fingerprint;
+pub mod guard;
 pub mod node;
 pub mod prepared;
 pub mod to_query;
 
 pub use conform::{check_conformance, Conformance};
-pub use error::PlanError;
+pub use error::{ExecError, PlanError};
 pub use exec::{execute, execute_with, ExecOptions, ExecOutput, Pipeline};
 pub use fingerprint::{fingerprint as plan_fingerprint, PlanFingerprint};
+pub use guard::{panic_message, CancellationToken, Guard, GuardLimits, GuardMetrics, GuardStats};
 pub use node::{PlanLanguage, PlanNode, QueryPlan, SelectCondition};
 pub use prepared::{CacheStats, EpochVector, PipelineCache, PreparedPlan};
 

@@ -223,9 +223,19 @@ impl PipelineCache {
         self.capacity
     }
 
+    /// The cache's map lock, recovering from poison: the map is consistent
+    /// at every point a panic can escape a holder (all mutations complete
+    /// before any call that could unwind), so a poisoned lock only means
+    /// *some* thread panicked — the data is fine and serving must continue.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of cached pipelines.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        self.lock_inner().entries.len()
     }
 
     /// True when nothing is cached.
@@ -238,7 +248,7 @@ impl PipelineCache {
     /// particular `lookups == hits + misses` holds in every snapshot, even
     /// one taken concurrently with a lookup in flight on another thread.
     pub fn stats(&self) -> CacheStats {
-        let _consistent = self.inner.lock().unwrap();
+        let _consistent = self.lock_inner();
         CacheStats {
             hits: self.hits.load(Ordering::SeqCst),
             misses: self.misses.load(Ordering::SeqCst),
@@ -250,7 +260,7 @@ impl PipelineCache {
 
     /// Drop every entry (counters are retained).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().entries.clear();
+        self.lock_inner().entries.clear();
     }
 
     /// The cached pipeline for `key`, or `compile` it, register it, and sweep
@@ -261,7 +271,7 @@ impl PipelineCache {
         compile: impl FnOnce() -> Result<Pipeline>,
     ) -> Result<Arc<Pipeline>> {
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.lock_inner();
             inner.tick += 1;
             let tick = inner.tick;
             self.lookups.fetch_add(1, Ordering::SeqCst);
@@ -274,7 +284,11 @@ impl PipelineCache {
         }
         // Compile unlocked — see the type-level docs.
         let pipeline = Arc::new(compile()?);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
+        // Failpoint inside the critical section: a Panic kind injected here
+        // poisons this lock, which `lock_inner` must then recover from; an
+        // Error kind verifies a failed registration is never cached.
+        bqr_data::faults::check(bqr_data::faults::sites::CACHE_INSERT)?;
         if let Some(existing) = inner.entries.get(&key) {
             // Lost a benign compile race; share the registered pipeline.
             return Ok(Arc::clone(&existing.pipeline));
@@ -404,7 +418,9 @@ impl PreparedPlan {
             Some(epochs) => self.cache.get_or_compile(
                 CacheKey {
                     fingerprint: self.fingerprint,
-                    options: *options,
+                    // Guard limits are runtime-only: strip them so the same
+                    // plan under different deadlines shares one pipeline.
+                    options: options.cache_key(),
                     epochs,
                 },
                 || Pipeline::compile(&self.plan, idb, views),
@@ -431,6 +447,21 @@ impl PreparedPlan {
         options: &ExecOptions,
     ) -> Result<ExecOutput> {
         self.pipeline(idb, views, options)?.execute(idb, options)
+    }
+
+    /// [`PreparedPlan::execute_with`] under an externally constructed
+    /// [`Guard`](crate::guard::Guard) — the entry point for callers that
+    /// share a cancellation token or engine-lifetime
+    /// [`GuardMetrics`](crate::guard::GuardMetrics) across executions.
+    pub fn execute_guarded(
+        &self,
+        idb: &IndexedDatabase,
+        views: &MaterializedViews,
+        options: &ExecOptions,
+        guard: &crate::guard::Guard,
+    ) -> Result<ExecOutput> {
+        self.pipeline(idb, views, options)?
+            .execute_guarded(idb, options, guard)
     }
 }
 

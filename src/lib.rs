@@ -90,6 +90,57 @@
 //! # }
 //! ```
 //!
+//! # Runtime guardrails
+//!
+//! Every execution runs under a [`Guard`](plan::Guard): set a wall-clock
+//! deadline, an intermediate-row budget, or a runtime fetch cap on
+//! [`ExecOptions`](plan::ExecOptions) (or engine-wide via
+//! [`EngineBuilder::guard_limits`]), and hand out a
+//! [`CancellationToken`](plan::CancellationToken) to cancel from another
+//! thread.  Trips surface as typed [`ExecError`](plan::ExecError)s inside
+//! [`Error::Execution`] — reachable via [`Error::exec_error`](engine::Error::exec_error) —
+//! and are counted per engine in [`Engine::guard_stats`].  A panicking
+//! shard worker aborts its query, not the process; a panicking mutate
+//! closure returns [`Error::MutationPanicked`](engine::Error::MutationPanicked)
+//! and publishes nothing.  On success the [`FetchStats`](data::FetchStats)
+//! accounting is unchanged — guards only ever turn answers into errors,
+//! never alter answers.
+//!
+//! ```
+//! use bqr::{tuple, Engine};
+//! use bqr::data::{AccessConstraint, AccessSchema, Database, DatabaseSchema};
+//! use bqr::plan::{ExecError, ExecOptions};
+//!
+//! # fn main() -> bqr::Result<()> {
+//! # let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])])
+//! #     .map_err(bqr::Error::Data)?;
+//! # let engine = Engine::builder()
+//! #     .schema(schema.clone())
+//! #     .access(AccessSchema::new(vec![
+//! #         AccessConstraint::new("rating", &["mid"], &["rank"], 1).unwrap(),
+//! #     ]))
+//! #     .bound(8)
+//! #     .build()?;
+//! # let mut db = Database::empty(schema);
+//! # db.insert("rating", tuple![42, 5]).map_err(bqr::Error::Data)?;
+//! # engine.attach(db)?;
+//! engine.prepare("ranks", "Q(r) :- rating(42, r)")?;
+//! let session = engine.session();
+//! // A zero-row budget trips before any intermediate result materialises.
+//! let strangled = ExecOptions::serial().with_row_budget(0);
+//! let err = session.execute_with("ranks", &strangled).unwrap_err();
+//! assert!(matches!(
+//!     err.exec_error(),
+//!     Some(ExecError::MemoryBudgetExceeded { budget_rows: 0 })
+//! ));
+//! // The same engine keeps serving under sane limits.
+//! let sane = ExecOptions::serial().with_deadline_ms(10_000);
+//! assert_eq!(session.execute_with("ranks", &sane)?.tuples, vec![tuple![5]]);
+//! assert_eq!(engine.guard_stats().memory_trips, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # The layers underneath
 //!
 //! The facade is a thin, allocation-conscious composition of the workspace
@@ -102,7 +153,8 @@
 //!   containment, `A`-equivalence, the chase, the cost-based join planner;
 //! * [`bqr_plan`] (as [`plan`]) — bounded query plans, the compiled operator
 //!   [`Pipeline`](plan::Pipeline), conformance, plan fingerprints and the
-//!   `(plan, options, epochs)`-keyed [`PipelineCache`](plan::PipelineCache);
+//!   `(plan, options, epochs)`-keyed [`PipelineCache`](plan::PipelineCache),
+//!   plus the runtime [`Guard`](plan::Guard) machinery;
 //! * [`bqr_core`] (as [`core`]) — the topped-query checker (effective
 //!   syntax) and the exact decision procedures for `VBRP`;
 //! * [`bqr_engine`] (as [`engine`]) — the [`Engine`] facade itself;

@@ -1,0 +1,324 @@
+//! Fault-injection (failpoint) matrix: every registered site is driven
+//! through the `bqr::Engine` facade and the engine must stay serviceable —
+//! no poisoned lock, no partial mutation, no stale read, no cached error.
+//!
+//! Compiled only under `--features failpoints` (see `[[test]]` in the root
+//! manifest); CI runs it in release in a dedicated step.  The failpoint
+//! registry is process-global, so every test serialises on [`CHAOS`].
+
+use bqr::data::faults::{self, sites, FaultKind};
+use bqr::data::{tuple, DataError, Database};
+use bqr::plan::ExecOptions;
+use bqr::query::parser::parse_cq;
+use bqr::workload::movies::{self, MovieScale};
+use bqr::{Engine, Error};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Process-global serialisation of the failpoint registry.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    // A failed assertion in one test must not wedge the rest of the suite.
+    let guard = CHAOS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    faults::clear_all();
+    guard
+}
+
+const Q_XI: &str = "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)";
+
+/// The deterministic Example-1.1 instance (answer: movie 10).
+fn fig1_instance() -> Database {
+    let mut db = Database::empty(movies::schema());
+    db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
+    db.insert("person", tuple![2, "Bob", "NASA"]).unwrap();
+    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+        .unwrap();
+    db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
+    db.insert("rating", tuple![10, 5]).unwrap();
+    db.insert("rating", tuple![12, 5]).unwrap();
+    db.insert("like", tuple![1, 10, "movie"]).unwrap();
+    db.insert("like", tuple![2, 12, "movie"]).unwrap();
+    db
+}
+
+fn fig1_engine() -> Engine {
+    let engine = Engine::builder()
+        .setting(movies::setting(100, 40))
+        .cache_capacity(16)
+        .build()
+        .unwrap();
+    engine.attach(fig1_instance()).unwrap();
+    engine.prepare("fig1", Q_XI).unwrap();
+    engine
+}
+
+#[test]
+fn index_build_faults_never_unpublish_the_serving_version() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+    let golden = engine.session().execute("fig1").unwrap();
+
+    {
+        let _fp = faults::inject_guard(sites::INDEX_BUILD, FaultKind::Error);
+        // The rebuild inside mutate hits the failpoint: the closure's insert
+        // must not become a live version.
+        let err = engine
+            .mutate(|db| db.insert("rating", tuple![99, 1]))
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Data(DataError::FaultInjected(_))),
+            "{err:?}"
+        );
+        assert_eq!(engine.session().execute("fig1").unwrap(), golden);
+        // Attaching a fresh database fails the same typed way.
+        assert!(matches!(
+            engine.attach(fig1_instance()),
+            Err(Error::Data(DataError::FaultInjected(_)))
+        ));
+        assert_eq!(engine.session().execute("fig1").unwrap(), golden);
+    }
+
+    // Failpoint gone: the very next mutate publishes normally.
+    engine
+        .mutate(|db| db.insert("rating", tuple![99, 1]))
+        .unwrap();
+    assert_eq!(engine.session().execute("fig1").unwrap(), golden);
+}
+
+#[test]
+fn snapshot_intern_panics_do_not_wedge_compilation() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+
+    // First-ever execution interns the pinned epoch's snapshots; the
+    // injected panic aborts that compile mid-flight.
+    faults::inject_times(sites::SNAPSHOT_INTERN, FaultKind::Panic, 1);
+    let session = engine.session();
+    let panicked = catch_unwind(AssertUnwindSafe(|| session.execute("fig1"))).is_err();
+    assert!(panicked, "the injected panic must surface");
+    assert!(!faults::is_active(sites::SNAPSHOT_INTERN), "consumed");
+
+    // Nothing was cached for the aborted compile and no lock stayed
+    // poisoned: the same session serves the correct answer immediately.
+    let out = session.execute("fig1").unwrap();
+    assert_eq!(out.tuples, vec![tuple![10]]);
+    assert_eq!(session.execute("fig1").unwrap(), out);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses, "{stats:?}");
+    engine
+        .mutate(|db| db.insert("rating", tuple![99, 1]))
+        .unwrap();
+}
+
+#[test]
+fn cache_insert_errors_are_never_cached() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+
+    faults::inject_times(sites::CACHE_INSERT, FaultKind::Error, 1);
+    let session = engine.session();
+    let err = session.execute("fig1").unwrap_err();
+    assert!(err.to_string().contains("failpoint"), "{err}");
+
+    // The error was not cached: the retry recompiles and serves, and from
+    // then on executions are warm hits.
+    let out = session.execute("fig1").unwrap();
+    assert_eq!(out.tuples, vec![tuple![10]]);
+    assert_eq!(session.execute("fig1").unwrap(), out);
+    let stats = engine.cache_stats();
+    assert!(stats.hits >= 1, "{stats:?}");
+    assert_eq!(stats.lookups, stats.hits + stats.misses, "{stats:?}");
+}
+
+#[test]
+fn cache_insert_panics_poison_nothing_observable() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+
+    // This panic fires while the pipeline-cache mutex is held, poisoning
+    // it; the serving path must recover rather than propagate the poison.
+    faults::inject_times(sites::CACHE_INSERT, FaultKind::Panic, 1);
+    let session = engine.session();
+    let panicked = catch_unwind(AssertUnwindSafe(|| session.execute("fig1"))).is_err();
+    assert!(panicked, "the injected panic must surface");
+
+    let out = session.execute("fig1").unwrap();
+    assert_eq!(out.tuples, vec![tuple![10]]);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses, "{stats:?}");
+    engine
+        .mutate(|db| db.insert("rating", tuple![99, 1]))
+        .unwrap();
+}
+
+#[test]
+fn thread_spawn_failures_fall_back_to_serial_with_identical_answers() {
+    let _chaos = chaos_lock();
+    // A sharded self-join over the cached `VL` view, large enough to clear
+    // the parallel threshold.
+    let mut views = movies::views();
+    views
+        .add_cq("VL", parse_cq("VL(p, i) :- like(p, i, 'movie')").unwrap())
+        .unwrap();
+    let setting =
+        bqr::core::RewritingSetting::new(movies::schema(), movies::access_schema(100), views, 100);
+    let engine = Engine::builder()
+        .setting(setting)
+        .annotate_view_bound("VL", 6_000)
+        .build()
+        .unwrap();
+    engine
+        .attach(movies::generate(MovieScale {
+            persons: 2_000,
+            movies: 100,
+            n0: 100,
+            seed: 5,
+        }))
+        .unwrap();
+    engine
+        .prepare("selfjoin", "Q(a, x, y) :- VL(a, x), VL(a, y)")
+        .unwrap();
+
+    let session = engine.session();
+    let serial = session
+        .execute_with("selfjoin", &ExecOptions::serial())
+        .unwrap();
+
+    {
+        let _fp = faults::inject_guard(sites::THREAD_SPAWN, FaultKind::Error);
+        let degraded = session
+            .execute_with("selfjoin", &ExecOptions::parallel(4))
+            .unwrap();
+        assert_eq!(degraded, serial, "fallback changed the answer");
+        assert!(
+            engine.guard_stats().serial_fallbacks > 0,
+            "{:?}",
+            engine.guard_stats()
+        );
+    }
+    // Threads back: still identical.
+    let parallel = session
+        .execute_with("selfjoin", &ExecOptions::parallel(4))
+        .unwrap();
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn mutate_closure_faults_are_all_or_nothing() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+    let before = engine.database();
+
+    faults::inject_times(sites::MUTATE_CLOSURE, FaultKind::Error, 1);
+    let err = engine
+        .mutate(|db| db.insert("rating", tuple![99, 1]))
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::Data(DataError::FaultInjected(_))),
+        "{err:?}"
+    );
+    assert_eq!(engine.database(), before, "no partial commit");
+
+    faults::inject_times(sites::MUTATE_CLOSURE, FaultKind::Panic, 1);
+    let err = engine
+        .mutate(|db| db.insert("rating", tuple![99, 1]))
+        .unwrap_err();
+    assert!(matches!(err, Error::MutationPanicked { .. }), "{err:?}");
+    assert_eq!(engine.database(), before, "no partial commit");
+
+    // Registry drained: the identical mutate now lands.
+    engine
+        .mutate(|db| db.insert("rating", tuple![99, 1]))
+        .unwrap();
+    assert_eq!(engine.database().size(), before.size() + 1);
+}
+
+/// The headline scenario: four concurrent pinned sessions keep reading
+/// bit-identically while the writer side is bombarded with injected
+/// faults — failed mutations interleaved with successful ones.
+#[test]
+fn concurrent_sessions_survive_a_fault_storm() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+    let golden = engine.session().execute("fig1").unwrap();
+    assert_eq!(golden.tuples, vec![tuple![10]]);
+
+    const READERS: usize = 4;
+    const ROUNDS: usize = 12;
+    let barrier = std::sync::Barrier::new(READERS + 1);
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let barrier = &barrier;
+        for reader in 0..READERS {
+            scope.spawn(move || {
+                // One reader stresses the sharded driver, the rest serial.
+                let options = if reader == 0 {
+                    ExecOptions::parallel(3)
+                } else {
+                    ExecOptions::serial()
+                };
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    let session = engine.session();
+                    let pinned_epochs = session.epochs();
+                    let first = session.execute_with("fig1", &options).unwrap();
+                    for _ in 0..4 {
+                        assert_eq!(session.execute_with("fig1", &options).unwrap(), first);
+                        assert_eq!(session.epochs(), pinned_epochs, "the pin moved");
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        barrier.wait();
+        // The writer alternates injected failures with real commits.
+        let mut committed = 0i64;
+        for round in 0..ROUNDS {
+            match round % 3 {
+                0 => {
+                    faults::inject_times(sites::MUTATE_CLOSURE, FaultKind::Panic, 1);
+                    let err = engine
+                        .mutate(|db| db.insert("rating", tuple![500 + round as i64, 1]))
+                        .unwrap_err();
+                    assert!(matches!(err, Error::MutationPanicked { .. }), "{err:?}");
+                }
+                1 => {
+                    faults::inject_times(sites::INDEX_BUILD, FaultKind::Error, 1);
+                    let err = engine
+                        .mutate(|db| db.insert("rating", tuple![500 + round as i64, 1]))
+                        .unwrap_err();
+                    assert!(matches!(err, Error::Data(_)), "{err:?}");
+                }
+                _ => {
+                    committed += 1;
+                    engine
+                        .mutate(|db| db.insert("rating", tuple![500 + round as i64, 1]))
+                        .unwrap();
+                }
+            }
+        }
+        assert_eq!(
+            engine.database().size() as i64,
+            fig1_instance().size() as i64 + committed,
+            "exactly the successful mutations landed"
+        );
+    });
+
+    // Quiesced: fresh sessions serve the same Fig.-1 answer, counters
+    // reconcile, and no lock anywhere is left poisoned.
+    assert_eq!(
+        engine.session().execute("fig1").unwrap().tuples,
+        golden.tuples
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses, "{stats:?}");
+    assert!(!faults::is_active(sites::MUTATE_CLOSURE));
+    assert!(!faults::is_active(sites::INDEX_BUILD));
+    engine
+        .mutate(|db| db.insert("rating", tuple![9_999, 5]))
+        .unwrap();
+}
