@@ -110,16 +110,18 @@ fn hom_engine() {
 /// overhead comparison.  Emits `BENCH_plan.json` and fails (exit 1) when
 /// the compiled executor loses to the reference on the movies workload,
 /// when a warm cache-hit execution is not ≥ 3× faster than a cold
-/// compile+exec there, or when guarded execution exceeds the unguarded
-/// baseline by more than 5%.
+/// compile+exec there, when a delta-maintained single-tuple insert is not
+/// ≥ 5× faster than a full version rebuild on either write-path workload,
+/// or when guarded execution exceeds the unguarded baseline by more
+/// than 5%.
 fn plan_executor() {
     use bqr_bench::plan_bench;
 
     println!(
         "\n== plan: compiled pipeline vs exec::reference; parallel scaling at 1/2/4 shards; \
-         prepared cold vs warm; guard overhead =="
+         prepared cold vs warm; write path delta vs rebuild; guard overhead =="
     );
-    let (results, parallel, prepared, guard, guard_stats, json) = plan_bench::report();
+    let (results, parallel, prepared, write_path, guard, guard_stats, json) = plan_bench::report();
     println!(
         "{:<28} {:>8} {:>14} {:>14} {:>9}",
         "case", "repeats", "reference-ms", "compiled-ms", "speedup"
@@ -160,6 +162,20 @@ fn plan_executor() {
             p.cache.hits,
             p.cache.misses,
             p.cache.invalidations
+        );
+    }
+    println!(
+        "{:<28} {:>8} {:>14} {:>14} {:>9}",
+        "write path", "repeats", "delta-ms", "rebuild-ms", "speedup"
+    );
+    for w in &write_path {
+        println!(
+            "{:<28} {:>8} {:>14.3} {:>14.3} {:>8.1}x",
+            w.name,
+            w.repeats,
+            w.delta_ms,
+            w.rebuild_ms,
+            w.speedup()
         );
     }
     println!(
@@ -211,6 +227,18 @@ fn plan_executor() {
             movies_prepared.cold_ms
         );
         std::process::exit(1);
+    }
+    for w in &write_path {
+        if w.speedup() < plan_bench::WRITE_MIN_SPEEDUP {
+            eprintln!(
+                "REGRESSION: delta-maintained single-tuple insert ({:.3} ms) is not {}x faster than a full version rebuild ({:.3} ms) on {}",
+                w.delta_ms,
+                plan_bench::WRITE_MIN_SPEEDUP,
+                w.rebuild_ms,
+                w.name
+            );
+            std::process::exit(1);
+        }
     }
     if guard.ratio() > plan_bench::GUARD_MAX_OVERHEAD {
         eprintln!(

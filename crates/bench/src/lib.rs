@@ -1089,15 +1089,195 @@ pub mod plan_bench {
         }
     }
 
+    /// One write-path row: the same single-tuple inserts committed through
+    /// delta maintenance ([`bqr_engine::MaintenanceMode::Delta`]) and through
+    /// a from-scratch version rebuild ([`bqr_engine::MaintenanceMode::Rebuild`]),
+    /// with the two engines verified bit-identical afterwards.
+    #[derive(Debug, Clone)]
+    pub struct WritePathResult {
+        pub name: &'static str,
+        /// Timed single-tuple mutations per engine.
+        pub repeats: usize,
+        /// Milliseconds per mutation through delta maintenance.
+        pub delta_ms: f64,
+        /// Milliseconds per mutation through a full version rebuild.
+        pub rebuild_ms: f64,
+    }
+
+    impl WritePathResult {
+        /// rebuild / delta — how much delta maintenance saves per write.
+        pub fn speedup(&self) -> f64 {
+            crate::guarded_ratio(self.rebuild_ms, self.delta_ms)
+        }
+    }
+
+    /// The threshold the harness enforces on both write-path workloads: a
+    /// delta-maintained single-tuple insert must be at least this much
+    /// faster than rebuilding the version from scratch, or the `plan` mode
+    /// exits non-zero.
+    pub const WRITE_MIN_SPEEDUP: f64 = 5.0;
+
+    /// Time `inserts` through both maintenance modes and verify the engines
+    /// agree bit-identically (database, every view extent, and the served
+    /// answers of the prepared statement) once the clocks stop.
+    fn run_write_case(
+        name: &'static str,
+        mk_engine: &dyn Fn(bqr_engine::MaintenanceMode) -> bqr_engine::Engine,
+        statement: &bqr_query::ConjunctiveQuery,
+        inserts: &[(&'static str, bqr_data::Tuple)],
+    ) -> WritePathResult {
+        use bqr_engine::MaintenanceMode;
+
+        let build = |mode| {
+            let engine = mk_engine(mode);
+            engine
+                .prepare("w", statement.clone())
+                .expect("write-path statement is topped");
+            engine.execute("w").expect("warm serve");
+            engine
+        };
+        let delta = build(MaintenanceMode::Delta);
+        let rebuild = build(MaintenanceMode::Rebuild);
+
+        // One untimed warmup mutation on each engine (same tuple), so the
+        // first-write copy-on-write fork and lazy interning are off the
+        // clock for both modes alike.
+        let (rel, warm) = &inserts[0];
+        for engine in [&delta, &rebuild] {
+            engine
+                .mutate(|db| db.insert(rel, warm.clone()).map(drop))
+                .expect("warmup insert");
+        }
+
+        let timed = &inserts[1..];
+        let mut ms = [0.0f64; 2];
+        for (slot, engine) in [&delta, &rebuild].into_iter().enumerate() {
+            let t = Instant::now();
+            for (rel, tuple) in timed {
+                engine
+                    .mutate(|db| db.insert(rel, tuple.clone()).map(drop))
+                    .expect("timed insert");
+            }
+            ms[slot] = t.elapsed().as_secs_f64() * 1_000.0 / timed.len() as f64;
+        }
+
+        // Divergence gate: a fast delta path that drifts from the rebuild
+        // baseline must fail the benchmark, not report a win.
+        let a = delta.session();
+        let b = rebuild.session();
+        assert_eq!(a.database(), b.database(), "{name}: databases diverged");
+        for view in a.views().names() {
+            assert_eq!(
+                a.views().extent(view),
+                b.views().extent(view),
+                "{name}: view extent `{view}` diverged"
+            );
+        }
+        assert_eq!(
+            a.execute("w").expect("delta serve"),
+            b.execute("w").expect("rebuild serve"),
+            "{name}: served answers diverged"
+        );
+
+        WritePathResult {
+            name,
+            repeats: timed.len(),
+            delta_ms: ms[0],
+            rebuild_ms: ms[1],
+        }
+    }
+
+    /// The write-path rows: a single-tuple insert into the 8k-person movies
+    /// instance and into the 10k-customer CDR instance, delta vs rebuild.
+    pub fn run_write_path() -> Vec<WritePathResult> {
+        use bqr_engine::Engine;
+
+        let mut out = Vec::new();
+
+        // Movies: insert one fresh rating per mutation.  Touches the
+        // `rating` constraint index (patched in place) and leaves `V1`
+        // untouched — its extent and epoch are shared into the new version.
+        let setting = movies::setting(100, 40);
+        let db = movies::generate(movies::MovieScale {
+            persons: 8_000,
+            movies: 2_000,
+            n0: 100,
+            seed: 1,
+        });
+        let inserts: Vec<(&'static str, bqr_data::Tuple)> = (0..21)
+            .map(|i| ("rating", bqr_data::tuple![900_000 + i as i64, 1]))
+            .collect();
+        out.push(run_write_case(
+            "movies_insert_rating_8k",
+            &move |mode| {
+                let engine = Engine::builder()
+                    .setting(setting.clone())
+                    .cache_capacity(16)
+                    .maintenance(mode)
+                    .build()
+                    .expect("movies engine");
+                engine.attach(db.clone()).expect("attach movies");
+                engine
+            },
+            &movies::q_xi(),
+            &inserts,
+        ));
+
+        // CDR: insert one fresh premium customer per mutation.  Touches the
+        // `customer` key index *and* the `V_premium` view, so the row times
+        // semi-naive view maintenance too, not just index patching.
+        let scale = cdr::CdrScale {
+            customers: 10_000,
+            days: 14,
+            ..cdr::CdrScale::default()
+        };
+        let setting = cdr::setting(&scale, 120);
+        let db = cdr::generate(scale);
+        let statement = cdr::workload(17, 3)
+            .into_iter()
+            .find(|q| q.name == "premium_callees")
+            .expect("CDR workload has the premium_callees template")
+            .query;
+        let inserts: Vec<(&'static str, bqr_data::Tuple)> = (0..11)
+            .map(|i| {
+                let cid = 1_000_000 + i as i64;
+                (
+                    "customer",
+                    bqr_data::tuple![cid, format!("w{i}"), "premium", "north"],
+                )
+            })
+            .collect();
+        out.push(run_write_case(
+            "cdr_insert_premium_10k",
+            &move |mode| {
+                let mut builder = Engine::builder()
+                    .setting(setting.clone())
+                    .cache_capacity(16)
+                    .maintenance(mode);
+                for (view, bound) in cdr::view_bounds() {
+                    builder = builder.annotate_view_bound(view, bound);
+                }
+                let engine = builder.build().expect("CDR engine");
+                engine.attach(db.clone()).expect("attach CDR");
+                engine
+            },
+            &statement,
+            &inserts,
+        ));
+        out
+    }
+
     /// Run every case (serial comparison, 1/2/4-shard parallel rows on the
-    /// largest workload, the prepared cold-vs-warm rows, and the
-    /// guard-overhead comparison plus counter exercise) and render the
-    /// machine-readable report committed as `BENCH_plan.json`.
+    /// largest workload, the prepared cold-vs-warm rows, the write-path
+    /// delta-vs-rebuild rows, and the guard-overhead comparison plus counter
+    /// exercise) and render the machine-readable report committed as
+    /// `BENCH_plan.json`.
     #[allow(clippy::type_complexity)]
     pub fn report() -> (
         Vec<PlanCaseResult>,
         Vec<ParallelResult>,
         Vec<PreparedResult>,
+        Vec<WritePathResult>,
         GuardOverhead,
         bqr_plan::GuardStats,
         String,
@@ -1179,6 +1359,20 @@ pub mod plan_bench {
                 if i + 1 < prepared.len() { "," } else { "" }
             ));
         }
+        let write_path = run_write_path();
+        json.push_str("  ],\n  \"write_path\": [\n");
+        for (i, w) in write_path.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"repeats\": {}, \"delta_ms\": {:.3}, \"rebuild_ms\": {:.3}, \"speedup\": {:.1}, \"min_speedup\": {:.1}}}{}\n",
+                w.name,
+                w.repeats,
+                w.delta_ms,
+                w.rebuild_ms,
+                w.speedup(),
+                WRITE_MIN_SPEEDUP,
+                if i + 1 < write_path.len() { "," } else { "" }
+            ));
+        }
         let overhead = run_guard_overhead();
         let guard_stats = guard_stats_exercise();
         json.push_str(&format!(
@@ -1196,7 +1390,15 @@ pub mod plan_bench {
             guard_stats.panics_contained,
             guard_stats.serial_fallbacks,
         ));
-        (results, parallel, prepared, overhead, guard_stats, json)
+        (
+            results,
+            parallel,
+            prepared,
+            write_path,
+            overhead,
+            guard_stats,
+            json,
+        )
     }
 }
 

@@ -1,6 +1,7 @@
 //! Database instances: named collections of relation instances over a
 //! database schema.
 
+use crate::delta::{DeltaLog, RelationChange};
 use crate::error::DataError;
 use crate::relation::Relation;
 use crate::schema::DatabaseSchema;
@@ -73,6 +74,71 @@ impl Database {
         values: Vec<V>,
     ) -> Result<bool> {
         self.relation_mut(relation)?.insert_values(values)
+    }
+
+    /// Remove a tuple from a relation; returns `true` if it was present.
+    pub fn remove(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.remove(tuple)
+    }
+
+    /// Begin recording per-relation write deltas on every relation instance
+    /// (see [`Relation::begin_delta_tracking`]).  Collect the result with
+    /// [`Database::take_delta`].
+    pub fn begin_delta_tracking(&mut self) {
+        for rel in self.relations.values_mut() {
+            rel.begin_delta_tracking();
+        }
+    }
+
+    /// Stop delta tracking and return the net write set since
+    /// [`Database::begin_delta_tracking`], validated against `previous` —
+    /// the instance this one was cloned from before tracking began.
+    ///
+    /// Per relation: an untouched epoch means untouched contents (epochs are
+    /// globally unique) and the relation stays out of the log.  A tracked
+    /// mutation whose recorded base epoch matches `previous` yields an exact
+    /// [`RelationChange::Delta`]; a net-empty one additionally restores the
+    /// previous epoch, so a do-undo closure leaves no observable trace.
+    /// Anything else — the instance was replaced wholesale and its history
+    /// lost — is recorded as [`RelationChange::Unknown`], unless the
+    /// replacement's contents equal the previous ones, in which case the
+    /// previous epoch is restored and nothing is logged.
+    pub fn take_delta(&mut self, previous: &Database) -> DeltaLog {
+        let mut log = DeltaLog::new();
+        for (name, rel) in &mut self.relations {
+            let state = rel.end_delta_tracking();
+            let Some(prev_rel) = previous.relation(name) else {
+                log.record(name.clone(), RelationChange::Unknown);
+                continue;
+            };
+            let prev_epoch = prev_rel.epoch();
+            if rel.epoch() == prev_epoch {
+                continue;
+            }
+            match state {
+                Some((base_epoch, delta)) if base_epoch == prev_epoch => {
+                    if delta.is_empty() {
+                        // Net no-op: contents are back to exactly what they
+                        // were under the previous epoch.
+                        rel.restore_epoch(prev_epoch);
+                    } else {
+                        log.record(name.clone(), RelationChange::Delta(delta));
+                    }
+                }
+                // History lost (wholesale replacement).  Replacing a
+                // relation is already `O(|R|)`, so one content compare is
+                // free — and it keeps a replace-with-equal-contents from
+                // re-stamping the epoch and invalidating downstream caches.
+                _ => {
+                    if rel == prev_rel {
+                        rel.restore_epoch(prev_epoch);
+                    } else {
+                        log.record(name.clone(), RelationChange::Unknown);
+                    }
+                }
+            }
+        }
+        log
     }
 
     /// Iterate over relation instances in name order.
@@ -212,6 +278,57 @@ mod tests {
         b.insert("rating", tuple![1, 5]).unwrap(); // already in `a`
         a.union_in_place(&b).unwrap();
         assert_eq!(a.relation("rating").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn take_delta_reports_exact_changes_and_spares_untouched_relations() {
+        let previous = movie_db();
+        let mut db = previous.clone();
+        db.begin_delta_tracking();
+        db.insert("rating", tuple![3, 4]).unwrap();
+        db.remove("rating", &tuple![1, 5]).unwrap();
+        let log = db.take_delta(&previous);
+        assert!(!log.touches("movie"));
+        let d = log.exact("rating").unwrap();
+        assert_eq!(d.inserted.iter().collect::<Vec<_>>(), [&tuple![3, 4]]);
+        assert_eq!(d.removed.iter().collect::<Vec<_>>(), [&tuple![1, 5]]);
+        assert_eq!(
+            db.relation("movie").unwrap().epoch(),
+            previous.relation("movie").unwrap().epoch(),
+            "untouched relation keeps its epoch"
+        );
+    }
+
+    #[test]
+    fn take_delta_restores_epochs_for_net_noops() {
+        let previous = movie_db();
+        let mut db = previous.clone();
+        db.begin_delta_tracking();
+        db.insert("rating", tuple![3, 4]).unwrap();
+        db.remove("rating", &tuple![3, 4]).unwrap();
+        db.insert("movie", tuple![1, "Lucy", "Universal", "2014"])
+            .unwrap(); // already present
+        let log = db.take_delta(&previous);
+        assert!(log.is_empty());
+        assert_eq!(
+            previous.epochs().collect::<Vec<_>>(),
+            db.epochs().collect::<Vec<_>>(),
+            "a do-undo mutation leaves no observable trace"
+        );
+    }
+
+    #[test]
+    fn wholesale_replacement_degrades_to_unknown() {
+        let previous = movie_db();
+        let mut db = previous.clone();
+        db.begin_delta_tracking();
+        let schema = previous.relation("rating").unwrap().schema().clone();
+        *db.relation_mut("rating").unwrap() =
+            Relation::from_tuples(schema, vec![tuple![7, 7]]).unwrap();
+        let log = db.take_delta(&previous);
+        assert!(log.is_unknown("rating"));
+        assert!(log.exact("rating").is_none());
+        assert!(!log.touches("movie"));
     }
 
     #[test]

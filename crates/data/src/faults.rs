@@ -48,6 +48,9 @@ pub mod sites {
     /// `bqr-engine`'s `Engine::mutate` — inside the panic-contained region
     /// around the user closure.
     pub const MUTATE_CLOSURE: &str = "engine.mutate.closure";
+    /// `bqr-query`'s semi-naive view maintenance — applying a write delta
+    /// to the materialised view extents during `Engine::mutate`.
+    pub const VIEW_MAINTAIN: &str = "query.views.maintain";
 }
 
 /// What an activated fault does at its site.

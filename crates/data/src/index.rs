@@ -9,6 +9,7 @@
 
 use crate::access::{AccessConstraint, AccessSchema};
 use crate::database::Database;
+use crate::delta::{DeltaLog, RelationDelta};
 use crate::error::DataError;
 use crate::intern::ValueId;
 use crate::stats::FetchStats;
@@ -16,7 +17,7 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A hash index on `X` for `X ∪ Y`, backing one access constraint.
 #[derive(Debug, Clone)]
@@ -155,6 +156,39 @@ impl AccessIndex {
     pub fn max_group_size(&self) -> usize {
         self.map.values().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// A copy of this index with `delta.inserted` patched into the groups —
+    /// `O(#groups + |Δ|)` instead of the `O(|R|)` of a full rebuild.  Only
+    /// valid for insert-only deltas; removals need a rebuild because a group
+    /// entry may be the projection of several source tuples.
+    pub fn with_inserted(&self, delta: &RelationDelta, rel: &crate::Relation) -> Result<Self> {
+        debug_assert!(delta.removed.is_empty());
+        let x_pos = rel.schema().positions(self.constraint.x())?;
+        let xy_pos = rel.schema().positions(
+            &self
+                .xy_attributes
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+        )?;
+        let mut map = self.map.clone();
+        for t in &delta.inserted {
+            let key: Vec<Value> = x_pos.iter().map(|&p| t[p].clone()).collect();
+            let entry = map.entry(key).or_default();
+            let projected = t.project(&xy_pos);
+            if !entry.contains(&projected) {
+                entry.push(projected);
+            }
+        }
+        Ok(AccessIndex {
+            constraint: self.constraint.clone(),
+            xy_attributes: self.xy_attributes.clone(),
+            map,
+            // The patched index has new contents: its id-native sibling is
+            // re-interned lazily on first probe.
+            interned: OnceLock::new(),
+        })
+    }
 }
 
 /// A database together with the indices of an access schema.  This is the
@@ -166,7 +200,9 @@ pub struct IndexedDatabase {
     db: Database,
     access: AccessSchema,
     /// One index per constraint, in the order of `access.constraints()`.
-    indexes: Vec<AccessIndex>,
+    /// Behind `Arc` so successive versions share the indexes of untouched
+    /// relations — including their lazily interned id-native siblings.
+    indexes: Vec<Arc<AccessIndex>>,
 }
 
 impl IndexedDatabase {
@@ -181,13 +217,54 @@ impl IndexedDatabase {
         access.validate(db.schema())?;
         let indexes = access
             .constraints()
-            .map(|c| AccessIndex::build(c, &db))
+            .map(|c| AccessIndex::build(c, &db).map(Arc::new))
             .collect::<Result<Vec<_>>>()?;
         Ok(IndexedDatabase {
             db,
             access,
             indexes,
         })
+    }
+
+    /// Re-index `db` (the successor of this instance's database) from a
+    /// write delta, touching only the indexes of changed relations:
+    /// untouched constraints share this instance's [`AccessIndex`] (and its
+    /// interned sibling) by `Arc`; insert-only exact deltas are patched in
+    /// `O(#groups + |Δ|)`; deltas with removals or unknown changes rebuild
+    /// just that relation's index.
+    pub fn apply_delta(&self, db: Database, delta: &DeltaLog) -> Result<Self> {
+        crate::faults::check(crate::faults::sites::INDEX_BUILD)?;
+        let indexes = self
+            .access
+            .constraints()
+            .zip(&self.indexes)
+            .map(|(c, old)| {
+                let name = c.relation();
+                if !delta.touches(name) {
+                    return Ok(Arc::clone(old));
+                }
+                match delta.exact(name) {
+                    Some(d) if d.removed.is_empty() => old
+                        .with_inserted(d, db.expect_relation(name)?)
+                        .map(Arc::new),
+                    _ => AccessIndex::build(c, &db).map(Arc::new),
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(IndexedDatabase {
+            db,
+            access: self.access.clone(),
+            indexes,
+        })
+    }
+
+    /// True when the `idx`-th constraint's index is the same shared object
+    /// as `other`'s (no rebuild or patch happened between the two versions).
+    pub fn shares_index(&self, other: &IndexedDatabase, idx: usize) -> bool {
+        match (self.indexes.get(idx), other.indexes.get(idx)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// The underlying database.
@@ -202,7 +279,7 @@ impl IndexedDatabase {
 
     /// The index for the `idx`-th constraint of the access schema.
     pub fn index(&self, idx: usize) -> Option<&AccessIndex> {
-        self.indexes.get(idx)
+        self.indexes.get(idx).map(Arc::as_ref)
     }
 
     /// Locate a constraint (by content) and return its position, if indexed.
@@ -249,7 +326,7 @@ impl IndexedDatabase {
     pub fn interned_access_index(&self, idx: usize) -> Result<&InternedAccessIndex> {
         self.indexes
             .get(idx)
-            .map(AccessIndex::interned)
+            .map(|index| index.interned())
             .ok_or_else(|| DataError::NoIndexForConstraint(format!("constraint #{idx}")))
     }
 
@@ -414,6 +491,54 @@ mod tests {
         assert!(idb.index(5).is_none());
         assert_eq!(idb.database().size(), 6);
         assert_eq!(idb.access_schema().len(), 2);
+    }
+
+    #[test]
+    fn apply_delta_patches_touched_indexes_and_shares_the_rest() {
+        let (db, access) = movie_db();
+        let idb = IndexedDatabase::build(db.clone(), access).unwrap();
+
+        // Insert-only delta on `rating`: its index is patched, movie's is
+        // the identical shared object.
+        let mut next = db.clone();
+        next.begin_delta_tracking();
+        next.insert("rating", tuple![4, 2]).unwrap();
+        let log = next.take_delta(&db);
+        let patched = idb.apply_delta(next.clone(), &log).unwrap();
+        assert!(patched.shares_index(&idb, 0), "movie untouched");
+        assert!(!patched.shares_index(&idb, 1), "rating patched");
+        let rebuilt = IndexedDatabase::build(next.clone(), idb.access_schema().clone()).unwrap();
+        for idx in 0..2 {
+            let mut a = FetchStats::new();
+            let mut b = FetchStats::new();
+            for key in [vec![Value::int(4)], vec![Value::int(1)]] {
+                if idx == 0 {
+                    continue;
+                }
+                assert_eq!(
+                    patched.fetch(idx, &key, &mut a).unwrap(),
+                    rebuilt.fetch(idx, &key, &mut b).unwrap()
+                );
+            }
+            assert_eq!(a, b);
+        }
+
+        // A delta with removals rebuilds that index from the new contents.
+        let mut shrunk = next.clone();
+        shrunk.begin_delta_tracking();
+        shrunk.remove("rating", &tuple![1, 5]).unwrap();
+        let log = shrunk.take_delta(&next);
+        let after = patched.apply_delta(shrunk.clone(), &log).unwrap();
+        assert!(after.shares_index(&patched, 0));
+        let mut stats = FetchStats::new();
+        assert!(after
+            .fetch(1, &[Value::int(1)], &mut stats)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            after.fetch(1, &[Value::int(4)], &mut stats).unwrap().len(),
+            1
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   `u32` value interning and immutable per-epoch relation snapshots,
 //!   shared process-wide so the join engine's hot loop never touches a
 //!   [`Value`];
+//! * [`DeltaLog`], [`RelationDelta`] ([`delta`]) — per-relation write sets
+//!   captured during a mutation, the currency of `O(|Δ|)` view maintenance,
+//!   in-place index patching and per-relation cache invalidation upstream;
 //! * [`FetchStats`] — I/O accounting: how many base tuples a plan fetched
 //!   (`|D_ξ|` in the paper) versus how many a full scan would touch — and
 //!   [`RelationStats`], the per-snapshot cardinality statistics consumed by
@@ -35,6 +38,7 @@
 
 pub mod access;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod faults;
 pub mod index;
@@ -49,6 +53,7 @@ pub mod value;
 
 pub use access::{AccessConstraint, AccessSchema, ConstraintViolation};
 pub use database::Database;
+pub use delta::{DeltaLog, RelationChange, RelationDelta};
 pub use error::DataError;
 pub use index::{AccessIndex, IndexedDatabase, InternedAccessIndex};
 pub use index_cache::{IndexCache, InternedIndex, RelationIndex};

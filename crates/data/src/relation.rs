@@ -1,5 +1,6 @@
 //! Relation instances: sets of tuples over a relation schema.
 
+use crate::delta::RelationDelta;
 use crate::error::DataError;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
@@ -8,6 +9,7 @@ use crate::Result;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Global epoch counter: every stamp is issued exactly once, so two
 /// relations share an epoch only when one is an unmutated clone of the
@@ -28,11 +30,25 @@ fn fresh_epoch() -> u64 {
 /// moment the relation changes.  Clones share the epoch of their source —
 /// sound, because a clone has identical contents until it is itself mutated
 /// (which re-stamps it).
+///
+/// Tuple storage is behind an [`Arc`]: cloning a relation (and hence a whole
+/// [`crate::Database`]) is `O(1)` per relation, and the underlying set is
+/// copied lazily on the first genuine write to a shared instance.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
-    tuples: BTreeSet<Tuple>,
+    tuples: Arc<BTreeSet<Tuple>>,
     epoch: u64,
+    /// Present only between `begin_delta_tracking` / `end_delta_tracking`:
+    /// the net write set accumulated since tracking began.
+    tracking: Option<Box<DeltaState>>,
+}
+
+#[derive(Debug, Clone)]
+struct DeltaState {
+    /// The epoch at the moment tracking began.
+    base_epoch: u64,
+    delta: RelationDelta,
 }
 
 impl PartialEq for Relation {
@@ -50,8 +66,9 @@ impl Relation {
     pub fn empty(schema: RelationSchema) -> Self {
         Relation {
             schema,
-            tuples: BTreeSet::new(),
+            tuples: Arc::new(BTreeSet::new()),
             epoch: fresh_epoch(),
+            tracking: None,
         }
     }
 
@@ -96,6 +113,41 @@ impl Relation {
 
     /// Insert a tuple; returns `true` if it was not already present.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.check_arity(&tuple)?;
+        // The membership test comes first so a no-op insert neither copies
+        // shared storage nor re-stamps the epoch.
+        if self.tuples.contains(&tuple) {
+            return Ok(false);
+        }
+        if let Some(state) = self.tracking.as_deref_mut() {
+            // An insert that undoes a tracked removal cancels out: the net
+            // delta always satisfies inserted = new∖old, removed = old∖new.
+            if !state.delta.removed.remove(&tuple) {
+                state.delta.inserted.insert(tuple.clone());
+            }
+        }
+        Arc::make_mut(&mut self.tuples).insert(tuple);
+        self.epoch = fresh_epoch();
+        Ok(true)
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> Result<bool> {
+        self.check_arity(tuple)?;
+        if !self.tuples.contains(tuple) {
+            return Ok(false);
+        }
+        if let Some(state) = self.tracking.as_deref_mut() {
+            if !state.delta.inserted.remove(tuple) {
+                state.delta.removed.insert(tuple.clone());
+            }
+        }
+        Arc::make_mut(&mut self.tuples).remove(tuple);
+        self.epoch = fresh_epoch();
+        Ok(true)
+    }
+
+    fn check_arity(&self, tuple: &Tuple) -> Result<()> {
         if tuple.arity() != self.schema.arity() {
             return Err(DataError::ArityMismatch {
                 relation: self.schema.name().to_string(),
@@ -103,11 +155,39 @@ impl Relation {
                 actual: tuple.arity(),
             });
         }
-        let inserted = self.tuples.insert(tuple);
-        if inserted {
-            self.epoch = fresh_epoch();
-        }
-        Ok(inserted)
+        Ok(())
+    }
+
+    /// Begin recording the net write set of this instance.  Any previous
+    /// tracking state is discarded.
+    pub fn begin_delta_tracking(&mut self) {
+        self.tracking = Some(Box::new(DeltaState {
+            base_epoch: self.epoch,
+            delta: RelationDelta::default(),
+        }));
+    }
+
+    /// Stop recording and return `(base_epoch, net delta)` — the epoch the
+    /// relation had when tracking began plus everything that changed since.
+    /// Returns `None` if tracking state was lost, which happens exactly when
+    /// the instance was replaced wholesale (e.g. by assignment through
+    /// `Database::relation_mut`) rather than mutated in place.
+    pub fn end_delta_tracking(&mut self) -> Option<(u64, RelationDelta)> {
+        self.tracking.take().map(|s| (s.base_epoch, s.delta))
+    }
+
+    /// Restore a previously issued epoch.  Only sound when the caller can
+    /// prove the contents are identical to what they were under that epoch —
+    /// e.g. after a tracked mutation whose net delta came out empty.
+    pub(crate) fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// True when `self` and `other` share the same underlying tuple storage
+    /// (copy-on-write has not forked them apart).  Shared storage implies
+    /// identical contents; the converse does not hold.
+    pub fn shares_storage(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.tuples, &other.tuples)
     }
 
     /// Insert a tuple built from values convertible into [`Value`].
@@ -129,7 +209,7 @@ impl Relation {
     pub fn project(&self, attributes: &[&str]) -> Result<Vec<Tuple>> {
         let positions = self.schema.positions(attributes)?;
         let mut out = BTreeSet::new();
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             out.insert(t.project(&positions));
         }
         Ok(out.into_iter().collect())
@@ -154,7 +234,7 @@ impl Relation {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} [{} tuples]", self.schema, self.tuples.len())?;
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -283,6 +363,53 @@ mod tests {
         let b = rating();
         assert_ne!(a.epoch(), b.epoch());
         assert_eq!(a, b, "content equality must ignore the identity stamp");
+    }
+
+    #[test]
+    fn remove_mirrors_insert() {
+        let mut r = rating();
+        let e0 = r.epoch();
+        assert!(!r.remove(&tuple![42, 1]).unwrap(), "absent tuple");
+        assert_eq!(r.epoch(), e0, "no-op remove keeps the epoch");
+        assert!(r.remove(&tuple![1, 5]).unwrap());
+        assert_ne!(r.epoch(), e0);
+        assert_eq!(r.len(), 2);
+        assert!(r.remove(&tuple![1, 2, 3]).is_err(), "arity checked");
+    }
+
+    #[test]
+    fn clones_share_storage_until_first_write() {
+        let r = rating();
+        let mut c = r.clone();
+        assert!(r.shares_storage(&c));
+        // No-op writes must not fork the storage.
+        assert!(!c.insert(tuple![1, 5]).unwrap());
+        assert!(!c.remove(&tuple![42, 1]).unwrap());
+        assert!(r.shares_storage(&c));
+        // The first genuine write copies.
+        c.insert(tuple![8, 8]).unwrap();
+        assert!(!r.shares_storage(&c));
+        assert_eq!(r.len(), 3);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn delta_tracking_records_the_net_write_set() {
+        let mut r = rating();
+        let e0 = r.epoch();
+        r.begin_delta_tracking();
+        r.insert(tuple![9, 9]).unwrap();
+        r.remove(&tuple![1, 5]).unwrap();
+        // Cancelling pairs: net no-ops on both sides.
+        r.insert(tuple![7, 7]).unwrap();
+        r.remove(&tuple![7, 7]).unwrap();
+        r.remove(&tuple![2, 4]).unwrap();
+        r.insert(tuple![2, 4]).unwrap();
+        let (base, delta) = r.end_delta_tracking().unwrap();
+        assert_eq!(base, e0);
+        assert_eq!(delta.inserted.iter().collect::<Vec<_>>(), [&tuple![9, 9]]);
+        assert_eq!(delta.removed.iter().collect::<Vec<_>>(), [&tuple![1, 5]]);
+        assert!(r.end_delta_tracking().is_none(), "tracking is one-shot");
     }
 
     #[test]

@@ -78,6 +78,22 @@ impl<T: IntoQuery + Clone> IntoQuery for &T {
     }
 }
 
+/// How [`Engine::mutate`] turns a committed closure into the next published
+/// [`DataVersion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Maintain view extents semi-naively from the captured write delta and
+    /// patch/share access indexes per relation — `O(|Δ|)` for exact deltas.
+    /// Untouched relations and unchanged extents keep their epochs, so only
+    /// pipelines reading a changed input are invalidated.
+    #[default]
+    Delta,
+    /// Rebuild the whole version from scratch (re-materialise every view,
+    /// rebuild every index) — the pre-delta behaviour, kept as the
+    /// differential-testing and benchmarking baseline.
+    Rebuild,
+}
+
 /// Builder for an [`Engine`]; start from [`Engine::builder`].
 ///
 /// The rewriting parameters `(R, V, A, M)` plus the analysis budget and the
@@ -96,6 +112,7 @@ pub struct EngineBuilder {
     options: ExecOptions,
     cache_capacity: usize,
     view_bounds: Vec<(String, usize)>,
+    maintenance: MaintenanceMode,
 }
 
 impl Default for EngineBuilder {
@@ -110,6 +127,7 @@ impl Default for EngineBuilder {
             options: ExecOptions::serial(),
             cache_capacity: bqr_plan::prepared::DEFAULT_CACHE_CAPACITY,
             view_bounds: Vec::new(),
+            maintenance: MaintenanceMode::default(),
         }
     }
 }
@@ -174,6 +192,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Choose how mutations publish new versions (defaults to
+    /// [`MaintenanceMode::Delta`]).
+    pub fn maintenance(mut self, mode: MaintenanceMode) -> Self {
+        self.maintenance = mode;
+        self
+    }
+
     /// Declare `|V(D)| ≤ bound` for a view, feeding the topped checker's
     /// bounded-output oracle (the Example 3.3 situation: a view that is not
     /// *provably* bounded under `A` but is known bounded by the application).
@@ -214,6 +239,7 @@ impl EngineBuilder {
             setting,
             options: self.options,
             view_bounds: self.view_bounds,
+            maintenance: self.maintenance,
             cache: Arc::new(PipelineCache::new(self.cache_capacity)),
             guard_metrics: Arc::new(GuardMetrics::new()),
             data: RwLock::new(Arc::new(version)),
@@ -241,6 +267,7 @@ pub struct Engine {
     setting: RewritingSetting,
     options: ExecOptions,
     view_bounds: Vec<(String, usize)>,
+    maintenance: MaintenanceMode,
     cache: Arc<PipelineCache>,
     /// Engine-lifetime guardrail counters, shared into every guarded
     /// execution; snapshot with [`Engine::guard_stats`].
@@ -330,28 +357,35 @@ impl Engine {
     }
 
     /// Mutate the current instance through a closure and publish the result
-    /// as a fresh version: touched relations get fresh epochs, views are
-    /// re-materialised, indexes rebuilt, and stale pipeline-cache entries
-    /// are invalidated on next use.
+    /// as a fresh version.  The closure sees a copy-on-write clone of the
+    /// live instance (no per-relation copying until its first genuine
+    /// write), and its per-relation write delta is captured as it runs;
+    /// under the default [`MaintenanceMode::Delta`] the next version is then
+    /// built in `O(|Δ|)`: view extents are maintained semi-naively, access
+    /// indexes are patched or shared per relation, and only the relations
+    /// (and view extents) whose contents actually changed get fresh epochs —
+    /// so a write to relation `R` invalidates exactly the cached pipelines
+    /// whose epoch vector mentions `R`.  A closure whose net delta is empty
+    /// (read-only, re-inserting present tuples, do-undo pairs) publishes
+    /// nothing at all: no epoch moves, no pipeline is invalidated.
     ///
     /// The publish is **all-or-nothing**: when the closure fails — or
     /// *panics*; the panic is contained and surfaces as
     /// [`Error::MutationPanicked`] — nothing is published and the error is
-    /// returned: a half-applied mutation can never become a live version,
-    /// and a panicking closure can never wedge the writers lock (poisoned
-    /// locks are recovered throughout the engine).  Mutations are serialised
-    /// against each other, but the rebuild runs outside the read path's
-    /// lock: concurrent reads (sessions, analyses) proceed against the
-    /// previous version throughout, and closures may freely call the
-    /// engine's read methods.
+    /// returned: a half-applied mutation (or half-applied delta) can never
+    /// become a live version, and a panicking closure can never wedge the
+    /// writers lock (poisoned locks are recovered throughout the engine).
+    /// Mutations are serialised against each other, but version construction
+    /// runs outside the read path's lock: concurrent reads (sessions,
+    /// analyses) proceed against the previous version throughout, and
+    /// closures may freely call the engine's read methods.
     pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> bqr_data::Result<R>) -> Result<R> {
         let _serialised = self.writers.lock().unwrap_or_else(PoisonError::into_inner);
-        let mut db = self
-            .data
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .database()
-            .clone();
+        let prev = Arc::clone(&self.data.read().unwrap_or_else(PoisonError::into_inner));
+        // O(#relations), not O(|D|): relations share tuple storage with the
+        // live version until the closure's first genuine write forks them.
+        let mut db = prev.database().clone();
+        db.begin_delta_tracking();
         // Contain closure panics: `db` is a scratch clone, so abandoning it
         // mid-mutation is safe, and nothing has been published yet.
         let out = catch_unwind(AssertUnwindSafe(|| {
@@ -362,8 +396,25 @@ impl Engine {
             message: panic_message(payload.as_ref()),
         })?
         .map_err(Error::Data)?;
-        let version = Arc::new(DataVersion::build(db, &self.setting)?);
-        *self.data.write().unwrap_or_else(PoisonError::into_inner) = version;
+        let delta = db.take_delta(prev.database());
+        if delta.is_empty() {
+            // No-op elision: nothing changed, so the current version — and
+            // every epoch, snapshot, index and cached pipeline keyed off it
+            // — is still exact.  Publish nothing.
+            return Ok(out);
+        }
+        // Version construction is panic-contained like the closure: an
+        // injected (or genuine) panic inside delta application must surface
+        // as a typed error with nothing published, never as a half-applied
+        // version or a wedged writer.
+        let version = catch_unwind(AssertUnwindSafe(|| match self.maintenance {
+            MaintenanceMode::Delta => DataVersion::apply_delta(&prev, db, &delta, &self.setting),
+            MaintenanceMode::Rebuild => DataVersion::build(db, &self.setting),
+        }))
+        .map_err(|payload| Error::MutationPanicked {
+            message: panic_message(payload.as_ref()),
+        })??;
+        *self.data.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(version);
         Ok(out)
     }
 

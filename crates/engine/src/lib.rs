@@ -73,7 +73,7 @@ mod error;
 mod session;
 
 pub use analysis::Analysis;
-pub use engine::{Engine, EngineBuilder, IntoQuery};
+pub use engine::{Engine, EngineBuilder, IntoQuery, MaintenanceMode};
 pub use error::{Error, Result};
 pub use session::{EvalOutput, PreparedStatement, Session};
 

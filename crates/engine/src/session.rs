@@ -30,6 +30,30 @@ impl DataVersion {
         Ok(DataVersion { idb, views })
     }
 
+    /// Build the successor of `prev` for `db = prev.database() + delta`
+    /// without paying `O(|D|)`: view extents are maintained semi-naively
+    /// from the delta and access indexes are patched or shared per relation.
+    /// Relations and extents whose contents did not change keep their epochs
+    /// — so epoch-keyed pipeline caches are invalidated only for pipelines
+    /// that actually read a changed input.
+    pub(crate) fn apply_delta(
+        prev: &DataVersion,
+        db: Database,
+        delta: &bqr_data::DeltaLog,
+        setting: &RewritingSetting,
+    ) -> Result<DataVersion> {
+        let views = bqr_query::maintain::maintain(
+            &setting.views,
+            prev.views(),
+            prev.database(),
+            &db,
+            delta,
+        )
+        .map_err(Error::Query)?;
+        let idb = prev.idb.apply_delta(db, delta)?;
+        Ok(DataVersion { idb, views })
+    }
+
     pub(crate) fn database(&self) -> &Database {
         self.idb.database()
     }
@@ -134,6 +158,11 @@ impl<'e> Session<'e> {
     /// The pinned instance.
     pub fn database(&self) -> &Database {
         self.version.database()
+    }
+
+    /// The pinned materialised view extents.
+    pub fn views(&self) -> &MaterializedViews {
+        self.version.views()
     }
 
     /// The epoch of every relation of the pinned instance, in name order —

@@ -371,3 +371,183 @@ fn into_query_simplifies_single_disjunct_unions() {
         bqr_core::Query::Cq(_)
     ));
 }
+
+#[test]
+fn noop_mutations_publish_nothing() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    engine.prepare("fig1", Q_XI).unwrap();
+
+    // Warm the pipeline so any spurious invalidation would be observable.
+    let warm = engine.session();
+    let golden = warm.execute("fig1").unwrap();
+    assert_eq!(warm.execute("fig1").unwrap(), golden);
+    let stats0 = engine.cache_stats();
+    let epochs0 = engine.session().epochs();
+
+    // Read-only closure.
+    let size = engine.mutate(|db| Ok(db.size())).unwrap();
+    assert_eq!(size, movie_instance().size());
+    // Re-inserting a present tuple.
+    engine
+        .mutate(|db| db.insert("rating", tuple![10, 5]).map(drop))
+        .unwrap();
+    // Removing an absent tuple.
+    engine
+        .mutate(|db| db.remove("rating", &tuple![777, 1]).map(drop))
+        .unwrap();
+    // A do-undo pair.
+    engine
+        .mutate(|db| {
+            db.insert("rating", tuple![777, 1])?;
+            db.remove("rating", &tuple![777, 1]).map(drop)
+        })
+        .unwrap();
+
+    // Nothing was published: same epochs, and the warm pipeline is still
+    // warm — zero invalidations, zero recompiles.
+    assert_eq!(engine.session().epochs(), epochs0);
+    assert_eq!(engine.session().execute("fig1").unwrap(), golden);
+    let stats1 = engine.cache_stats();
+    assert_eq!(
+        stats1.invalidations, stats0.invalidations,
+        "no-op mutations must invalidate nothing: {stats1:?}"
+    );
+    assert_eq!(
+        stats1.misses, stats0.misses,
+        "no-op mutations must not force recompiles: {stats1:?}"
+    );
+}
+
+#[test]
+fn error_closures_on_large_instances_copy_no_relation() {
+    let engine = movie_engine();
+    engine
+        .attach(movies::generate(movies::MovieScale {
+            persons: 4_000,
+            movies: 1_000,
+            n0: 100,
+            seed: 9,
+        }))
+        .unwrap();
+    // `database()` clones the live instance; with copy-on-write storage the
+    // clone shares every relation's tuple set with the served version.
+    let snapshot = engine.database();
+
+    let err = engine
+        .mutate(|db| -> bqr_data::Result<()> {
+            // Reads don't fork storage...
+            assert!(db.size() > 0);
+            for rel in snapshot.relations() {
+                let live = db.relation(rel.name()).unwrap();
+                assert!(
+                    live.shares_storage(rel),
+                    "`{}` was copied before any write",
+                    rel.name()
+                );
+            }
+            // ...and neither do no-op writes.
+            let present = snapshot
+                .relation("rating")
+                .unwrap()
+                .iter()
+                .next()
+                .unwrap()
+                .clone();
+            assert!(!db.insert("rating", present)?);
+            for rel in snapshot.relations() {
+                assert!(db.relation(rel.name()).unwrap().shares_storage(rel));
+            }
+            Err(bqr_data::DataError::UnknownRelation("injected".into()))
+        })
+        .unwrap_err();
+    assert!(matches!(err, Error::Data(_)));
+
+    // A genuine write forks exactly the touched relation.
+    engine
+        .mutate(|db| {
+            db.insert("rating", tuple![5_000_000, 5])?;
+            for rel in snapshot.relations() {
+                assert_eq!(
+                    db.relation(rel.name()).unwrap().shares_storage(rel),
+                    rel.name() != "rating",
+                    "only `rating` may be forked, `{}` was",
+                    rel.name()
+                );
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn writes_invalidate_only_pipelines_reading_the_touched_relations() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    // `fig1` reads movie, rating and V1; `no_rating` only movie and V1.
+    engine.prepare("fig1", Q_XI).unwrap();
+    engine
+        .prepare(
+            "no_rating",
+            "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid)",
+        )
+        .unwrap();
+    let warm = engine.session();
+    warm.execute("fig1").unwrap();
+    warm.execute("no_rating").unwrap();
+    let misses0 = engine.cache_stats().misses;
+
+    // Insert a rating for a movie nobody likes: `rating` gets a fresh epoch
+    // but V1's extent (person ⋈ movie ⋈ like) is untouched.
+    engine
+        .mutate(|db| db.insert("rating", tuple![11, 4]).map(drop))
+        .unwrap();
+
+    let fresh = engine.session();
+    fresh.execute("no_rating").unwrap();
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses0,
+        "a write to `rating` must not evict a pipeline that never reads it"
+    );
+    fresh.execute("fig1").unwrap();
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses0 + 1,
+        "the pipeline reading `rating` must recompile exactly once"
+    );
+}
+
+#[test]
+fn delta_and_rebuild_modes_publish_identical_versions() {
+    let delta = movie_engine();
+    let rebuild = Engine::builder()
+        .setting(movies::setting(100, 40))
+        .cache_capacity(16)
+        .maintenance(crate::MaintenanceMode::Rebuild)
+        .build()
+        .unwrap();
+    for engine in [&delta, &rebuild] {
+        engine.attach(movie_instance()).unwrap();
+        engine.prepare("fig1", Q_XI).unwrap();
+    }
+    let mutation = |db: &mut Database| {
+        db.insert("movie", tuple![13, "Vice", "Universal", "2014"])?;
+        db.insert("rating", tuple![13, 5])?;
+        db.insert("like", tuple![2, 13, "movie"])?;
+        db.remove("rating", &tuple![10, 5]).map(drop)
+    };
+    delta.mutate(mutation).unwrap();
+    rebuild.mutate(mutation).unwrap();
+    assert_eq!(delta.database(), rebuild.database());
+    let a = delta.session();
+    let b = rebuild.session();
+    for name in a.views().names() {
+        assert_eq!(a.views().extent(name), b.views().extent(name));
+    }
+    assert_eq!(
+        a.execute("fig1").unwrap(),
+        b.execute("fig1").unwrap(),
+        "served tuples and FetchStats must be bit-identical across modes"
+    );
+}

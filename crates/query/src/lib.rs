@@ -39,6 +39,7 @@ pub mod error;
 pub mod eval;
 pub mod fo;
 pub mod hom;
+pub mod maintain;
 pub mod parser;
 pub mod planner;
 pub mod ucq;

@@ -1,0 +1,421 @@
+//! Delta-driven (semi-naive) maintenance of materialised view extents.
+//!
+//! Given the extents materialised over the previous instance and the exact
+//! per-relation write delta of a mutation ([`DeltaLog`]), [`maintain`]
+//! produces the extents of the new instance without re-evaluating views
+//! whose input relations did not change — and for CQ views it re-derives
+//! only the tuples that have at least one *delta-atom binding*, i.e. a
+//! derivation using a changed base tuple:
+//!
+//! * **Insertions** — for every inserted tuple `t` and every atom of the
+//!   view body over `t`'s relation, unify the atom with `t` and evaluate
+//!   the resulting *residual query* over the new instance.  Everything it
+//!   derives is `ΔV⁺`; nothing else can be new, because any derivation of a
+//!   genuinely new view tuple must use at least one inserted base tuple.
+//! * **Deletions** — the DRed over-delete/re-derive split: binding removed
+//!   tuples the same way *over the old instance* yields the candidate set
+//!   (every extent tuple that had a derivation through a removed base
+//!   tuple); each candidate still in the extent is then re-checked for an
+//!   alternative derivation over the new instance with a boolean residual
+//!   query capped at one answer, and deleted only when none exists.
+//!
+//! Views whose definitions are not plain CQs, or that read a relation whose
+//! delta was lost ([`bqr_data::RelationChange::Unknown`]), fall back to full
+//! re-materialisation *of that view only* — and even then the previous
+//! extent relation (with its epoch) is reused whenever the recomputed
+//! contents come out identical, so epoch-keyed pipeline caches upstream are
+//! invalidated only by genuine content changes.
+//!
+//! Untouched extents are returned as clones of the previous ones: same
+//! contents, same epoch, shared storage.
+
+use crate::atom::{Atom, Term};
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::eval::Evaluator;
+use crate::views::{MaterializedViews, ViewDefinition, ViewSet};
+use crate::Result;
+use bqr_data::delta::DeltaLog;
+use bqr_data::{Database, Relation, RelationSchema, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maintain every extent of `views` across one mutation: `previous` are the
+/// extents over `old_db`, and `new_db = old_db + delta`.  The result is
+/// bit-identical (contents *and*, for unchanged extents, epochs) to what
+/// `views.materialize(new_db)` would produce content-wise, at `O(|Δ|)` cost
+/// for exact deltas over CQ views.
+pub fn maintain(
+    views: &ViewSet,
+    previous: &MaterializedViews,
+    old_db: &Database,
+    new_db: &Database,
+    delta: &DeltaLog,
+) -> Result<MaterializedViews> {
+    bqr_data::faults::check(bqr_data::faults::sites::VIEW_MAINTAIN)?;
+    let mut out = MaterializedViews::empty();
+    for (name, def) in views.iter() {
+        let touched = def.relation_names().iter().any(|r| delta.touches(r));
+        let extent = match previous.extent(name) {
+            Some(prev) if !touched => prev.clone(),
+            Some(prev) => maintain_one(name, def, prev, old_db, new_db, delta)?,
+            // No previous extent to start from (shouldn't happen through the
+            // engine, which always materialises on attach): evaluate fresh.
+            None => rematerialize(name, def, new_db, None)?,
+        };
+        out.insert(name, extent);
+    }
+    Ok(out)
+}
+
+/// Maintain a single touched view.
+fn maintain_one(
+    name: &str,
+    def: &ViewDefinition,
+    prev: &Relation,
+    old_db: &Database,
+    new_db: &Database,
+    delta: &DeltaLog,
+) -> Result<Relation> {
+    let exact = def
+        .relation_names()
+        .iter()
+        .all(|r| !delta.touches(r) || delta.exact(r).is_some());
+    match def.as_cq() {
+        Some(cq) if exact => maintain_cq(cq, prev, old_db, new_db, delta),
+        // Non-CQ view or a lost (wholesale-replacement) delta: re-evaluate
+        // this one view from scratch, reusing the previous extent relation
+        // when the contents come out unchanged.
+        _ => rematerialize(name, def, new_db, Some(prev)),
+    }
+}
+
+/// Exact semi-naive maintenance of one CQ view extent.
+fn maintain_cq(
+    cq: &ConjunctiveQuery,
+    prev: &Relation,
+    old_db: &Database,
+    new_db: &Database,
+    delta: &DeltaLog,
+) -> Result<Relation> {
+    // Clones share storage and epoch; a net no-op maintenance returns the
+    // extent with its epoch intact.
+    let mut extent = prev.clone();
+    let residual = Evaluator::new();
+
+    // DRed phase 1+2: over-delete candidates (derivations through a removed
+    // tuple, found over the OLD instance), then re-derive over the new one.
+    let mut candidates: BTreeSet<Tuple> = BTreeSet::new();
+    for atom in cq.atoms() {
+        if let Some(d) = delta.exact(atom.relation()) {
+            for t in &d.removed {
+                if let Some(binding) = bind_atom(atom, t) {
+                    candidates.extend(residual.eval_cq(&cq.substitute(&binding), old_db, None)?);
+                }
+            }
+        }
+    }
+    let probe = Evaluator::new().with_max_results(1);
+    for candidate in &candidates {
+        if extent.contains(candidate) && !derivable(&probe, cq, candidate, new_db)? {
+            extent.remove(candidate)?;
+        }
+    }
+
+    // Insertion phase: every genuinely new view tuple has a derivation
+    // through at least one inserted base tuple, so evaluating each residual
+    // query over the new instance covers exactly `ΔV⁺`.
+    for atom in cq.atoms() {
+        if let Some(d) = delta.exact(atom.relation()) {
+            for t in &d.inserted {
+                if let Some(binding) = bind_atom(atom, t) {
+                    for answer in residual.eval_cq(&cq.substitute(&binding), new_db, None)? {
+                        extent.insert(answer)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(extent)
+}
+
+/// Unify `atom` with the concrete tuple `t`: constants must match, repeated
+/// variables must agree, and every variable maps to the corresponding
+/// constant.  `None` means `t` cannot participate in this atom position.
+fn bind_atom(atom: &Atom, t: &Tuple) -> Option<BTreeMap<String, Term>> {
+    let mut binding: BTreeMap<String, Term> = BTreeMap::new();
+    for (term, value) in atom.args().iter().zip(t.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match binding.get(v) {
+                Some(Term::Const(prev)) if prev != value => return None,
+                _ => {
+                    binding.insert(v.clone(), Term::cnst(value.clone()));
+                }
+            },
+        }
+    }
+    Some(binding)
+}
+
+/// Does `candidate` still have a derivation under `cq` over `db`?  The
+/// fully bound head turns the view body into a boolean residual query; the
+/// evaluator is capped at one answer, so a budget overflow ("more than one
+/// homomorphism") is itself proof of derivability.
+fn derivable(
+    probe: &Evaluator,
+    cq: &ConjunctiveQuery,
+    candidate: &Tuple,
+    db: &Database,
+) -> Result<bool> {
+    let mut binding: BTreeMap<String, Term> = BTreeMap::new();
+    for (term, value) in cq.head().iter().zip(candidate.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return Ok(false);
+                }
+            }
+            Term::Var(v) => match binding.get(v) {
+                Some(Term::Const(prev)) if prev != value => return Ok(false),
+                _ => {
+                    binding.insert(v.clone(), Term::cnst(value.clone()));
+                }
+            },
+        }
+    }
+    match probe.eval_cq(&cq.substitute(&binding), db, None) {
+        Ok(answers) => Ok(!answers.is_empty()),
+        Err(QueryError::BudgetExceeded(_)) => Ok(true),
+        Err(e) => Err(e),
+    }
+}
+
+/// Evaluate `def` from scratch over `db`.  When `prev` is given and the
+/// recomputed contents are identical, the previous extent relation is
+/// returned instead — preserving its epoch so downstream epoch-keyed caches
+/// stay warm.
+fn rematerialize(
+    name: &str,
+    def: &ViewDefinition,
+    db: &Database,
+    prev: Option<&Relation>,
+) -> Result<Relation> {
+    let tuples: Vec<Tuple> = match def {
+        ViewDefinition::Cq(q) => crate::eval::eval_cq(q, db, None)?,
+        ViewDefinition::Ucq(q) => crate::eval::eval_ucq(q, db, None)?,
+        ViewDefinition::Fo(q) => crate::eval::eval_fo(q, db, None)?,
+    };
+    if let Some(prev) = prev {
+        if prev.len() == tuples.len() && tuples.iter().all(|t| prev.contains(t)) {
+            return Ok(prev.clone());
+        }
+    }
+    let attrs: Vec<String> = (0..def.arity()).map(|i| format!("c{i}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let schema = RelationSchema::new(name, &attr_refs)?;
+    Ok(Relation::from_tuples(schema, tuples)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_cq, parse_ucq};
+    use bqr_data::{tuple, DatabaseSchema};
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::with_relations(&[
+            ("person", &["pid", "name", "affiliation"]),
+            ("movie", &["mid", "mname", "studio", "release"]),
+            ("rating", &["mid", "rank"]),
+            ("like", &["pid", "id", "type"]),
+        ])
+        .unwrap()
+    }
+
+    fn views() -> ViewSet {
+        let mut v = ViewSet::empty();
+        v.add_cq(
+            "V1",
+            parse_cq(
+                "V1(mid) :- person(xp, xn, 'NASA'), movie(mid, ym, z1, z2), like(xp, mid, 'movie')",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        v.add_cq("VR", parse_cq("VR(m, r) :- rating(m, r)").unwrap())
+            .unwrap();
+        v.add_ucq(
+            "VU",
+            parse_ucq("VU(m) :- rating(m, 5); VU(m) :- rating(m, 4)").unwrap(),
+        )
+        .unwrap();
+        v
+    }
+
+    fn instance() -> Database {
+        let mut db = Database::empty(schema());
+        db.insert("person", tuple![1, "Ann", "NASA"]).unwrap();
+        db.insert("person", tuple![2, "Bob", "ESA"]).unwrap();
+        db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+            .unwrap();
+        db.insert("movie", tuple![12, "Her", "WB", "2013"]).unwrap();
+        db.insert("rating", tuple![10, 5]).unwrap();
+        db.insert("rating", tuple![12, 4]).unwrap();
+        db.insert("like", tuple![1, 10, "movie"]).unwrap();
+        db.insert("like", tuple![2, 12, "movie"]).unwrap();
+        db
+    }
+
+    /// Apply `mutate` with delta tracking and return (old, new, log).
+    fn mutated(
+        mutate: impl FnOnce(&mut Database) -> bqr_data::Result<()>,
+    ) -> (Database, Database, DeltaLog) {
+        let old = instance();
+        let mut new = old.clone();
+        new.begin_delta_tracking();
+        mutate(&mut new).unwrap();
+        let log = new.take_delta(&old);
+        (old, new, log)
+    }
+
+    fn check_against_full(old: &Database, new: &Database, log: &DeltaLog) {
+        let views = views();
+        let previous = views.materialize(old).unwrap();
+        let maintained = maintain(&views, &previous, old, new, log).unwrap();
+        let reference = views.materialize(new).unwrap();
+        for name in views.names() {
+            assert_eq!(
+                maintained.extent(name).unwrap(),
+                reference.extent(name).unwrap(),
+                "extent `{name}` diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn insertions_extend_extents_semi_naively() {
+        let (old, new, log) = mutated(|db| {
+            db.insert("movie", tuple![13, "Ouija", "Universal", "2014"])?;
+            db.insert("like", tuple![1, 13, "movie"])?;
+            db.insert("rating", tuple![13, 5])?;
+            Ok(())
+        });
+        check_against_full(&old, &new, &log);
+    }
+
+    #[test]
+    fn deletions_overdelete_then_rederive() {
+        // Removing Ann's like kills V1's only derivation of movie 10;
+        // removing rating (12, 4) shrinks VR and VU.
+        let (old, new, log) = mutated(|db| {
+            db.remove("like", &tuple![1, 10, "movie"])?;
+            db.remove("rating", &tuple![12, 4])?;
+            Ok(())
+        });
+        check_against_full(&old, &new, &log);
+    }
+
+    #[test]
+    fn surviving_alternative_derivations_are_kept() {
+        // Two NASA fans like movie 10; dropping one leaves a derivation.
+        let old = {
+            let mut db = instance();
+            db.insert("person", tuple![3, "Cat", "NASA"]).unwrap();
+            db.insert("like", tuple![3, 10, "movie"]).unwrap();
+            db
+        };
+        let mut new = old.clone();
+        new.begin_delta_tracking();
+        new.remove("like", &tuple![1, 10, "movie"]).unwrap();
+        let log = new.take_delta(&old);
+
+        let views = views();
+        let previous = views.materialize(&old).unwrap();
+        let maintained = maintain(&views, &previous, &old, &new, &log).unwrap();
+        assert!(maintained.extent("V1").unwrap().contains(&tuple![10]));
+        assert_eq!(
+            maintained.extent("V1").unwrap(),
+            views.materialize(&new).unwrap().extent("V1").unwrap()
+        );
+    }
+
+    #[test]
+    fn untouched_views_keep_their_extent_epochs() {
+        let (old, new, log) = mutated(|db| db.insert("rating", tuple![12, 5]).map(drop));
+        let views = views();
+        let previous = views.materialize(&old).unwrap();
+        let maintained = maintain(&views, &previous, &old, &new, &log).unwrap();
+        // V1 reads person/movie/like only: same extent object, same epoch.
+        assert_eq!(
+            maintained.extent("V1").unwrap().epoch(),
+            previous.extent("V1").unwrap().epoch()
+        );
+        // VR and VU read rating and genuinely changed: fresh epochs.
+        assert_ne!(
+            maintained.extent("VR").unwrap().epoch(),
+            previous.extent("VR").unwrap().epoch()
+        );
+        check_against_full(&old, &new, &log);
+    }
+
+    #[test]
+    fn touched_but_unchanged_extents_keep_their_epochs_too() {
+        // rating (12, 3) changes VR but neither VU (rank ∉ {4, 5}) nor V1.
+        let (old, new, log) = mutated(|db| db.insert("rating", tuple![12, 3]).map(drop));
+        let views = views();
+        let previous = views.materialize(&old).unwrap();
+        let maintained = maintain(&views, &previous, &old, &new, &log).unwrap();
+        assert_ne!(
+            maintained.extent("VR").unwrap().epoch(),
+            previous.extent("VR").unwrap().epoch()
+        );
+        assert_eq!(
+            maintained.extent("VU").unwrap().epoch(),
+            previous.extent("VU").unwrap().epoch(),
+            "UCQ fallback must reuse the previous extent when contents are unchanged"
+        );
+        check_against_full(&old, &new, &log);
+    }
+
+    #[test]
+    fn unknown_deltas_fall_back_to_per_view_rematerialisation() {
+        let old = instance();
+        let mut new = old.clone();
+        new.begin_delta_tracking();
+        let schema = old.relation("rating").unwrap().schema().clone();
+        *new.relation_mut("rating").unwrap() =
+            Relation::from_tuples(schema, vec![tuple![10, 5], tuple![12, 5]]).unwrap();
+        let log = new.take_delta(&old);
+        assert!(log.is_unknown("rating"));
+        check_against_full(&old, &new, &log);
+    }
+
+    #[test]
+    fn repeated_variables_and_constants_bind_exactly() {
+        let mut v = ViewSet::empty();
+        v.add_cq("VS", parse_cq("VS(m) :- rating(m, m)").unwrap())
+            .unwrap();
+        let sch = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])]).unwrap();
+        let mut old = Database::empty(sch);
+        old.insert("rating", tuple![5, 5]).unwrap();
+        old.insert("rating", tuple![1, 2]).unwrap();
+        let mut new = old.clone();
+        new.begin_delta_tracking();
+        new.insert("rating", tuple![7, 7]).unwrap();
+        new.insert("rating", tuple![8, 9]).unwrap();
+        new.remove("rating", &tuple![5, 5]).unwrap();
+        let log = new.take_delta(&old);
+        let previous = v.materialize(&old).unwrap();
+        let maintained = maintain(&v, &previous, &old, &new, &log).unwrap();
+        assert_eq!(
+            maintained.extent("VS").unwrap(),
+            v.materialize(&new).unwrap().extent("VS").unwrap()
+        );
+        assert!(maintained.extent("VS").unwrap().contains(&tuple![7]));
+        assert!(!maintained.extent("VS").unwrap().contains(&tuple![5]));
+    }
+}

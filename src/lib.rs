@@ -90,6 +90,58 @@
 //! # }
 //! ```
 //!
+//! # Mutation
+//!
+//! [`Engine::mutate`] runs a closure against a copy-on-write clone of the
+//! current instance and publishes the result as a new version — but its
+//! cost is proportional to the *delta*, not the database.  The relation
+//! mutators record the net write set (inserts and removes cancel; a
+//! do-undo closure leaves no trace), and version construction consumes it:
+//! CQ view extents are maintained semi-naively (insertions re-derive only
+//! tuples with a delta-atom binding; deletions over-delete candidates and
+//! re-derive survivors), access indexes of untouched relations are shared
+//! into the new version and insert-only deltas are patched in place, and
+//! relations whose contents did not change keep their epochs — so the
+//! `(plan, options, epochs)`-keyed pipeline cache invalidates only
+//! pipelines that actually read a changed input.  A net no-op mutation
+//! publishes nothing at all: no epoch moves, no cache entry is touched.
+//! Wholesale relation replacement and non-CQ views fall back to per-view
+//! re-materialisation, and [`MaintenanceMode::Rebuild`] restores the
+//! from-scratch behaviour engine-wide (the differential baseline).
+//! Failures anywhere — closure error, closure panic, or a fault inside
+//! maintenance — are all-or-nothing: the serving version never moves.
+//!
+//! ```
+//! use bqr::{tuple, Engine};
+//! use bqr::data::{AccessConstraint, AccessSchema, Database, DatabaseSchema};
+//!
+//! # fn main() -> bqr::Result<()> {
+//! # let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])])
+//! #     .map_err(bqr::Error::Data)?;
+//! # let engine = Engine::builder()
+//! #     .schema(schema.clone())
+//! #     .access(AccessSchema::new(vec![
+//! #         AccessConstraint::new("rating", &["mid"], &["rank"], 2).unwrap(),
+//! #     ]))
+//! #     .bound(8)
+//! #     .build()?;
+//! # let mut db = Database::empty(schema);
+//! # db.insert("rating", tuple![42, 5]).map_err(bqr::Error::Data)?;
+//! # engine.attach(db)?;
+//! let before = engine.session().epochs();
+//! // Re-inserting a present tuple and a do-undo pair are net no-ops:
+//! // nothing is published, no epoch moves.
+//! engine.mutate(|db| {
+//!     db.insert("rating", tuple![42, 5])?; // already present
+//!     db.insert("rating", tuple![42, 4])?; // inserted...
+//!     db.remove("rating", &tuple![42, 4])?; // ...and undone
+//!     Ok(())
+//! })?;
+//! assert_eq!(engine.session().epochs(), before);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Runtime guardrails
 //!
 //! Every execution runs under a [`Guard`](plan::Guard): set a wall-clock
@@ -172,6 +224,6 @@ pub use bqr_workload as workload;
 
 pub use bqr_data::tuple;
 pub use bqr_engine::{
-    Analysis, Engine, EngineBuilder, Error, EvalOutput, IntoQuery, PreparedStatement, Result,
-    Session,
+    Analysis, Engine, EngineBuilder, Error, EvalOutput, IntoQuery, MaintenanceMode,
+    PreparedStatement, Result, Session,
 };

@@ -322,3 +322,170 @@ fn concurrent_sessions_survive_a_fault_storm() {
         .mutate(|db| db.insert("rating", tuple![9_999, 5]))
         .unwrap();
 }
+
+/// PR 7: a fault inside semi-naive view maintenance aborts the mutation
+/// all-or-nothing — the closure's writes never become a live version, the
+/// epochs of the serving version do not move, and once the registry drains
+/// the identical mutation lands through the delta path.
+#[test]
+fn view_maintenance_faults_never_publish_a_partial_delta() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+    let golden = engine.session().execute("fig1").unwrap();
+    let before = engine.database();
+    let epochs = engine.session().epochs();
+
+    // Typed error out of the maintenance step.
+    faults::inject_times(sites::VIEW_MAINTAIN, FaultKind::Error, 1);
+    let err = engine
+        .mutate(|db| db.insert("rating", tuple![12, 4]))
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::Query(_)),
+        "maintenance fault surfaces typed: {err:?}"
+    );
+    assert_eq!(engine.database(), before, "no partial delta published");
+    assert_eq!(engine.session().epochs(), epochs, "epochs did not move");
+    assert_eq!(engine.session().execute("fig1").unwrap(), golden);
+
+    // Panic out of the maintenance step: contained, nothing published.
+    faults::inject_times(sites::VIEW_MAINTAIN, FaultKind::Panic, 1);
+    let err = engine
+        .mutate(|db| db.insert("rating", tuple![12, 4]))
+        .unwrap_err();
+    assert!(matches!(err, Error::MutationPanicked { .. }), "{err:?}");
+    assert_eq!(engine.database(), before, "no partial delta published");
+    assert_eq!(engine.session().epochs(), epochs, "epochs did not move");
+
+    // Registry drained: the identical mutation commits via the delta path.
+    engine
+        .mutate(|db| db.insert("rating", tuple![12, 4]))
+        .unwrap();
+    assert_eq!(engine.database().size(), before.size() + 1);
+    assert_eq!(
+        engine.session().execute("fig1").unwrap().tuples,
+        golden.tuples
+    );
+}
+
+/// PR 7: when delta application *does* fail mid-way, recovery through the
+/// full-rebuild mode publishes a version bit-identical to what a delta
+/// commit would have produced — same contents, same served answers.
+#[test]
+fn fallback_to_full_rebuild_is_bit_identical() {
+    use bqr::MaintenanceMode;
+
+    let _chaos = chaos_lock();
+    let delta = fig1_engine();
+    let rebuild = Engine::builder()
+        .setting(movies::setting(100, 40))
+        .cache_capacity(16)
+        .maintenance(MaintenanceMode::Rebuild)
+        .build()
+        .unwrap();
+    rebuild.attach(fig1_instance()).unwrap();
+    rebuild.prepare("fig1", Q_XI).unwrap();
+
+    // The delta engine's first attempt dies inside maintenance; retrying
+    // after the fault clears must converge to the rebuild engine's state.
+    faults::inject_times(sites::VIEW_MAINTAIN, FaultKind::Error, 1);
+    let mutation = |db: &mut Database| {
+        db.insert("like", tuple![2, 10, "movie"])?;
+        db.remove("rating", &tuple![12, 5])?;
+        Ok(())
+    };
+    assert!(engine_mutate_fails(&delta, mutation));
+    delta.mutate(mutation).unwrap();
+    rebuild.mutate(mutation).unwrap();
+
+    let a = delta.session();
+    let b = rebuild.session();
+    assert_eq!(a.database(), b.database());
+    for name in a.views().names() {
+        assert_eq!(a.views().extent(name), b.views().extent(name), "{name}");
+    }
+    assert_eq!(a.execute("fig1").unwrap(), b.execute("fig1").unwrap());
+}
+
+fn engine_mutate_fails(
+    engine: &Engine,
+    mutation: impl Fn(&mut Database) -> bqr::data::Result<()>,
+) -> bool {
+    engine.mutate(|db| mutation(db)).is_err()
+}
+
+/// PR 7: pinned readers never observe a half-applied delta.  Readers pin
+/// sessions and re-execute while the writer commits real deltas (including
+/// deletions) interleaved with injected maintenance faults; every pinned
+/// session must stay bit-stable for its whole lifetime.
+#[test]
+fn pinned_sessions_never_observe_a_half_applied_delta() {
+    let _chaos = chaos_lock();
+    let engine = fig1_engine();
+
+    const READERS: usize = 3;
+    const ROUNDS: usize = 10;
+    let barrier = std::sync::Barrier::new(READERS + 1);
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let barrier = &barrier;
+        for _ in 0..READERS {
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    let session = engine.session();
+                    let pinned_epochs = session.epochs();
+                    let first = session.execute("fig1").unwrap();
+                    // The Fig.-1 answer is either present or absent as a
+                    // whole — a half-applied delta would show e.g. a rating
+                    // tuple without its view-extent counterpart.
+                    for _ in 0..4 {
+                        assert_eq!(session.execute("fig1").unwrap(), first);
+                        assert_eq!(session.epochs(), pinned_epochs, "the pin moved");
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        barrier.wait();
+        for round in 0..ROUNDS {
+            match round % 4 {
+                0 => {
+                    faults::inject_times(sites::VIEW_MAINTAIN, FaultKind::Error, 1);
+                    assert!(engine
+                        .mutate(|db| db.remove("rating", &tuple![10, 5]))
+                        .is_err());
+                }
+                1 => {
+                    // A genuinely new tuple — a no-op insert would be
+                    // elided before maintenance and never hit the site.
+                    faults::inject_times(sites::VIEW_MAINTAIN, FaultKind::Panic, 1);
+                    assert!(engine
+                        .mutate(|db| db.insert("rating", tuple![700 + round as i64, 1]))
+                        .is_err());
+                }
+                2 => {
+                    // Real deletion of the answer's rating tuple.
+                    engine
+                        .mutate(|db| db.remove("rating", &tuple![10, 5]))
+                        .unwrap();
+                }
+                _ => {
+                    // And bring it back.
+                    engine
+                        .mutate(|db| db.insert("rating", tuple![10, 5]))
+                        .unwrap();
+                }
+            }
+        }
+    });
+
+    // ROUNDS is a multiple of 4, so the last committed op re-inserted the
+    // tuple: quiesced state serves the original Fig.-1 answer.
+    assert_eq!(
+        engine.session().execute("fig1").unwrap().tuples,
+        vec![tuple![10]]
+    );
+    assert!(!faults::is_active(sites::VIEW_MAINTAIN));
+}
