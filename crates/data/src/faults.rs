@@ -45,6 +45,10 @@ pub mod sites {
     /// `bqr-plan`'s sharded executor — spawning one shard worker thread
     /// (an active fault simulates spawn failure: the shard runs inline).
     pub const THREAD_SPAWN: &str = "plan.exec.spawn";
+    /// `bqr-plan`'s morsel scheduler — dispatching a parallel morsel run
+    /// (an active fault degrades the whole operator to the serial path,
+    /// which must produce bit-identical answers).
+    pub const MORSEL_DISPATCH: &str = "plan.exec.morsel";
     /// `bqr-engine`'s `Engine::mutate` — inside the panic-contained region
     /// around the user closure.
     pub const MUTATE_CLOSURE: &str = "engine.mutate.closure";

@@ -94,6 +94,56 @@ impl InternedAccessIndex {
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
+
+    /// Total number of indexed tuples (across all groups).
+    pub fn total_rows(&self) -> usize {
+        self.rows.len() / self.arity
+    }
+
+    /// The mean group size, rounded up and never below 1 — the
+    /// cardinality statistic the executor's cost heuristics consume
+    /// (expected `|D_{R:XY}(X = ā)|` for a random indexed key).
+    pub fn avg_group_len(&self) -> usize {
+        let keys = self.map.len().max(1);
+        self.total_rows().div_ceil(keys).max(1)
+    }
+
+    /// Vectorised probe: look up a whole batch of keys (`n_keys` keys stored
+    /// contiguously in `keys_flat`, each of `keys_flat.len() / n_keys` ids)
+    /// and append every matching `X ∪ Y` row to `out`, recording each probe
+    /// in `stats` exactly as `n_keys` successive [`InternedAccessIndex::probe`]
+    /// calls would — one `fetch_call` per key, one fetched tuple per matching
+    /// row, in batch order.  Returns the number of rows appended.
+    pub fn probe_batch(
+        &self,
+        keys_flat: &[ValueId],
+        n_keys: usize,
+        out: &mut Vec<ValueId>,
+        stats: &mut FetchStats,
+    ) -> usize {
+        let before = out.len();
+        if n_keys == 0 {
+            return 0;
+        }
+        let key_len = keys_flat.len() / n_keys;
+        debug_assert_eq!(keys_flat.len(), key_len * n_keys);
+        if key_len == 0 {
+            // X = ∅: every "key" is the empty tuple; probe it once per key so
+            // the per-probe accounting matches the scalar path.
+            for _ in 0..n_keys {
+                let rows = self.probe(&[]);
+                stats.record_fetch(rows.len() / self.arity);
+                out.extend_from_slice(rows);
+            }
+        } else {
+            for key in keys_flat.chunks_exact(key_len) {
+                let rows = self.probe(key);
+                stats.record_fetch(rows.len() / self.arity);
+                out.extend_from_slice(rows);
+            }
+        }
+        (out.len() - before) / self.arity
+    }
 }
 
 impl AccessIndex {
@@ -320,6 +370,23 @@ impl IndexedDatabase {
         Ok((rows, index.arity()))
     }
 
+    /// The vectorised form of [`IndexedDatabase::fetch_ids`]: probe the
+    /// constraint index with a whole batch of interned keys and append every
+    /// matching row to `out`, with per-key `FetchStats` accounting identical
+    /// to `n_keys` scalar fetches.  Returns `(rows_appended, arity)`.
+    pub fn fetch_ids_batch(
+        &self,
+        constraint_idx: usize,
+        keys_flat: &[ValueId],
+        n_keys: usize,
+        out: &mut Vec<ValueId>,
+        stats: &mut FetchStats,
+    ) -> Result<(usize, usize)> {
+        let index = self.interned_access_index(constraint_idx)?;
+        let appended = index.probe_batch(keys_flat, n_keys, out, stats);
+        Ok((appended, index.arity()))
+    }
+
     /// The id-native index of the `idx`-th constraint (built lazily; callers
     /// that record their own [`FetchStats`] — e.g. sharded probe loops —
     /// probe it directly).
@@ -453,6 +520,72 @@ mod tests {
             idb.fetch_ids(9, &[], &mut id_stats),
             Err(DataError::NoIndexForConstraint(_))
         ));
+    }
+
+    #[test]
+    fn batch_probe_matches_scalar_probes_to_the_tuple() {
+        let (db, access) = movie_db();
+        let idb = IndexedDatabase::build(db, access).unwrap();
+        let keys: Vec<Vec<ValueId>> = [
+            [Value::str("Universal"), Value::str("2014")],
+            [Value::str("MGM"), Value::str("1950")],
+            [Value::str("WB"), Value::str("2013")],
+        ]
+        .iter()
+        .map(|k| k.iter().map(ValueId::intern).collect())
+        .collect();
+
+        // Scalar reference: one fetch_ids per key, concatenated.
+        let mut scalar_out = Vec::new();
+        let mut scalar_stats = FetchStats::new();
+        for key in &keys {
+            let (rows, _) = idb.fetch_ids(0, key, &mut scalar_stats).unwrap();
+            scalar_out.extend_from_slice(rows);
+        }
+
+        let flat: Vec<ValueId> = keys.iter().flatten().copied().collect();
+        let mut batch_out = Vec::new();
+        let mut batch_stats = FetchStats::new();
+        let (appended, arity) = idb
+            .fetch_ids_batch(0, &flat, keys.len(), &mut batch_out, &mut batch_stats)
+            .unwrap();
+        assert_eq!(arity, 3);
+        assert_eq!(appended * arity, batch_out.len());
+        assert_eq!(batch_out, scalar_out);
+        assert_eq!(batch_stats, scalar_stats);
+        assert_eq!(batch_stats.fetch_calls, 3, "absent keys still count");
+
+        // Empty batch: no rows, no probes.
+        let mut empty_stats = FetchStats::new();
+        let (none, _) = idb
+            .fetch_ids_batch(0, &[], 0, &mut Vec::new(), &mut empty_stats)
+            .unwrap();
+        assert_eq!(none, 0);
+        assert_eq!(empty_stats, FetchStats::new());
+        assert!(idb
+            .fetch_ids_batch(9, &[], 0, &mut Vec::new(), &mut empty_stats)
+            .is_err());
+    }
+
+    #[test]
+    fn batch_probe_with_empty_key_arity() {
+        let schema = DatabaseSchema::with_relations(&[("r01", &["a"])]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert("r01", tuple![0]).unwrap();
+        db.insert("r01", tuple![1]).unwrap();
+        let access = AccessSchema::new(vec![AccessConstraint::new("r01", &[], &["a"], 2).unwrap()]);
+        let idb = IndexedDatabase::build(db, access).unwrap();
+        let mut out = Vec::new();
+        let mut stats = FetchStats::new();
+        let (rows, arity) = idb
+            .fetch_ids_batch(0, &[], 1, &mut out, &mut stats)
+            .unwrap();
+        assert_eq!((rows, arity), (2, 1));
+        assert_eq!(stats.fetch_calls, 1);
+        assert_eq!(stats.fetched_tuples, 2);
+        let interned = idb.interned_access_index(0).unwrap();
+        assert_eq!(interned.total_rows(), 2);
+        assert_eq!(interned.avg_group_len(), 2);
     }
 
     #[test]

@@ -88,6 +88,13 @@ impl InternedSnapshot {
         &self.stats
     }
 
+    /// The flat id data of rows `range.start .. range.end` — the batch view
+    /// vectorised kernels scan (`(range.end - range.start) * arity()` ids,
+    /// no per-row indirection).
+    pub fn batch(&self, range: std::ops::Range<usize>) -> &[ValueId] {
+        &self.data[range.start * self.arity..range.end * self.arity]
+    }
+
     /// Split the snapshot into at most `shards` contiguous, near-equal row
     /// ranges — [`shard_ranges`] packaged as borrowing views for data-layer
     /// consumers (the snapshot is `Send + Sync`, so shards can be handed to
@@ -141,6 +148,15 @@ impl<'a> SnapshotShard<'a> {
     pub fn data(&self) -> &'a [ValueId] {
         let arity = self.snapshot.arity;
         &self.snapshot.data[self.start as usize * arity..self.end as usize * arity]
+    }
+
+    /// The shard's rows in fixed-size batches of at most `batch_rows` rows,
+    /// each a flat row-major slice — the unit vectorised kernels consume.
+    /// Concatenating the batches in order reproduces [`SnapshotShard::data`],
+    /// so batch-at-a-time evaluation preserves the deterministic row order.
+    pub fn batches(&self, batch_rows: usize) -> impl Iterator<Item = &'a [ValueId]> + '_ {
+        let arity = self.snapshot.arity.max(1);
+        self.data().chunks(batch_rows.max(1) * arity)
     }
 }
 
@@ -335,6 +351,23 @@ mod tests {
         assert_eq!(rows, snap.len());
         // More shards than rows: one shard per row.
         assert_eq!(snap.shards(16).len(), 3);
+    }
+
+    #[test]
+    fn batch_views_tile_the_snapshot() {
+        let r = rating();
+        let snap = snapshot_of(&r);
+        assert_eq!(snap.batch(0..3), snap.id_rows());
+        assert_eq!(snap.batch(1..2), snap.row(1));
+        assert!(snap.batch(2..2).is_empty());
+        // Shard batches of 2 rows: concatenation reproduces the shard data.
+        let shards = snap.shards(1);
+        let batches: Vec<_> = shards[0].batches(2).collect();
+        assert_eq!(batches.len(), 2, "3 rows in batches of 2");
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 2);
+        let joined: Vec<_> = batches.concat();
+        assert_eq!(joined, shards[0].data());
     }
 
     #[test]

@@ -177,6 +177,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Default to morsel-parallel execution with the worker count chosen
+    /// per operator from its input cardinalities — shorthand for
+    /// `exec_options(ExecOptions::parallel_auto())`, keeping any
+    /// previously-set [`GuardLimits`].
+    pub fn parallel_auto(mut self) -> Self {
+        let limits = self.options.limits;
+        self.options = ExecOptions::parallel_auto();
+        self.options.limits = limits;
+        self
+    }
+
     /// Set the default runtime [`GuardLimits`] (deadline, intermediate-row
     /// budget, fetch cap) on the engine's default [`ExecOptions`] —
     /// shorthand for `exec_options(options.with_…)`; override per call with

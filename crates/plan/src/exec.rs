@@ -32,37 +32,49 @@
 //! `X`-keys per fetch operator.  `view_tuples` counts the **full cached
 //! extent** once per view leaf, *before* any selection above it: reading the
 //! cache is the I/O, filtering happens afterwards in memory.  Both engines
-//! (this pipeline and [`reference`]) implement exactly these semantics and
+//! (this pipeline and [`mod@reference`]) implement exactly these semantics and
 //! `tests/exec_diff.rs` holds them equal on randomized plans.
+//!
+//! # Vectorised kernels
+//!
+//! The hot operators — selection, view filtering, projection, hash-join
+//! build/probe, fetch probing, dedup — run as batch kernels
+//! (the crate-private `kernel` module, `BATCH_ROWS` = 1024 rows at a time)
+//! with
+//! selection-vector passing: a filter never copies a row until every
+//! condition has voted, probes hash bare `ValueId`s for single-column join
+//! keys, and guard checks/row-budget charges happen once per batch (the
+//! same cadence as the former per-row checkpoint mask, preserving PR 6's
+//! pre-charge semantics and overhead gate).
 //!
 //! # Parallelism
 //!
-//! [`execute_with`] takes [`ExecOptions`]: with `parallel` set, data-parallel
-//! operators (select, project, hash-join probe, fetch probe, product)
-//! partition their input into `shards` contiguous row ranges — via
-//! [`bqr_data::shard_ranges`], the same partitioning that backs
-//! [`bqr_data::InternedSnapshot::shards`] for data-layer consumers — and
-//! evaluate them on scoped threads, merging shard outputs *in shard order*.
-//! Because the ranges are a pure function of `(rows, shards)` and every
-//! operator is deterministic, parallel execution produces bit-identical
-//! tables (and identical `FetchStats`) to serial execution.
+//! [`execute_with`] takes [`ExecOptions`]: with `parallel` set,
+//! data-parallel operators (select, project, hash-join probe, fetch probe,
+//! product) are driven by the morsel scheduler (the crate-private `morsel`
+//! module): worker
+//! threads pull fixed-size morsels of the input from a shared queue and
+//! results merge *in morsel order*.  Because morsel boundaries are a pure
+//! function of `(rows, workers)` and every kernel is order-preserving,
+//! parallel execution produces bit-identical tables (and identical
+//! `FetchStats`) to serial execution.  [`ExecOptions::parallel_auto`]
+//! additionally picks the worker count per operator from its input
+//! cardinalities (see [`ExecOptions::auto_worker_count`]).
 //!
 //! The original tree-walking interpreter (`BTreeSet<Tuple>` at every node)
-//! is retained verbatim as [`reference`]: it is the oracle for the
+//! is retained verbatim as [`mod@reference`]: it is the oracle for the
 //! differential tests and the baseline of the plan benchmarks.
 
-use crate::error::{ExecError, PlanError};
-use crate::guard::{panic_message, Guard, GuardLimits};
+use crate::error::PlanError;
+use crate::guard::{Guard, GuardLimits};
+use crate::kernel;
+use crate::morsel::run_morsels;
 use crate::node::{PlanNode, QueryPlan, SelectCondition};
 use crate::Result;
-use bqr_data::{
-    shard_ranges, snapshot_of, FetchStats, IndexedDatabase, InternedSnapshot, Tuple, Value, ValueId,
-};
+use bqr_data::{snapshot_of, FetchStats, IndexedDatabase, InternedSnapshot, Tuple, Value, ValueId};
 use bqr_query::MaterializedViews;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::ops::Range;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -94,6 +106,12 @@ pub struct ExecOptions {
     /// below [`ExecOptions::PARALLEL_MIN_ROWS`] rows stay serial — thread
     /// startup would dominate.  Output is bit-identical to serial execution.
     pub parallel: bool,
+    /// With `parallel`, ignore `shards` and pick the morsel worker count per
+    /// operator from its input cardinalities
+    /// ([`ExecOptions::auto_worker_count`] over the operator's work hint,
+    /// capped at the hardware thread count).  Output is bit-identical for
+    /// every worker count, so auto-selection never changes answers.
+    pub auto: bool,
     /// Runtime guardrails (deadline, intermediate-row budget, fetch cap).
     /// All disabled by default; see [`crate::guard`] for semantics.
     pub limits: GuardLimits,
@@ -104,6 +122,7 @@ impl Default for ExecOptions {
         ExecOptions {
             shards: 1,
             parallel: false,
+            auto: false,
             limits: GuardLimits::none(),
         }
     }
@@ -119,12 +138,56 @@ impl ExecOptions {
         ExecOptions::default()
     }
 
-    /// Parallel execution over `shards` row ranges.
+    /// Parallel execution over `shards` morsel-pulling workers.
     pub fn parallel(shards: usize) -> Self {
         ExecOptions {
             shards: shards.max(1),
             parallel: true,
+            auto: false,
             limits: GuardLimits::none(),
+        }
+    }
+
+    /// Parallel execution with an automatically chosen worker count: each
+    /// data-parallel operator sizes its worker pool from its own input
+    /// cardinalities (row counts, index group statistics) via
+    /// [`ExecOptions::auto_worker_count`], so small inputs stay serial and
+    /// large ones scale up to the hardware thread count without the caller
+    /// guessing a shard number.
+    pub fn parallel_auto() -> Self {
+        ExecOptions {
+            shards: 1,
+            parallel: true,
+            auto: true,
+            limits: GuardLimits::none(),
+        }
+    }
+
+    /// The cost heuristic behind [`ExecOptions::parallel_auto`], as a pure
+    /// function so its choices are deterministic and unit-testable: one
+    /// worker per [`ExecOptions::PARALLEL_MIN_ROWS`] units of estimated
+    /// work (the cardinality-derived work hint operators already compute —
+    /// input rows for filters/projections, `probe_rows · avg_group` for
+    /// joins, `keys · expected_group` for fetches), clamped to
+    /// `[1, max_workers]`.  A hint below the threshold therefore always
+    /// yields 1 (serial), matching the work-hint gate of fixed shard counts.
+    pub fn auto_worker_count(work_hint: usize, max_workers: usize) -> usize {
+        (work_hint / Self::PARALLEL_MIN_ROWS).clamp(1, max_workers.max(1))
+    }
+
+    /// How many morsel workers an operator with this estimated `work_hint`
+    /// should use under these options: 1 (serial) unless `parallel` is set
+    /// and the hint clears [`ExecOptions::PARALLEL_MIN_ROWS`]; then the
+    /// fixed `shards` count, or the cardinality heuristic capped at the
+    /// hardware thread count when `auto` is set.
+    pub fn workers_for(&self, work_hint: usize) -> usize {
+        if !self.parallel || work_hint < Self::PARALLEL_MIN_ROWS {
+            return 1;
+        }
+        if self.auto {
+            Self::auto_worker_count(work_hint, hardware_workers())
+        } else {
+            self.shards.max(1)
         }
     }
 
@@ -164,6 +227,17 @@ impl ExecOptions {
     }
 }
 
+/// The hardware thread count, resolved once per process (the cap for
+/// [`ExecOptions::parallel_auto`]'s per-operator worker counts).
+fn hardware_workers() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// Execute a plan over `idb` (base data reachable only through constraint
 /// indices) and `views` (cached extents), serially.
 pub fn execute(
@@ -174,7 +248,7 @@ pub fn execute(
     execute_with(plan, idb, views, &ExecOptions::serial())
 }
 
-/// [`execute`] under explicit [`ExecOptions`] (e.g. sharded-parallel).
+/// [`execute`] under explicit [`ExecOptions`] (e.g. morsel-parallel).
 pub fn execute_with(
     plan: &QueryPlan,
     idb: &IndexedDatabase,
@@ -190,7 +264,7 @@ pub fn execute_with(
 /// equality against it is always false and inequality always true, exactly
 /// the `Value` semantics.
 #[derive(Debug, Clone)]
-enum IdCond {
+pub(crate) enum IdCond {
     EqConst(usize, ValueId),
     NeConst(usize, ValueId),
     EqCol(usize, usize),
@@ -207,7 +281,7 @@ impl IdCond {
         }
     }
 
-    fn holds(&self, row: &[ValueId]) -> bool {
+    pub(crate) fn holds(&self, row: &[ValueId]) -> bool {
         match self {
             IdCond::EqConst(c, v) => row[*c] == *v,
             IdCond::NeConst(c, v) => row[*c] != *v,
@@ -240,7 +314,7 @@ enum Op {
         snapshot: Arc<InternedSnapshot>,
     },
     /// Selection fused directly over a view extent: filters the interned
-    /// snapshot's rows (range-sharded under a parallel driver) without
+    /// snapshot's rows (morsel-partitioned under a parallel driver) without
     /// materialising the unfiltered scan first.
     ViewFilter {
         name: String,
@@ -638,7 +712,7 @@ fn compile_node(
             // A selection directly over a view leaf fuses into one
             // snapshot-filtering operator: the unfiltered scan is never
             // materialised, and under a parallel driver the filter runs
-            // over the snapshot's range shards.
+            // over the snapshot's morsels.
             if let PlanNode::View { name, arity } = input.as_ref() {
                 let extent = views
                     .extent(name)
@@ -724,116 +798,15 @@ impl IdTable {
     }
 }
 
-/// Split `rows` into shard ranges and run `work` over each — on scoped
-/// threads when the options ask for parallelism and `work_hint` (an
-/// estimate of the operator's total work: at least the row count, more when
-/// the operator is output-heavy like a fanning-out join) is large enough to
-/// amortise thread startup.  Results come back in shard order, so merges
-/// are deterministic.
-///
-/// Failure semantics:
-///
-/// * a shard returning `Err` (a tripped guardrail, usually) aborts the
-///   `guard` so sibling shards stop at their next checkpoint; the merged
-///   result is the first non-[`ExecError::Cancelled`] error in shard order
-///   (so the root cause wins over the sibling-abort echoes);
-/// * a *panicking* shard is contained with `catch_unwind`: siblings are
-///   aborted the same way and the panic surfaces as
-///   [`ExecError::WorkerPanic`] instead of poisoning the process;
-/// * if a worker thread cannot be spawned, its shard runs inline on the
-///   coordinating thread (noted in the guard metrics as a serial fallback)
-///   rather than failing the query.
-fn run_sharded<T, F>(
-    rows: usize,
-    work_hint: usize,
-    options: &ExecOptions,
-    guard: &Guard,
-    work: F,
-) -> Result<Vec<T>>
-where
-    T: Send,
-    F: Fn(Range<usize>) -> Result<T> + Sync,
-{
-    let parallel =
-        options.parallel && options.shards > 1 && work_hint >= ExecOptions::PARALLEL_MIN_ROWS;
-    if !parallel {
-        return Ok(vec![work(0..rows)?]);
+/// Concatenate per-morsel flat outputs in morsel order — the merge step of
+/// the bit-identical-output guarantee.
+fn merge_flat(shards: Vec<Vec<ValueId>>) -> Vec<ValueId> {
+    let total: usize = shards.iter().map(Vec::len).sum();
+    let mut data = Vec::with_capacity(total);
+    for shard in shards {
+        data.extend(shard);
     }
-    let ranges = shard_ranges(rows, options.shards);
-    // One panic-contained, sibling-aborting wrapper shared by the spawned
-    // and inline (spawn-failure fallback) paths.
-    let run = |range: Range<usize>| -> Result<T> {
-        match catch_unwind(AssertUnwindSafe(|| work(range))) {
-            Ok(Ok(v)) => Ok(v),
-            Ok(Err(e)) => {
-                guard.abort();
-                Err(e)
-            }
-            Err(payload) => {
-                guard.abort();
-                guard.note_panic_contained();
-                Err(PlanError::Exec(ExecError::WorkerPanic(panic_message(
-                    payload.as_ref(),
-                ))))
-            }
-        }
-    };
-    let shard_results: Vec<Result<T>> = std::thread::scope(|scope| {
-        let run = &run;
-        let mut results: Vec<Option<Result<T>>> = Vec::new();
-        results.resize_with(ranges.len(), || None);
-        let mut handles = Vec::new();
-        for (shard, &(s, e)) in ranges.iter().enumerate() {
-            let spawned = if bqr_data::faults::check(bqr_data::faults::sites::THREAD_SPAWN).is_ok()
-            {
-                std::thread::Builder::new()
-                    .name(format!("bqr-shard-{shard}"))
-                    .spawn_scoped(scope, move || run(s..e))
-                    .ok()
-            } else {
-                None
-            };
-            match spawned {
-                Some(handle) => handles.push((shard, handle)),
-                None => {
-                    // Degrade, don't fail: the shard runs inline here.
-                    guard.note_serial_fallback();
-                    results[shard] = Some(run(s..e));
-                }
-            }
-        }
-        for (shard, handle) in handles {
-            // `run` contains panics, so join can only fail if the unwind
-            // machinery itself is unavailable; treat that as a panic too.
-            results[shard] = Some(handle.join().unwrap_or_else(|payload| {
-                guard.abort();
-                Err(PlanError::Exec(ExecError::WorkerPanic(panic_message(
-                    payload.as_ref(),
-                ))))
-            }));
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every shard was either spawned or run inline"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(shard_results.len());
-    let mut first_cancelled: Option<PlanError> = None;
-    for result in shard_results {
-        match result {
-            Ok(v) => out.push(v),
-            // Sibling-abort echoes read as Cancelled; keep looking for the
-            // root cause and only report Cancelled when nothing else failed.
-            Err(PlanError::Exec(ExecError::Cancelled)) => {
-                first_cancelled.get_or_insert(PlanError::Exec(ExecError::Cancelled));
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    match first_cancelled {
-        Some(e) => Err(e),
-        None => Ok(out),
-    }
+    data
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -850,41 +823,82 @@ fn eval_fetch(
 ) -> Result<IdTable> {
     // Resolve the index up front: a missing constraint errors before any
     // probing (and before any threads spawn).
-    let index_arity = idb.interned_access_index(constraint_idx)?.arity();
-    debug_assert_eq!(index_arity, arity);
+    let index = idb.interned_access_index(constraint_idx)?;
+    debug_assert_eq!(index.arity(), arity);
     // Global key dedup in first-seen order: each distinct X-value is fetched
     // (and counted) exactly once, matching the interpreter — and making the
-    // accounting independent of sharding.
-    let mut seen: HashSet<Vec<ValueId>> = HashSet::new();
-    let mut keys: Vec<Vec<ValueId>> = Vec::new();
-    for i in 0..input.rows {
-        guard.checkpoint(i)?;
-        let row = input.row(i);
-        let key: Vec<ValueId> = key_cols.iter().map(|&c| row[c]).collect();
-        if seen.insert(key.clone()) {
-            keys.push(key);
+    // accounting independent of morsel boundaries.  Keys are kept flat
+    // (`n_keys · klen` ids) for the batch probes below; single-column keys
+    // dedup through a bare-id set, never hashing a slice.
+    let klen = key_cols.len();
+    let mut keys_flat: Vec<ValueId> = Vec::new();
+    let n_keys = if klen == 0 {
+        // X = ∅: the one key is the empty tuple (when any input row exists).
+        usize::from(input.rows > 0)
+    } else if klen == 1 {
+        let c = key_cols[0];
+        let mut seen: HashSet<ValueId> = HashSet::new();
+        let mut i = 0;
+        while i < input.rows {
+            guard.check()?;
+            let end = (i + kernel::BATCH_ROWS).min(input.rows);
+            while i < end {
+                let k = input.data[i * input.arity + c];
+                if seen.insert(k) {
+                    keys_flat.push(k);
+                }
+                i += 1;
+            }
         }
-    }
-    // Work hint: each key probes once and may return up to the
-    // constraint's bound N tuples, so an output-heavy fetch parallelizes
-    // like an output-heavy join.
-    let work_hint = keys.len().saturating_mul(bound.max(1));
-    let shard_results = run_sharded(keys.len(), work_hint, options, guard, |range| {
+        keys_flat.len()
+    } else {
+        let mut seen: HashSet<Vec<ValueId>> = HashSet::new();
+        let mut key: Vec<ValueId> = Vec::with_capacity(klen);
+        let mut i = 0;
+        while i < input.rows {
+            guard.check()?;
+            let end = (i + kernel::BATCH_ROWS).min(input.rows);
+            while i < end {
+                let row = input.row(i);
+                key.clear();
+                key.extend(key_cols.iter().map(|&c| row[c]));
+                if !seen.contains(&key) {
+                    seen.insert(key.clone());
+                    keys_flat.extend_from_slice(&key);
+                }
+                i += 1;
+            }
+        }
+        keys_flat.len() / klen
+    };
+    // Work hint from the index's own cardinality statistics: each key probes
+    // once and returns the mean group size (never more than the constraint's
+    // bound N), so an output-heavy fetch parallelises like an output-heavy
+    // join while a sparse index no longer over-provisions workers.
+    let expected_group = index.avg_group_len().min(bound.max(1));
+    let work_hint = n_keys.saturating_mul(expected_group);
+    let shard_results = run_morsels(n_keys, work_hint, options, guard, |range| {
         let mut data = Vec::new();
         let mut local = FetchStats::new();
-        for (i, key) in keys[range].iter().enumerate() {
-            guard.checkpoint(i)?;
-            // The id-native fetch path records each probe's |D_ξ| into the
-            // shard-local counters; compile already resolved the constraint,
-            // so the lookup cannot fail here.
-            let (rows, _) = idb
-                .fetch_ids(constraint_idx, key, &mut local)
-                .expect("fetch constraint was resolved at compile time");
-            data.extend_from_slice(rows);
+        let mut start = range.start;
+        while start < range.end {
+            guard.check()?;
+            let end = (start + kernel::BATCH_ROWS).min(range.end);
+            let before = local.fetched_tuples;
+            // One batch probe per BATCH_ROWS keys: the index extends `data`
+            // directly and records each probe's |D_ξ| into the morsel-local
+            // counters, exactly as the scalar path did per key.
+            index.probe_batch(
+                &keys_flat[start * klen..end * klen],
+                end - start,
+                &mut data,
+                &mut local,
+            );
+            // The runtime re-check of the paper's bound, charged per batch
+            // on the tuples actually pulled out of base data.
+            guard.charge_fetched(local.fetched_tuples - before)?;
+            start = end;
         }
-        // The runtime re-check of the paper's bound: charged per shard on
-        // the tuples this shard actually pulled out of base data.
-        guard.charge_fetched(local.fetched_tuples)?;
         guard.charge_rows(data.len() / arity.max(1))?;
         Ok((data, local))
     })?;
@@ -911,21 +925,25 @@ fn eval_project(
             data: Vec::new(),
         });
     }
-    let shard_results = run_sharded(input.rows, input.rows, options, guard, |range| {
-        guard.charge_rows(range.len())?;
+    let in_arity = input.arity;
+    let shard_results = run_morsels(input.rows, input.rows, options, guard, |range| {
         let mut data = Vec::with_capacity(range.len() * arity);
-        for i in range {
-            guard.checkpoint(i)?;
-            let row = input.row(i);
-            data.extend(cols.iter().map(|&c| row[c]));
+        let mut start = range.start;
+        while start < range.end {
+            guard.check()?;
+            let end = (start + kernel::BATCH_ROWS).min(range.end);
+            guard.charge_rows(end - start)?;
+            kernel::project(
+                &input.data[start * in_arity..end * in_arity],
+                in_arity,
+                cols,
+                &mut data,
+            );
+            start = end;
         }
         Ok(data)
     })?;
-    let mut data = Vec::new();
-    for shard in shard_results {
-        data.extend(shard);
-    }
-    Ok(IdTable::from_data(arity, 0, data))
+    Ok(IdTable::from_data(arity, 0, merge_flat(shard_results)))
 }
 
 fn eval_select(
@@ -940,29 +958,29 @@ fn eval_select(
         guard.charge_rows(input.rows)?;
         return Ok(input.clone());
     }
-    let shard_results = run_sharded(input.rows, input.rows, options, guard, |range| {
+    let arity = input.arity;
+    let shard_results = run_morsels(input.rows, input.rows, options, guard, |range| {
         let mut data = Vec::new();
-        for i in range {
-            guard.checkpoint(i)?;
-            let row = input.row(i);
-            if conds.iter().all(|c| c.holds(row)) {
-                data.extend_from_slice(row);
-            }
+        let mut sel: Vec<u32> = Vec::with_capacity(kernel::BATCH_ROWS);
+        let mut start = range.start;
+        while start < range.end {
+            guard.check()?;
+            let end = (start + kernel::BATCH_ROWS).min(range.end);
+            let batch = &input.data[start * arity..end * arity];
+            kernel::filter(conds, batch, arity, end - start, &mut sel);
+            guard.charge_rows(sel.len())?;
+            kernel::gather(batch, arity, end - start, &sel, &mut data);
+            start = end;
         }
-        guard.charge_rows(data.len() / input.arity)?;
         Ok(data)
     })?;
-    let mut data = Vec::new();
-    for shard in shard_results {
-        data.extend(shard);
-    }
-    Ok(IdTable::from_data(input.arity, 0, data))
+    Ok(IdTable::from_data(arity, 0, merge_flat(shard_results)))
 }
 
 /// Fused σ-over-view: filter the snapshot's rows directly — the same
-/// contiguous row ranges [`bqr_data::InternedSnapshot::shards`] exposes as
-/// [`bqr_data::SnapshotShard`]s to data-layer consumers, threaded here
-/// through the executor's shared [`run_sharded`] driver.  The pinned
+/// contiguous batches [`bqr_data::InternedSnapshot::batch`] exposes (and
+/// [`bqr_data::SnapshotShard::batches`] tiles for data-layer consumers),
+/// threaded here through the executor's shared morsel driver.  The pinned
 /// `FetchStats` semantics hold: the **full** extent counts as read before
 /// filtering.
 fn eval_view_filter(
@@ -983,23 +1001,23 @@ fn eval_view_filter(
             data: Vec::new(),
         });
     }
-    let shard_results = run_sharded(snapshot.len(), snapshot.len(), options, guard, |range| {
+    let arity = snapshot.arity();
+    let shard_results = run_morsels(snapshot.len(), snapshot.len(), options, guard, |range| {
         let mut data = Vec::new();
-        for i in range {
-            guard.checkpoint(i)?;
-            let row = snapshot.row(i as u32);
-            if conds.iter().all(|c| c.holds(row)) {
-                data.extend_from_slice(row);
-            }
+        let mut sel: Vec<u32> = Vec::with_capacity(kernel::BATCH_ROWS);
+        let mut start = range.start;
+        while start < range.end {
+            guard.check()?;
+            let end = (start + kernel::BATCH_ROWS).min(range.end);
+            let batch = snapshot.batch(start..end);
+            kernel::filter(conds, batch, arity, end - start, &mut sel);
+            guard.charge_rows(sel.len())?;
+            kernel::gather(batch, arity, end - start, &sel, &mut data);
+            start = end;
         }
-        guard.charge_rows(data.len() / snapshot.arity())?;
         Ok(data)
     })?;
-    let mut data = Vec::new();
-    for shard in shard_results {
-        data.extend(shard);
-    }
-    Ok(IdTable::from_data(snapshot.arity(), 0, data))
+    Ok(IdTable::from_data(arity, 0, merge_flat(shard_results)))
 }
 
 fn eval_hash_join(
@@ -1022,57 +1040,75 @@ fn eval_hash_join(
     } else {
         (right, left)
     };
-    let mut table: HashMap<Vec<ValueId>, Vec<u32>> = HashMap::new();
-    for i in 0..build.rows {
-        guard.checkpoint(i)?;
-        let row = build.row(i);
-        let key: Vec<ValueId> = pairs
-            .iter()
-            .map(|&(l, r)| row[if build_left { l } else { r }])
-            .collect();
-        table.entry(key).or_default().push(i as u32);
-    }
+    let build_cols: Vec<usize> = pairs
+        .iter()
+        .map(|&(l, r)| if build_left { l } else { r })
+        .collect();
+    let probe_cols: Vec<usize> = pairs
+        .iter()
+        .map(|&(l, r)| if build_left { r } else { l })
+        .collect();
+    let table = kernel::JoinTable::build(&build.data, build.arity, build.rows, &build_cols, guard)?;
+    // Emit one joined row; residual conditions roll back the append.
+    let emit = |data: &mut Vec<ValueId>, b: u32, probe_row: &[ValueId]| {
+        let build_row = build.row(b as usize);
+        let (l_row, r_row) = if build_left {
+            (build_row, probe_row)
+        } else {
+            (probe_row, build_row)
+        };
+        let start = data.len();
+        data.extend_from_slice(l_row);
+        data.extend_from_slice(r_row);
+        if !residual.iter().all(|c| c.holds(&data[start..])) {
+            data.truncate(start);
+        }
+    };
     // Work hint: probing is at least one lookup per probe row, plus the
     // output rows a fanning-out build side produces.
-    let avg_group = (build.rows / table.len().max(1)).max(1);
+    let avg_group = (build.rows / table.groups().max(1)).max(1);
     let work_hint = probe.rows.saturating_mul(avg_group);
-    let shard_results = run_sharded(probe.rows, work_hint, options, guard, |range| {
+    let shard_results = run_morsels(probe.rows, work_hint, options, guard, |range| {
         let mut data = Vec::new();
-        let mut key: Vec<ValueId> = Vec::with_capacity(pairs.len());
-        for i in range {
-            guard.checkpoint(i)?;
-            let probe_row = probe.row(i);
-            key.clear();
-            key.extend(
-                pairs
-                    .iter()
-                    .map(|&(l, r)| probe_row[if build_left { r } else { l }]),
-            );
-            if let Some(matches) = table.get(&key) {
-                for &b in matches {
-                    let build_row = build.row(b as usize);
-                    let (l_row, r_row) = if build_left {
-                        (build_row, probe_row)
-                    } else {
-                        (probe_row, build_row)
-                    };
-                    let start = data.len();
-                    data.extend_from_slice(l_row);
-                    data.extend_from_slice(r_row);
-                    if !residual.iter().all(|c| c.holds(&data[start..])) {
-                        data.truncate(start);
+        let mut start = range.start;
+        while start < range.end {
+            guard.check()?;
+            let end = (start + kernel::BATCH_ROWS).min(range.end);
+            let before = data.len();
+            match &table {
+                kernel::JoinTable::Single(map) => {
+                    // Single-column key: probe the map with a bare id —
+                    // no per-row key vector, the dominant join shape.
+                    let pc = probe_cols[0];
+                    for i in start..end {
+                        let probe_row = probe.row(i);
+                        if let Some(matches) = map.get(&probe_row[pc]) {
+                            for &b in matches {
+                                emit(&mut data, b, probe_row);
+                            }
+                        }
+                    }
+                }
+                kernel::JoinTable::Multi(map) => {
+                    let mut key: Vec<ValueId> = Vec::with_capacity(probe_cols.len());
+                    for i in start..end {
+                        let probe_row = probe.row(i);
+                        key.clear();
+                        key.extend(probe_cols.iter().map(|&c| probe_row[c]));
+                        if let Some(matches) = map.get(&key) {
+                            for &b in matches {
+                                emit(&mut data, b, probe_row);
+                            }
+                        }
                     }
                 }
             }
+            guard.charge_rows((data.len() - before) / out_arity)?;
+            start = end;
         }
-        guard.charge_rows(data.len() / out_arity)?;
         Ok(data)
     })?;
-    let mut data = Vec::new();
-    for shard in shard_results {
-        data.extend(shard);
-    }
-    Ok(IdTable::from_data(out_arity, 0, data))
+    Ok(IdTable::from_data(out_arity, 0, merge_flat(shard_results)))
 }
 
 fn eval_product(
@@ -1094,7 +1130,7 @@ fn eval_product(
             data: Vec::new(),
         });
     }
-    let shard_results = run_sharded(left.rows, out_rows, options, guard, |range| {
+    let shard_results = run_morsels(left.rows, out_rows, options, guard, |range| {
         // Cap the pre-allocation: an astronomically large product under a
         // deadline (but no row budget) must not OOM on `with_capacity`
         // before the first checkpoint fires.
@@ -1116,11 +1152,11 @@ fn eval_product(
         }
         Ok(data)
     })?;
-    let mut data = Vec::new();
-    for shard in shard_results {
-        data.extend(shard);
-    }
-    Ok(IdTable::from_data(out_arity, out_rows, data))
+    Ok(IdTable::from_data(
+        out_arity,
+        out_rows,
+        merge_flat(shard_results),
+    ))
 }
 
 fn eval_union(left: &IdTable, right: &IdTable, guard: &Guard) -> Result<IdTable> {
@@ -1154,7 +1190,7 @@ fn eval_difference(left: &IdTable, right: &IdTable, guard: &Guard) -> Result<IdT
 
 /// Sort + dedup a table's rows (lexicographic on ids).  Intermediate order
 /// is only an engine-internal detail — the root materialisation re-sorts by
-/// `Value` — but it is deterministic, which keeps sharded runs bit-identical.
+/// `Value` — but it is deterministic, which keeps parallel runs bit-identical.
 fn dedup_table(input: &IdTable, guard: &Guard) -> Result<IdTable> {
     guard.check()?;
     if input.arity == 0 {
@@ -1164,14 +1200,8 @@ fn dedup_table(input: &IdTable, guard: &Guard) -> Result<IdTable> {
             data: Vec::new(),
         });
     }
-    let mut rows: Vec<&[ValueId]> = (0..input.rows).map(|i| input.row(i)).collect();
-    rows.sort_unstable();
-    rows.dedup();
-    guard.charge_rows(rows.len())?;
-    let mut data = Vec::with_capacity(rows.len() * input.arity);
-    for row in &rows {
-        data.extend_from_slice(row);
-    }
+    let data = kernel::dedup(input.data.clone(), input.arity);
+    guard.charge_rows(data.len() / input.arity)?;
     Ok(IdTable::from_data(input.arity, 0, data))
 }
 
@@ -1681,8 +1711,35 @@ mod tests {
         assert_eq!(ExecOptions::default(), ExecOptions::serial());
         let p = ExecOptions::parallel(4);
         assert!(p.parallel);
+        assert!(!p.auto);
         assert_eq!(p.shards, 4);
         assert_eq!(ExecOptions::parallel(0).shards, 1, "shards clamp to ≥ 1");
+        let a = ExecOptions::parallel_auto();
+        assert!(a.parallel && a.auto);
+    }
+
+    /// The auto heuristic is a pure function of `(work_hint, max_workers)`:
+    /// one worker per `PARALLEL_MIN_ROWS` of estimated work, clamped to the
+    /// machine.  Deterministic by construction — pinned here so the chosen
+    /// counts never drift silently.
+    #[test]
+    fn auto_worker_count_is_deterministic_in_the_work_hint() {
+        let w = ExecOptions::auto_worker_count;
+        assert_eq!(w(0, 8), 1);
+        assert_eq!(w(4096, 8), 1);
+        assert_eq!(w(8192, 8), 2);
+        assert_eq!(w(3 * 4096 + 1, 8), 3, "floor of work / threshold");
+        assert_eq!(w(1 << 20, 8), 8, "clamped to the machine");
+        assert_eq!(w(1 << 20, 1), 1);
+        assert_eq!(w(usize::MAX, 0), 1, "zero max still yields one worker");
+
+        // Below the threshold no operator parallelises at all, auto or not.
+        let auto = ExecOptions::parallel_auto();
+        assert_eq!(auto.workers_for(100), 1);
+        let fixed = ExecOptions::parallel(4);
+        assert_eq!(fixed.workers_for(100), 1);
+        assert_eq!(fixed.workers_for(1 << 20), 4, "fixed counts stay fixed");
+        assert_eq!(ExecOptions::serial().workers_for(1 << 20), 1);
     }
 
     /// Sharded-parallel execution over an input large enough to cross the
@@ -1713,5 +1770,8 @@ mod tests {
                 execute_with(&plan, &idb, &cache, &ExecOptions::parallel(shards)).unwrap();
             assert_eq!(parallel, serial, "{shards} shards");
         }
+        // Auto worker selection changes only the scheduling, never the answer.
+        let auto = execute_with(&plan, &idb, &cache, &ExecOptions::parallel_auto()).unwrap();
+        assert_eq!(auto, serial, "auto worker count");
     }
 }

@@ -10,10 +10,12 @@
 //!   Fig.-1-style pretty printing and the CQ/UCQ/∃FO+/FO plan classification;
 //! * [`exec`] — executing a plan over an [`IndexedDatabase`] plus
 //!   materialised views, with [`FetchStats`] accounting of `|D_ξ|`: plans are
-//!   compiled to a flat operator [`Pipeline`] over interned ids (hash joins
-//!   for the σ-over-× pattern, id-native fetches, optional sharded-parallel
-//!   evaluation via [`ExecOptions`]); the original tree-walking interpreter
-//!   is retained as [`exec::reference`] for differential testing;
+//!   compiled to a flat operator [`Pipeline`] over interned ids whose hot
+//!   operators run as vectorised batch kernels (selection vectors, batched
+//!   index probes, hash joins for the σ-over-× pattern), optionally spread
+//!   over morsel-driven worker threads via [`ExecOptions`]; the original
+//!   tree-walking interpreter is retained as [`exec::reference`] for
+//!   differential testing;
 //! * [`fingerprint`] — canonical structural [`PlanFingerprint`]s, the plan
 //!   half of the prepared-execution cache key;
 //! * [`prepared`] — the prepared-statement layer: a process-wide
@@ -40,6 +42,8 @@ pub mod error;
 pub mod exec;
 pub mod fingerprint;
 pub mod guard;
+mod kernel;
+mod morsel;
 pub mod node;
 pub mod prepared;
 pub mod to_query;

@@ -1,0 +1,270 @@
+//! Morsel-driven parallel scheduling for data-parallel operators.
+//!
+//! The former driver split an operator's input into exactly `shards`
+//! static ranges behind a barrier: one slow range (skew, a cold cache, a
+//! descheduled worker) idled every other thread.  Here the input is cut
+//! into fixed-size **morsels** (at most [`MORSEL_ROWS`] rows) and worker
+//! threads *pull* the next morsel index from a shared atomic counter —
+//! fast workers simply take more morsels, so the wall clock follows the
+//! total work, not the slowest equal share.
+//!
+//! Determinism is preserved structurally: morsel boundaries are a pure
+//! function of `(rows, workers)`, every operator kernel is
+//! order-preserving within its range, and results are merged **in morsel
+//! order** — so the concatenated output is bit-identical to the serial
+//! run no matter which worker ran which morsel, or in what order they
+//! finished.
+//!
+//! Failure semantics (unchanged from the sharded driver):
+//!
+//! * a morsel returning `Err` aborts the shared guard so sibling workers
+//!   stop at their next per-batch check; the merged result is the first
+//!   non-[`ExecError::Cancelled`] error in morsel order (the root cause
+//!   wins over sibling-abort echoes);
+//! * a panicking morsel is contained with `catch_unwind` and surfaces as
+//!   [`ExecError::WorkerPanic`];
+//! * if a worker thread cannot be spawned
+//!   ([`bqr_data::faults::sites::THREAD_SPAWN`]), the coordinator absorbs
+//!   its share (noted as a serial fallback in the guard metrics);
+//! * a fault at the dispatch site
+//!   ([`bqr_data::faults::sites::MORSEL_DISPATCH`]) degrades the whole
+//!   operator to the serial path — identical answers, no threads.
+
+use crate::error::{ExecError, PlanError};
+use crate::exec::ExecOptions;
+use crate::guard::{panic_message, Guard};
+use crate::Result;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Upper bound on rows per morsel.  A multiple of the kernel batch
+/// ([`crate::kernel::BATCH_ROWS`]), so per-batch guard charges tile morsels
+/// exactly.
+pub(crate) const MORSEL_ROWS: usize = 4096;
+
+/// Cut `rows` into contiguous morsel ranges for `workers` pullers: roughly
+/// four morsels per worker so the queue can absorb skew, capped at
+/// [`MORSEL_ROWS`].  Pure function of `(rows, workers)` — the first half of
+/// the bit-identical-merge guarantee.  `rows == 0` yields one empty range
+/// so callers still run their merge path.
+pub(crate) fn morsel_ranges(rows: usize, workers: usize) -> Vec<Range<usize>> {
+    let size = rows.div_ceil(workers.max(1) * 4).clamp(1, MORSEL_ROWS);
+    let mut out = Vec::with_capacity(rows.div_ceil(size).max(1));
+    let mut start = 0;
+    while start < rows {
+        let end = (start + size).min(rows);
+        out.push(start..end);
+        start = end;
+    }
+    if out.is_empty() {
+        out.push(0..0);
+    }
+    out
+}
+
+/// Run `work` over `0..rows`, in parallel morsels when `options` asks for
+/// parallelism and `work_hint` (the operator's estimated total work: at
+/// least its row count, more for output-heavy joins and fetches) clears
+/// [`ExecOptions::PARALLEL_MIN_ROWS`].  Results return in morsel order.
+pub(crate) fn run_morsels<T, F>(
+    rows: usize,
+    work_hint: usize,
+    options: &ExecOptions,
+    guard: &Guard,
+    work: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Result<T> + Sync,
+{
+    let workers = options.workers_for(work_hint);
+    if workers <= 1 {
+        return Ok(vec![work(0..rows)?]);
+    }
+    // Dispatch failpoint: degrade to serial, never fail the query.
+    if bqr_data::faults::check(bqr_data::faults::sites::MORSEL_DISPATCH).is_err() {
+        guard.note_serial_fallback();
+        return Ok(vec![work(0..rows)?]);
+    }
+    let morsels = morsel_ranges(rows, workers);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T>>>> =
+        (0..morsels.len()).map(|_| Mutex::new(None)).collect();
+    // One panic-contained, sibling-aborting wrapper shared by every worker.
+    let run = |range: Range<usize>| -> Result<T> {
+        match catch_unwind(AssertUnwindSafe(|| work(range))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => {
+                guard.abort();
+                Err(e)
+            }
+            Err(payload) => {
+                guard.abort();
+                guard.note_panic_contained();
+                Err(PlanError::Exec(ExecError::WorkerPanic(panic_message(
+                    payload.as_ref(),
+                ))))
+            }
+        }
+    };
+    // The pull loop every worker (and the coordinator) drains: claim the
+    // next morsel index, run it, park the result in its slot.  A worker
+    // that hits an error stops pulling; siblings drain the rest (tripping
+    // Cancelled at their next guard check, which the merge below folds
+    // away in favour of the root cause).
+    let drain = || loop {
+        let m = next.fetch_add(1, Ordering::Relaxed);
+        let Some(range) = morsels.get(m) else { break };
+        let result = run(range.clone());
+        let failed = result.is_err();
+        *slots[m].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        if failed {
+            break;
+        }
+    };
+    std::thread::scope(|scope| {
+        let drain = &drain;
+        for w in 1..workers {
+            let spawned = if bqr_data::faults::check(bqr_data::faults::sites::THREAD_SPAWN).is_ok()
+            {
+                std::thread::Builder::new()
+                    .name(format!("bqr-morsel-{w}"))
+                    .spawn_scoped(scope, drain)
+                    .is_ok()
+            } else {
+                false
+            };
+            if !spawned {
+                // Degrade, don't fail: the coordinator absorbs this
+                // worker's share of the queue.
+                guard.note_serial_fallback();
+            }
+        }
+        drain();
+    });
+    let mut out = Vec::with_capacity(slots.len());
+    let mut cancelled = false;
+    for slot in slots {
+        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(Ok(v)) => out.push(v),
+            // Sibling-abort echoes read as Cancelled; keep scanning for the
+            // root cause and report Cancelled only when nothing else failed.
+            Some(Err(PlanError::Exec(ExecError::Cancelled))) => cancelled = true,
+            Some(Err(e)) => return Err(e),
+            // Unclaimed after every worker stopped on an error elsewhere.
+            None => cancelled = true,
+        }
+    }
+    if cancelled {
+        return Err(PlanError::Exec(ExecError::Cancelled));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardLimits;
+
+    fn unlimited() -> Guard {
+        Guard::new(&GuardLimits::none())
+    }
+
+    #[test]
+    fn ranges_tile_the_input_exactly() {
+        for rows in [0usize, 1, 7, 100, 4096, 4097, 100_000] {
+            for workers in [1usize, 2, 4, 16] {
+                let ranges = morsel_ranges(rows, workers);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "{rows} rows / {workers} workers");
+                    assert!(r.end >= r.start);
+                    assert!(r.len() <= MORSEL_ROWS);
+                    expect = r.end;
+                }
+                assert_eq!(expect, rows);
+            }
+        }
+        // Zero rows still produce one (empty) morsel for the merge path.
+        assert_eq!(morsel_ranges(0, 4), vec![0..0]);
+        // Enough work for skew absorption: several morsels per worker.
+        assert!(morsel_ranges(100_000, 4).len() >= 16);
+    }
+
+    #[test]
+    fn results_merge_in_morsel_order() {
+        let guard = unlimited();
+        let options = ExecOptions::parallel(4);
+        let rows = 50_000;
+        let out = run_morsels(rows, rows, &options, &guard, |range| {
+            Ok::<_, PlanError>(range.clone())
+        })
+        .unwrap();
+        // Concatenated ranges reproduce 0..rows in order regardless of
+        // which worker ran which morsel.
+        let mut expect = 0;
+        for r in &out {
+            assert_eq!(r.start, expect);
+            expect = r.end;
+        }
+        assert_eq!(expect, rows);
+        assert_eq!(out.len(), morsel_ranges(rows, 4).len());
+    }
+
+    #[test]
+    fn below_threshold_runs_serial_in_one_range() {
+        let guard = unlimited();
+        let options = ExecOptions::parallel(4);
+        let out = run_morsels(100, 100, &options, &guard, |range| {
+            Ok::<_, PlanError>(range.clone())
+        })
+        .unwrap();
+        assert_eq!(out, vec![0..100], "one serial call covers everything");
+    }
+
+    #[test]
+    fn first_real_error_wins_over_cancelled_echoes() {
+        let guard = unlimited();
+        let options = ExecOptions::parallel(2);
+        let rows = 20_000;
+        let err = run_morsels(rows, rows, &options, &guard, |range| {
+            if range.start == 0 {
+                // Sibling morsels see the aborted guard as Cancelled.
+                Err::<(), _>(PlanError::Exec(ExecError::MemoryBudgetExceeded {
+                    budget_rows: 1,
+                }))
+            } else {
+                guard.check()?;
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, PlanError::Exec(ExecError::MemoryBudgetExceeded { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn worker_panics_are_contained() {
+        let metrics = std::sync::Arc::new(crate::guard::GuardMetrics::new());
+        let guard = unlimited().with_metrics(std::sync::Arc::clone(&metrics));
+        let options = ExecOptions::parallel(4);
+        let rows = 20_000;
+        let err = run_morsels(rows, rows, &options, &guard, |range| {
+            if range.start == 0 {
+                panic!("morsel worker exploded");
+            }
+            guard.check()?;
+            Ok::<(), _>(())
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, PlanError::Exec(ExecError::WorkerPanic(msg)) if msg.contains("exploded")),
+            "{err:?}"
+        );
+        assert!(metrics.stats().panics_contained > 0);
+    }
+}

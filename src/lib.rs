@@ -193,6 +193,61 @@
 //! # }
 //! ```
 //!
+//! # Execution
+//!
+//! Prepared statements compile to a flat operator pipeline over interned
+//! ids, and the pipeline's hot operators — selection, view filtering,
+//! projection, hash-join build/probe, fetch probing, dedup — run as
+//! **vectorised batch kernels**: 1024-row batches, with a filter first
+//! voting every condition into a *selection vector* (row indices) and only
+//! then copying the survivors out in one pass.  Guard checks and row-budget
+//! charges happen once per batch, so the guardrails above cost the same as
+//! they did row-at-a-time.
+//!
+//! With [`ExecOptions::parallel`](plan::ExecOptions::parallel) (or
+//! [`parallel_auto`](plan::ExecOptions::parallel_auto), which sizes the
+//! worker pool per operator from its input cardinalities — also an
+//! [`EngineBuilder::parallel_auto`] engine default), data-parallel
+//! operators are **morsel-driven**: worker threads pull fixed-size morsels
+//! of the input from a shared queue, so a slow morsel never idles the
+//! other workers behind a barrier.  Results always merge *in morsel
+//! order*; since morsel boundaries depend only on the row count and worker
+//! count and every kernel preserves input order, a parallel run is
+//! **bit-identical** — answer tuples *and*
+//! [`FetchStats`](data::FetchStats) — to the serial one:
+//!
+//! ```
+//! use bqr::{tuple, Engine};
+//! use bqr::data::{AccessConstraint, AccessSchema, Database, DatabaseSchema};
+//! use bqr::plan::ExecOptions;
+//!
+//! # fn main() -> bqr::Result<()> {
+//! # let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])])
+//! #     .map_err(bqr::Error::Data)?;
+//! # let engine = Engine::builder()
+//! #     .schema(schema.clone())
+//! #     .access(AccessSchema::new(vec![
+//! #         AccessConstraint::new("rating", &["mid"], &["rank"], 64).unwrap(),
+//! #     ]))
+//! #     .bound(8)
+//! #     .build()?;
+//! # let mut db = Database::empty(schema);
+//! # for i in 0..50i64 {
+//! #     db.insert("rating", tuple![42, i]).map_err(bqr::Error::Data)?;
+//! # }
+//! # engine.attach(db)?;
+//! engine.prepare("ranks", "Q(r) :- rating(42, r)")?;
+//! let session = engine.session();
+//! let serial = session.execute_with("ranks", &ExecOptions::serial())?;
+//! for options in [ExecOptions::parallel(4), ExecOptions::parallel_auto()] {
+//!     let parallel = session.execute_with("ranks", &options)?;
+//!     // Bit-identical: same tuples, same |D_ξ| accounting.
+//!     assert_eq!(parallel, serial);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # The layers underneath
 //!
 //! The facade is a thin, allocation-conscious composition of the workspace

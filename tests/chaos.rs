@@ -207,6 +207,60 @@ fn thread_spawn_failures_fall_back_to_serial_with_identical_answers() {
 }
 
 #[test]
+fn morsel_dispatch_faults_degrade_the_operator_to_serial() {
+    let _chaos = chaos_lock();
+    // Same parallel self-join shape as the thread-spawn test, but the fault
+    // fires *before* any worker exists: the whole operator must fall back to
+    // the one-range serial path, with identical answers and a recorded
+    // serial fallback per degraded dispatch.
+    let mut views = movies::views();
+    views
+        .add_cq("VL", parse_cq("VL(p, i) :- like(p, i, 'movie')").unwrap())
+        .unwrap();
+    let setting =
+        bqr::core::RewritingSetting::new(movies::schema(), movies::access_schema(100), views, 100);
+    let engine = Engine::builder()
+        .setting(setting)
+        .annotate_view_bound("VL", 6_000)
+        .build()
+        .unwrap();
+    engine
+        .attach(movies::generate(MovieScale {
+            persons: 2_000,
+            movies: 100,
+            n0: 100,
+            seed: 5,
+        }))
+        .unwrap();
+    engine
+        .prepare("selfjoin", "Q(a, x, y) :- VL(a, x), VL(a, y)")
+        .unwrap();
+
+    let session = engine.session();
+    let serial = session
+        .execute_with("selfjoin", &ExecOptions::serial())
+        .unwrap();
+
+    {
+        let _fp = faults::inject_guard(sites::MORSEL_DISPATCH, FaultKind::Error);
+        let degraded = session
+            .execute_with("selfjoin", &ExecOptions::parallel(4))
+            .unwrap();
+        assert_eq!(degraded, serial, "serial degradation changed the answer");
+        assert!(
+            engine.guard_stats().serial_fallbacks > 0,
+            "{:?}",
+            engine.guard_stats()
+        );
+    }
+    // Fault cleared: the morsel path again agrees bit for bit.
+    let parallel = session
+        .execute_with("selfjoin", &ExecOptions::parallel(4))
+        .unwrap();
+    assert_eq!(parallel, serial);
+}
+
+#[test]
 fn mutate_closure_faults_are_all_or_nothing() {
     let _chaos = chaos_lock();
     let engine = fig1_engine();

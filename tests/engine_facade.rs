@@ -150,7 +150,11 @@ fn engine_agrees_with_the_low_level_stack_on_randomized_settings() {
 
         engine.prepare("q", &query).unwrap();
         let session = engine.session();
-        for options in [ExecOptions::serial(), ExecOptions::parallel(3)] {
+        for options in [
+            ExecOptions::serial(),
+            ExecOptions::parallel(3),
+            ExecOptions::parallel_auto(),
+        ] {
             let expected = bqr::plan::execute_with(&plan, &idb, &views, &options).unwrap();
             let got = session.execute_with("q", &options).unwrap();
             assert_eq!(got, expected, "answers/stats diverged on {query}");
@@ -287,4 +291,49 @@ fn pinned_sessions_never_observe_concurrent_mutations() {
         "the superseded entry was swept"
     );
     assert_eq!(pinned.execute("fan_out").unwrap(), before, "still pinned");
+}
+
+/// `EngineBuilder::parallel_auto` makes auto-sized morsel parallelism the
+/// engine default while keeping any guard limits already set — and the
+/// answers stay identical to a serial engine's.
+#[test]
+fn builder_parallel_auto_sets_the_default_options() {
+    let schema = DatabaseSchema::with_relations(&[("r", &["a", "b"])]).unwrap();
+    let access = AccessSchema::new(vec![AccessConstraint::new("r", &["a"], &["b"], 64).unwrap()]);
+    let build = |auto: bool| {
+        let b = Engine::builder()
+            .schema(schema.clone())
+            .access(access.clone())
+            .bound(8)
+            .guard_limits(bqr::plan::GuardLimits {
+                deadline_ms: Some(60_000),
+                ..Default::default()
+            });
+        let b = if auto { b.parallel_auto() } else { b };
+        b.build().unwrap()
+    };
+    let engine = build(true);
+    let opts = engine.exec_options();
+    assert!(opts.parallel && opts.auto, "{opts:?}");
+    assert_eq!(
+        opts.limits.deadline_ms,
+        Some(60_000),
+        "guard limits survive the switch"
+    );
+
+    let serial = build(false);
+    let mut db = Database::empty(schema.clone());
+    for i in 0..200i64 {
+        db.insert("r", tuple![i % 5, i]).unwrap();
+    }
+    engine.attach(db.clone()).unwrap();
+    serial.attach(db).unwrap();
+    for e in [&engine, &serial] {
+        e.prepare("q", "Q(y) :- r(1, y)").unwrap();
+    }
+    assert_eq!(
+        engine.session().execute("q").unwrap(),
+        serial.session().execute("q").unwrap(),
+        "auto-parallel default changed an answer"
+    );
 }

@@ -1,6 +1,7 @@
 //! Differential tests for the compiled plan-execution pipeline: randomized
-//! plans and instances, executed by the compiled pipeline (serial and
-//! sharded-parallel, i.e. every `ExecOptions` shape) and by the retained
+//! plans and instances, executed by the compiled pipeline (serial,
+//! morsel-parallel at fixed worker counts, and auto-sized — every
+//! `ExecOptions` shape) and by the retained
 //! tree-walking interpreter `exec::reference`, asserting **identical answer
 //! tuples and identical `FetchStats`** — the `|D_ξ|` accounting is part of
 //! the bounded-rewriting contract, not a side channel.
@@ -199,6 +200,7 @@ fn all_options() -> Vec<ExecOptions> {
         ExecOptions::serial(),
         ExecOptions::parallel(2),
         ExecOptions::parallel(4),
+        ExecOptions::parallel_auto(),
     ]
 }
 
@@ -248,7 +250,8 @@ fn compiled_pipeline_matches_reference_on_random_plans() {
 }
 
 /// A deterministic case large enough to cross the parallel threshold, so the
-/// sharded code path itself is exercised (random instances stay below it).
+/// morsel-parallel code path itself is exercised (random instances stay
+/// below it).
 #[test]
 fn sharded_parallel_path_is_exercised_and_identical() {
     let schema = DatabaseSchema::with_relations(&[("e", &["x", "y"])]).unwrap();

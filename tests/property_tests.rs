@@ -9,6 +9,9 @@
 
 use bqr_core::topped::ToppedChecker;
 use bqr_data::{tuple, AccessConstraint, AccessSchema, Database, DatabaseSchema, IndexedDatabase};
+use bqr_plan::builder::Plan;
+use bqr_plan::exec::{execute_with, reference, ExecOptions};
+use bqr_plan::SelectCondition;
 use bqr_query::aequiv::cq_a_contained_in;
 use bqr_query::bounded_output::cq_output;
 use bqr_query::containment::cq_contained_in;
@@ -136,6 +139,142 @@ fn plans_and_result_orderings_are_deterministic_under_a_fixed_seed() {
         let mut sorted = reference_answers.clone();
         sorted.sort();
         assert_eq!(sorted, reference_answers, "results are emitted sorted");
+    }
+}
+
+/// Build a one-view instance whose cached extent is exactly `rows` (with
+/// whatever duplicates the generator produced collapsing in the view).
+fn view_instance(rows: &[(i64, i64)]) -> (IndexedDatabase, bqr_query::MaterializedViews) {
+    let schema = DatabaseSchema::with_relations(&[("e", &["x", "y"])]).unwrap();
+    let mut db = Database::empty(schema);
+    for &(x, y) in rows {
+        db.insert("e", tuple![x, y]).unwrap();
+    }
+    let mut views = ViewSet::empty();
+    views
+        .add_cq(
+            "V",
+            bqr_query::parser::parse_cq("V(x, y) :- e(x, y)").unwrap(),
+        )
+        .unwrap();
+    let cache = views.materialize(&db).unwrap();
+    let idb = IndexedDatabase::build(db, AccessSchema::empty()).unwrap();
+    (idb, cache)
+}
+
+fn cond_pool() -> Vec<Vec<SelectCondition>> {
+    vec![
+        vec![],
+        vec![SelectCondition::ColEqConst(0, bqr_data::Value::int(3))],
+        vec![SelectCondition::ColNeConst(1, bqr_data::Value::int(7))],
+        vec![SelectCondition::ColEqCol(0, 1)],
+        vec![SelectCondition::ColNeCol(0, 1)],
+        // Conjunction: the second condition compacts the selection vector.
+        vec![
+            SelectCondition::ColNeCol(0, 1),
+            SelectCondition::ColNeConst(0, bqr_data::Value::int(0)),
+        ],
+        // Contradiction: an all-fail selection vector in every batch.
+        vec![
+            SelectCondition::ColEqConst(0, bqr_data::Value::int(1)),
+            SelectCondition::ColNeConst(0, bqr_data::Value::int(1)),
+        ],
+    ]
+}
+
+/// An empty extent flows through the whole batch pipeline (one empty morsel,
+/// empty selection vectors, nothing to dedup) identically under every
+/// `ExecOptions` shape.
+#[test]
+fn vectorised_pipeline_handles_empty_extents() {
+    let (idb, cache) = view_instance(&[]);
+    for conds in cond_pool() {
+        let plan = Plan::view("V", 2)
+            .select(conds)
+            .project(vec![1])
+            .build()
+            .unwrap();
+        let expected = reference::execute(&plan, &idb, &cache).unwrap();
+        assert!(expected.tuples.is_empty());
+        for options in [
+            ExecOptions::serial(),
+            ExecOptions::parallel(4),
+            ExecOptions::parallel_auto(),
+        ] {
+            let got = execute_with(&plan, &idb, &cache, &options).unwrap();
+            assert_eq!(got, expected, "{options:?}");
+        }
+    }
+}
+
+/// A one-row intermediate budget trips mid-batch — after the batch that
+/// crossed it, not at the end of the operator — with the same typed error on
+/// the serial and morsel-parallel drivers.
+#[test]
+fn row_budget_trips_mid_batch_on_both_drivers() {
+    let rows: Vec<(i64, i64)> = (0..6_000).map(|i| (i % 13, i)).collect();
+    let (idb, cache) = view_instance(&rows);
+    let plan = Plan::view("V", 2).project(vec![0, 1]).build().unwrap();
+    for options in [
+        ExecOptions::serial().with_row_budget(1),
+        ExecOptions::parallel(4).with_row_budget(1),
+        ExecOptions::parallel_auto().with_row_budget(1),
+    ] {
+        let err = execute_with(&plan, &idb, &cache, &options).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                bqr_plan::PlanError::Exec(bqr_plan::ExecError::MemoryBudgetExceeded {
+                    budget_rows: 1
+                })
+            ),
+            "{options:?}: {err:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized select → project → dedup pipelines: duplicates land all
+    /// over (and straddle) batch and morsel boundaries, selection vectors
+    /// range from all-pass to all-fail, and inputs sometimes cross the
+    /// parallel threshold — every `ExecOptions` shape must agree with the
+    /// tree-walking reference on tuples *and* `FetchStats`.
+    #[test]
+    fn vectorised_kernels_agree_with_reference_on_random_tables(
+        rows in prop::collection::vec((0i64..40, 0i64..40), 0..2_000),
+        dense in 0usize..2,
+        cidx in 0usize..7,
+        keep_col in 0usize..2,
+    ) {
+        // `dense` repeats the generated rows past the parallel threshold, so
+        // morsel-parallel runs see real multi-morsel inputs (and the dedup
+        // at the projection root sees duplicates straddling boundaries).
+        let mut all = rows;
+        if dense == 1 {
+            while !all.is_empty() && all.len() < 5_000 {
+                let chunk: Vec<(i64, i64)> = all.iter().take(1_000).copied().collect();
+                all.extend(chunk);
+            }
+        }
+        let (idb, cache) = view_instance(&all);
+        let plan = Plan::view("V", 2)
+            .select(cond_pool()[cidx].clone())
+            .project(vec![keep_col])
+            .build()
+            .unwrap();
+        let expected = reference::execute(&plan, &idb, &cache).unwrap();
+        for options in [
+            ExecOptions::serial(),
+            ExecOptions::parallel(2),
+            ExecOptions::parallel(4),
+            ExecOptions::parallel_auto(),
+        ] {
+            let got = execute_with(&plan, &idb, &cache, &options).unwrap();
+            prop_assert_eq!(&got.tuples, &expected.tuples, "{:?}", options);
+            prop_assert_eq!(&got.stats, &expected.stats, "{:?}", options);
+        }
     }
 }
 
