@@ -263,6 +263,15 @@ fn plan_executor() {
             );
             std::process::exit(1);
         }
+        if w.name == "cdr_insert_premium_10k" && w.delta_ms > plan_bench::CDR_WRITE_MAX_MS {
+            eprintln!(
+                "REGRESSION: delta-maintained single-tuple insert ({:.3} ms) exceeds the {:.1} ms absolute ceiling on {}",
+                w.delta_ms,
+                plan_bench::CDR_WRITE_MAX_MS,
+                w.name
+            );
+            std::process::exit(1);
+        }
     }
     if guard.ratio() > plan_bench::GUARD_MAX_OVERHEAD {
         eprintln!(

@@ -1147,6 +1147,14 @@ pub mod plan_bench {
     /// exits non-zero.
     pub const WRITE_MIN_SPEEDUP: f64 = 5.0;
 
+    /// Absolute ceiling the harness enforces on the CDR write row
+    /// (`cdr_insert_premium_10k`): one delta-maintained single-tuple insert
+    /// must commit within this many milliseconds.  The relative
+    /// [`WRITE_MIN_SPEEDUP`] gate alone cannot catch a regression that slows
+    /// delta and rebuild alike (e.g. an accidental `O(|D|)` re-interning on
+    /// the write path) — this pins the absolute cost of a write.
+    pub const CDR_WRITE_MAX_MS: f64 = 8.0;
+
     /// Time `inserts` through both maintenance modes and verify the engines
     /// agree bit-identically (database, every view extent, and the served
     /// answers of the prepared statement) once the clocks stop.
@@ -1166,22 +1174,25 @@ pub mod plan_bench {
             engine.execute("w").expect("warm serve");
             engine
         };
-        let delta = build(MaintenanceMode::Delta);
-        let rebuild = build(MaintenanceMode::Rebuild);
-
-        // One untimed warmup mutation on each engine (same tuple), so the
-        // first-write copy-on-write fork and lazy interning are off the
-        // clock for both modes alike.
+        // Build, warm up, and time each engine to completion before touching
+        // the next one: a full-rebuild warmup churns through hundreds of
+        // megabytes, and interleaving it with the other engine's timed
+        // section shows up as a one-off page-fault spike in *that* engine's
+        // first timed mutation.  The warmup mutation (same tuple on both
+        // modes) takes the first-write copy-on-write fork and lazy interning
+        // off the clock.
         let (rel, warm) = &inserts[0];
-        for engine in [&delta, &rebuild] {
+        let timed = &inserts[1..];
+        let mut ms = [0.0f64; 2];
+        let mut engines = Vec::new();
+        for (slot, mode) in [MaintenanceMode::Delta, MaintenanceMode::Rebuild]
+            .into_iter()
+            .enumerate()
+        {
+            let engine = build(mode);
             engine
                 .mutate(|db| db.insert(rel, warm.clone()).map(drop))
                 .expect("warmup insert");
-        }
-
-        let timed = &inserts[1..];
-        let mut ms = [0.0f64; 2];
-        for (slot, engine) in [&delta, &rebuild].into_iter().enumerate() {
             let t = Instant::now();
             for (rel, tuple) in timed {
                 engine
@@ -1189,7 +1200,9 @@ pub mod plan_bench {
                     .expect("timed insert");
             }
             ms[slot] = t.elapsed().as_secs_f64() * 1_000.0 / timed.len() as f64;
+            engines.push(engine);
         }
+        let (delta, rebuild) = (&engines[0], &engines[1]);
 
         // Divergence gate: a fast delta path that drifts from the rebuild
         // baseline must fail the benchmark, not report a win.

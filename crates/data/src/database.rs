@@ -125,12 +125,18 @@ impl Database {
                         log.record(name.clone(), RelationChange::Delta(delta));
                     }
                 }
-                // History lost (wholesale replacement).  Replacing a
-                // relation is already `O(|R|)`, so one content compare is
-                // free — and it keeps a replace-with-equal-contents from
-                // re-stamping the epoch and invalidating downstream caches.
+                // History lost (wholesale replacement).  A content compare
+                // keeps a replace-with-equal-contents from re-stamping the
+                // epoch and invalidating downstream caches — but the O(|R|)
+                // set comparison runs only when cheaper evidence is
+                // inconclusive: shared tuple storage proves equality and a
+                // length mismatch proves inequality, each in O(1).
                 _ => {
-                    if rel == prev_rel {
+                    let same_schema = rel.schema() == prev_rel.schema();
+                    let equal = same_schema
+                        && (rel.shares_storage(prev_rel)
+                            || (rel.len() == prev_rel.len() && rel == prev_rel));
+                    if equal {
                         rel.restore_epoch(prev_epoch);
                     } else {
                         log.record(name.clone(), RelationChange::Unknown);
@@ -329,6 +335,26 @@ mod tests {
         assert!(log.is_unknown("rating"));
         assert!(log.exact("rating").is_none());
         assert!(!log.touches("movie"));
+    }
+
+    #[test]
+    fn wholesale_replacement_with_shared_storage_short_circuits_to_equal() {
+        let previous = movie_db();
+        let mut db = previous.clone();
+        db.begin_delta_tracking();
+        // A replacement that shares tuple storage with the previous
+        // instance but presents a different epoch: the Arc pointer proves
+        // content equality without the O(|R|) set compare.
+        let mut replacement = previous.relation("rating").unwrap().clone();
+        replacement.restore_epoch(u64::MAX);
+        *db.relation_mut("rating").unwrap() = replacement;
+        let log = db.take_delta(&previous);
+        assert!(log.is_empty(), "shared storage proves equality");
+        assert_eq!(
+            db.relation("rating").unwrap().epoch(),
+            previous.relation("rating").unwrap().epoch(),
+            "previous epoch restored"
+        );
     }
 
     #[test]

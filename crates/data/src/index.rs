@@ -12,6 +12,7 @@ use crate::database::Database;
 use crate::delta::{DeltaLog, RelationDelta};
 use crate::error::DataError;
 use crate::intern::ValueId;
+use crate::snapshot::{patched_snapshot_of, snapshot_of, InternedSnapshot};
 use crate::stats::FetchStats;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -26,7 +27,10 @@ pub struct AccessIndex {
     /// Attribute names of the tuples returned by [`AccessIndex::probe`]
     /// (the constraint's `X ∪ Y`, in that order).
     xy_attributes: Vec<String>,
-    map: HashMap<Vec<Value>, Vec<Tuple>>,
+    /// Group storage is `Arc`-shared so [`AccessIndex::with_inserted`] can
+    /// copy the whole index in `O(#groups)` *pointer* clones and fork only
+    /// the groups the delta actually lands in (`Arc::make_mut`).
+    map: HashMap<Vec<Value>, Arc<Vec<Tuple>>>,
     /// The id-native sibling, built lazily on first interned probe.  The
     /// index is immutable after construction, so the lazily built sibling
     /// can never go stale.
@@ -57,7 +61,7 @@ impl InternedAccessIndex {
         for (key, group) in &index.map {
             let key_ids: Vec<ValueId> = key.iter().map(ValueId::intern).collect();
             let first = (rows.len() / arity) as u32;
-            for t in group {
+            for t in group.iter() {
                 for v in t.iter() {
                     rows.push(ValueId::intern(v));
                 }
@@ -155,10 +159,10 @@ impl AccessIndex {
         let xy_pos = rel
             .schema()
             .positions(&xy_attrs.iter().map(String::as_str).collect::<Vec<_>>())?;
-        let mut map: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        let mut map: HashMap<Vec<Value>, Arc<Vec<Tuple>>> = HashMap::new();
         for t in rel.iter() {
             let key: Vec<Value> = x_pos.iter().map(|&p| t[p].clone()).collect();
-            let entry = map.entry(key).or_default();
+            let entry = Arc::make_mut(map.entry(key).or_default());
             let projected = t.project(&xy_pos);
             // Deduplicate: the index returns the *set* D_{R:XY}(X = ā).
             if !entry.contains(&projected) {
@@ -198,19 +202,20 @@ impl AccessIndex {
     /// Retrieve `D_{R:XY}(X = ā)`.  Returns an empty slice for `X`-values not
     /// present in the data.
     pub fn probe(&self, key: &[Value]) -> &[Tuple] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        self.map.get(key).map(|g| g.as_slice()).unwrap_or(&[])
     }
 
     /// The largest group size in the index — useful for verifying that the
     /// cardinality bound holds on the indexed data.
     pub fn max_group_size(&self) -> usize {
-        self.map.values().map(Vec::len).max().unwrap_or(0)
+        self.map.values().map(|g| g.len()).max().unwrap_or(0)
     }
 
     /// A copy of this index with `delta.inserted` patched into the groups —
-    /// `O(#groups + |Δ|)` instead of the `O(|R|)` of a full rebuild.  Only
-    /// valid for insert-only deltas; removals need a rebuild because a group
-    /// entry may be the projection of several source tuples.
+    /// `O(#groups)` `Arc` clones plus `O(|Δ|)` forked-group work, instead of
+    /// the `O(|R|)` of a full rebuild.  Only valid for insert-only deltas;
+    /// removals need a rebuild because a group entry may be the projection
+    /// of several source tuples.
     pub fn with_inserted(&self, delta: &RelationDelta, rel: &crate::Relation) -> Result<Self> {
         debug_assert!(delta.removed.is_empty());
         let x_pos = rel.schema().positions(self.constraint.x())?;
@@ -224,7 +229,9 @@ impl AccessIndex {
         let mut map = self.map.clone();
         for t in &delta.inserted {
             let key: Vec<Value> = x_pos.iter().map(|&p| t[p].clone()).collect();
-            let entry = map.entry(key).or_default();
+            // Fork only the group this insert lands in; every other group
+            // stays shared with the predecessor index.
+            let entry = Arc::make_mut(map.entry(key).or_default());
             let projected = t.project(&xy_pos);
             if !entry.contains(&projected) {
                 entry.push(projected);
@@ -253,6 +260,16 @@ pub struct IndexedDatabase {
     /// Behind `Arc` so successive versions share the indexes of untouched
     /// relations — including their lazily interned id-native siblings.
     indexes: Vec<Arc<AccessIndex>>,
+    /// Strong per-relation anchors into the process-global snapshot
+    /// registry, filled by [`IndexedDatabase::apply_delta`].  The registry
+    /// itself only holds `Weak` references, so without an anchor every
+    /// snapshot dies with the last per-evaluation cache that held it and
+    /// the next mutation re-interns `O(|R|)` values from scratch.  Anchored
+    /// here, an untouched relation's snapshot stays warm across versions
+    /// (the successor carries the same `Arc` forward) and a touched
+    /// relation's snapshot is derived from its anchored predecessor in
+    /// `O(|Δ|)` via [`crate::snapshot::patched_snapshot_of`].
+    snapshots: HashMap<String, Arc<InternedSnapshot>>,
 }
 
 impl IndexedDatabase {
@@ -273,6 +290,10 @@ impl IndexedDatabase {
             db,
             access,
             indexes,
+            // Snapshots are anchored lazily by the first `apply_delta`, so
+            // attach (and the Rebuild maintenance mode) pays no interning
+            // cost for relations nothing ever snapshots.
+            snapshots: HashMap::new(),
         })
     }
 
@@ -282,6 +303,13 @@ impl IndexedDatabase {
     /// interned sibling) by `Arc`; insert-only exact deltas are patched in
     /// `O(#groups + |Δ|)`; deltas with removals or unknown changes rebuild
     /// just that relation's index.
+    ///
+    /// Interned snapshots follow the same discipline: every relation's
+    /// snapshot is anchored on the successor, carried forward by `Arc` when
+    /// untouched, patched from the anchored predecessor in `O(|Δ|)` for
+    /// exact deltas ([`patched_snapshot_of`]), and re-interned from scratch
+    /// only for unknown (wholesale-replacement) changes or on the first
+    /// delta application after an attach.
     pub fn apply_delta(&self, db: Database, delta: &DeltaLog) -> Result<Self> {
         crate::faults::check(crate::faults::sites::INDEX_BUILD)?;
         let indexes = self
@@ -301,11 +329,43 @@ impl IndexedDatabase {
                 }
             })
             .collect::<Result<Vec<_>>>()?;
+        let mut snapshots = HashMap::with_capacity(self.snapshots.len().max(1));
+        for rel in db.relations() {
+            let name = rel.name();
+            // An anchor is only usable if it really is the predecessor's
+            // snapshot; epochs are globally unique, so comparing against the
+            // predecessor relation's epoch proves it.
+            let anchored = self.snapshots.get(name).filter(|prev| {
+                self.db
+                    .relation(name)
+                    .is_some_and(|r| r.epoch() == prev.epoch())
+            });
+            let snap = if !delta.touches(name) {
+                match anchored {
+                    // Untouched relation, warm anchor: same epoch, same Arc.
+                    Some(prev) => Arc::clone(prev),
+                    None => snapshot_of(rel),
+                }
+            } else {
+                match (delta.exact(name), anchored) {
+                    (Some(d), Some(prev)) => patched_snapshot_of(rel, prev, d),
+                    _ => snapshot_of(rel),
+                }
+            };
+            snapshots.insert(name.to_string(), snap);
+        }
         Ok(IndexedDatabase {
             db,
             access: self.access.clone(),
             indexes,
+            snapshots,
         })
+    }
+
+    /// The anchored snapshot of `relation`, if this version holds one (only
+    /// versions produced by [`IndexedDatabase::apply_delta`] do).
+    pub fn snapshot(&self, relation: &str) -> Option<&Arc<InternedSnapshot>> {
+        self.snapshots.get(relation)
     }
 
     /// True when the `idx`-th constraint's index is the same shared object
@@ -672,6 +732,52 @@ mod tests {
             after.fetch(1, &[Value::int(4)], &mut stats).unwrap().len(),
             1
         );
+    }
+
+    #[test]
+    fn apply_delta_anchors_and_patches_snapshots() {
+        let (db, access) = movie_db();
+        let idb = IndexedDatabase::build(db.clone(), access).unwrap();
+        assert!(idb.snapshot("rating").is_none(), "build anchors lazily");
+
+        // First delta application anchors every relation's snapshot.
+        let mut v1 = db.clone();
+        v1.begin_delta_tracking();
+        v1.insert("rating", tuple![4, 2]).unwrap();
+        let log = v1.take_delta(&db);
+        let idb1 = idb.apply_delta(v1.clone(), &log).unwrap();
+        for name in ["movie", "rating"] {
+            let snap = idb1.snapshot(name).expect("anchored");
+            let rel = v1.relation(name).unwrap();
+            assert_eq!(snap.epoch(), rel.epoch());
+            assert_eq!(snap.len(), rel.len());
+        }
+
+        // Second application: the untouched relation carries the same Arc
+        // forward, the touched one is patched to its new epoch and shared
+        // with the registry.
+        let mut v2 = v1.clone();
+        v2.begin_delta_tracking();
+        v2.insert("rating", tuple![5, 1]).unwrap();
+        v2.remove("rating", &tuple![1, 5]).unwrap();
+        let log = v2.take_delta(&v1);
+        let idb2 = idb1.apply_delta(v2.clone(), &log).unwrap();
+        assert!(Arc::ptr_eq(
+            idb2.snapshot("movie").unwrap(),
+            idb1.snapshot("movie").unwrap()
+        ));
+        let patched = idb2.snapshot("rating").unwrap();
+        assert_eq!(patched.epoch(), v2.relation("rating").unwrap().epoch());
+        assert_eq!(patched.len(), 4);
+        let shared = crate::snapshot::snapshot_of(v2.relation("rating").unwrap());
+        assert!(Arc::ptr_eq(patched, &shared), "registry serves the patch");
+        // Patched statistics are exact even under the removal.
+        let rebuilt_stats = crate::stats::RelationStats::of_rows(
+            patched.len(),
+            patched.arity(),
+            shared.id_rows(),
+        );
+        assert_eq!(patched.stats(), &rebuilt_stats);
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub use intern::ValueId;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
 pub use snapshot::{
-    live_snapshot_epochs, shard_ranges, snapshot_of, InternedSnapshot, SnapshotShard,
+    live_snapshot_epochs, patched_snapshot_of, shard_ranges, snapshot_of, InternedSnapshot,
+    SnapshotShard,
 };
 pub use stats::{FetchStats, RelationStats};
 pub use tuple::Tuple;

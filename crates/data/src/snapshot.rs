@@ -13,15 +13,27 @@
 //! on the epoch discipline of [`crate::Relation`] for invalidation: a mutated
 //! relation presents a fresh epoch, its old snapshot entry simply goes stale
 //! and is swept out once the last cache drops its `Arc`.
+//!
+//! Successive epochs of the same relation need not rebuild from scratch:
+//! given the predecessor snapshot and the exact [`RelationDelta`] of the
+//! mutation, [`patched_snapshot_of`] derives the successor in `O(|Δ|)` by
+//! patching the flat row array and the occurrence-count statistics in place
+//! — the write-path counterpart of `AccessIndex::with_inserted`.
 
+use crate::delta::RelationDelta;
 use crate::intern::ValueId;
 use crate::relation::Relation;
 use crate::stats::RelationStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
-/// An immutable, interned copy of one relation epoch.  Rows appear in the
-/// relation's sorted iteration order, so row indexes are deterministic.
+/// An immutable, interned copy of one relation epoch.  Rows appear in
+/// deterministic *first-seen* order: a from-scratch build interns in the
+/// relation's sorted iteration order, and a delta-patched successor (see
+/// [`InternedSnapshot::apply_delta`]) keeps its predecessor's order minus
+/// the removed rows, with insertions appended.  Consumers may rely on the
+/// order being deterministic per epoch, not on it being sorted — answer
+/// sets are re-sorted at plan boundaries.
 #[derive(Debug)]
 pub struct InternedSnapshot {
     epoch: u64,
@@ -30,6 +42,13 @@ pub struct InternedSnapshot {
     /// Row-major: row `i` occupies `data[i*arity .. (i+1)*arity]`.
     data: Vec<ValueId>,
     stats: RelationStats,
+    /// Exact per-position occurrence counts: `counts[p][id]` is the number
+    /// of rows holding `id` at position `p`, so `counts[p].len()` is the
+    /// distinct count reported by `stats`.  Carrying the full multiset
+    /// (rather than just the distinct totals) is what lets
+    /// [`InternedSnapshot::apply_delta`] keep the statistics exact under
+    /// removals without re-scanning the surviving rows.
+    counts: Vec<HashMap<ValueId, u32>>,
 }
 
 impl InternedSnapshot {
@@ -41,14 +60,108 @@ impl InternedSnapshot {
                 data.push(ValueId::intern(value));
             }
         }
-        let stats = RelationStats::of_rows(relation.len(), arity, &data);
+        Self::from_data(relation.epoch(), arity, relation.len(), data)
+    }
+
+    fn from_data(epoch: u64, arity: usize, rows: usize, data: Vec<ValueId>) -> Self {
+        debug_assert_eq!(data.len(), rows * arity);
+        let mut counts: Vec<HashMap<ValueId, u32>> = vec![HashMap::new(); arity];
+        for (pos, c) in counts.iter_mut().enumerate() {
+            for row in 0..rows {
+                *c.entry(data[row * arity + pos]).or_insert(0) += 1;
+            }
+        }
+        let stats = RelationStats::from_parts(rows, counts.iter().map(HashMap::len).collect());
         InternedSnapshot {
-            epoch: relation.epoch(),
+            epoch,
             arity,
-            rows: relation.len(),
+            rows,
             data,
             stats,
+            counts,
         }
+    }
+
+    /// The successor snapshot for `relation = predecessor + delta`, built by
+    /// patching this snapshot instead of re-interning `|R|` tuples: removed
+    /// rows are filtered out of the flat row array, interned inserted rows
+    /// are appended (in their sorted delta order), and the per-position
+    /// occurrence counts — and through them the [`RelationStats`] distinct
+    /// counts — are adjusted incrementally.  Only the `O(|Δ| · arity)`
+    /// delta values are interned; the surviving rows are copied as ids.
+    ///
+    /// Returns `None` when the inputs do not reconcile (the delta applied
+    /// to this snapshot does not yield exactly `relation`'s cardinality, a
+    /// removed tuple has no matching row, or the relation is nullary) — the
+    /// caller falls back to a from-scratch build with identical contents.
+    pub fn apply_delta(
+        &self,
+        relation: &Relation,
+        delta: &RelationDelta,
+    ) -> Option<InternedSnapshot> {
+        let arity = self.arity;
+        let expected = (self.rows + delta.inserted.len()).checked_sub(delta.removed.len())?;
+        if arity == 0 || relation.schema().arity() != arity || expected != relation.len() {
+            return None;
+        }
+        let rows = relation.len();
+        let mut counts = self.counts.clone();
+        let mut data: Vec<ValueId> = Vec::with_capacity(rows.max(self.rows) * arity);
+        if delta.removed.is_empty() {
+            data.extend_from_slice(&self.data);
+        } else {
+            // Intern the removed tuples once, then filter their rows out
+            // while keeping every survivor in predecessor order.
+            let mut removed: HashSet<Vec<ValueId>> = delta
+                .removed
+                .iter()
+                .filter(|t| t.arity() == arity)
+                .map(|t| t.iter().map(ValueId::intern).collect())
+                .collect();
+            if removed.len() != delta.removed.len() {
+                return None;
+            }
+            for row in self.data.chunks_exact(arity) {
+                if removed.take(row).is_some() {
+                    for (pos, id) in row.iter().enumerate() {
+                        match counts[pos].get_mut(id) {
+                            Some(n) if *n > 1 => *n -= 1,
+                            Some(_) => {
+                                counts[pos].remove(id);
+                            }
+                            None => return None,
+                        }
+                    }
+                } else {
+                    data.extend_from_slice(row);
+                }
+            }
+            if !removed.is_empty() {
+                // A removed tuple had no matching row: the delta does not
+                // describe this snapshot's contents.
+                return None;
+            }
+        }
+        for t in &delta.inserted {
+            if t.arity() != arity {
+                return None;
+            }
+            for (pos, value) in t.iter().enumerate() {
+                let id = ValueId::intern(value);
+                data.push(id);
+                *counts[pos].entry(id).or_insert(0) += 1;
+            }
+        }
+        debug_assert_eq!(data.len(), rows * arity);
+        let stats = RelationStats::from_parts(rows, counts.iter().map(HashMap::len).collect());
+        Some(InternedSnapshot {
+            epoch: relation.epoch(),
+            arity,
+            rows,
+            data,
+            stats,
+            counts,
+        })
     }
 
     /// The epoch this snapshot was taken at.
@@ -199,13 +312,7 @@ const SWEEP_AT: usize = 1024;
 /// copy is discarded in favour of the registered one, which is benign (the
 /// builds are content-identical) and keeps `Arc::ptr_eq` sharing intact.
 pub fn snapshot_of(relation: &Relation) -> Arc<InternedSnapshot> {
-    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(live) = registry
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .get(&relation.epoch())
-        .and_then(Weak::upgrade)
-    {
+    if let Some(live) = lookup(relation.epoch()) {
         return live;
     }
     // Interning is infallible, so this failpoint is panic-only: an injected
@@ -213,17 +320,62 @@ pub fn snapshot_of(relation: &Relation) -> Arc<InternedSnapshot> {
     if let Err(e) = crate::faults::check(crate::faults::sites::SNAPSHOT_INTERN) {
         panic!("{e}");
     }
-    let built = Arc::new(InternedSnapshot::build(relation));
+    register(relation.epoch(), Arc::new(InternedSnapshot::build(relation)))
+}
+
+/// The shared snapshot of `relation`'s current epoch, built by patching
+/// `prev` — the snapshot of the predecessor contents — with the exact
+/// `delta` separating the two versions: `O(|Δ|)` interning instead of the
+/// `O(|R| · arity)` re-intern of a cold [`snapshot_of`].  The patched
+/// snapshot is registered like any other, so lazily interning siblings
+/// (per-maintenance index caches, concurrent sessions) receive the same
+/// `Arc` and the epoch stays content-precise.
+///
+/// Falls back to the from-scratch build — identical contents, identical
+/// statistics — whenever the patch cannot be applied: inconsistent inputs,
+/// or an active [`crate::faults::sites::SNAPSHOT_PATCH`] `Error` fault.
+pub fn patched_snapshot_of(
+    relation: &Relation,
+    prev: &InternedSnapshot,
+    delta: &RelationDelta,
+) -> Arc<InternedSnapshot> {
+    if let Some(live) = lookup(relation.epoch()) {
+        return live;
+    }
+    if crate::faults::check(crate::faults::sites::SNAPSHOT_PATCH).is_err() {
+        return snapshot_of(relation);
+    }
+    match prev.apply_delta(relation, delta) {
+        Some(patched) => register(relation.epoch(), Arc::new(patched)),
+        None => snapshot_of(relation),
+    }
+}
+
+/// The live registered snapshot for `epoch`, if any.
+fn lookup(epoch: u64) -> Option<Arc<InternedSnapshot>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&epoch)
+        .and_then(Weak::upgrade)
+}
+
+/// Register `built` under `epoch` with the standard double-check: a racing
+/// registration wins (keeping `Arc::ptr_eq` sharing intact), and dead
+/// `Weak` entries are swept once the registry crosses [`SWEEP_AT`].
+fn register(epoch: u64, built: Arc<InternedSnapshot>) -> Arc<InternedSnapshot> {
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = registry
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if let Some(live) = map.get(&relation.epoch()).and_then(Weak::upgrade) {
+    if let Some(live) = map.get(&epoch).and_then(Weak::upgrade) {
         return live;
     }
     if map.len() >= SWEEP_AT {
         map.retain(|_, w| w.strong_count() > 0);
     }
-    map.insert(relation.epoch(), Arc::downgrade(&built));
+    map.insert(epoch, Arc::downgrade(&built));
     built
 }
 
@@ -306,6 +458,80 @@ mod tests {
         let again = snapshot_of(&r);
         assert_eq!(again.epoch(), epoch);
         assert_eq!(again.len(), 3);
+    }
+
+    /// Mutate `rel` under delta tracking and return the recorded delta.
+    fn tracked(rel: &mut Relation, f: impl FnOnce(&mut Relation)) -> RelationDelta {
+        rel.begin_delta_tracking();
+        f(rel);
+        rel.end_delta_tracking().unwrap().1
+    }
+
+    #[test]
+    fn patched_snapshot_matches_a_from_scratch_build() {
+        let mut r = rating();
+        let before = snapshot_of(&r);
+        let delta = tracked(&mut r, |r| {
+            r.insert(tuple![9, 4]).unwrap();
+            r.insert(tuple![0, 5]).unwrap();
+            r.remove(&tuple![2, 4]).unwrap();
+        });
+        let patched = before.apply_delta(&r, &delta).unwrap();
+        let rebuilt = InternedSnapshot::build(&r);
+        assert_eq!(patched.epoch(), r.epoch());
+        assert_eq!(patched.len(), rebuilt.len());
+        assert_eq!(patched.stats(), rebuilt.stats(), "exact stats under removals");
+        // Same row *set*; the patched snapshot keeps first-seen order
+        // (predecessor order minus removals, insertions appended).
+        let rows = |s: &InternedSnapshot| -> Vec<Vec<ValueId>> {
+            (0..s.len() as u32).map(|i| s.row(i).to_vec()).collect()
+        };
+        let mut a = rows(&patched);
+        let mut b = rows(&rebuilt);
+        let first: Vec<Value> = patched.row(0).iter().map(|id| id.value()).collect();
+        assert_eq!(first, vec![Value::int(1), Value::int(5)], "survivor order");
+        let last: Vec<Value> = patched
+            .row(patched.len() as u32 - 1)
+            .iter()
+            .map(|id| id.value())
+            .collect();
+        assert_eq!(last, vec![Value::int(9), Value::int(4)], "inserts appended");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inconsistent_deltas_refuse_to_patch() {
+        let r = rating();
+        let snap = snapshot_of(&r);
+        // A removed tuple that never existed cannot be reconciled.
+        let mut bogus = RelationDelta::default();
+        bogus.removed.insert(tuple![77, 1]);
+        bogus.inserted.insert(tuple![78, 1]);
+        assert!(snap.apply_delta(&r, &bogus).is_none());
+        // A delta whose cardinality math does not land on |R| is rejected.
+        let mut short = RelationDelta::default();
+        short.inserted.insert(tuple![77, 1]);
+        assert!(snap.apply_delta(&r, &short).is_none());
+    }
+
+    #[test]
+    fn patched_snapshot_of_registers_and_shares() {
+        let mut r = rating();
+        let before = snapshot_of(&r);
+        let delta = tracked(&mut r, |r| {
+            r.insert(tuple![6, 2]).unwrap();
+        });
+        let patched = patched_snapshot_of(&r, &before, &delta);
+        assert_eq!(patched.epoch(), r.epoch());
+        assert_eq!(patched.len(), 4);
+        // Siblings resolving the same epoch share the patched Arc.
+        let again = snapshot_of(&r);
+        assert!(Arc::ptr_eq(&patched, &again));
+        // A repeat request for the same epoch never re-patches.
+        let fresh = patched_snapshot_of(&r, &before, &RelationDelta::default());
+        assert!(Arc::ptr_eq(&fresh, &patched), "registry hit short-circuits");
     }
 
     #[test]

@@ -42,15 +42,19 @@ impl DataVersion {
         delta: &bqr_data::DeltaLog,
         setting: &RewritingSetting,
     ) -> Result<DataVersion> {
+        // Indexes and snapshots first: `apply_delta` anchors the patched
+        // per-relation snapshots in the process-global registry, so the
+        // residual evaluations inside `maintain` resolve every relation —
+        // touched or not — to a warm snapshot instead of re-interning it.
+        let idb = prev.idb.apply_delta(db, delta)?;
         let views = bqr_query::maintain::maintain(
             &setting.views,
             prev.views(),
             prev.database(),
-            &db,
+            idb.database(),
             delta,
         )
         .map_err(Error::Query)?;
-        let idb = prev.idb.apply_delta(db, delta)?;
         Ok(DataVersion { idb, views })
     }
 

@@ -19,12 +19,21 @@
 //!   alternative derivation over the new instance with a boolean residual
 //!   query capped at one answer, and deleted only when none exists.
 //!
-//! Views whose definitions are not plain CQs, or that read a relation whose
-//! delta was lost ([`bqr_data::RelationChange::Unknown`]), fall back to full
-//! re-materialisation *of that view only* — and even then the previous
-//! extent relation (with its epoch) is reused whenever the recomputed
-//! contents come out identical, so epoch-keyed pipeline caches upstream are
-//! invalidated only by genuine content changes.
+//! UCQ views are maintained one CQ disjunct at a time against the
+//! per-disjunct extents tracked in [`MaterializedViews`]: a disjunct whose
+//! atoms mention no touched relation is carried over as a clone (same
+//! contents, same storage — no evaluation at all), touched disjuncts run
+//! the semi-naive CQ maintenance above, and the union extent is then
+//! patched from the per-disjunct changes — an insert joins the union
+//! outright, a removal leaves it only when no other disjunct still derives
+//! the tuple.
+//!
+//! Views whose definitions are genuinely non-CQ/UCQ (FO), or that read a
+//! relation whose delta was lost ([`bqr_data::RelationChange::Unknown`]),
+//! fall back to full re-materialisation *of that view only* — and even then
+//! the previous extent relation (with its epoch) is reused whenever the
+//! recomputed contents come out identical, so epoch-keyed pipeline caches
+//! upstream are invalidated only by genuine content changes.
 //!
 //! Untouched extents are returned as clones of the previous ones: same
 //! contents, same epoch, shared storage.
@@ -55,51 +64,65 @@ pub fn maintain(
     let mut out = MaterializedViews::empty();
     for (name, def) in views.iter() {
         let touched = def.relation_names().iter().any(|r| delta.touches(r));
-        let extent = match previous.extent(name) {
-            Some(prev) if !touched => prev.clone(),
-            Some(prev) => maintain_one(name, def, prev, old_db, new_db, delta)?,
-            // No previous extent to start from (shouldn't happen through the
-            // engine, which always materialises on attach): evaluate fresh.
-            None => rematerialize(name, def, new_db, None)?,
-        };
-        out.insert(name, extent);
+        let exact = def
+            .relation_names()
+            .iter()
+            .all(|r| !delta.touches(r) || delta.exact(r).is_some());
+        match (def, previous.extent(name)) {
+            // Delta-relevance pre-check, shared by every definition kind:
+            // a view reading only untouched relations keeps its extent
+            // object (and disjunct extents) without any evaluation.
+            (_, Some(prev)) if !touched => match previous.disjuncts(name) {
+                Some(parts) => out.insert_with_disjuncts(name, prev.clone(), parts.to_vec()),
+                None => out.insert(name, prev.clone()),
+            },
+            (ViewDefinition::Cq(cq), Some(prev)) if exact => {
+                out.insert(name, maintain_cq_tracked(cq, prev, old_db, new_db, delta)?.extent);
+            }
+            (ViewDefinition::Ucq(ucq), Some(prev)) if exact => {
+                let (extent, parts) =
+                    maintain_ucq(ucq, prev, previous.disjuncts(name), old_db, new_db, delta)?;
+                out.insert_with_disjuncts(name, extent, parts);
+            }
+            // Lost (wholesale-replacement) delta, or no previous extent to
+            // start from: re-evaluate this one view per disjunct, so exact
+            // deltas can resume per-disjunct maintenance afterwards.
+            (ViewDefinition::Ucq(ucq), prev) => {
+                let (extent, parts) =
+                    rematerialize_ucq(name, ucq, new_db, prev, previous.disjuncts(name))?;
+                out.insert_with_disjuncts(name, extent, parts);
+            }
+            // Genuinely non-CQ FO view, a CQ view over a lost delta, or no
+            // previous extent: re-evaluate from scratch, reusing the
+            // previous extent relation when the contents are unchanged.
+            (_, prev) => out.insert(name, rematerialize(name, def, new_db, prev)?),
+        }
     }
     Ok(out)
 }
 
-/// Maintain a single touched view.
-fn maintain_one(
-    name: &str,
-    def: &ViewDefinition,
-    prev: &Relation,
-    old_db: &Database,
-    new_db: &Database,
-    delta: &DeltaLog,
-) -> Result<Relation> {
-    let exact = def
-        .relation_names()
-        .iter()
-        .all(|r| !delta.touches(r) || delta.exact(r).is_some());
-    match def.as_cq() {
-        Some(cq) if exact => maintain_cq(cq, prev, old_db, new_db, delta),
-        // Non-CQ view or a lost (wholesale-replacement) delta: re-evaluate
-        // this one view from scratch, reusing the previous extent relation
-        // when the contents come out unchanged.
-        _ => rematerialize(name, def, new_db, Some(prev)),
-    }
+/// The outcome of one semi-naive CQ maintenance: the new extent plus the
+/// tuples that genuinely left and joined it — the per-disjunct change feed
+/// UCQ union maintenance consumes.
+struct CqChange {
+    extent: Relation,
+    removed: Vec<Tuple>,
+    inserted: Vec<Tuple>,
 }
 
 /// Exact semi-naive maintenance of one CQ view extent.
-fn maintain_cq(
+fn maintain_cq_tracked(
     cq: &ConjunctiveQuery,
     prev: &Relation,
     old_db: &Database,
     new_db: &Database,
     delta: &DeltaLog,
-) -> Result<Relation> {
+) -> Result<CqChange> {
     // Clones share storage and epoch; a net no-op maintenance returns the
     // extent with its epoch intact.
     let mut extent = prev.clone();
+    let mut removed = Vec::new();
+    let mut inserted = Vec::new();
     let residual = Evaluator::new();
 
     // DRed phase 1+2: over-delete candidates (derivations through a removed
@@ -118,6 +141,7 @@ fn maintain_cq(
     for candidate in &candidates {
         if extent.contains(candidate) && !derivable(&probe, cq, candidate, new_db)? {
             extent.remove(candidate)?;
+            removed.push(candidate.clone());
         }
     }
 
@@ -129,13 +153,109 @@ fn maintain_cq(
             for t in &d.inserted {
                 if let Some(binding) = bind_atom(atom, t) {
                     for answer in residual.eval_cq(&cq.substitute(&binding), new_db, None)? {
-                        extent.insert(answer)?;
+                        if extent.insert(answer.clone())? {
+                            inserted.push(answer);
+                        }
                     }
                 }
             }
         }
     }
-    Ok(extent)
+    Ok(CqChange {
+        extent,
+        removed,
+        inserted,
+    })
+}
+
+/// Exact per-disjunct maintenance of one UCQ view: untouched disjuncts are
+/// carried over without evaluation, touched ones run the semi-naive CQ
+/// maintenance, and the union extent is patched from the disjunct changes —
+/// `O(|ΔV| · #disjuncts)` rather than a re-evaluation of the whole union.
+fn maintain_ucq(
+    ucq: &crate::ucq::UnionQuery,
+    prev: &Relation,
+    prev_disjuncts: Option<&[Relation]>,
+    old_db: &Database,
+    new_db: &Database,
+    delta: &DeltaLog,
+) -> Result<(Relation, Vec<Relation>)> {
+    let disjuncts = ucq.disjuncts();
+    let Some(prev_parts) = prev_disjuncts.filter(|p| p.len() == disjuncts.len()) else {
+        // No per-disjunct state to resume from (extent inserted without
+        // tracking): rebuild it, reusing unchanged relations.
+        return rematerialize_ucq(prev.name(), ucq, new_db, Some(prev), None);
+    };
+    let mut parts = Vec::with_capacity(disjuncts.len());
+    let mut changes: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::new();
+    for (cq, prev_part) in disjuncts.iter().zip(prev_parts) {
+        // Per-disjunct delta-relevance pre-check: a disjunct over untouched
+        // relations keeps its extent (shared storage, no eval).
+        if !cq.relation_names().iter().any(|r| delta.touches(r)) {
+            parts.push(prev_part.clone());
+            continue;
+        }
+        let change = maintain_cq_tracked(cq, prev_part, old_db, new_db, delta)?;
+        parts.push(change.extent);
+        changes.push((change.removed, change.inserted));
+    }
+    // Union maintenance.  Inserts first (a tuple already derived elsewhere
+    // is a no-op), then removals guarded by a cross-disjunct derivability
+    // check — a tuple one disjunct lost survives while any other disjunct
+    // still derives it.  Content-unchanged unions perform no operation at
+    // all, so the previous extent's epoch is preserved.
+    let mut extent = prev.clone();
+    for (_, inserted) in &changes {
+        for t in inserted {
+            extent.insert(t.clone())?;
+        }
+    }
+    for (removed, _) in &changes {
+        for t in removed {
+            if parts.iter().all(|p| !p.contains(t)) {
+                extent.remove(t)?;
+            }
+        }
+    }
+    Ok((extent, parts))
+}
+
+/// Evaluate a UCQ view from scratch, one disjunct at a time, reusing the
+/// previous union extent — and any previous disjunct extents — whose
+/// contents come out unchanged, so their epochs (and shared storage)
+/// survive the rebuild.
+fn rematerialize_ucq(
+    name: &str,
+    ucq: &crate::ucq::UnionQuery,
+    db: &Database,
+    prev: Option<&Relation>,
+    prev_disjuncts: Option<&[Relation]>,
+) -> Result<(Relation, Vec<Relation>)> {
+    let attrs: Vec<String> = (0..ucq.arity()).map(|i| format!("c{i}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let schema = RelationSchema::new(name, &attr_refs)?;
+    let mut parts = Vec::with_capacity(ucq.disjuncts().len());
+    let mut union: BTreeSet<Tuple> = BTreeSet::new();
+    for (i, cq) in ucq.disjuncts().iter().enumerate() {
+        let tuples = crate::eval::eval_cq(cq, db, None)?;
+        union.extend(tuples.iter().cloned());
+        let part = match prev_disjuncts.and_then(|p| p.get(i)) {
+            Some(prev_part)
+                if prev_part.len() == tuples.len() && tuples.iter().all(|t| prev_part.contains(t)) =>
+            {
+                prev_part.clone()
+            }
+            _ => Relation::from_tuples(schema.clone(), tuples)?,
+        };
+        parts.push(part);
+    }
+    let extent = match prev {
+        Some(prev) if prev.len() == union.len() && union.iter().all(|t| prev.contains(t)) => {
+            prev.clone()
+        }
+        _ => Relation::from_tuples(schema, union)?,
+    };
+    Ok((extent, parts))
 }
 
 /// Unify `atom` with the concrete tuple `t`: constants must match, repeated

@@ -148,22 +148,43 @@ impl ViewSet {
             .unwrap_or(QueryLanguage::Cq)
     }
 
-    /// Materialise every view over `db` using the naive evaluator.
+    /// Materialise every view over `db` using the naive evaluator.  UCQ
+    /// views are evaluated one CQ disjunct at a time and the per-disjunct
+    /// extents are kept alongside the union — the starting point the
+    /// semi-naive maintenance in [`crate::maintain`] resumes from, so that a
+    /// later mutation touching only some disjuncts re-derives only those.
     pub fn materialize(&self, db: &Database) -> Result<MaterializedViews> {
-        let mut extents = BTreeMap::new();
+        let mut out = MaterializedViews::empty();
         for (name, def) in &self.views {
-            let tuples: Vec<Tuple> = match def {
-                ViewDefinition::Cq(q) => crate::eval::eval_cq(q, db, None)?,
-                ViewDefinition::Ucq(q) => crate::eval::eval_ucq(q, db, None)?,
-                ViewDefinition::Fo(q) => crate::eval::eval_fo(q, db, None)?,
-            };
             let attrs: Vec<String> = (0..def.arity()).map(|i| format!("c{i}")).collect();
             let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
             let schema = RelationSchema::new(name.clone(), &attr_refs)?;
-            let relation = Relation::from_tuples(schema, tuples)?;
-            extents.insert(name.clone(), relation);
+            match def {
+                ViewDefinition::Ucq(q) => {
+                    let mut parts = Vec::with_capacity(q.disjuncts().len());
+                    let mut union: BTreeSet<Tuple> = BTreeSet::new();
+                    for cq in q.disjuncts() {
+                        let tuples = crate::eval::eval_cq(cq, db, None)?;
+                        union.extend(tuples.iter().cloned());
+                        parts.push(Relation::from_tuples(schema.clone(), tuples)?);
+                    }
+                    out.insert_with_disjuncts(
+                        name.clone(),
+                        Relation::from_tuples(schema, union)?,
+                        parts,
+                    );
+                }
+                _ => {
+                    let tuples: Vec<Tuple> = match def {
+                        ViewDefinition::Cq(q) => crate::eval::eval_cq(q, db, None)?,
+                        ViewDefinition::Ucq(_) => unreachable!("handled above"),
+                        ViewDefinition::Fo(q) => crate::eval::eval_fo(q, db, None)?,
+                    };
+                    out.insert(name.clone(), Relation::from_tuples(schema, tuples)?);
+                }
+            }
         }
-        Ok(MaterializedViews { extents })
+        Ok(out)
     }
 
     /// Unfold every view atom of `cq` by splicing in the (CQ) view
@@ -270,9 +291,18 @@ impl fmt::Display for ViewSet {
 }
 
 /// Materialised view extents for one database instance.
+///
+/// For UCQ views the cache additionally tracks one extent per CQ disjunct
+/// (in definition order): the union extent is what plans read, while the
+/// disjunct extents carry the derivation state semi-naive maintenance needs
+/// to keep a mutation `O(|Δ|)` — an untouched disjunct's extent is shared
+/// by `Arc` into the next version, and a tuple removed from one disjunct
+/// survives in the union as long as another disjunct still derives it.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MaterializedViews {
     extents: BTreeMap<String, Relation>,
+    /// Per-disjunct extents of UCQ views, keyed by view name.
+    disjunct_extents: BTreeMap<String, Vec<Relation>>,
 }
 
 impl MaterializedViews {
@@ -286,7 +316,13 @@ impl MaterializedViews {
         self.extents.get(name)
     }
 
-    /// Total number of cached tuples (`Σ |V(D)|`).
+    /// The per-disjunct extents of a UCQ view, in disjunct order.  `None`
+    /// for non-UCQ views (or extents inserted without disjunct tracking).
+    pub fn disjuncts(&self, name: &str) -> Option<&[Relation]> {
+        self.disjunct_extents.get(name).map(Vec::as_slice)
+    }
+
+    /// Total number of cached tuples (`Σ |V(D)|`, union extents only).
     pub fn total_tuples(&self) -> usize {
         self.extents.values().map(Relation::len).sum()
     }
@@ -297,9 +333,24 @@ impl MaterializedViews {
     }
 
     /// Insert or replace an extent directly (used by tests and by incremental
-    /// maintenance experiments).
+    /// maintenance experiments).  Clears any disjunct tracking under `name`.
     pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
-        self.extents.insert(name.into(), relation);
+        let name = name.into();
+        self.disjunct_extents.remove(&name);
+        self.extents.insert(name, relation);
+    }
+
+    /// Insert or replace a UCQ extent together with its per-disjunct
+    /// extents (whose union must equal `relation`'s contents).
+    pub fn insert_with_disjuncts(
+        &mut self,
+        name: impl Into<String>,
+        relation: Relation,
+        disjuncts: Vec<Relation>,
+    ) {
+        let name = name.into();
+        self.disjunct_extents.insert(name.clone(), disjuncts);
+        self.extents.insert(name, relation);
     }
 }
 

@@ -96,20 +96,45 @@
 //! current instance and publishes the result as a new version — but its
 //! cost is proportional to the *delta*, not the database.  The relation
 //! mutators record the net write set (inserts and removes cancel; a
-//! do-undo closure leaves no trace), and version construction consumes it:
-//! CQ view extents are maintained semi-naively (insertions re-derive only
-//! tuples with a delta-atom binding; deletions over-delete candidates and
-//! re-derive survivors), access indexes of untouched relations are shared
-//! into the new version and insert-only deltas are patched in place, and
-//! relations whose contents did not change keep their epochs — so the
-//! `(plan, options, epochs)`-keyed pipeline cache invalidates only
-//! pipelines that actually read a changed input.  A net no-op mutation
-//! publishes nothing at all: no epoch moves, no cache entry is touched.
-//! Wholesale relation replacement and non-CQ views fall back to per-view
-//! re-materialisation, and [`MaintenanceMode::Rebuild`] restores the
-//! from-scratch behaviour engine-wide (the differential baseline).
-//! Failures anywhere — closure error, closure panic, or a fault inside
-//! maintenance — are all-or-nothing: the serving version never moves.
+//! do-undo closure leaves no trace), and version construction dispatches on
+//! what the delta looks like, per relation and per view:
+//!
+//! * **Exact delta** (the normal case — the closure only called `insert` /
+//!   `remove`): CQ view extents are maintained semi-naively (insertions
+//!   re-derive only tuples with a delta-atom binding; deletions over-delete
+//!   candidates and re-derive survivors), UCQ views are maintained **per
+//!   disjunct** — an untouched disjunct keeps its extent without any
+//!   evaluation, and the union extent is patched from the disjunct changes,
+//!   with a cross-disjunct check so a tuple one disjunct lost survives
+//!   while another still derives it — and each touched relation's interned
+//!   snapshot is **patched in place** from its predecessor
+//!   ([`data::patched_snapshot_of`]): surviving rows keep their slots,
+//!   insertions are appended, and the per-position distinct counts are
+//!   adjusted incrementally, all in `O(|Δ|)`.
+//! * **Insert-only delta**: additionally, the touched relation's access
+//!   index is patched — `O(#groups)` `Arc` clones plus the forked groups
+//!   the insert lands in — instead of rebuilt.
+//! * **Removals**: the access index is rebuilt for that relation (a group
+//!   entry may be the projection of several source tuples), but snapshots
+//!   and view extents still maintain incrementally as above.
+//! * **Wholesale replacement** (the closure *assigned* a relation, losing
+//!   tracking): the delta degrades to "unknown" for that relation —
+//!   affected views re-materialise (reusing the previous extent object when
+//!   the contents come out unchanged), its index and snapshot rebuild.
+//!   Replacing a relation with equal contents is detected cheaply (shared
+//!   storage or equal-length compare) and short-circuits to a no-op.
+//! * **Non-CQ FO views** always re-materialise — only CQ/UCQ definitions
+//!   have a sound semi-naive path.
+//!
+//! Untouched relations share their epochs, indexes, and snapshots into the
+//! new version, so the `(plan, options, epochs)`-keyed pipeline cache
+//! invalidates only pipelines that actually read a changed input.  A net
+//! no-op mutation publishes nothing at all: no epoch moves, no cache entry
+//! is touched.  [`MaintenanceMode::Rebuild`] restores the from-scratch
+//! behaviour engine-wide (the differential baseline: same contents, same
+//! epoch contract, bit-identical answers).  Failures anywhere — closure
+//! error, closure panic, or a fault inside maintenance — are
+//! all-or-nothing: the serving version never moves.
 //!
 //! ```
 //! use bqr::{tuple, Engine};

@@ -468,6 +468,72 @@ fn engine_mutate_fails(
     engine.mutate(|db| mutation(db)).is_err()
 }
 
+/// PR 9: a fault at the snapshot-patch site degrades the write to
+/// from-scratch interning — the mutation still commits, and database
+/// contents, view extents, and served answers stay bit-identical to an
+/// un-faulted twin engine's.  A panic at the site is contained by the
+/// all-or-nothing mutate.  Once the fault clears, patched writes agree
+/// again.
+#[test]
+fn snapshot_patch_faults_degrade_to_from_scratch_interning() {
+    let _chaos = chaos_lock();
+    let faulty = fig1_engine();
+    let clean = fig1_engine();
+
+    let agree = |a: &Engine, b: &Engine| {
+        let a = a.session();
+        let b = b.session();
+        assert_eq!(a.database(), b.database(), "contents diverged");
+        for name in a.views().names() {
+            assert_eq!(a.views().extent(name), b.views().extent(name), "{name}");
+        }
+        assert_eq!(a.execute("fig1").unwrap(), b.execute("fig1").unwrap());
+    };
+
+    // Warm both engines' snapshot anchors so the patch path is live.
+    for engine in [&faulty, &clean] {
+        engine
+            .mutate(|db| db.insert("rating", tuple![800, 1]).map(drop))
+            .unwrap();
+    }
+    agree(&faulty, &clean);
+
+    // Error at the site while only the faulty engine writes: the patch
+    // degrades to a from-scratch intern, the commit still lands.
+    let mutation = |db: &mut Database| {
+        db.insert("rating", tuple![12, 4])?;
+        db.remove("like", &tuple![2, 12, "movie"])?;
+        Ok(())
+    };
+    {
+        let _fp = faults::inject_guard(sites::SNAPSHOT_PATCH, FaultKind::Error);
+        faulty.mutate(mutation).unwrap();
+    }
+    clean.mutate(mutation).unwrap();
+    agree(&faulty, &clean);
+
+    // Panic at the site: contained by the engine, nothing published.
+    let before = faulty.database();
+    let epochs = faulty.session().epochs();
+    faults::inject_times(sites::SNAPSHOT_PATCH, FaultKind::Panic, 1);
+    let err = faulty
+        .mutate(|db| db.insert("rating", tuple![801, 2]))
+        .unwrap_err();
+    assert!(matches!(err, Error::MutationPanicked { .. }), "{err:?}");
+    assert_eq!(faulty.database(), before, "no partial commit");
+    assert_eq!(faulty.session().epochs(), epochs, "epochs did not move");
+
+    // Registry drained: the same write patches normally on both engines
+    // and they still agree bit for bit.
+    assert!(!faults::is_active(sites::SNAPSHOT_PATCH));
+    for engine in [&faulty, &clean] {
+        engine
+            .mutate(|db| db.insert("rating", tuple![801, 2]).map(drop))
+            .unwrap();
+    }
+    agree(&faulty, &clean);
+}
+
 /// PR 7: pinned readers never observe a half-applied delta.  Readers pin
 /// sessions and re-execute while the writer commits real deltas (including
 /// deletions) interleaved with injected maintenance faults; every pinned

@@ -36,6 +36,14 @@ fn views() -> ViewSet {
         parse_ucq("VU(m) :- rating(m, 5); VU(m) :- rating(m, 4)").unwrap(),
     )
     .unwrap();
+    // Overlapping disjuncts over *different* relations: a movie rated 5 that
+    // someone also likes is derivable by both, so deleting one derivation
+    // must leave the union tuple in place (per-disjunct maintenance).
+    v.add_ucq(
+        "VO",
+        parse_ucq("VO(m) :- rating(m, 5); VO(m) :- like(p, m, 'movie')").unwrap(),
+    )
+    .unwrap();
     v
 }
 
@@ -339,4 +347,149 @@ fn served_answers_track_deletions_of_answer_tuples() {
     }
     check_agreement(&delta, &rebuild);
     assert_eq!(delta.execute("qxi").unwrap().tuples, vec![tuple![10]]);
+}
+
+/// A UCQ union tuple derivable by two disjuncts must survive the deletion
+/// of one derivation — and because the union's contents did not change, the
+/// extent must keep its epoch (no spurious cache invalidation).
+#[test]
+fn ucq_tuple_survives_losing_one_of_two_disjunct_derivations() {
+    let delta = engine(MaintenanceMode::Delta);
+    let rebuild = engine(MaintenanceMode::Rebuild);
+    let mut db = Database::empty(movies::schema());
+    db.insert("movie", tuple![10, "Lucy", "Universal", "2014"])
+        .unwrap();
+    db.insert("rating", tuple![10, 5]).unwrap();
+    db.insert("like", tuple![1, 10, "movie"]).unwrap();
+    delta.attach(db.clone()).unwrap();
+    rebuild.attach(db).unwrap();
+    assert!(delta.session().views().extent("VO").unwrap().contains(&tuple![10]));
+
+    // Drop the `like` derivation: VO(10) still holds via rating(10, 5), the
+    // union contents are unchanged, and the extent keeps its epoch.
+    let epoch_before = delta.session().views().extent("VO").unwrap().epoch();
+    for engine in [&delta, &rebuild] {
+        engine
+            .mutate(|db| db.remove("like", &tuple![1, 10, "movie"]).map(drop))
+            .unwrap();
+    }
+    check_agreement(&delta, &rebuild);
+    let vo = delta.session();
+    let vo = vo.views().extent("VO").unwrap();
+    assert!(vo.contains(&tuple![10]));
+    assert_eq!(vo.epoch(), epoch_before, "content-unchanged VO was re-stamped");
+
+    // Drop the last derivation: VO(10) disappears on both engines.
+    for engine in [&delta, &rebuild] {
+        engine
+            .mutate(|db| db.remove("rating", &tuple![10, 5]).map(drop))
+            .unwrap();
+    }
+    check_agreement(&delta, &rebuild);
+    assert!(!delta.session().views().extent("VO").unwrap().contains(&tuple![10]));
+}
+
+/// Differential check of in-place snapshot patching: after every exact-delta
+/// mutation, the registered [`InternedSnapshot`] of every relation must
+/// agree with a from-scratch recomputation — same rows (as a set), same
+/// per-position distinct counts — and keep the *first-seen* row order:
+/// surviving predecessor rows first (in predecessor order), insertions
+/// appended.  Exercises the removal path heavily.
+#[test]
+fn patched_snapshots_match_from_scratch_recomputation() {
+    use bqr::data::{snapshot_of, RelationStats};
+
+    let engine = engine(MaintenanceMode::Delta);
+    for seed in 1000..1060u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = Database::empty(movies::schema());
+        for _ in 0..rng.gen_range(10..30usize) {
+            let rel = RELATIONS[rng.gen_range(0..RELATIONS.len())];
+            db.insert(rel, random_tuple(&mut rng, rel)).unwrap();
+        }
+        engine.attach(db).unwrap();
+        // One warmup write anchors every relation's snapshot in the indexed
+        // database; from here on, exact deltas take the patch path.  The
+        // tuple lies outside `random_tuple`'s domain so the insert can never
+        // be a (publish-eliding) no-op.
+        engine
+            .mutate(|db| db.insert("rating", tuple![999, 1]).map(drop))
+            .unwrap();
+
+        let order_of = |engine: &Engine| -> Vec<(String, Vec<Tuple>)> {
+            let session = engine.session();
+            session
+                .database()
+                .relations()
+                .map(|rel| {
+                    let snap = snapshot_of(rel);
+                    assert_eq!(snap.epoch(), rel.epoch());
+                    let rows: Vec<Tuple> = (0..snap.len() as u32)
+                        .map(|i| Tuple::new(snap.row(i).iter().map(|id| id.value()).collect()))
+                        .collect();
+                    // Contents: the snapshot rows are exactly the relation.
+                    assert_eq!(rows.len(), rel.len());
+                    assert!(rows.iter().all(|t| rel.contains(t)));
+                    // Stats: bit-identical to a from-scratch recomputation
+                    // over the same rows.
+                    assert_eq!(
+                        *snap.stats(),
+                        RelationStats::of_rows(snap.len(), snap.arity(), snap.id_rows()),
+                        "patched stats diverged for `{}`",
+                        rel.name()
+                    );
+                    (rel.name().to_string(), rows)
+                })
+                .collect()
+        };
+
+        let mut before = order_of(&engine);
+        for _ in 0..6 {
+            // Exact-delta script only: random inserts and live-tuple
+            // removals (no wholesale replacement), so every mutation is
+            // patchable.
+            let current = engine.database();
+            let mut script: Vec<(u8, &'static str, Tuple)> = Vec::new();
+            for _ in 0..rng.gen_range(1..4usize) {
+                let rel = RELATIONS[rng.gen_range(0..RELATIONS.len())];
+                if rng.gen_bool(0.5) {
+                    script.push((0, rel, random_tuple(&mut rng, rel)));
+                } else {
+                    script.push((1, rel, present_tuple(&mut rng, &current, rel)));
+                }
+            }
+            engine
+                .mutate(move |db| {
+                    for (op, rel, t) in &script {
+                        match op {
+                            0 => {
+                                db.insert(rel, t.clone())?;
+                            }
+                            _ => {
+                                db.remove(rel, t)?;
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+                .unwrap();
+
+            let after = order_of(&engine);
+            for ((name, prev_rows), (_, new_rows)) in before.iter().zip(&after) {
+                // First-seen order: the new snapshot starts with the
+                // predecessor's surviving rows, in predecessor order.
+                let new_set: std::collections::BTreeSet<&Tuple> = new_rows.iter().collect();
+                let survivors: Vec<&Tuple> =
+                    prev_rows.iter().filter(|t| new_set.contains(t)).collect();
+                assert!(
+                    survivors
+                        .iter()
+                        .zip(new_rows.iter())
+                        .all(|(a, b)| **a == *b),
+                    "surviving rows of `{name}` were reordered by the patch"
+                );
+            }
+            before = after;
+        }
+    }
 }
