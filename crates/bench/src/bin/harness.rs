@@ -19,6 +19,14 @@
 //! than a cold compile+exec there — CI runs it as a regression gate.
 //! `prepared` is an alias for `plan` (the prepared rows are part of the same
 //! report file).
+//!
+//! The `serve` mode runs the closed-loop serving harness over `bqr-server`
+//! (movies read-heavy, CDR read-heavy, CDR mixed read/write — each with N
+//! client threads submitting, waiting, and resubmitting), plus the CDR write
+//! burst (`Engine::mutate_batch` vs serial `mutate`).  It writes
+//! `BENCH_serve.json` (`BENCH_SERVE_JSON` to override) and **exits non-zero**
+//! when p99 exceeds 10× p50 on a warm prepared read-only row, or when the
+//! batched write burst is not ≥ 2× faster than serial single-mutate commits.
 
 use bqr_bench::{checker_with_annotations, compare, plan_for, prepare};
 use bqr_core::bounded_eval::boundedly_evaluable_cq;
@@ -38,6 +46,7 @@ fn main() {
         "e7" => e7_random(),
         "hom" => hom_engine(),
         "plan" | "prepared" => plan_executor(),
+        "serve" => serve_front(),
         "all" => {
             e1_figure1();
             e4_analysis_cost();
@@ -46,9 +55,12 @@ fn main() {
             e7_random();
             hom_engine();
             plan_executor();
+            serve_front();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1|e4|e5|e6|e7|hom|plan|prepared|all");
+            eprintln!(
+                "unknown experiment `{other}`; use e1|e4|e5|e6|e7|hom|plan|prepared|serve|all"
+            );
             std::process::exit(1);
         }
     }
@@ -279,6 +291,83 @@ fn plan_executor() {
             guard.enabled_ms,
             guard.disabled_ms,
             (plan_bench::GUARD_MAX_OVERHEAD - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `serve` — the closed-loop serving harness: three concurrent-client
+/// workloads over `bqr-server` plus the CDR write burst.  Emits
+/// `BENCH_serve.json` and fails (exit 1) when a warm prepared read-only
+/// row's p99 exceeds [`serve_bench::SERVE_P99_MAX_RATIO`]× its p50, or when
+/// the batched write burst is not
+/// [`serve_bench::BATCHED_WRITE_MIN_SPEEDUP`]× faster than serial commits.
+fn serve_front() {
+    use bqr_bench::serve_bench;
+
+    println!(
+        "\n== serve: closed-loop clients over bqr-server; write burst mutate_batch vs serial =="
+    );
+    let (results, burst, json) = serve_bench::report();
+    println!(
+        "{:<22} {:>7} {:>9} {:>7} {:>10} {:>11} {:>8} {:>8} {:>8} {:>9}",
+        "workload",
+        "clients",
+        "requests",
+        "writes",
+        "coalesced",
+        "rps",
+        "p50-us",
+        "p99-us",
+        "max-us",
+        "p99/p50"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>7} {:>9} {:>7} {:>10} {:>11.0} {:>8} {:>8} {:>8} {:>8.1}x",
+            r.name,
+            r.clients,
+            r.requests,
+            r.writes,
+            r.coalesced_reads,
+            r.throughput_rps,
+            r.p50_us,
+            r.p99_us,
+            r.max_us,
+            r.tail_ratio()
+        );
+    }
+    println!(
+        "write burst: {} ops {}  serial {:.2} ms  batched {:.2} ms  speedup {:.1}x",
+        burst.name,
+        burst.ops,
+        burst.serial_ms,
+        burst.batched_ms,
+        burst.speedup()
+    );
+
+    let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+
+    for r in &results {
+        if r.gated && r.tail_ratio() > serve_bench::SERVE_P99_MAX_RATIO {
+            eprintln!(
+                "REGRESSION: p99 latency ({} us) exceeds {}x p50 ({} us) on the warm prepared read workload {}",
+                r.p99_us,
+                serve_bench::SERVE_P99_MAX_RATIO,
+                r.p50_us,
+                r.name
+            );
+            std::process::exit(1);
+        }
+    }
+    if burst.speedup() < serve_bench::BATCHED_WRITE_MIN_SPEEDUP {
+        eprintln!(
+            "REGRESSION: batched write burst ({:.2} ms) is not {}x faster than serial single-mutate commits ({:.2} ms)",
+            burst.batched_ms,
+            serve_bench::BATCHED_WRITE_MIN_SPEEDUP,
+            burst.serial_ms
         );
         std::process::exit(1);
     }

@@ -1,7 +1,7 @@
 //! Database instances: named collections of relation instances over a
 //! database schema.
 
-use crate::delta::{DeltaLog, RelationChange};
+use crate::delta::{DeltaLog, RelationChange, RelationDelta};
 use crate::error::DataError;
 use crate::relation::Relation;
 use crate::schema::DatabaseSchema;
@@ -147,6 +147,86 @@ impl Database {
         log
     }
 
+    /// Capture a cheap, invertible checkpoint of the current tracked write
+    /// state: each relation's epoch plus a copy of its net delta so far —
+    /// `O(|Δ|)` total, never touching tuple storage.  Undo everything
+    /// written after the capture with [`Database::rollback_to`].  Only
+    /// meaningful between [`Database::begin_delta_tracking`] and
+    /// [`Database::take_delta`]; batched mutation uses it to isolate one
+    /// failing closure without cloning relation contents (a full
+    /// [`Database::clone`] checkpoint would keep every tuple `Arc` shared,
+    /// forcing the next write to copy the whole relation).
+    pub fn delta_checkpoint(&self) -> DeltaCheckpoint {
+        DeltaCheckpoint {
+            states: self
+                .relations
+                .iter()
+                .map(|(name, rel)| {
+                    let tracked = rel
+                        .tracking_state()
+                        .map(|(base, delta)| (base, delta.clone()));
+                    (name.clone(), (rel.epoch(), tracked))
+                })
+                .collect(),
+        }
+    }
+
+    /// Undo every write issued since `checkpoint` by applying inverse
+    /// operations, restoring both relation contents and tracking state to
+    /// exactly what [`Database::delta_checkpoint`] captured — `O(|writes
+    /// since the checkpoint|)`.
+    ///
+    /// Fails with [`DataError::RollbackHistoryLost`] if a relation was
+    /// replaced wholesale since the checkpoint (its tracking state lost or
+    /// restarted), in which case the writes cannot be inverted; the database
+    /// is left with all rollbacks up to the offending relation applied, so
+    /// callers must treat the whole instance as unusable on error.
+    pub fn rollback_to(&mut self, checkpoint: &DeltaCheckpoint) -> Result<()> {
+        for (name, rel) in &mut self.relations {
+            let Some((epoch, saved)) = checkpoint.states.get(name) else {
+                return Err(DataError::RollbackHistoryLost(name.clone()));
+            };
+            if rel.epoch() == *epoch {
+                // Epochs are globally unique: an unchanged epoch proves the
+                // relation (contents and tracking) is untouched.
+                continue;
+            }
+            let now = match (rel.tracking_state(), saved) {
+                (Some((base_now, delta)), Some((base_then, _))) if base_now == *base_then => {
+                    delta.clone()
+                }
+                _ => return Err(DataError::RollbackHistoryLost(name.clone())),
+            };
+            let then = &saved.as_ref().expect("matched Some above").1;
+            // The four ways a tuple's net-delta membership can have changed,
+            // each inverted through the ordinary mutators — whose
+            // cancellation arithmetic restores the tracked delta as a side
+            // effect of restoring the contents:
+            //   inserted now, not then → the span inserted a non-base tuple.
+            //   inserted then, not now → the span removed it again.
+            //   removed now, not then  → the span removed a base tuple.
+            //   removed then, not now  → the span re-inserted it.
+            for t in now.inserted.difference(&then.inserted) {
+                rel.remove(t)?;
+            }
+            for t in then.inserted.difference(&now.inserted) {
+                rel.insert(t.clone())?;
+            }
+            for t in now.removed.difference(&then.removed) {
+                rel.insert(t.clone())?;
+            }
+            for t in then.removed.difference(&now.removed) {
+                rel.remove(t)?;
+            }
+            debug_assert_eq!(
+                rel.tracking_state().map(|(_, d)| d),
+                Some(then),
+                "rollback must restore the tracked delta exactly"
+            );
+        }
+        Ok(())
+    }
+
     /// Iterate over relation instances in name order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
         self.relations.values()
@@ -188,6 +268,17 @@ impl Database {
         }
         Ok(())
     }
+}
+
+/// A point-in-time capture of a tracked database's write state, produced by
+/// [`Database::delta_checkpoint`] and consumed by [`Database::rollback_to`].
+/// Holds per-relation epochs and net-delta copies only — `O(|Δ|)`, no tuple
+/// storage — so capturing one never causes a copy-on-write fork.
+#[derive(Debug, Clone)]
+pub struct DeltaCheckpoint {
+    /// Per relation: the epoch at capture, plus the live tracking state
+    /// (`base epoch`, net delta) if tracking was on.
+    states: BTreeMap<String, (u64, Option<(u64, RelationDelta)>)>,
 }
 
 impl fmt::Display for Database {
@@ -284,6 +375,73 @@ mod tests {
         b.insert("rating", tuple![1, 5]).unwrap(); // already in `a`
         a.union_in_place(&b).unwrap();
         assert_eq!(a.relation("rating").unwrap().len(), 3);
+    }
+
+    /// Rollback restores contents AND tracking state through every
+    /// cancellation case: a fresh insert, a removal of a base tuple, the
+    /// re-removal of a pre-checkpoint insert, and the re-insert of a
+    /// pre-checkpoint removal.
+    #[test]
+    fn rollback_to_checkpoint_inverts_the_span_exactly() {
+        let previous = movie_db();
+        let mut db = previous.clone();
+        db.begin_delta_tracking();
+        // Pre-checkpoint span: one insert, one removal of a base tuple.
+        db.insert("rating", tuple![3, 4]).unwrap();
+        db.remove("rating", &tuple![1, 5]).unwrap();
+        let golden = db.clone();
+        let checkpoint = db.delta_checkpoint();
+
+        // Post-checkpoint span, hitting all four inverse cases.
+        db.insert("rating", tuple![4, 2]).unwrap(); // fresh insert
+        db.remove("rating", &tuple![2, 3]).unwrap(); // remove a base tuple
+        db.remove("rating", &tuple![3, 4]).unwrap(); // undo a tracked insert
+        db.insert("rating", tuple![1, 5]).unwrap(); // undo a tracked removal
+        db.insert("movie", tuple![9, "Split", "Universal", "2016"])
+            .unwrap();
+        assert_ne!(db, golden);
+
+        db.rollback_to(&checkpoint).unwrap();
+        assert_eq!(db, golden, "contents restored");
+        // The tracked delta is restored too: take_delta still reports the
+        // pre-checkpoint span exactly, as if the rest never happened.
+        let log = db.take_delta(&previous);
+        let delta = log.exact("rating").expect("rating has an exact delta");
+        assert_eq!(delta.inserted.iter().collect::<Vec<_>>(), [&tuple![3, 4]]);
+        assert_eq!(delta.removed.iter().collect::<Vec<_>>(), [&tuple![1, 5]]);
+        assert!(log.exact("movie").is_none(), "movie rolled back to a no-op");
+    }
+
+    #[test]
+    fn rollback_is_a_noop_when_nothing_changed() {
+        let mut db = movie_db();
+        db.begin_delta_tracking();
+        let epochs: Vec<u64> = db.epochs().map(|(_, e)| e).collect();
+        let checkpoint = db.delta_checkpoint();
+        db.rollback_to(&checkpoint).unwrap();
+        assert_eq!(
+            epochs,
+            db.epochs().map(|(_, e)| e).collect::<Vec<u64>>(),
+            "untouched relations keep their epochs"
+        );
+    }
+
+    #[test]
+    fn rollback_fails_typed_when_write_history_was_lost() {
+        let mut db = movie_db();
+        db.begin_delta_tracking();
+        let checkpoint = db.delta_checkpoint();
+        // Wholesale replacement: tracking state is lost for `rating`.
+        let replacement = Relation::from_tuples(
+            db.relation("rating").unwrap().schema().clone(),
+            [tuple![7, 7]],
+        )
+        .unwrap();
+        *db.relation_mut("rating").unwrap() = replacement;
+        assert!(matches!(
+            db.rollback_to(&checkpoint),
+            Err(DataError::RollbackHistoryLost(rel)) if rel == "rating"
+        ));
     }
 
     #[test]

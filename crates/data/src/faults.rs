@@ -61,6 +61,16 @@ pub mod sites {
     /// `bqr-query`'s semi-naive view maintenance — applying a write delta
     /// to the materialised view extents during `Engine::mutate`.
     pub const VIEW_MAINTAIN: &str = "query.views.maintain";
+    /// `bqr-server`'s admission gate — accepting a request into the serving
+    /// front.  An active fault sheds the request with a typed error before
+    /// any work is queued; nothing is half-admitted.
+    pub const SERVER_ACCEPT: &str = "server.accept";
+    /// `bqr-server`'s batch flusher — draining a coalesced read or write
+    /// batch.  An active `Error` degrades the batch to serialised
+    /// per-request execution (identical answers, no request dropped); a
+    /// `Panic` is contained and every request in the batch gets a typed
+    /// error, never a partial or duplicated answer.
+    pub const BATCH_FLUSH: &str = "server.batch.flush";
 }
 
 /// What an activated fault does at its site.

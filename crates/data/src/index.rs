@@ -27,14 +27,56 @@ pub struct AccessIndex {
     /// Attribute names of the tuples returned by [`AccessIndex::probe`]
     /// (the constraint's `X ∪ Y`, in that order).
     xy_attributes: Vec<String>,
-    /// Group storage is `Arc`-shared so [`AccessIndex::with_inserted`] can
+    /// Group storage is `Arc`-shared so [`AccessIndex::with_delta`] can
     /// copy the whole index in `O(#groups)` *pointer* clones and fork only
     /// the groups the delta actually lands in (`Arc::make_mut`).
-    map: HashMap<Vec<Value>, Arc<Vec<Tuple>>>,
+    map: HashMap<Vec<Value>, Arc<Group>>,
     /// The id-native sibling, built lazily on first interned probe.  The
     /// index is immutable after construction, so the lazily built sibling
     /// can never go stale.
     interned: OnceLock<InternedAccessIndex>,
+}
+
+/// One key's group: the deduplicated `X ∪ Y` projections, plus a source
+/// multiplicity per projection.  The multiplicities are what make removals
+/// patchable: several source tuples can project to the same group entry, so
+/// a removed tuple decrements its entry's count and the entry only leaves
+/// the group when the count reaches zero — no rebuild needed to decide
+/// whether another source tuple still supports it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Group {
+    rows: Vec<Tuple>,
+    /// `sources[i]` = number of source tuples projecting to `rows[i]`.
+    sources: Vec<u32>,
+}
+
+impl Group {
+    /// Record one more source tuple projecting to `row`.
+    fn add_source(&mut self, row: Tuple) {
+        match self.rows.iter().position(|r| *r == row) {
+            Some(i) => self.sources[i] += 1,
+            None => {
+                self.rows.push(row);
+                self.sources.push(1);
+            }
+        }
+    }
+
+    /// Drop one source tuple projecting to `row`; returns `true` when the
+    /// projection lost its last source and was removed from the group.
+    fn remove_source(&mut self, row: &Tuple) -> bool {
+        let Some(i) = self.rows.iter().position(|r| r == row) else {
+            debug_assert!(false, "exact delta removed a tuple the index never saw");
+            return false;
+        };
+        self.sources[i] -= 1;
+        if self.sources[i] == 0 {
+            self.rows.remove(i);
+            self.sources.remove(i);
+            return true;
+        }
+        false
+    }
 }
 
 /// The id-native form of an [`AccessIndex`]: groups are stored contiguously
@@ -61,12 +103,12 @@ impl InternedAccessIndex {
         for (key, group) in &index.map {
             let key_ids: Vec<ValueId> = key.iter().map(ValueId::intern).collect();
             let first = (rows.len() / arity) as u32;
-            for t in group.iter() {
+            for t in &group.rows {
                 for v in t.iter() {
                     rows.push(ValueId::intern(v));
                 }
             }
-            map.insert(key_ids, (first, group.len() as u32));
+            map.insert(key_ids, (first, group.rows.len() as u32));
         }
         InternedAccessIndex { arity, rows, map }
     }
@@ -159,15 +201,13 @@ impl AccessIndex {
         let xy_pos = rel
             .schema()
             .positions(&xy_attrs.iter().map(String::as_str).collect::<Vec<_>>())?;
-        let mut map: HashMap<Vec<Value>, Arc<Vec<Tuple>>> = HashMap::new();
+        let mut map: HashMap<Vec<Value>, Arc<Group>> = HashMap::new();
         for t in rel.iter() {
             let key: Vec<Value> = x_pos.iter().map(|&p| t[p].clone()).collect();
             let entry = Arc::make_mut(map.entry(key).or_default());
-            let projected = t.project(&xy_pos);
-            // Deduplicate: the index returns the *set* D_{R:XY}(X = ā).
-            if !entry.contains(&projected) {
-                entry.push(projected);
-            }
+            // Deduplicate: the index returns the *set* D_{R:XY}(X = ā), but
+            // the per-projection source count is kept so removals can patch.
+            entry.add_source(t.project(&xy_pos));
         }
         Ok(AccessIndex {
             constraint: constraint.clone(),
@@ -202,22 +242,32 @@ impl AccessIndex {
     /// Retrieve `D_{R:XY}(X = ā)`.  Returns an empty slice for `X`-values not
     /// present in the data.
     pub fn probe(&self, key: &[Value]) -> &[Tuple] {
-        self.map.get(key).map(|g| g.as_slice()).unwrap_or(&[])
+        self.map.get(key).map(|g| g.rows.as_slice()).unwrap_or(&[])
+    }
+
+    /// The number of source tuples supporting the group entry `row` under
+    /// `key` (zero when absent) — exposes the multiplicity bookkeeping that
+    /// makes removals patchable, for the differential tests.
+    pub fn source_multiplicity(&self, key: &[Value], row: &Tuple) -> u32 {
+        self.map
+            .get(key)
+            .and_then(|g| g.rows.iter().position(|r| r == row).map(|i| g.sources[i]))
+            .unwrap_or(0)
     }
 
     /// The largest group size in the index — useful for verifying that the
     /// cardinality bound holds on the indexed data.
     pub fn max_group_size(&self) -> usize {
-        self.map.values().map(|g| g.len()).max().unwrap_or(0)
+        self.map.values().map(|g| g.rows.len()).max().unwrap_or(0)
     }
 
-    /// A copy of this index with `delta.inserted` patched into the groups —
-    /// `O(#groups)` `Arc` clones plus `O(|Δ|)` forked-group work, instead of
-    /// the `O(|R|)` of a full rebuild.  Only valid for insert-only deltas;
-    /// removals need a rebuild because a group entry may be the projection
-    /// of several source tuples.
-    pub fn with_inserted(&self, delta: &RelationDelta, rel: &crate::Relation) -> Result<Self> {
-        debug_assert!(delta.removed.is_empty());
+    /// A copy of this index with an exact write delta patched into the
+    /// groups — `O(#groups)` `Arc` clones plus `O(|Δ|)` forked-group work,
+    /// instead of the `O(|R|)` of a full rebuild.  Removals are as cheap as
+    /// inserts: the per-projection source multiplicities decide whether a
+    /// removed tuple's projection is still supported by another source
+    /// tuple, so the last rebuild-on-removal path is gone.
+    pub fn with_delta(&self, delta: &RelationDelta, rel: &crate::Relation) -> Result<Self> {
         let x_pos = rel.schema().positions(self.constraint.x())?;
         let xy_pos = rel.schema().positions(
             &self
@@ -227,15 +277,27 @@ impl AccessIndex {
                 .collect::<Vec<_>>(),
         )?;
         let mut map = self.map.clone();
+        // The net delta's inserted/removed sets are disjoint, so the order
+        // of application is immaterial; either way, only the groups the
+        // delta lands in are forked — every other group stays shared with
+        // the predecessor index.
+        for t in &delta.removed {
+            let key: Vec<Value> = x_pos.iter().map(|&p| t[p].clone()).collect();
+            let Some(group) = map.get_mut(&key) else {
+                debug_assert!(false, "exact delta removed a tuple from an unindexed key");
+                continue;
+            };
+            Arc::make_mut(group).remove_source(&t.project(&xy_pos));
+            if group.rows.is_empty() {
+                // Keys with no surviving projection leave the map entirely,
+                // keeping distinct-key statistics identical to a rebuild.
+                map.remove(&key);
+            }
+        }
         for t in &delta.inserted {
             let key: Vec<Value> = x_pos.iter().map(|&p| t[p].clone()).collect();
-            // Fork only the group this insert lands in; every other group
-            // stays shared with the predecessor index.
             let entry = Arc::make_mut(map.entry(key).or_default());
-            let projected = t.project(&xy_pos);
-            if !entry.contains(&projected) {
-                entry.push(projected);
-            }
+            entry.add_source(t.project(&xy_pos));
         }
         Ok(AccessIndex {
             constraint: self.constraint.clone(),
@@ -300,9 +362,10 @@ impl IndexedDatabase {
     /// Re-index `db` (the successor of this instance's database) from a
     /// write delta, touching only the indexes of changed relations:
     /// untouched constraints share this instance's [`AccessIndex`] (and its
-    /// interned sibling) by `Arc`; insert-only exact deltas are patched in
-    /// `O(#groups + |Δ|)`; deltas with removals or unknown changes rebuild
-    /// just that relation's index.
+    /// interned sibling) by `Arc`; exact deltas — inserts *and* removals,
+    /// thanks to the per-projection source multiplicities — are patched in
+    /// `O(#groups + |Δ|)`; only unknown (wholesale-replacement) changes
+    /// rebuild that relation's index.
     ///
     /// Interned snapshots follow the same discipline: every relation's
     /// snapshot is anchored on the successor, carried forward by `Arc` when
@@ -322,10 +385,8 @@ impl IndexedDatabase {
                     return Ok(Arc::clone(old));
                 }
                 match delta.exact(name) {
-                    Some(d) if d.removed.is_empty() => old
-                        .with_inserted(d, db.expect_relation(name)?)
-                        .map(Arc::new),
-                    _ => AccessIndex::build(c, &db).map(Arc::new),
+                    Some(d) => old.with_delta(d, db.expect_relation(name)?).map(Arc::new),
+                    None => AccessIndex::build(c, &db).map(Arc::new),
                 }
             })
             .collect::<Result<Vec<_>>>()?;
@@ -716,7 +777,9 @@ mod tests {
             assert_eq!(a, b);
         }
 
-        // A delta with removals rebuilds that index from the new contents.
+        // A delta with removals patches that index too (multiplicity
+        // bookkeeping, no rebuild): the removed key's group disappears, the
+        // untouched constraint still shares its index.
         let mut shrunk = next.clone();
         shrunk.begin_delta_tracking();
         shrunk.remove("rating", &tuple![1, 5]).unwrap();
@@ -732,6 +795,120 @@ mod tests {
             after.fetch(1, &[Value::int(4)], &mut stats).unwrap().len(),
             1
         );
+        // Patched-index statistics match a rebuild exactly.
+        let rebuilt = IndexedDatabase::build(shrunk.clone(), idb.access_schema().clone()).unwrap();
+        assert_eq!(
+            after.index(1).unwrap().distinct_keys(),
+            rebuilt.index(1).unwrap().distinct_keys()
+        );
+        assert_eq!(
+            after.index(1).unwrap().max_group_size(),
+            rebuilt.index(1).unwrap().max_group_size()
+        );
+    }
+
+    #[test]
+    fn removal_patch_respects_source_multiplicities() {
+        // Two source tuples project to the same (pid, id) entry; removing
+        // one must keep the entry alive, removing the second must drop it —
+        // exactly what a rebuild over the shrunken relation would produce.
+        let schema = DatabaseSchema::with_relations(&[("like", &["pid", "id", "type"])]).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert("like", tuple![1, 10, "movie"]).unwrap();
+        db.insert("like", tuple![1, 10, "page"]).unwrap();
+        db.insert("like", tuple![1, 11, "movie"]).unwrap();
+        let access = AccessSchema::new(vec![
+            AccessConstraint::new("like", &["pid"], &["id"], 5).unwrap()
+        ]);
+        let idb = IndexedDatabase::build(db.clone(), access).unwrap();
+        let key = [Value::int(1)];
+        assert_eq!(
+            idb.index(0)
+                .unwrap()
+                .source_multiplicity(&key, &tuple![1, 10]),
+            2
+        );
+
+        // Drop the first supporting source: the entry survives.
+        let mut v1 = db.clone();
+        v1.begin_delta_tracking();
+        v1.remove("like", &tuple![1, 10, "movie"]).unwrap();
+        let log = v1.take_delta(&db);
+        let idb1 = idb.apply_delta(v1.clone(), &log).unwrap();
+        let rebuilt1 = IndexedDatabase::build(v1.clone(), idb.access_schema().clone()).unwrap();
+        let (mut a, mut b) = (FetchStats::new(), FetchStats::new());
+        assert_eq!(
+            idb1.fetch(0, &key, &mut a).unwrap(),
+            rebuilt1.fetch(0, &key, &mut b).unwrap()
+        );
+        assert_eq!(a, b);
+        assert_eq!(
+            idb1.index(0)
+                .unwrap()
+                .source_multiplicity(&key, &tuple![1, 10]),
+            1
+        );
+
+        // Drop the last supporting source: the entry goes, bit-identically
+        // to the rebuild.
+        let mut v2 = v1.clone();
+        v2.begin_delta_tracking();
+        v2.remove("like", &tuple![1, 10, "page"]).unwrap();
+        let log = v2.take_delta(&v1);
+        let idb2 = idb1.apply_delta(v2.clone(), &log).unwrap();
+        let rebuilt2 = IndexedDatabase::build(v2.clone(), idb.access_schema().clone()).unwrap();
+        let (mut a, mut b) = (FetchStats::new(), FetchStats::new());
+        assert_eq!(
+            idb2.fetch(0, &key, &mut a).unwrap(),
+            rebuilt2.fetch(0, &key, &mut b).unwrap()
+        );
+        assert_eq!(a, b);
+        assert_eq!(idb2.fetch(0, &key, &mut a).unwrap(), &[tuple![1, 11]]);
+        assert_eq!(
+            idb2.index(0)
+                .unwrap()
+                .source_multiplicity(&key, &tuple![1, 10]),
+            0
+        );
+    }
+
+    #[test]
+    fn removal_patch_drops_emptied_keys_like_a_rebuild() {
+        // A mixed delta (remove the whole group of one key, insert a new
+        // key) patched in one pass agrees with a rebuild on every probe,
+        // every statistic, and the interned sibling's accounting.
+        let (db, access) = movie_db();
+        let idb = IndexedDatabase::build(db.clone(), access).unwrap();
+        let mut next = db.clone();
+        next.begin_delta_tracking();
+        next.remove("rating", &tuple![2, 3]).unwrap();
+        next.remove("rating", &tuple![3, 5]).unwrap();
+        next.insert("rating", tuple![7, 1]).unwrap();
+        let log = next.take_delta(&db);
+        assert!(log.exact("rating").is_some(), "tracked mutation is exact");
+        let patched = idb.apply_delta(next.clone(), &log).unwrap();
+        let rebuilt = IndexedDatabase::build(next.clone(), idb.access_schema().clone()).unwrap();
+        assert_eq!(
+            patched.index(1).unwrap().distinct_keys(),
+            rebuilt.index(1).unwrap().distinct_keys()
+        );
+        for mid in 1..=7 {
+            let key = [Value::int(mid)];
+            let (mut a, mut b) = (FetchStats::new(), FetchStats::new());
+            assert_eq!(
+                patched.fetch(1, &key, &mut a).unwrap(),
+                rebuilt.fetch(1, &key, &mut b).unwrap()
+            );
+            assert_eq!(a, b);
+            // The interned siblings agree too (both rebuilt lazily).
+            let id_key = [ValueId::intern(&Value::int(mid))];
+            let (mut ia, mut ib) = (FetchStats::new(), FetchStats::new());
+            assert_eq!(
+                patched.fetch_ids(1, &id_key, &mut ia).unwrap(),
+                rebuilt.fetch_ids(1, &id_key, &mut ib).unwrap()
+            );
+            assert_eq!(ia, ib);
+        }
     }
 
     #[test]
@@ -772,11 +949,8 @@ mod tests {
         let shared = crate::snapshot::snapshot_of(v2.relation("rating").unwrap());
         assert!(Arc::ptr_eq(patched, &shared), "registry serves the patch");
         // Patched statistics are exact even under the removal.
-        let rebuilt_stats = crate::stats::RelationStats::of_rows(
-            patched.len(),
-            patched.arity(),
-            shared.id_rows(),
-        );
+        let rebuilt_stats =
+            crate::stats::RelationStats::of_rows(patched.len(), patched.arity(), shared.id_rows());
         assert_eq!(patched.stats(), &rebuilt_stats);
     }
 

@@ -52,7 +52,7 @@ pub mod tuple;
 pub mod value;
 
 pub use access::{AccessConstraint, AccessSchema, ConstraintViolation};
-pub use database::Database;
+pub use database::{Database, DeltaCheckpoint};
 pub use delta::{DeltaLog, RelationChange, RelationDelta};
 pub use error::DataError;
 pub use index::{AccessIndex, IndexedDatabase, InternedAccessIndex};

@@ -176,6 +176,14 @@ impl Relation {
         self.tracking.take().map(|s| (s.base_epoch, s.delta))
     }
 
+    /// The live tracking state — `(base epoch, net delta so far)` — without
+    /// consuming it.  `None` when tracking is off or was lost to a wholesale
+    /// replacement.  This is what [`crate::Database::delta_checkpoint`]
+    /// captures to make a span of writes invertible.
+    pub fn tracking_state(&self) -> Option<(u64, &RelationDelta)> {
+        self.tracking.as_deref().map(|s| (s.base_epoch, &s.delta))
+    }
+
     /// Restore a previously issued epoch.  Only sound when the caller can
     /// prove the contents are identical to what they were under that epoch —
     /// e.g. after a tracked mutation whose net delta came out empty.

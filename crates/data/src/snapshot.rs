@@ -18,7 +18,7 @@
 //! given the predecessor snapshot and the exact [`RelationDelta`] of the
 //! mutation, [`patched_snapshot_of`] derives the successor in `O(|Δ|)` by
 //! patching the flat row array and the occurrence-count statistics in place
-//! — the write-path counterpart of `AccessIndex::with_inserted`.
+//! — the write-path counterpart of `AccessIndex::with_delta`.
 
 use crate::delta::RelationDelta;
 use crate::intern::ValueId;
@@ -320,7 +320,10 @@ pub fn snapshot_of(relation: &Relation) -> Arc<InternedSnapshot> {
     if let Err(e) = crate::faults::check(crate::faults::sites::SNAPSHOT_INTERN) {
         panic!("{e}");
     }
-    register(relation.epoch(), Arc::new(InternedSnapshot::build(relation)))
+    register(
+        relation.epoch(),
+        Arc::new(InternedSnapshot::build(relation)),
+    )
 }
 
 /// The shared snapshot of `relation`'s current epoch, built by patching
@@ -480,7 +483,11 @@ mod tests {
         let rebuilt = InternedSnapshot::build(&r);
         assert_eq!(patched.epoch(), r.epoch());
         assert_eq!(patched.len(), rebuilt.len());
-        assert_eq!(patched.stats(), rebuilt.stats(), "exact stats under removals");
+        assert_eq!(
+            patched.stats(),
+            rebuilt.stats(),
+            "exact stats under removals"
+        );
         // Same row *set*; the patched snapshot keeps first-seen order
         // (predecessor order minus removals, insertions appended).
         let rows = |s: &InternedSnapshot| -> Vec<Vec<ValueId>> {

@@ -429,6 +429,77 @@ impl Engine {
         Ok(out)
     }
 
+    /// Apply a burst of mutation closures in **one** delta-tracked version
+    /// publish: the copy-on-write relation fork, the net-delta extraction,
+    /// the index/snapshot patching and the semi-naive view maintenance all
+    /// run once for the whole batch instead of once per closure — the
+    /// amortisation the serving front's write batching rides on.
+    ///
+    /// Isolation is per closure, atomicity per batch: each closure runs
+    /// after an `O(|Δ|)` checkpoint of the tracked write state
+    /// ([`Database::delta_checkpoint`]), so a closure that errors or panics
+    /// has its writes undone by inverse operations without disturbing its
+    /// neighbours — its slot in the returned `Vec` carries the typed error,
+    /// every other closure's effect still publishes.  The combined net delta
+    /// becomes visible in a single version swap: readers never observe a
+    /// prefix of the batch.  An empty or net-no-op batch publishes nothing
+    /// (the usual no-op elision).
+    ///
+    /// The outer `Result` fails only when nothing was published at all:
+    /// version construction failed (index rebuild or view maintenance
+    /// error/panic), or a *failing* closure had also replaced a relation
+    /// wholesale — losing the write history a rollback needs
+    /// ([`bqr_data::DataError::RollbackHistoryLost`]).
+    pub fn mutate_batch<R, F>(
+        &self,
+        closures: impl IntoIterator<Item = F>,
+    ) -> Result<Vec<Result<R>>>
+    where
+        F: FnOnce(&mut Database) -> bqr_data::Result<R>,
+    {
+        let _serialised = self.writers.lock().unwrap_or_else(PoisonError::into_inner);
+        let prev = Arc::clone(&self.data.read().unwrap_or_else(PoisonError::into_inner));
+        let mut db = prev.database().clone();
+        db.begin_delta_tracking();
+        let mut outcomes = Vec::new();
+        for f in closures {
+            // Checkpoint before each closure: an O(|Δ|) capture of the
+            // tracked write state, NOT a `Database::clone` — a clone would
+            // keep every tuple `Arc` shared, forcing the closure's first
+            // write to copy the whole relation and costing the batch its
+            // one-publish advantage.  A failing closure's writes are undone
+            // by inverse operations; if that closure also replaced a
+            // relation wholesale (history lost, not invertible), the whole
+            // batch fails and nothing is published.
+            let checkpoint = db.delta_checkpoint();
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                bqr_data::faults::check(bqr_data::faults::sites::MUTATE_CLOSURE)?;
+                f(&mut db)
+            }))
+            .map_err(|payload| Error::MutationPanicked {
+                message: panic_message(payload.as_ref()),
+            })
+            .and_then(|r| r.map_err(Error::Data));
+            if out.is_err() {
+                db.rollback_to(&checkpoint).map_err(Error::Data)?;
+            }
+            outcomes.push(out);
+        }
+        let delta = db.take_delta(prev.database());
+        if delta.is_empty() {
+            return Ok(outcomes);
+        }
+        let version = catch_unwind(AssertUnwindSafe(|| match self.maintenance {
+            MaintenanceMode::Delta => DataVersion::apply_delta(&prev, db, &delta, &self.setting),
+            MaintenanceMode::Rebuild => DataVersion::build(db, &self.setting),
+        }))
+        .map_err(|payload| Error::MutationPanicked {
+            message: panic_message(payload.as_ref()),
+        })??;
+        *self.data.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(version);
+        Ok(outcomes)
+    }
+
     /// A clone of the currently attached instance.
     pub fn database(&self) -> Database {
         self.data

@@ -551,3 +551,109 @@ fn delta_and_rebuild_modes_publish_identical_versions() {
         "served tuples and FetchStats must be bit-identical across modes"
     );
 }
+
+#[test]
+fn mutate_batch_matches_serial_mutates_bit_for_bit() {
+    let batched = movie_engine();
+    let serial = movie_engine();
+    for engine in [&batched, &serial] {
+        engine.attach(movie_instance()).unwrap();
+        engine.prepare("fig1", Q_XI).unwrap();
+    }
+    let ops: Vec<fn(&mut Database) -> bqr_data::Result<bool>> = vec![
+        |db| {
+            db.insert("movie", tuple![13, "Vice", "Universal", "2014"])?;
+            db.insert("rating", tuple![13, 5])?;
+            db.insert("like", tuple![1, 13, "movie"])
+        },
+        |db| db.remove("rating", &tuple![11, 3]),
+        |db| db.insert("rating", tuple![11, 4]),
+    ];
+
+    let epochs_before = batched.session().epochs();
+    let outcomes = batched.mutate_batch(ops.clone()).unwrap();
+    assert!(outcomes.iter().all(|o| matches!(o, Ok(true))));
+    for op in ops {
+        serial.mutate(op).unwrap();
+    }
+
+    // One publish for the whole batch …
+    let epochs_after = batched.session().epochs();
+    assert_ne!(epochs_before, epochs_after);
+    // … and the result is bit-identical to three separate publishes:
+    // relations, view extents, served tuples AND FetchStats.
+    assert_eq!(batched.database(), serial.database());
+    let a = batched.session();
+    let b = serial.session();
+    for name in a.views().names() {
+        assert_eq!(a.views().extent(name), b.views().extent(name));
+    }
+    assert_eq!(a.execute("fig1").unwrap(), b.execute("fig1").unwrap());
+}
+
+#[test]
+fn mutate_batch_isolates_failing_closures() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    let before = engine.database();
+
+    let outcomes = engine
+        .mutate_batch(vec![
+            Box::new(|db: &mut Database| db.insert("rating", tuple![20, 5]))
+                as Box<dyn FnOnce(&mut Database) -> bqr_data::Result<bool>>,
+            // Errors after a write: the write must be rolled back without
+            // disturbing the neighbours.
+            Box::new(|db: &mut Database| {
+                db.insert("rating", tuple![21, 1])?;
+                db.insert("no_such_relation", tuple![0])
+            }),
+            // Panics mid-write: contained, rolled back, typed.
+            Box::new(|db: &mut Database| {
+                db.insert("rating", tuple![22, 1])?;
+                panic!("boom in batched closure");
+                #[allow(unreachable_code)]
+                Ok(false)
+            }),
+            Box::new(|db: &mut Database| db.insert("rating", tuple![23, 2])),
+        ])
+        .unwrap();
+
+    assert!(matches!(outcomes[0], Ok(true)));
+    assert!(matches!(outcomes[1], Err(Error::Data(_))));
+    match &outcomes[2] {
+        Err(Error::MutationPanicked { message }) => assert!(message.contains("boom")),
+        other => panic!("expected MutationPanicked, got {other:?}"),
+    }
+    assert!(matches!(outcomes[3], Ok(true)));
+
+    // Exactly the two successful closures' effects are live; none of the
+    // rolled-back writes leaked.
+    let db = engine.database();
+    assert_eq!(db.size(), before.size() + 2);
+    let rating = db.relation("rating").unwrap();
+    assert!(rating.contains(&tuple![20, 5]));
+    assert!(rating.contains(&tuple![23, 2]));
+    assert!(!rating.contains(&tuple![21, 1]));
+    assert!(!rating.contains(&tuple![22, 1]));
+}
+
+#[test]
+fn empty_or_noop_batches_publish_nothing() {
+    let engine = movie_engine();
+    engine.attach(movie_instance()).unwrap();
+    let epochs = engine.session().epochs();
+
+    let none: Vec<fn(&mut Database) -> bqr_data::Result<()>> = Vec::new();
+    assert!(engine.mutate_batch(none).unwrap().is_empty());
+    // A do-undo batch nets out to the empty delta: no-op elision applies to
+    // the batch exactly as it does to a single mutate.
+    let outcomes = engine
+        .mutate_batch(vec![
+            |db: &mut Database| db.insert("rating", tuple![30, 1]).map(drop),
+            |db: &mut Database| db.remove("rating", &tuple![30, 1]).map(drop),
+        ])
+        .unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert!(outcomes.iter().all(Result::is_ok));
+    assert_eq!(engine.session().epochs(), epochs, "nothing published");
+}

@@ -77,7 +77,10 @@ pub fn maintain(
                 None => out.insert(name, prev.clone()),
             },
             (ViewDefinition::Cq(cq), Some(prev)) if exact => {
-                out.insert(name, maintain_cq_tracked(cq, prev, old_db, new_db, delta)?.extent);
+                out.insert(
+                    name,
+                    maintain_cq_tracked(cq, prev, old_db, new_db, delta)?.extent,
+                );
             }
             (ViewDefinition::Ucq(ucq), Some(prev)) if exact => {
                 let (extent, parts) =
@@ -241,7 +244,8 @@ fn rematerialize_ucq(
         union.extend(tuples.iter().cloned());
         let part = match prev_disjuncts.and_then(|p| p.get(i)) {
             Some(prev_part)
-                if prev_part.len() == tuples.len() && tuples.iter().all(|t| prev_part.contains(t)) =>
+                if prev_part.len() == tuples.len()
+                    && tuples.iter().all(|t| prev_part.contains(t)) =>
             {
                 prev_part.clone()
             }

@@ -1,0 +1,70 @@
+//! The serving front's error type.  Every way a request can fail surfaces
+//! here as a *typed* value delivered through the request's [`crate::Pending`]
+//! — never as a wrong or partial answer, and never by silently dropping the
+//! request.
+
+use std::fmt;
+
+/// Why a request submitted to a [`crate::Server`] did not produce an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Admission control rejected the request: the concurrency limit or the
+    /// outstanding fetch-cost budget is exhausted.  The caller should back
+    /// off for `retry_after_ms` and resubmit; nothing was queued.
+    Overloaded {
+        /// Suggested back-off before resubmitting, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is draining or shut down; no new work is accepted and
+    /// queued work is failed with this error rather than dropped.
+    ShuttingDown,
+    /// The statement name is not prepared on the underlying engine.
+    UnknownStatement(String),
+    /// The engine refused or failed the request with its own typed error
+    /// (analysis, execution, guard trip, injected fault, …).
+    Engine(bqr_engine::Error),
+    /// A serving-side invariant failure (e.g. a contained panic in a batch
+    /// flusher).  The request was *not* applied/served; resubmitting is
+    /// safe for reads and for idempotent writes.
+    Internal(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::UnknownStatement(name) => {
+                write!(f, "unknown prepared statement `{name}`")
+            }
+            ServerError::Engine(e) => write!(f, "engine error: {e}"),
+            ServerError::Internal(msg) => write!(f, "internal serving error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bqr_engine::Error> for ServerError {
+    fn from(e: bqr_engine::Error) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+impl From<bqr_data::DataError> for ServerError {
+    fn from(e: bqr_data::DataError) -> Self {
+        ServerError::Engine(bqr_engine::Error::from(e))
+    }
+}
+
+/// Result alias for serving operations.
+pub type ServerResult<T> = std::result::Result<T, ServerError>;

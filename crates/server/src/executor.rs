@@ -1,0 +1,170 @@
+//! A hand-rolled, dependency-free task executor: a shared run queue, a
+//! fixed worker pool, and `Arc`-task wakers (`std::task::Wake`).
+//!
+//! The container this repo builds in is offline, so there is no tokio; the
+//! serving front needs only a small fraction of what a general-purpose
+//! runtime provides — spawn a `Future`, poll it on a pool, re-enqueue it
+//! when its waker fires.  That is exactly what this module implements, in
+//! the same spirit as the vendored `rand`/`proptest`/`criterion` shims:
+//! the real interface, the minimal implementation.
+//!
+//! Scheduling is level-triggered and lock-serialised per task: a task's
+//! future lives in a `Mutex<Option<…>>`, wakes push the task onto the run
+//! queue, and whichever worker dequeues it takes the future out under the
+//! lock, polls it, and puts it back if still pending.  A wake that lands
+//! *during* a poll simply re-enqueues the task; the next dequeue blocks on
+//! the task lock until the in-flight poll finishes, so wakeups are never
+//! lost and a future is never polled concurrently.  Worker panics are
+//! contained per poll: the panicking task is dropped (its promises abandon
+//! into typed errors, see [`crate::slot`]) and the worker keeps serving.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct Task {
+    /// `Some` while the task still has work; taken out for the duration of
+    /// each poll, `None` forever once the future completes or panics.
+    future: Mutex<Option<BoxFuture>>,
+    /// Weak so a parked waker held by some foreign future cannot keep the
+    /// whole pool alive after shutdown.
+    queue: Weak<RunQueue>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if let Some(queue) = self.queue.upgrade() {
+            queue.push(self);
+        }
+    }
+}
+
+struct RunQueue {
+    ready: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl RunQueue {
+    fn push(&self, task: Arc<Task>) {
+        self.ready
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+        self.available.notify_one();
+    }
+
+    /// Block until a task is ready or shutdown is signalled.
+    fn pop(&self) -> Option<Arc<Task>> {
+        let mut ready = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(task) = ready.pop_front() {
+                return Some(task);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            ready = self
+                .available
+                .wait(ready)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The worker pool.  Dropping it (or calling [`Executor::shutdown`]) stops
+/// the workers after their in-flight polls; queued-but-unpolled tasks are
+/// dropped, which abandons their promises into typed errors.
+pub(crate) struct Executor {
+    queue: Arc<RunQueue>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Executor {
+    pub(crate) fn new(workers: usize) -> Self {
+        let queue = Arc::new(RunQueue {
+            ready: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("bqr-server-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawning a serving worker thread")
+            })
+            .collect();
+        Executor {
+            queue,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueue a future for execution on the pool.
+    pub(crate) fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        if self.queue.shutdown.load(Ordering::Acquire) {
+            // Dropping the future here abandons its promises → typed
+            // errors, not hangs, for anything submitted during teardown.
+            return;
+        }
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            queue: Arc::downgrade(&self.queue),
+        });
+        self.queue.push(task);
+    }
+
+    /// Stop accepting work, wake every worker, and join the pool.
+    pub(crate) fn shutdown(&self) {
+        self.queue.shutdown.store(true, Ordering::Release);
+        self.queue.available.notify_all();
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            // A worker that panicked already detached; nothing to propagate.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(queue: &Arc<RunQueue>) {
+    while let Some(task) = queue.pop() {
+        // Take the future out under the task lock.  A concurrent wake may
+        // re-enqueue the task; whoever dequeues it next blocks here until
+        // this poll completes — that is what makes wakeups race-free.
+        let mut slot = task.future.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(mut future) = slot.take() else {
+            // Already completed (duplicate wakeup): nothing to do.
+            continue;
+        };
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+            Ok(Poll::Pending) => {
+                *slot = Some(future);
+            }
+            // Completed, or panicked: drop the future either way.  On a
+            // panic, any promise it still held abandons its slot, so every
+            // waiter gets a typed error and the worker keeps serving.
+            Ok(Poll::Ready(())) | Err(_) => {}
+        }
+    }
+}

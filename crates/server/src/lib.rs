@@ -1,0 +1,194 @@
+//! `bqr-server`: an async, batched serving front over one
+//! [`Engine`](bqr_engine::Engine).
+//!
+//! The paper's promise — boundedly evaluable queries cost `O(|D_ξ|)`,
+//! independent of `|D|` — only pays off operationally if the system can
+//! serve heavy concurrent traffic at that bounded cost.  This crate is the
+//! serving layer that cashes the cheque:
+//!
+//! * **Admission control** ([`ServerConfig::max_concurrent`],
+//!   [`ServerConfig::max_outstanding_cost`]): a semaphore-style concurrency
+//!   cap plus per-statement *cost classes* derived from the plan's fetch
+//!   bound `|D_ξ|` (via `Analysis::fetch_bound`).  Over-budget submissions
+//!   fail fast with a typed [`ServerError::Overloaded`] carrying a
+//!   retry-after hint — never a wrong or partial answer.  Admitted reads
+//!   still run under the engine's guard limits
+//!   ([`ServerConfig::options`]), so deadlines and row/fetch budgets trip
+//!   cooperatively inside the pipeline.
+//! * **Read coalescing**: requests for the same prepared statement within
+//!   [`ServerConfig::batch_window`] share **one** pipeline execution —
+//!   whose fetch operators dedup probe keys and drive
+//!   `InternedAccessIndex::probe_batch` in one vectorised pass — and every
+//!   request receives that execution's exact tuples and
+//!   [`FetchStats`](bqr_data::FetchStats), bit-identical to an unbatched
+//!   [`Session`](bqr_engine::Session) execution on the same version.
+//! * **Write batching**: mutation closures arriving within the window are
+//!   applied through [`Engine::mutate_batch`](bqr_engine::Engine::mutate_batch)
+//!   in a single delta-tracked version publish, amortising the
+//!   copy-on-write fork, index/snapshot patching and view maintenance over
+//!   the burst, with per-closure isolation inside the batch.
+//! * **Dual sync/async entry**: [`Server::execute`]/[`Server::mutate`]
+//!   block; [`Server::submit`]/[`Server::submit_mutate`] return a
+//!   [`Pending`] that is a plain `Future`, driven by the crate's
+//!   hand-rolled executor (task queue + waker slots + worker pool — the
+//!   container is offline, so no tokio) or any foreign runtime.
+//!
+//! Failure injection: the serving front exposes two failpoint sites
+//! (`bqr_data::faults::sites::{SERVER_ACCEPT, BATCH_FLUSH}`).  An injected
+//! fault sheds the submission or degrades a batch to serialised execution,
+//! but a request is never dropped, duplicated, or handed another request's
+//! answer — the umbrella chaos suite pins this down.
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod error;
+mod executor;
+mod server;
+mod slot;
+mod stats;
+
+pub use error::{ServerError, ServerResult};
+pub use server::{Response, Server, ServerConfig};
+pub use slot::Pending;
+pub use stats::ServerStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqr_data::tuple;
+    use bqr_engine::Engine;
+    use bqr_workload::movies;
+    use std::time::Duration;
+
+    const Q_XI: &str = "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)";
+
+    fn movie_server(config: ServerConfig) -> Server {
+        let engine = Engine::builder()
+            .setting(movies::setting(100, 40))
+            .cache_capacity(16)
+            .build()
+            .unwrap();
+        engine
+            .attach(movies::generate(movies::MovieScale::default()))
+            .unwrap();
+        Server::with_config(engine, config)
+    }
+
+    fn tight_config() -> ServerConfig {
+        ServerConfig {
+            batch_window: Duration::from_micros(50),
+            workers: 2,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_prepared_statements_bit_identically_to_sessions() {
+        let server = movie_server(tight_config());
+        let cost = server.prepare("fig1", Q_XI).unwrap();
+        assert!(cost >= 1, "fetch-bound cost class");
+        assert_eq!(server.cost_class("fig1"), Some(cost));
+
+        let direct = server.engine().session().execute("fig1").unwrap();
+        let served = server.execute("fig1").unwrap();
+        assert_eq!(served.output, direct, "tuples AND FetchStats");
+        assert!(served.coalesced >= 1);
+
+        // Async entry: same slot machinery, polled to completion here via
+        // the blocking wait of a second submission.
+        let pending = server.submit("fig1");
+        assert_eq!(pending.wait().unwrap().output, direct);
+
+        server.drain();
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.read_batches >= 1);
+        assert!(stats.p50_us <= stats.p99_us && stats.p99_us <= stats.max_us);
+    }
+
+    #[test]
+    fn statements_registered_lazily_and_unknown_names_are_typed() {
+        let server = movie_server(tight_config());
+        server.engine().prepare("fig1", Q_XI).unwrap();
+        // Not registered on the server yet: first submission registers it.
+        assert_eq!(server.cost_class("fig1"), None);
+        assert!(server.execute("fig1").is_ok());
+        assert!(server.cost_class("fig1").is_some());
+
+        match server.execute("no_such_statement") {
+            Err(ServerError::UnknownStatement(name)) => assert_eq!(name, "no_such_statement"),
+            other => panic!("expected UnknownStatement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_is_a_typed_rejection_with_retry_after() {
+        let config = ServerConfig {
+            // Any read's cost class exceeds a zero budget: every read is
+            // rejected, deterministically.
+            max_outstanding_cost: 0,
+            retry_after_ms: 7,
+            ..tight_config()
+        };
+        let server = movie_server(config);
+        server.prepare("fig1", Q_XI).unwrap();
+        match server.execute("fig1") {
+            Err(ServerError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 7),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.admitted, 0);
+        // Writes don't consume fetch budget; they still go through.
+        server
+            .mutate(|db| db.insert("rating", tuple![999_999, 5]).map(drop))
+            .unwrap();
+    }
+
+    #[test]
+    fn writes_batch_and_publish() {
+        let server = movie_server(tight_config());
+        server.prepare("fig1", Q_XI).unwrap();
+        let before = server.engine().database().size();
+        let pendings: Vec<_> = (0..8)
+            .map(|i| {
+                server.submit_mutate(move |db| {
+                    db.insert("rating", tuple![2_000_000 + i, 1]).map(drop)
+                })
+            })
+            .collect();
+        for p in pendings {
+            p.wait().unwrap();
+        }
+        assert_eq!(server.engine().database().size(), before + 8);
+        server.drain();
+        let stats = server.stats();
+        assert_eq!(stats.writes, 8);
+        assert!(stats.write_batches >= 1);
+    }
+
+    #[test]
+    fn dropping_the_server_fails_queued_work_with_typed_errors() {
+        let server = movie_server(ServerConfig {
+            // A long window so queued requests are still pending at drop.
+            batch_window: Duration::from_millis(300),
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        server.prepare("fig1", Q_XI).unwrap();
+        let golden = server.engine().session().execute("fig1").unwrap();
+        let pending = server.submit("fig1");
+        drop(server);
+        // Teardown either lets the in-flight flush finish (a full-fidelity
+        // answer) or fails the queued request with a typed error — it never
+        // hangs the waiter or hands back a partial answer.
+        match pending.wait() {
+            Ok(response) => assert_eq!(response.output, golden),
+            Err(ServerError::ShuttingDown) | Err(ServerError::Internal(_)) => {}
+            Err(other) => panic!("expected a typed teardown error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! The serving front: admission control, read coalescing, write batching.
+
+use crate::error::{ServerError, ServerResult};
+use crate::executor::Executor;
+use crate::slot::{ready, slot, Pending, Promise};
+use crate::stats::{Metrics, ServerStats};
+use bqr_data::{faults, Database};
+use bqr_engine::{Engine, IntoQuery};
+use bqr_plan::{ExecOptions, ExecOutput};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`Server`].  The defaults suit the test and bench
+/// workloads; production embedders size them from their own SLOs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Semaphore-style cap on requests (reads and writes) admitted and not
+    /// yet fulfilled.  Beyond it, submission fails with
+    /// [`ServerError::Overloaded`].
+    pub max_concurrent: usize,
+    /// Cap on the summed *cost class* of admitted reads.  A statement's
+    /// cost class is its fetch bound `|D_ξ|` — the paper's data-independent
+    /// bound on how many tuples the plan can touch — so this budget caps
+    /// worst-case outstanding I/O, not request count.
+    pub max_outstanding_cost: usize,
+    /// How long a batch leader waits for same-statement stragglers before
+    /// flushing.  Zero flushes immediately (coalescing then only catches
+    /// requests that queued while a flush was already in flight).
+    pub batch_window: Duration,
+    /// Worker threads in the hand-rolled executor pool.
+    pub workers: usize,
+    /// Back-off hint attached to [`ServerError::Overloaded`].
+    pub retry_after_ms: u64,
+    /// Execution options (and through them the PR 6 guard limits) applied
+    /// to every admitted read: an admitted query still trips deadlines and
+    /// row/fetch budgets cooperatively.
+    pub options: ExecOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent: 1024,
+            max_outstanding_cost: 1 << 20,
+            batch_window: Duration::from_micros(200),
+            workers: 4,
+            retry_after_ms: 1,
+            options: ExecOptions::serial(),
+        }
+    }
+}
+
+/// A served answer: the engine's exact [`ExecOutput`] — tuples *and*
+/// [`FetchStats`](bqr_data::FetchStats), bit-identical to an unbatched
+/// [`Session`](bqr_engine::Session) execution of the same statement on the
+/// same version — plus how many requests shared the flush that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The answer tuples and I/O accounting.
+    pub output: ExecOutput,
+    /// Number of requests served by the same coalesced execution (≥ 1).
+    pub coalesced: usize,
+}
+
+struct ReadRequest {
+    promise: Promise<Response>,
+    cost: usize,
+    start: Instant,
+}
+
+struct ReadQueue {
+    name: Arc<str>,
+    pending: Mutex<Vec<ReadRequest>>,
+}
+
+type WriteOp = Box<dyn FnOnce(&mut Database) -> bqr_data::Result<()> + Send + 'static>;
+
+struct WriteRequest {
+    op: WriteOp,
+    promise: Promise<()>,
+    start: Instant,
+}
+
+struct Inner {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    executor: Executor,
+    /// Per-statement coalescing queues, created on first submission.
+    reads: Mutex<HashMap<Arc<str>, Arc<ReadQueue>>>,
+    /// Per-statement admission cost classes (the plan's fetch bound).
+    costs: Mutex<HashMap<String, usize>>,
+    writes: Mutex<Vec<WriteRequest>>,
+    in_flight: AtomicUsize,
+    outstanding_cost: AtomicUsize,
+    draining: AtomicBool,
+    metrics: Metrics,
+}
+
+/// An async, batched serving front over one [`Engine`].
+///
+/// The server multiplexes any number of logical client sessions over the
+/// engine's epoch-pinned snapshot machinery: reads for the same prepared
+/// statement arriving within [`ServerConfig::batch_window`] are coalesced
+/// into **one** pipeline execution (whose fetch operators already dedup
+/// probe keys and drive [`InternedAccessIndex::probe_batch`]
+/// (bqr_data::InternedAccessIndex::probe_batch) in one vectorised pass), and
+/// every coalesced request receives that execution's exact tuples and
+/// `FetchStats`.  Writes are coalesced into one
+/// [`Engine::mutate_batch`] publish.  Admission control rejects over-budget
+/// traffic with a typed [`ServerError::Overloaded`] before any work queues.
+///
+/// Entry points are dual sync/async: [`Server::execute`]/[`Server::mutate`]
+/// block, [`Server::submit`]/[`Server::submit_mutate`] return a
+/// [`Pending`] future servable by the built-in pool or any foreign
+/// executor.
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Wrap `engine` with the default [`ServerConfig`].
+    pub fn new(engine: impl Into<Arc<Engine>>) -> Self {
+        Server::with_config(engine, ServerConfig::default())
+    }
+
+    /// Wrap `engine` with an explicit configuration.
+    pub fn with_config(engine: impl Into<Arc<Engine>>, config: ServerConfig) -> Self {
+        let inner = Arc::new(Inner {
+            engine: engine.into(),
+            executor: Executor::new(config.workers),
+            config,
+            reads: Mutex::new(HashMap::new()),
+            costs: Mutex::new(HashMap::new()),
+            writes: Mutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
+            outstanding_cost: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            metrics: Metrics::default(),
+        });
+        Server { inner }
+    }
+
+    /// The wrapped engine (for direct sessions, statistics, attachment).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Current serving statistics (counters + latency percentiles).
+    pub fn stats(&self) -> ServerStats {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Analyse and prepare `query` under `name` on the engine, and register
+    /// its admission cost class (the plan's fetch bound `|D_ξ|`).  Returns
+    /// the cost class.
+    pub fn prepare<Q: IntoQuery>(&self, name: &str, query: Q) -> ServerResult<usize> {
+        let analysis = self.inner.engine.analyze(query)?;
+        self.inner.engine.prepare_from(name, &analysis)?;
+        let cost = analysis.fetch_bound().unwrap_or(1).max(1);
+        self.inner
+            .costs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), cost);
+        Ok(cost)
+    }
+
+    /// Register an admission cost class for a statement already prepared on
+    /// the engine (re-deriving its fetch bound from its query).  Returns
+    /// the cost class.  Statements submitted without prior registration are
+    /// registered lazily on first use.
+    pub fn register(&self, name: &str) -> ServerResult<usize> {
+        let statement = self
+            .inner
+            .engine
+            .statement(name)
+            .map_err(|_| ServerError::UnknownStatement(name.to_string()))?;
+        let analysis = self.inner.engine.analyze(statement.query().clone())?;
+        let cost = analysis.fetch_bound().unwrap_or(1).max(1);
+        self.inner
+            .costs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), cost);
+        Ok(cost)
+    }
+
+    /// The registered admission cost class of `name`, if any.
+    pub fn cost_class(&self, name: &str) -> Option<usize> {
+        self.inner
+            .costs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .copied()
+    }
+
+    /// Submit a read of prepared statement `name` (async entry).  Admission
+    /// happens now — an overloaded or draining server yields an
+    /// already-fulfilled typed error — and the answer arrives through the
+    /// returned [`Pending`].
+    pub fn submit(&self, name: &str) -> Pending<Response> {
+        let inner = &self.inner;
+        if inner.draining.load(Ordering::Acquire) {
+            return ready(Err(ServerError::ShuttingDown));
+        }
+        match accept_gate() {
+            Ok(()) => {}
+            Err(e) => {
+                inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return ready(Err(e));
+            }
+        }
+        let cost = match self.cost_class(name) {
+            Some(cost) => cost,
+            None => match self.register(name) {
+                Ok(cost) => cost,
+                Err(e) => return ready(Err(e)),
+            },
+        };
+        if let Err(e) = inner.admit(cost) {
+            return ready(Err(e));
+        }
+        let (promise, pending) = slot();
+        let queue = inner.read_queue(name);
+        let leader = {
+            let mut pending_reads = queue.pending.lock().unwrap_or_else(PoisonError::into_inner);
+            pending_reads.push(ReadRequest {
+                promise,
+                cost,
+                start: Instant::now(),
+            });
+            pending_reads.len() == 1
+        };
+        if leader {
+            let inner = Arc::clone(&self.inner);
+            let queue_for_task = Arc::clone(&queue);
+            self.inner.executor.spawn(async move {
+                flush_reads(&inner, &queue_for_task);
+            });
+        }
+        pending
+    }
+
+    /// Execute prepared statement `name` (sync entry): submit and block.
+    pub fn execute(&self, name: &str) -> ServerResult<Response> {
+        self.submit(name).wait()
+    }
+
+    /// Submit a mutation closure (async entry).  The closure is applied —
+    /// together with every other write arriving within the batch window —
+    /// in a single [`Engine::mutate_batch`] version publish; its slot in
+    /// the batch is isolated (an erroring or panicking neighbour cannot
+    /// fail it) and its effect is visible to every read admitted after the
+    /// returned [`Pending`] resolves.
+    pub fn submit_mutate<F>(&self, op: F) -> Pending<()>
+    where
+        F: FnOnce(&mut Database) -> bqr_data::Result<()> + Send + 'static,
+    {
+        let inner = &self.inner;
+        if inner.draining.load(Ordering::Acquire) {
+            return ready(Err(ServerError::ShuttingDown));
+        }
+        match accept_gate() {
+            Ok(()) => {}
+            Err(e) => {
+                inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return ready(Err(e));
+            }
+        }
+        if let Err(e) = inner.admit(0) {
+            return ready(Err(e));
+        }
+        let (promise, pending) = slot();
+        let leader = {
+            let mut writes = inner.writes.lock().unwrap_or_else(PoisonError::into_inner);
+            writes.push(WriteRequest {
+                op: Box::new(op),
+                promise,
+                start: Instant::now(),
+            });
+            writes.len() == 1
+        };
+        if leader {
+            let inner = Arc::clone(&self.inner);
+            self.inner.executor.spawn(async move {
+                flush_writes(&inner);
+            });
+        }
+        pending
+    }
+
+    /// Apply a mutation closure (sync entry): submit and block.
+    pub fn mutate<F>(&self, op: F) -> ServerResult<()>
+    where
+        F: FnOnce(&mut Database) -> bqr_data::Result<()> + Send + 'static,
+    {
+        self.submit_mutate(op).wait()
+    }
+
+    /// Block until every admitted request has been fulfilled.
+    pub fn drain(&self) {
+        while self.inner.in_flight.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Refuse new work, finish in-flight flushes, then fail anything
+        // still queued with a typed error — never leave a waiter hanging.
+        self.inner.draining.store(true, Ordering::Release);
+        self.inner.executor.shutdown();
+        let queues: Vec<Arc<ReadQueue>> = self
+            .inner
+            .reads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect();
+        for queue in queues {
+            let orphans =
+                std::mem::take(&mut *queue.pending.lock().unwrap_or_else(PoisonError::into_inner));
+            for req in orphans {
+                self.inner.release(req.cost);
+                req.promise.fulfil(Err(ServerError::ShuttingDown));
+            }
+        }
+        let writes = std::mem::take(
+            &mut *self
+                .inner
+                .writes
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for req in writes {
+            self.inner.release(0);
+            req.promise.fulfil(Err(ServerError::ShuttingDown));
+        }
+    }
+}
+
+/// The `SERVER_ACCEPT` failpoint, panic-contained: an injected fault sheds
+/// the submission with a typed error before anything queues.
+fn accept_gate() -> ServerResult<()> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        faults::check(faults::sites::SERVER_ACCEPT)
+    })) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.into()),
+        Err(_) => Err(ServerError::Internal(
+            "panic injected at server.accept".to_string(),
+        )),
+    }
+}
+
+impl Inner {
+    /// Admission control: a request slot plus `cost` units of fetch budget,
+    /// both released on fulfilment.  Exact under concurrency (fetch-add
+    /// then check): the caps are never exceeded by admitted requests.
+    fn admit(&self, cost: usize) -> ServerResult<()> {
+        let slots = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if slots >= self.config.max_concurrent {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Overloaded {
+                retry_after_ms: self.config.retry_after_ms,
+            });
+        }
+        let used = self.outstanding_cost.fetch_add(cost, Ordering::AcqRel);
+        if used + cost > self.config.max_outstanding_cost {
+            self.outstanding_cost.fetch_sub(cost, Ordering::AcqRel);
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Overloaded {
+                retry_after_ms: self.config.retry_after_ms,
+            });
+        }
+        self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn release(&self, cost: usize) {
+        self.outstanding_cost.fetch_sub(cost, Ordering::AcqRel);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn read_queue(&self, name: &str) -> Arc<ReadQueue> {
+        let mut reads = self.reads.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(queue) = reads.get(name) {
+            return Arc::clone(queue);
+        }
+        let name: Arc<str> = Arc::from(name);
+        let queue = Arc::new(ReadQueue {
+            name: Arc::clone(&name),
+            pending: Mutex::new(Vec::new()),
+        });
+        reads.insert(name, Arc::clone(&queue));
+        queue
+    }
+
+    fn finish_read(&self, req: ReadRequest, result: ServerResult<Response>) {
+        self.release(req.cost);
+        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .record_latency(req.start.elapsed().as_micros() as u64);
+        req.promise.fulfil(result);
+    }
+
+    fn finish_write(&self, promise: Promise<()>, start: Instant, result: ServerResult<()>) {
+        self.release(0);
+        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .record_latency(start.elapsed().as_micros() as u64);
+        promise.fulfil(result);
+    }
+}
+
+/// Flush one read batch: wait out the window, drain the queue, execute the
+/// statement **once**, and hand every coalesced request the same exact
+/// `ExecOutput`.  The execution is deterministic (prepared statements are
+/// parameterless and the session pins one version), so each request's
+/// tuples and `FetchStats` are bit-identical to what its own unbatched
+/// `Session` execution on that version would produce — the differential
+/// stress test holds the server to exactly that.
+fn flush_reads(inner: &Inner, queue: &ReadQueue) {
+    if !inner.config.batch_window.is_zero() {
+        std::thread::sleep(inner.config.batch_window);
+    }
+    let batch = std::mem::take(&mut *queue.pending.lock().unwrap_or_else(PoisonError::into_inner));
+    if batch.is_empty() {
+        return;
+    }
+    inner.metrics.read_batches.fetch_add(1, Ordering::Relaxed);
+    if batch.len() > 1 {
+        inner
+            .metrics
+            .coalesced_reads
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        faults::check(faults::sites::BATCH_FLUSH)
+    })) {
+        Ok(Ok(())) => {
+            let coalesced = batch.len();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                inner
+                    .engine
+                    .session()
+                    .execute_with(&queue.name, &inner.config.options)
+            }));
+            match outcome {
+                Ok(Ok(output)) => {
+                    for req in batch {
+                        inner.finish_read(
+                            req,
+                            Ok(Response {
+                                output: output.clone(),
+                                coalesced,
+                            }),
+                        );
+                    }
+                }
+                Ok(Err(e)) => {
+                    for req in batch {
+                        inner.finish_read(req, Err(ServerError::Engine(e.clone())));
+                    }
+                }
+                Err(_) => {
+                    for req in batch {
+                        inner.finish_read(
+                            req,
+                            Err(ServerError::Internal(
+                                "panic while serving a read batch".to_string(),
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+        // Injected flush fault: degrade the batch to serialised per-request
+        // execution.  Every request is still answered (exactly once) by its
+        // own full-fidelity session execution.
+        Ok(Err(_)) => {
+            for req in batch {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    inner
+                        .engine
+                        .session()
+                        .execute_with(&queue.name, &inner.config.options)
+                }));
+                let result = match outcome {
+                    Ok(Ok(output)) => Ok(Response {
+                        output,
+                        coalesced: 1,
+                    }),
+                    Ok(Err(e)) => Err(ServerError::Engine(e)),
+                    Err(_) => Err(ServerError::Internal(
+                        "panic while serving a serialised read".to_string(),
+                    )),
+                };
+                inner.finish_read(req, result);
+            }
+        }
+        // Injected flush panic: shed the whole batch with typed errors.
+        Err(_) => {
+            inner
+                .metrics
+                .shed
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for req in batch {
+                inner.finish_read(
+                    req,
+                    Err(ServerError::Internal(
+                        "panic injected at server.batch.flush".to_string(),
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// Flush one write batch through [`Engine::mutate_batch`]: one delta-tracked
+/// version publish for the whole burst, per-closure isolation inside it.
+fn flush_writes(inner: &Inner) {
+    if !inner.config.batch_window.is_zero() {
+        std::thread::sleep(inner.config.batch_window);
+    }
+    let batch = std::mem::take(&mut *inner.writes.lock().unwrap_or_else(PoisonError::into_inner));
+    if batch.is_empty() {
+        return;
+    }
+    inner.metrics.write_batches.fetch_add(1, Ordering::Relaxed);
+    match catch_unwind(AssertUnwindSafe(|| {
+        faults::check(faults::sites::BATCH_FLUSH)
+    })) {
+        Ok(Ok(())) => {
+            let mut ops = Vec::with_capacity(batch.len());
+            let mut waiters = Vec::with_capacity(batch.len());
+            for req in batch {
+                ops.push(req.op);
+                waiters.push((req.promise, req.start));
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| inner.engine.mutate_batch(ops)));
+            match outcome {
+                Ok(Ok(results)) => {
+                    debug_assert_eq!(results.len(), waiters.len());
+                    for ((promise, start), result) in waiters.into_iter().zip(results) {
+                        let result = match result {
+                            Ok(()) => {
+                                inner.metrics.writes.fetch_add(1, Ordering::Relaxed);
+                                Ok(())
+                            }
+                            Err(e) => Err(ServerError::Engine(e)),
+                        };
+                        inner.finish_write(promise, start, result);
+                    }
+                }
+                Ok(Err(e)) => {
+                    // Version construction failed: nothing was published,
+                    // every write in the batch reports the same typed error.
+                    for (promise, start) in waiters {
+                        inner.finish_write(promise, start, Err(ServerError::Engine(e.clone())));
+                    }
+                }
+                Err(_) => {
+                    for (promise, start) in waiters {
+                        inner.finish_write(
+                            promise,
+                            start,
+                            Err(ServerError::Internal(
+                                "panic while publishing a write batch".to_string(),
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+        // Injected flush fault: serialise — each closure becomes its own
+        // `Engine::mutate`, applied exactly once, in arrival order.
+        Ok(Err(_)) => {
+            for req in batch {
+                let WriteRequest { op, promise, start } = req;
+                let outcome = catch_unwind(AssertUnwindSafe(|| inner.engine.mutate(op)));
+                let result = match outcome {
+                    Ok(Ok(())) => {
+                        inner.metrics.writes.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Ok(Err(e)) => Err(ServerError::Engine(e)),
+                    Err(_) => Err(ServerError::Internal(
+                        "panic while applying a serialised write".to_string(),
+                    )),
+                };
+                inner.finish_write(promise, start, result);
+            }
+        }
+        // Injected flush panic: shed the batch with typed errors; nothing
+        // was applied (the engine never saw the closures).
+        Err(_) => {
+            inner
+                .metrics
+                .shed
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for req in batch {
+                inner.finish_write(
+                    req.promise,
+                    req.start,
+                    Err(ServerError::Internal(
+                        "panic injected at server.batch.flush".to_string(),
+                    )),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Serving-side counters and the latency reservoir behind
+//! [`Server::stats`](crate::Server::stats).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Keep the most recent `LATENCY_CAP` request latencies (a ring, so a
+/// long-running server reports recent behaviour, not its cold start).
+const LATENCY_CAP: usize = 1 << 16;
+
+#[derive(Default)]
+pub(crate) struct Metrics {
+    pub(crate) admitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) read_batches: AtomicU64,
+    pub(crate) coalesced_reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) write_batches: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    latencies: Mutex<Ring>,
+}
+
+#[derive(Default)]
+struct Ring {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl Metrics {
+    pub(crate) fn record_latency(&self, micros: u64) {
+        let mut ring = self
+            .latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if ring.samples.len() < LATENCY_CAP {
+            ring.samples.push(micros);
+        } else {
+            let at = ring.next % LATENCY_CAP;
+            ring.samples[at] = micros;
+        }
+        ring.next = (ring.next + 1) % LATENCY_CAP;
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        let mut samples = self
+            .latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .samples
+            .clone();
+        samples.sort_unstable();
+        ServerStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            read_batches: self.read_batches.load(Ordering::Relaxed),
+            coalesced_reads: self.coalesced_reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            p50_us: percentile(&samples, 50),
+            p99_us: percentile(&samples, 99),
+            max_us: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Nearest-rank percentile over sorted samples; 0 when empty.
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * pct).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// A point-in-time snapshot of a server's counters and latency profile.
+/// Latencies cover completed requests (reads and writes), measured from
+/// admission to fulfilment, over the most recent window of up to 65 536
+/// requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests accepted past admission control.
+    pub admitted: u64,
+    /// Requests rejected with [`crate::ServerError::Overloaded`].
+    pub rejected: u64,
+    /// Requests fulfilled (answer or typed error delivered).
+    pub completed: u64,
+    /// Read batches flushed (each serves ≥ 1 coalesced request).
+    pub read_batches: u64,
+    /// Read requests that shared a flush with at least one other request.
+    pub coalesced_reads: u64,
+    /// Write closures applied (batched or serialised).
+    pub writes: u64,
+    /// Write batches published.
+    pub write_batches: u64,
+    /// Requests shed by an injected `SERVER_ACCEPT`/`BATCH_FLUSH` fault
+    /// (always with a typed error, never silently).
+    pub shed: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed request latency, microseconds.
+    pub max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+    }
+
+    #[test]
+    fn ring_keeps_recent_samples() {
+        let m = Metrics::default();
+        for i in 0..(LATENCY_CAP + 10) {
+            m.record_latency(i as u64);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.max_us, (LATENCY_CAP + 9) as u64);
+        // The ring overwrote the ten oldest samples.
+        assert!(snap.p50_us >= 5);
+    }
+}

@@ -111,12 +111,11 @@
 //!   ([`data::patched_snapshot_of`]): surviving rows keep their slots,
 //!   insertions are appended, and the per-position distinct counts are
 //!   adjusted incrementally, all in `O(|Δ|)`.
-//! * **Insert-only delta**: additionally, the touched relation's access
-//!   index is patched — `O(#groups)` `Arc` clones plus the forked groups
-//!   the insert lands in — instead of rebuilt.
-//! * **Removals**: the access index is rebuilt for that relation (a group
-//!   entry may be the projection of several source tuples), but snapshots
-//!   and view extents still maintain incrementally as above.
+//! * **Access indexes patch under exact deltas** — inserts *and* removals:
+//!   `O(#groups)` `Arc` clones plus the forked groups the delta lands in,
+//!   instead of a rebuild.  Each group entry carries a per-projection
+//!   *source multiplicity*, so a removed tuple decrements its entry and the
+//!   entry only disappears when no source tuple supports it any more.
 //! * **Wholesale replacement** (the closure *assigned* a relation, losing
 //!   tracking): the delta degrades to "unknown" for that relation —
 //!   affected views re-materialise (reusing the previous extent object when
@@ -273,6 +272,73 @@
 //! # }
 //! ```
 //!
+//! # Serving
+//!
+//! [`server::Server`] wraps one engine in an async, batched serving front:
+//! admission control priced by each statement's fetch bound `|D_ξ|`
+//! (over-budget submissions fail fast with a typed
+//! [`server::ServerError::Overloaded`], never a wrong answer), read
+//! coalescing (same-statement requests inside a batch window share one
+//! vectorised execution and each receive its exact tuples and
+//! [`FetchStats`](data::FetchStats)), and write batching through
+//! [`Engine::mutate_batch`] (one delta-tracked publish per burst, with
+//! per-closure isolation).  [`server::Server::execute`] blocks;
+//! [`server::Server::submit`] returns a [`server::Pending`] that is a plain
+//! `Future`, driven by the crate's own worker-pool executor:
+//!
+//! ```
+//! use bqr::{tuple, Engine};
+//! use bqr::data::{AccessConstraint, AccessSchema, Database, DatabaseSchema};
+//! use bqr::server::{Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let schema = DatabaseSchema::with_relations(&[("rating", &["mid", "rank"])])
+//! #     .map_err(bqr::Error::Data)?;
+//! # let engine = Engine::builder()
+//! #     .schema(schema.clone())
+//! #     .access(AccessSchema::new(vec![
+//! #         AccessConstraint::new("rating", &["mid"], &["rank"], 2).unwrap(),
+//! #     ]))
+//! #     .bound(8)
+//! #     .build()?;
+//! # let mut db = Database::empty(schema);
+//! # db.insert("rating", tuple![42, 5]).map_err(bqr::Error::Data)?;
+//! # engine.attach(db)?;
+//! let server = Server::with_config(
+//!     engine,
+//!     ServerConfig {
+//!         batch_window: Duration::from_micros(50),
+//!         workers: 2,
+//!         ..ServerConfig::default()
+//!     },
+//! );
+//! // Analyse + register: the returned cost class is the statement's fetch
+//! // bound, the currency of admission control.
+//! let cost = server.prepare("ranks", "Q(r) :- rating(42, r)")?;
+//! assert!(cost >= 1);
+//!
+//! // Concurrent clients; coalesced requests share one execution, and every
+//! // answer is bit-identical to an unbatched session execution.
+//! let golden = server.engine().session().execute("ranks")?;
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         scope.spawn(|| assert_eq!(server.execute("ranks").unwrap().output, golden));
+//!     }
+//! });
+//!
+//! // The async entry hands back a `Future`; `wait()` is the sync adapter.
+//! let pending = server.submit("ranks");
+//! assert_eq!(pending.wait()?.output, golden);
+//!
+//! server.drain();
+//! let stats = server.stats();
+//! assert_eq!((stats.admitted, stats.completed, stats.rejected), (5, 5, 0));
+//! assert!(stats.p50_us <= stats.p99_us);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # The layers underneath
 //!
 //! The facade is a thin, allocation-conscious composition of the workspace
@@ -290,6 +356,8 @@
 //! * [`bqr_core`] (as [`core`]) — the topped-query checker (effective
 //!   syntax) and the exact decision procedures for `VBRP`;
 //! * [`bqr_engine`] (as [`engine`]) — the [`Engine`] facade itself;
+//! * [`bqr_server`] (as [`server`]) — the async serving front (admission
+//!   control, read coalescing, write batching);
 //! * [`bqr_workload`] (as [`workload`]) — synthetic workloads (movies,
 //!   social, CDR, random);
 //! * [`bqr_bench`] (as [`bench`]) — the experiment harness.
@@ -300,6 +368,7 @@ pub use bqr_data as data;
 pub use bqr_engine as engine;
 pub use bqr_plan as plan;
 pub use bqr_query as query;
+pub use bqr_server as server;
 pub use bqr_workload as workload;
 
 pub use bqr_data::tuple;

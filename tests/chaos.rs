@@ -609,3 +609,224 @@ fn pinned_sessions_never_observe_a_half_applied_delta() {
     );
     assert!(!faults::is_active(sites::VIEW_MAINTAIN));
 }
+
+// ---------------------------------------------------------------------------
+// Serving front: `SERVER_ACCEPT` and `BATCH_FLUSH`
+// ---------------------------------------------------------------------------
+
+fn fig1_server() -> bqr::server::Server {
+    bqr::server::Server::with_config(
+        fig1_engine(),
+        bqr::server::ServerConfig {
+            batch_window: std::time::Duration::from_micros(200),
+            workers: 2,
+            ..bqr::server::ServerConfig::default()
+        },
+    )
+}
+
+/// An injected accept fault (error or panic) sheds the submission with a
+/// typed error before anything queues; the very next request is served
+/// normally with the exact answer.
+#[test]
+fn server_accept_faults_shed_typed_and_recover() {
+    use bqr::server::ServerError;
+
+    let _chaos = chaos_lock();
+    let server = fig1_server();
+    let golden = server.engine().session().execute("fig1").unwrap();
+
+    faults::inject_times(sites::SERVER_ACCEPT, FaultKind::Error, 1);
+    let err = server.execute("fig1").unwrap_err();
+    assert!(
+        matches!(&err, ServerError::Engine(_)) && err.to_string().contains("failpoint"),
+        "{err}"
+    );
+
+    faults::inject_times(sites::SERVER_ACCEPT, FaultKind::Panic, 1);
+    let err = server.execute("fig1").unwrap_err();
+    assert!(
+        matches!(&err, ServerError::Internal(msg) if msg.contains("server.accept")),
+        "{err}"
+    );
+    assert!(!faults::is_active(sites::SERVER_ACCEPT), "consumed");
+
+    // Both sheds happened before admission; the next request serves exactly.
+    assert_eq!(server.execute("fig1").unwrap().output, golden);
+    server.drain();
+    let stats = server.stats();
+    assert_eq!((stats.shed, stats.rejected), (2, 2), "{stats:?}");
+    assert_eq!((stats.admitted, stats.completed), (1, 1), "{stats:?}");
+}
+
+/// An injected `BATCH_FLUSH` error degrades read batches to serialised
+/// per-request execution: every request is still answered exactly once,
+/// with its own statement's bit-identical answer — no cross-contamination
+/// between coalescing queues.
+#[test]
+fn batch_flush_errors_serialise_reads_without_changing_answers() {
+    let _chaos = chaos_lock();
+    let server = fig1_server();
+    server.prepare("ranks", "Q(r) :- rating(10, r)").unwrap();
+    let goldens = [
+        server.engine().session().execute("fig1").unwrap(),
+        server.engine().session().execute("ranks").unwrap(),
+    ];
+    assert_ne!(
+        goldens[0], goldens[1],
+        "distinct statements, distinct answers"
+    );
+
+    {
+        let _fp = faults::inject_guard(sites::BATCH_FLUSH, FaultKind::Error);
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let server = &server;
+                let goldens = &goldens;
+                scope.spawn(move || {
+                    let pick = i % 2;
+                    let name = ["fig1", "ranks"][pick];
+                    let response = server.execute(name).unwrap();
+                    assert_eq!(
+                        response.output, goldens[pick],
+                        "serialised fallback changed `{name}`'s answer"
+                    );
+                    assert_eq!(response.coalesced, 1, "degraded flushes serve per-request");
+                });
+            }
+        });
+    }
+
+    // Guard dropped: the coalescing path is back and still exact.
+    assert_eq!(server.execute("fig1").unwrap().output, goldens[0]);
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.completed, 9, "every request answered exactly once");
+    assert_eq!((stats.rejected, stats.shed), (0, 0), "{stats:?}");
+}
+
+/// An injected `BATCH_FLUSH` panic sheds the read batch with typed errors —
+/// never a wrong answer — and the next batch serves normally.
+#[test]
+fn batch_flush_panics_shed_reads_typed() {
+    use bqr::server::ServerError;
+
+    let _chaos = chaos_lock();
+    let server = fig1_server();
+    let golden = server.engine().session().execute("fig1").unwrap();
+
+    faults::inject_times(sites::BATCH_FLUSH, FaultKind::Panic, 1);
+    let err = server.execute("fig1").unwrap_err();
+    assert!(
+        matches!(&err, ServerError::Internal(msg) if msg.contains("batch.flush")),
+        "{err}"
+    );
+    assert!(!faults::is_active(sites::BATCH_FLUSH), "consumed");
+
+    assert_eq!(server.execute("fig1").unwrap().output, golden);
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.shed, 1, "{stats:?}");
+    // Both requests were *fulfilled* — one with a typed error — and none
+    // was rejected at admission or dropped.
+    assert_eq!((stats.completed, stats.rejected), (2, 0), "{stats:?}");
+}
+
+/// An injected `BATCH_FLUSH` error degrades a write burst to serialised
+/// `Engine::mutate` calls: every closure is applied exactly once (a shared
+/// counter proves it), in order, and every effect is visible afterwards.
+#[test]
+fn batch_flush_errors_serialise_writes_exactly_once() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let _chaos = chaos_lock();
+    let server = fig1_server();
+    let applied = Arc::new(AtomicUsize::new(0));
+
+    {
+        let _fp = faults::inject_guard(sites::BATCH_FLUSH, FaultKind::Error);
+        let pendings: Vec<_> = (0..4)
+            .map(|i| {
+                let applied = Arc::clone(&applied);
+                server.submit_mutate(move |db| {
+                    applied.fetch_add(1, Ordering::Relaxed);
+                    db.insert("rating", tuple![800 + i as i64, 1]).map(drop)
+                })
+            })
+            .collect();
+        for pending in pendings {
+            pending.wait().unwrap();
+        }
+    }
+
+    assert_eq!(
+        applied.load(Ordering::Relaxed),
+        4,
+        "each closure ran exactly once"
+    );
+    let db = server.engine().database();
+    let rating = db.relation("rating").unwrap();
+    for i in 0..4i64 {
+        assert!(rating.contains(&tuple![800 + i, 1]), "write {i} was lost");
+    }
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.writes, 4, "{stats:?}");
+    assert_eq!((stats.rejected, stats.shed), (0, 0), "{stats:?}");
+}
+
+/// An injected `BATCH_FLUSH` panic sheds the write batch with typed errors
+/// and applies **nothing** — no partial effects, no duplicates — and the
+/// resubmitted write then lands exactly once.
+#[test]
+fn batch_flush_panics_shed_writes_without_applying() {
+    use bqr::server::ServerError;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let _chaos = chaos_lock();
+    let server = fig1_server();
+    let applied = Arc::new(AtomicUsize::new(0));
+    let closure = {
+        let applied = Arc::clone(&applied);
+        move |db: &mut Database| {
+            applied.fetch_add(1, Ordering::Relaxed);
+            db.insert("rating", tuple![900, 1]).map(drop)
+        }
+    };
+
+    faults::inject_times(sites::BATCH_FLUSH, FaultKind::Panic, 1);
+    let err = server.mutate(closure.clone()).unwrap_err();
+    assert!(
+        matches!(&err, ServerError::Internal(msg) if msg.contains("batch.flush")),
+        "{err}"
+    );
+    assert_eq!(
+        applied.load(Ordering::Relaxed),
+        0,
+        "the engine never saw the closure"
+    );
+    assert!(
+        !server
+            .engine()
+            .database()
+            .relation("rating")
+            .unwrap()
+            .contains(&tuple![900, 1]),
+        "a shed write must not be applied"
+    );
+
+    // Failpoint consumed: the retry applies exactly once.
+    server.mutate(closure).unwrap();
+    assert_eq!(applied.load(Ordering::Relaxed), 1);
+    assert!(server
+        .engine()
+        .database()
+        .relation("rating")
+        .unwrap()
+        .contains(&tuple![900, 1]));
+    server.drain();
+    let stats = server.stats();
+    assert_eq!((stats.shed, stats.writes), (1, 1), "{stats:?}");
+}

@@ -363,7 +363,12 @@ fn ucq_tuple_survives_losing_one_of_two_disjunct_derivations() {
     db.insert("like", tuple![1, 10, "movie"]).unwrap();
     delta.attach(db.clone()).unwrap();
     rebuild.attach(db).unwrap();
-    assert!(delta.session().views().extent("VO").unwrap().contains(&tuple![10]));
+    assert!(delta
+        .session()
+        .views()
+        .extent("VO")
+        .unwrap()
+        .contains(&tuple![10]));
 
     // Drop the `like` derivation: VO(10) still holds via rating(10, 5), the
     // union contents are unchanged, and the extent keeps its epoch.
@@ -377,7 +382,11 @@ fn ucq_tuple_survives_losing_one_of_two_disjunct_derivations() {
     let vo = delta.session();
     let vo = vo.views().extent("VO").unwrap();
     assert!(vo.contains(&tuple![10]));
-    assert_eq!(vo.epoch(), epoch_before, "content-unchanged VO was re-stamped");
+    assert_eq!(
+        vo.epoch(),
+        epoch_before,
+        "content-unchanged VO was re-stamped"
+    );
 
     // Drop the last derivation: VO(10) disappears on both engines.
     for engine in [&delta, &rebuild] {
@@ -386,7 +395,12 @@ fn ucq_tuple_survives_losing_one_of_two_disjunct_derivations() {
             .unwrap();
     }
     check_agreement(&delta, &rebuild);
-    assert!(!delta.session().views().extent("VO").unwrap().contains(&tuple![10]));
+    assert!(!delta
+        .session()
+        .views()
+        .extent("VO")
+        .unwrap()
+        .contains(&tuple![10]));
 }
 
 /// Differential check of in-place snapshot patching: after every exact-delta

@@ -1,0 +1,304 @@
+//! Concurrency stress for the `bqr-server` serving front: many closed-loop
+//! client threads over mixed prepared statements, with and without
+//! concurrent mutations, plus overload and teardown consistency.
+//!
+//! The invariants pinned here:
+//! * every served answer is **bit-identical** — tuples *and* `FetchStats` —
+//!   to an unbatched direct [`Session`](bqr::Session) execution on some
+//!   published version (the exact golden without writes; a member of the
+//!   prefix-golden set under a concurrent writer);
+//! * overload surfaces as typed [`ServerError::Overloaded`] rejections,
+//!   never as a wrong or partial answer;
+//! * a drained server leaves the engine's [`CacheStats`] and `GuardStats`
+//!   consistent.
+
+use bqr::data::tuple;
+use bqr::server::{Server, ServerConfig, ServerError};
+use bqr::workload::movies::{self, MovieScale};
+use bqr::Engine;
+use std::time::Duration;
+
+const Q_XI: &str = "Q(mid) :- movie(mid, ym, 'Universal', '2014'), V1(mid), rating(mid, 5)";
+/// A point lookup whose answer grows under the stress writer (movie 10 is
+/// rated 5 in the generated instance; the writer adds ranks ≥ 11, so
+/// `fig1`'s answer never changes while `ranks_of_10` gains one tuple per
+/// committed write).
+const RANKS_OF_10: &str = "Q(r) :- rating(10, r)";
+
+fn movie_engine() -> Engine {
+    let engine = Engine::builder()
+        .setting(movies::setting(100, 40))
+        .cache_capacity(32)
+        .build()
+        .unwrap();
+    engine
+        .attach(movies::generate(MovieScale {
+            persons: 800,
+            movies: 300,
+            n0: 50,
+            seed: 7,
+        }))
+        .unwrap();
+    engine
+}
+
+fn stress_config() -> ServerConfig {
+    ServerConfig {
+        batch_window: Duration::from_micros(100),
+        workers: 4,
+        ..ServerConfig::default()
+    }
+}
+
+const STATEMENTS: [&str; 2] = ["fig1", "ranks_of_10"];
+
+fn prepare_statements(server: &Server) {
+    server.prepare("fig1", Q_XI).unwrap();
+    server.prepare("ranks_of_10", RANKS_OF_10).unwrap();
+}
+
+/// Phase 1 — no concurrent writes: 8 closed-loop clients round-robin both
+/// statements and every response must be bit-identical (tuples and
+/// `FetchStats`) to a direct, unbatched session execution captured up
+/// front.  Afterwards the drained server's engine reports consistent cache
+/// and guard counters.
+#[test]
+fn eight_clients_read_bit_identically_to_direct_sessions() {
+    const CLIENTS: usize = 8;
+    const ITERS: usize = 25;
+
+    let server = Server::with_config(movie_engine(), stress_config());
+    prepare_statements(&server);
+    let goldens: Vec<_> = STATEMENTS
+        .iter()
+        .map(|name| server.engine().session().execute(name).unwrap())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = &server;
+            let goldens = &goldens;
+            scope.spawn(move || {
+                for round in 0..ITERS {
+                    let pick = (client + round) % STATEMENTS.len();
+                    let response = server.execute(STATEMENTS[pick]).unwrap();
+                    assert_eq!(
+                        response.output, goldens[pick],
+                        "served answer (tuples or FetchStats) diverged from the direct \
+                         session execution of {}",
+                        STATEMENTS[pick]
+                    );
+                }
+            });
+        }
+    });
+    server.drain();
+
+    let stats = server.stats();
+    assert_eq!(stats.completed, (CLIENTS * ITERS) as u64, "nothing dropped");
+    assert_eq!(stats.rejected, 0, "default limits admit a closed loop");
+    assert_eq!(stats.shed, 0);
+    assert!(stats.read_batches >= 1);
+
+    // Drained-server consistency: the pipeline cache accounted for every
+    // lookup, and no guardrail tripped.
+    let cache = server.engine().cache_stats();
+    assert_eq!(cache.lookups, cache.hits + cache.misses);
+    assert!(
+        cache.lookups >= 2,
+        "both statements were compiled and served"
+    );
+    let guards = server.engine().guard_stats();
+    assert_eq!(
+        (
+            guards.cancellations,
+            guards.deadline_trips,
+            guards.memory_trips,
+            guards.fetch_trips,
+            guards.panics_contained,
+        ),
+        (0, 0, 0, 0, 0),
+        "no guardrail may trip under plain stress"
+    );
+}
+
+/// Phase 2 — a concurrent writer: 8 reader clients round-robin both
+/// statements while one writer commits `WRITES` inserts through the
+/// server's batched write path.  Every response must equal one of the
+/// prefix goldens — the executions of the same statement on a twin engine
+/// after 0, 1, …, `WRITES` of the same inserts — because every published
+/// version applies a prefix of the writer's sequence, whether the writes
+/// were batched into one publish or many.
+#[test]
+fn readers_under_a_concurrent_writer_serve_prefix_consistent_answers() {
+    const CLIENTS: usize = 8;
+    const ITERS: usize = 25;
+    const WRITES: i64 = 6;
+
+    let server = Server::with_config(movie_engine(), stress_config());
+    prepare_statements(&server);
+
+    // The prefix-golden set, from a twin engine fed the same inserts
+    // serially: goldens[s][k] is statement s's exact output after the first
+    // k writes.
+    let twin = movie_engine();
+    twin.prepare("fig1", Q_XI).unwrap();
+    twin.prepare("ranks_of_10", RANKS_OF_10).unwrap();
+    let mut goldens: Vec<Vec<_>> = vec![Vec::new(), Vec::new()];
+    for (s, name) in STATEMENTS.iter().enumerate() {
+        goldens[s].push(twin.session().execute(name).unwrap());
+    }
+    for i in 0..WRITES {
+        twin.mutate(move |db| db.insert("rating", tuple![10, 11 + i]).map(drop))
+            .unwrap();
+        for (s, name) in STATEMENTS.iter().enumerate() {
+            goldens[s].push(twin.session().execute(name).unwrap());
+        }
+    }
+    assert_eq!(
+        goldens[1].len(),
+        (WRITES + 1) as usize,
+        "every write grows the ranks_of_10 golden chain"
+    );
+
+    std::thread::scope(|scope| {
+        let writer_server = &server;
+        scope.spawn(move || {
+            for i in 0..WRITES {
+                writer_server
+                    .mutate(move |db| db.insert("rating", tuple![10, 11 + i]).map(drop))
+                    .unwrap();
+            }
+        });
+        for client in 0..CLIENTS {
+            let server = &server;
+            let goldens = &goldens;
+            scope.spawn(move || {
+                for round in 0..ITERS {
+                    let pick = (client + round) % STATEMENTS.len();
+                    let response = server.execute(STATEMENTS[pick]).unwrap();
+                    assert!(
+                        goldens[pick].contains(&response.output),
+                        "{}: served answer matches no prefix of the write sequence",
+                        STATEMENTS[pick]
+                    );
+                }
+            });
+        }
+    });
+    server.drain();
+
+    let stats = server.stats();
+    assert_eq!(stats.completed, (CLIENTS * ITERS) as u64 + WRITES as u64);
+    assert_eq!(stats.writes, WRITES as u64);
+    assert_eq!(stats.rejected, 0);
+    // All writes landed: the final served answer is the full-prefix golden.
+    assert_eq!(
+        server.engine().session().execute("ranks_of_10").unwrap(),
+        *goldens[1].last().unwrap()
+    );
+    let cache = server.engine().cache_stats();
+    assert_eq!(cache.lookups, cache.hits + cache.misses);
+}
+
+/// Overload: a server admitting at most one request at a time, hammered by
+/// 8 clients, must reject with typed `Overloaded` (carrying the configured
+/// retry hint) — and every admitted answer is still bit-identical to the
+/// direct golden.  Errors never corrupt answers.
+#[test]
+fn overload_rejections_are_typed_and_answers_stay_exact() {
+    const CLIENTS: usize = 8;
+    const ITERS: usize = 20;
+
+    let server = Server::with_config(
+        movie_engine(),
+        ServerConfig {
+            max_concurrent: 1,
+            retry_after_ms: 3,
+            ..stress_config()
+        },
+    );
+    prepare_statements(&server);
+    let golden = server.engine().session().execute("fig1").unwrap();
+
+    let served = std::sync::atomic::AtomicU64::new(0);
+    let rejected = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let server = &server;
+            let golden = &golden;
+            let (served, rejected) = (&served, &rejected);
+            scope.spawn(move || {
+                for _ in 0..ITERS {
+                    match server.execute("fig1") {
+                        Ok(response) => {
+                            assert_eq!(response.output, *golden, "admitted answers stay exact");
+                            served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(ServerError::Overloaded { retry_after_ms }) => {
+                            assert_eq!(retry_after_ms, 3, "the configured retry hint");
+                            rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("only Overloaded is acceptable, got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    server.drain();
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.completed + stats.rejected,
+        (CLIENTS * ITERS) as u64,
+        "every request was answered or typed-rejected — none dropped"
+    );
+    assert_eq!(
+        stats.completed,
+        served.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    assert_eq!(
+        stats.rejected,
+        rejected.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    assert!(
+        stats.completed >= 1,
+        "a capacity of one still serves a closed loop"
+    );
+    assert!(
+        stats.rejected >= 1,
+        "8 clients against a capacity of one must overload"
+    );
+}
+
+/// Cost-class admission: fetch-bound budgets price statements by `|D_ξ|`,
+/// so a budget below the statement's cost class rejects deterministically
+/// while a cheaper statement still serves.
+#[test]
+fn cost_class_budget_rejects_expensive_statements_only() {
+    let probe = Server::new(movie_engine());
+    let expensive = probe.prepare("fig1", Q_XI).unwrap();
+    let cheap = probe.prepare("ranks_of_10", RANKS_OF_10).unwrap();
+    assert!(
+        cheap < expensive,
+        "the point lookup must be the cheaper cost class ({cheap} vs {expensive})"
+    );
+
+    // Budget admits the point lookup but not the Fig. 1 rewriting.
+    let server = Server::with_config(
+        movie_engine(),
+        ServerConfig {
+            max_outstanding_cost: cheap,
+            ..stress_config()
+        },
+    );
+    prepare_statements(&server);
+    let golden = server.engine().session().execute("ranks_of_10").unwrap();
+    assert!(matches!(
+        server.execute("fig1"),
+        Err(ServerError::Overloaded { .. })
+    ));
+    assert_eq!(server.execute("ranks_of_10").unwrap().output, golden);
+    let stats = server.stats();
+    assert_eq!((stats.rejected, stats.completed), (1, 1));
+}
